@@ -1,0 +1,164 @@
+//! Bridges the wire protocol into the cascade: a [`ProtocolAgent`] is an
+//! [`ApplicationAgent`] whose `self_deflate` goes over a [`Duplex`] link
+//! to a remote [`AgentEndpoint`] — exactly how the paper's local
+//! controller reaches the in-VM deflation agents over REST.
+//!
+//! The round trip is resolved synchronously within the simulated
+//! deadline: the request is delivered after the link delay, the remote
+//! side processes it (its own latency applies), and the answer either
+//! returns before the deadline — the relinquished amount and the true
+//! round-trip latency — or the deadline expires and the cascade proceeds
+//! with zero application contribution, as §3.2 requires.
+
+use deflate_core::{ApplicationAgent, ReclaimResult, ResourceVector, VmId};
+use simkit::{SimDuration, SimTime};
+
+use crate::endpoint::{AgentEndpoint, ControllerEndpoint, RequestOutcome};
+use crate::transport::Duplex;
+
+/// An [`ApplicationAgent`] that talks to its real agent over the wire.
+pub struct ProtocolAgent {
+    vm: VmId,
+    link: Duplex,
+    controller: ControllerEndpoint,
+    remote: AgentEndpoint,
+    /// Per-request response deadline.
+    pub deadline: SimDuration,
+    /// Requests that timed out (for diagnostics).
+    pub timeouts: u64,
+}
+
+impl ProtocolAgent {
+    /// Wires a controller to a remote agent endpoint over `link`.
+    pub fn new(vm: VmId, remote: AgentEndpoint, link: Duplex, deadline: SimDuration) -> Self {
+        ProtocolAgent {
+            vm,
+            link,
+            controller: ControllerEndpoint::new(),
+            remote,
+            deadline,
+            timeouts: 0,
+        }
+    }
+
+    /// Diagnostics from the controller side.
+    pub fn late_responses(&self) -> u64 {
+        self.controller.late_responses
+    }
+}
+
+impl ApplicationAgent for ProtocolAgent {
+    fn self_deflate(&mut self, now: SimTime, target: &ResourceVector) -> ReclaimResult {
+        let seq = self.controller.request_deflation(
+            now,
+            &mut self.link,
+            self.vm,
+            *target,
+            self.deadline,
+        );
+
+        // Deliver the request to the remote agent after the link delay;
+        // the remote queues its (possibly delayed) response.
+        let request_arrives = now + self.link.delay;
+        self.remote.poll(request_arrives, &mut self.link);
+
+        // Resolve at the answer's arrival or the deadline, whichever is
+        // earlier.
+        let deadline_at = now + self.deadline;
+        let resolve_at = match self.link.next_delivery_to_controller() {
+            Some(t) if t <= deadline_at => t,
+            _ => deadline_at.saturating_add(SimDuration::from_micros(1)),
+        };
+        for outcome in self.controller.poll(resolve_at, &mut self.link) {
+            match outcome {
+                RequestOutcome::Answered { request, freed } if request.seq == seq => {
+                    return ReclaimResult::new(freed, resolve_at.saturating_since(now));
+                }
+                RequestOutcome::TimedOut { request } if request.seq == seq => {
+                    self.timeouts += 1;
+                    return ReclaimResult::new(ResourceVector::ZERO, self.deadline);
+                }
+                _ => {}
+            }
+        }
+        // No outcome at all (e.g. request dropped and deadline not yet
+        // reached at resolve_at): treat as a timeout.
+        self.timeouts += 1;
+        ReclaimResult::new(ResourceVector::ZERO, self.deadline)
+    }
+
+    fn reinflate(&mut self, now: SimTime, available: &ResourceVector) {
+        self.controller
+            .notify_reinflate(now, &mut self.link, self.vm, *available);
+        self.remote.poll(now + self.link.delay, &mut self.link);
+    }
+
+    fn name(&self) -> &str {
+        "protocol"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::AgentPolicy;
+
+    fn target() -> ResourceVector {
+        ResourceVector::new(2.0, 8_192.0, 50.0, 100.0)
+    }
+
+    #[test]
+    fn answered_request_reports_true_latency() {
+        let remote = AgentEndpoint::new(
+            VmId(1),
+            AgentPolicy::Fraction {
+                fraction: 0.5,
+                delay: SimDuration::from_millis(200),
+            },
+        );
+        let link = Duplex::new(SimDuration::from_millis(50));
+        let mut agent = ProtocolAgent::new(VmId(1), remote, link, SimDuration::from_secs(5));
+        let r = agent.self_deflate(SimTime::from_secs(10), &target());
+        assert!(r.reclaimed.approx_eq(&target().scale(0.5), 1e-9));
+        // 50 ms out + 200 ms processing + 50 ms back.
+        assert_eq!(r.latency, SimDuration::from_millis(300));
+        assert_eq!(agent.timeouts, 0);
+    }
+
+    #[test]
+    fn silent_remote_times_out_and_cascade_gets_zero() {
+        let remote = AgentEndpoint::new(VmId(1), AgentPolicy::Silent);
+        let link = Duplex::new(SimDuration::from_millis(10));
+        let mut agent =
+            ProtocolAgent::new(VmId(1), remote, link, SimDuration::from_millis(500));
+        let r = agent.self_deflate(SimTime::ZERO, &target());
+        assert!(r.reclaimed.is_zero());
+        assert_eq!(r.latency, SimDuration::from_millis(500));
+        assert_eq!(agent.timeouts, 1);
+    }
+
+    #[test]
+    fn slow_remote_misses_deadline() {
+        let remote = AgentEndpoint::new(
+            VmId(1),
+            AgentPolicy::Fraction {
+                fraction: 1.0,
+                delay: SimDuration::from_secs(60),
+            },
+        );
+        let link = Duplex::new(SimDuration::from_millis(10));
+        let mut agent = ProtocolAgent::new(VmId(1), remote, link, SimDuration::from_secs(2));
+        let r = agent.self_deflate(SimTime::ZERO, &target());
+        assert!(r.reclaimed.is_zero());
+        assert_eq!(agent.timeouts, 1);
+    }
+
+    #[test]
+    fn reinflate_notifies_remote() {
+        let remote = AgentEndpoint::new(VmId(1), AgentPolicy::Silent);
+        let link = Duplex::new(SimDuration::from_millis(5));
+        let mut agent = ProtocolAgent::new(VmId(1), remote, link, SimDuration::from_secs(1));
+        agent.reinflate(SimTime::ZERO, &target());
+        assert_eq!(agent.remote.reinflations, vec![target()]);
+    }
+}

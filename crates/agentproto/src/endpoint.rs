@@ -1,0 +1,453 @@
+//! Endpoint state machines for the deflation control plane.
+//!
+//! The [`ControllerEndpoint`] issues deflation requests with deadlines
+//! and tracks them until a response arrives or the deadline passes —
+//! at which point cascade deflation proceeds with zero application
+//! contribution ("If a layer fails to meet the reclamation target, then
+//! the lower layers pick up the slack", §3.2). The [`AgentEndpoint`]
+//! answers requests according to a pluggable [`AgentPolicy`], mirroring
+//! the paper's per-application deflation agents.
+
+use std::collections::HashMap;
+
+use deflate_core::{ApplicationAgent, ResourceVector, VmId};
+use simkit::{SimDuration, SimTime};
+
+use crate::transport::Duplex;
+use crate::wire::{self, Message};
+
+/// An in-flight deflation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingRequest {
+    /// Sequence number.
+    pub seq: u64,
+    /// Target VM.
+    pub vm: VmId,
+    /// Requested reclamation.
+    pub target: ResourceVector,
+    /// Absolute deadline.
+    pub deadline_at: SimTime,
+}
+
+/// The outcome of a completed (answered or expired) request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// The agent responded in time with the amount it relinquished.
+    Answered {
+        /// The request.
+        request: PendingRequest,
+        /// Relinquished resources (≤ target after clamping).
+        freed: ResourceVector,
+    },
+    /// The deadline passed with no (timely) response; lower layers must
+    /// reclaim everything.
+    TimedOut {
+        /// The request.
+        request: PendingRequest,
+    },
+}
+
+/// The controller side: issues requests, matches responses, expires
+/// deadlines.
+#[derive(Debug, Default)]
+pub struct ControllerEndpoint {
+    next_seq: u64,
+    pending: HashMap<u64, PendingRequest>,
+    /// Responses that arrived after their deadline (counted, ignored).
+    pub late_responses: u64,
+    /// Lines that failed to parse (counted, ignored).
+    pub parse_errors: u64,
+}
+
+impl ControllerEndpoint {
+    /// Creates an idle controller endpoint.
+    pub fn new() -> Self {
+        ControllerEndpoint::default()
+    }
+
+    /// Number of requests awaiting a response or expiry.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sends a deflation request over `link`; returns its sequence
+    /// number.
+    pub fn request_deflation(
+        &mut self,
+        now: SimTime,
+        link: &mut Duplex,
+        vm: VmId,
+        target: ResourceVector,
+        deadline: SimDuration,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let msg = Message::Deflate {
+            seq,
+            vm,
+            target,
+            deadline,
+        };
+        link.send_to_agent(now, wire::encode(&msg));
+        self.pending.insert(
+            seq,
+            PendingRequest {
+                seq,
+                vm,
+                target,
+                deadline_at: now + deadline,
+            },
+        );
+        seq
+    }
+
+    /// Notifies the agent that resources were re-inflated (no response
+    /// expected).
+    pub fn notify_reinflate(
+        &mut self,
+        now: SimTime,
+        link: &mut Duplex,
+        vm: VmId,
+        available: ResourceVector,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        link.send_to_agent(now, wire::encode(&Message::Reinflate { seq, vm, available }));
+    }
+
+    /// Drains the link and the deadline queue; returns completed
+    /// requests (answered or timed out), in a deterministic order.
+    pub fn poll(&mut self, now: SimTime, link: &mut Duplex) -> Vec<RequestOutcome> {
+        let mut out = Vec::new();
+
+        for line in link.recv_at_controller(now) {
+            match wire::parse(&line) {
+                Ok(Message::Relinquish { seq, freed, .. }) => {
+                    match self.pending.remove(&seq) {
+                        Some(request) if now <= request.deadline_at => {
+                            // An agent can never relinquish more than asked.
+                            let freed = freed.min(&request.target);
+                            out.push(RequestOutcome::Answered { request, freed });
+                        }
+                        Some(request) => {
+                            // Too late: the cascade already moved on.
+                            self.late_responses += 1;
+                            out.push(RequestOutcome::TimedOut { request });
+                        }
+                        None => {
+                            // Duplicate or unknown sequence number.
+                            self.late_responses += 1;
+                        }
+                    }
+                }
+                Ok(Message::Heartbeat { .. }) => {}
+                Ok(_) => self.parse_errors += 1, // Wrong direction.
+                Err(_) => self.parse_errors += 1,
+            }
+        }
+
+        // Expire overdue requests.
+        let mut expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, r)| now > r.deadline_at)
+            .map(|(seq, _)| *seq)
+            .collect();
+        expired.sort_unstable();
+        for seq in expired {
+            let request = self.pending.remove(&seq).expect("just found");
+            out.push(RequestOutcome::TimedOut { request });
+        }
+        out.sort_by_key(|o| match o {
+            RequestOutcome::Answered { request, .. } => request.seq,
+            RequestOutcome::TimedOut { request } => request.seq,
+        });
+        out
+    }
+}
+
+/// How an agent answers deflation requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AgentPolicy {
+    /// Relinquish a fixed fraction of every request, after a processing
+    /// delay (a GC pass, an eviction sweep, ...).
+    Fraction {
+        /// Fraction in `[0, 1]`.
+        fraction: f64,
+        /// Processing delay before the response is sent.
+        delay: SimDuration,
+    },
+    /// Never answer — a crashed or inelastic-without-agent VM.
+    Silent,
+}
+
+enum AgentBehavior {
+    Policy(AgentPolicy),
+    /// Delegate to a real application agent (memcached, JVM, ...): its
+    /// [`ApplicationAgent::self_deflate`] runs when a request arrives and
+    /// its reported latency delays the response.
+    Delegate(Box<dyn ApplicationAgent>),
+}
+
+/// The agent side: answers requests per policy or by delegating to a
+/// real application agent.
+pub struct AgentEndpoint {
+    vm: VmId,
+    behavior: AgentBehavior,
+    /// Reinflation notifications received.
+    pub reinflations: Vec<ResourceVector>,
+    /// Lines that failed to parse.
+    pub parse_errors: u64,
+}
+
+impl std::fmt::Debug for AgentEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AgentEndpoint").field("vm", &self.vm).finish()
+    }
+}
+
+impl AgentEndpoint {
+    /// Creates an agent for `vm` with the given canned policy.
+    pub fn new(vm: VmId, policy: AgentPolicy) -> Self {
+        AgentEndpoint {
+            vm,
+            behavior: AgentBehavior::Policy(policy),
+            reinflations: Vec::new(),
+            parse_errors: 0,
+        }
+    }
+
+    /// Creates an agent that delegates to a real application agent.
+    pub fn with_delegate(vm: VmId, delegate: Box<dyn ApplicationAgent>) -> Self {
+        AgentEndpoint {
+            vm,
+            behavior: AgentBehavior::Delegate(delegate),
+            reinflations: Vec::new(),
+            parse_errors: 0,
+        }
+    }
+
+    /// Drains the link and answers requests.
+    pub fn poll(&mut self, now: SimTime, link: &mut Duplex) {
+        for line in link.recv_at_agent(now) {
+            match wire::parse(&line) {
+                Ok(Message::Deflate { seq, vm, target, .. }) if vm == self.vm => {
+                    match &mut self.behavior {
+                        AgentBehavior::Policy(AgentPolicy::Fraction { fraction, delay }) => {
+                            let freed = target.scale(fraction.clamp(0.0, 1.0));
+                            let msg = Message::Relinquish {
+                                seq,
+                                vm: self.vm,
+                                freed,
+                            };
+                            // The processing delay happens before the send.
+                            link.send_to_controller(now + *delay, wire::encode(&msg));
+                        }
+                        AgentBehavior::Policy(AgentPolicy::Silent) => {}
+                        AgentBehavior::Delegate(agent) => {
+                            let res = agent.self_deflate(now, &target);
+                            let msg = Message::Relinquish {
+                                seq,
+                                vm: self.vm,
+                                freed: res.reclaimed,
+                            };
+                            link.send_to_controller(now + res.latency, wire::encode(&msg));
+                        }
+                    }
+                }
+                Ok(Message::Reinflate { available, vm, .. }) if vm == self.vm => {
+                    if let AgentBehavior::Delegate(agent) = &mut self.behavior {
+                        agent.reinflate(now, &available);
+                    }
+                    self.reinflations.push(available);
+                }
+                Ok(_) => {} // Someone else's message or wrong direction.
+                Err(_) => self.parse_errors += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> ResourceVector {
+        ResourceVector::new(2.0, 8_192.0, 50.0, 100.0)
+    }
+
+    fn setup(policy: AgentPolicy, delay_ms: u64) -> (ControllerEndpoint, AgentEndpoint, Duplex) {
+        (
+            ControllerEndpoint::new(),
+            AgentEndpoint::new(VmId(3), policy),
+            Duplex::new(SimDuration::from_millis(delay_ms)),
+        )
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let policy = AgentPolicy::Fraction {
+            fraction: 0.5,
+            delay: SimDuration::from_millis(100),
+        };
+        let (mut ctl, mut agent, mut link) = setup(policy, 10);
+        let seq = ctl.request_deflation(
+            SimTime::ZERO,
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_secs(2),
+        );
+        assert_eq!(ctl.pending(), 1);
+
+        // Request arrives at +10 ms; response sent at +110 ms; arrives
+        // at +120 ms.
+        agent.poll(SimTime::from_millis(10), &mut link);
+        let outcomes = ctl.poll(SimTime::from_millis(120), &mut link);
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0] {
+            RequestOutcome::Answered { request, freed } => {
+                assert_eq!(request.seq, seq);
+                assert!(freed.approx_eq(&target().scale(0.5), 1e-9));
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+        assert_eq!(ctl.pending(), 0);
+        assert_eq!(ctl.late_responses, 0);
+    }
+
+    #[test]
+    fn silent_agent_times_out() {
+        let (mut ctl, mut agent, mut link) = setup(AgentPolicy::Silent, 10);
+        ctl.request_deflation(
+            SimTime::ZERO,
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_millis(500),
+        );
+        agent.poll(SimTime::from_millis(10), &mut link);
+        // Nothing at the deadline…
+        assert!(ctl.poll(SimTime::from_millis(500), &mut link).is_empty());
+        // …expired just after.
+        let outcomes = ctl.poll(SimTime::from_millis(501), &mut link);
+        assert!(matches!(outcomes[0], RequestOutcome::TimedOut { .. }));
+        assert_eq!(ctl.pending(), 0);
+    }
+
+    #[test]
+    fn late_response_counts_as_timeout() {
+        let policy = AgentPolicy::Fraction {
+            fraction: 1.0,
+            delay: SimDuration::from_secs(10), // Slower than the deadline.
+        };
+        let (mut ctl, mut agent, mut link) = setup(policy, 0);
+        ctl.request_deflation(
+            SimTime::ZERO,
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_secs(1),
+        );
+        agent.poll(SimTime::ZERO, &mut link);
+        // The answer arrives at t=10 s, long past the 1 s deadline; the
+        // request resolves as timed out exactly once.
+        let outcomes = ctl.poll(SimTime::from_secs(10), &mut link);
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0], RequestOutcome::TimedOut { .. }));
+        assert_eq!(ctl.late_responses, 1);
+    }
+
+    #[test]
+    fn dropped_request_times_out() {
+        let policy = AgentPolicy::Fraction {
+            fraction: 1.0,
+            delay: SimDuration::ZERO,
+        };
+        let mut ctl = ControllerEndpoint::new();
+        let mut agent = AgentEndpoint::new(VmId(3), policy);
+        let mut link = Duplex::new(SimDuration::ZERO).with_drop_every(1); // Drop all.
+        ctl.request_deflation(
+            SimTime::ZERO,
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_secs(1),
+        );
+        agent.poll(SimTime::from_millis(1), &mut link);
+        let outcomes = ctl.poll(SimTime::from_secs(2), &mut link);
+        assert!(matches!(outcomes[0], RequestOutcome::TimedOut { .. }));
+        assert_eq!(link.dropped(), 1);
+    }
+
+    #[test]
+    fn overeager_agent_is_clamped() {
+        let policy = AgentPolicy::Fraction {
+            fraction: 1.0,
+            delay: SimDuration::ZERO,
+        };
+        let (mut ctl, _agent, mut link) = setup(policy, 0);
+        // Forge an over-relinquish response.
+        let seq = ctl.request_deflation(
+            SimTime::ZERO,
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_secs(1),
+        );
+        let forged = Message::Relinquish {
+            seq,
+            vm: VmId(3),
+            freed: target().scale(10.0),
+        };
+        link.send_to_controller(SimTime::ZERO, wire::encode(&forged));
+        let outcomes = ctl.poll(SimTime::ZERO, &mut link);
+        match &outcomes[0] {
+            RequestOutcome::Answered { freed, .. } => {
+                assert!(freed.approx_eq(&target(), 1e-9))
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reinflate_notification_reaches_agent() {
+        let (mut ctl, mut agent, mut link) =
+            setup(AgentPolicy::Silent, 0);
+        ctl.notify_reinflate(SimTime::ZERO, &mut link, VmId(3), target());
+        agent.poll(SimTime::ZERO, &mut link);
+        assert_eq!(agent.reinflations, vec![target()]);
+    }
+
+    #[test]
+    fn garbage_lines_are_counted_not_fatal() {
+        let mut ctl = ControllerEndpoint::new();
+        let mut link = Duplex::new(SimDuration::ZERO);
+        link.send_to_controller(SimTime::ZERO, "!!garbage!!".into());
+        let outcomes = ctl.poll(SimTime::ZERO, &mut link);
+        assert!(outcomes.is_empty());
+        assert_eq!(ctl.parse_errors, 1);
+    }
+
+    #[test]
+    fn agent_ignores_other_vms_requests() {
+        let policy = AgentPolicy::Fraction {
+            fraction: 1.0,
+            delay: SimDuration::ZERO,
+        };
+        let mut ctl = ControllerEndpoint::new();
+        let mut agent = AgentEndpoint::new(VmId(99), policy);
+        let mut link = Duplex::new(SimDuration::ZERO);
+        ctl.request_deflation(
+            SimTime::ZERO,
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_secs(1),
+        );
+        agent.poll(SimTime::ZERO, &mut link);
+        // No response: the request was for vm-3, the agent serves vm-99.
+        let outcomes = ctl.poll(SimTime::from_millis(1), &mut link);
+        assert!(outcomes.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! The deflation control plane (paper §5, "Implementation details").
+//!
+//! In the paper's prototype, three components speak over REST:
+//!
+//! * the centralized **cluster manager** sends per-server reclamation
+//!   orders to each server's **local deflation controller**;
+//! * the local controller sends *deflation vectors* to each VM's
+//!   **deflation agent** ("applications use a deflation agent with a REST
+//!   endpoint. The deflation agents listen to deflation requests … invoke
+//!   the application-level mechanisms, and respond with the amount of
+//!   resources voluntarily relinquished");
+//! * agents may answer late, partially, or not at all — the controller
+//!   enforces a deadline and falls through to the lower layers.
+//!
+//! This crate provides that control plane: the [`wire`] format (a
+//! line-oriented, human-readable codec with strict parsing), the message
+//! set ([`Message`]), and the endpoint state machines
+//! ([`endpoint::ControllerEndpoint`] / [`endpoint::AgentEndpoint`])
+//! connected by an in-memory [`transport::Duplex`] that models delivery
+//! delay and loss — so timeout/fall-through behaviour is exercised the
+//! same way a socket would, without requiring a network in the test
+//! environment.
+
+pub mod bridge;
+pub mod endpoint;
+pub mod transport;
+pub mod wire;
+
+pub use bridge::ProtocolAgent;
+pub use endpoint::{AgentEndpoint, AgentPolicy, ControllerEndpoint, PendingRequest, RequestOutcome};
+pub use transport::Duplex;
+pub use wire::{Message, ParseError};

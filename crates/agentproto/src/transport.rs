@@ -1,0 +1,161 @@
+//! An in-memory duplex channel with simulated delivery delay and loss.
+//!
+//! The paper's components talk over HTTP on a LAN; what matters to the
+//! cascade is not the socket but the *failure semantics*: responses can
+//! arrive late (past the controller's deadline) or never (agent died,
+//! packet dropped). [`Duplex`] models exactly that: each direction is a
+//! queue of `(deliver_at, line)` pairs; a configurable delay and a
+//! deterministic drop predicate stand in for the network.
+
+use std::collections::VecDeque;
+
+use simkit::{SimDuration, SimTime};
+
+/// One direction of a duplex link.
+#[derive(Debug, Default)]
+struct Lane {
+    queue: VecDeque<(SimTime, String)>,
+    sent: u64,
+    dropped: u64,
+}
+
+impl Lane {
+    fn send(&mut self, deliver_at: SimTime, line: String) {
+        // Preserve FIFO per deliver time: queues are appended in send
+        // order and drained by deliver_at.
+        self.queue.push_back((deliver_at, line));
+        self.sent += 1;
+    }
+
+    fn recv(&mut self, now: SimTime) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some((at, _)) = self.queue.front() {
+            if *at <= now {
+                let (_, line) = self.queue.pop_front().expect("front exists");
+                out.push(line);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// A bidirectional link between a controller and an agent.
+#[derive(Debug)]
+pub struct Duplex {
+    to_agent: Lane,
+    to_controller: Lane,
+    /// One-way delivery delay.
+    pub delay: SimDuration,
+    /// Drop every Nth message (0 = lossless); deterministic so tests and
+    /// simulations replay exactly.
+    pub drop_every: u64,
+    counter: u64,
+}
+
+impl Duplex {
+    /// Creates a lossless link with the given one-way delay.
+    pub fn new(delay: SimDuration) -> Self {
+        Duplex {
+            to_agent: Lane::default(),
+            to_controller: Lane::default(),
+            delay,
+            drop_every: 0,
+            counter: 0,
+        }
+    }
+
+    /// Makes the link drop every `n`th message.
+    pub fn with_drop_every(mut self, n: u64) -> Self {
+        self.drop_every = n;
+        self
+    }
+
+    fn should_drop(&mut self) -> bool {
+        if self.drop_every == 0 {
+            return false;
+        }
+        self.counter += 1;
+        self.counter % self.drop_every == 0
+    }
+
+    /// Controller → agent.
+    pub fn send_to_agent(&mut self, now: SimTime, line: String) {
+        if self.should_drop() {
+            self.to_agent.dropped += 1;
+            return;
+        }
+        self.to_agent.send(now + self.delay, line);
+    }
+
+    /// Agent → controller.
+    pub fn send_to_controller(&mut self, now: SimTime, line: String) {
+        if self.should_drop() {
+            self.to_controller.dropped += 1;
+            return;
+        }
+        self.to_controller.send(now + self.delay, line);
+    }
+
+    /// Lines deliverable to the agent at `now`.
+    pub fn recv_at_agent(&mut self, now: SimTime) -> Vec<String> {
+        self.to_agent.recv(now)
+    }
+
+    /// Lines deliverable to the controller at `now`.
+    pub fn recv_at_controller(&mut self, now: SimTime) -> Vec<String> {
+        self.to_controller.recv(now)
+    }
+
+    /// Total messages dropped in both directions.
+    pub fn dropped(&self) -> u64 {
+        self.to_agent.dropped + self.to_controller.dropped
+    }
+
+    /// Earliest pending delivery time toward the controller, if any.
+    pub fn next_delivery_to_controller(&self) -> Option<SimTime> {
+        self.to_controller.queue.iter().map(|(at, _)| *at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_after_delay_in_order() {
+        let mut d = Duplex::new(SimDuration::from_millis(10));
+        d.send_to_agent(SimTime::ZERO, "a".into());
+        d.send_to_agent(SimTime::ZERO, "b".into());
+        assert!(d.recv_at_agent(SimTime::from_millis(5)).is_empty());
+        let got = d.recv_at_agent(SimTime::from_millis(10));
+        assert_eq!(got, vec!["a".to_string(), "b".to_string()]);
+        // Already drained.
+        assert!(d.recv_at_agent(SimTime::from_millis(20)).is_empty());
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut d = Duplex::new(SimDuration::ZERO);
+        d.send_to_agent(SimTime::ZERO, "down".into());
+        d.send_to_controller(SimTime::ZERO, "up".into());
+        assert_eq!(d.recv_at_controller(SimTime::ZERO), vec!["up".to_string()]);
+        assert_eq!(d.recv_at_agent(SimTime::ZERO), vec!["down".to_string()]);
+    }
+
+    #[test]
+    fn drop_every_is_deterministic() {
+        let mut d = Duplex::new(SimDuration::ZERO).with_drop_every(3);
+        for i in 0..9 {
+            d.send_to_agent(SimTime::ZERO, format!("m{i}"));
+        }
+        let got = d.recv_at_agent(SimTime::ZERO);
+        assert_eq!(got.len(), 6);
+        assert_eq!(d.dropped(), 3);
+        // Messages 2, 5, 8 (every third) were dropped.
+        assert!(!got.contains(&"m2".to_string()));
+        assert!(!got.contains(&"m5".to_string()));
+        assert!(!got.contains(&"m8".to_string()));
+    }
+}

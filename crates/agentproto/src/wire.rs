@@ -1,0 +1,319 @@
+//! Wire format for deflation control messages.
+//!
+//! A line-oriented, key=value format: one message per line, fields
+//! separated by a single space, the message kind first. Resource vectors
+//! serialize as `cpu,mem,disk,net` with up to three decimals. The format
+//! is trivially greppable in logs and strict to parse — malformed input
+//! produces a typed [`ParseError`], never a panic.
+//!
+//! ```text
+//! DEFLATE seq=7 vm=3 target=2.000,8192.000,50.000,100.000 deadline_ms=120000
+//! RELINQUISH seq=7 vm=3 freed=0.000,5120.000,0.000,0.000
+//! REINFLATE seq=9 vm=3 available=2.000,8192.000,50.000,100.000
+//! HEARTBEAT seq=10 vm=3
+//! ```
+
+use std::fmt;
+
+use deflate_core::{ResourceVector, VmId};
+use simkit::SimDuration;
+
+/// A control-plane message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Controller → agent: relinquish up to `target` within `deadline`.
+    Deflate {
+        /// Request sequence number (echoed in the response).
+        seq: u64,
+        /// The VM being deflated.
+        vm: VmId,
+        /// Reclamation target vector.
+        target: ResourceVector,
+        /// Response deadline.
+        deadline: SimDuration,
+    },
+    /// Agent → controller: resources voluntarily relinquished.
+    Relinquish {
+        /// Echoed sequence number.
+        seq: u64,
+        /// The responding VM.
+        vm: VmId,
+        /// Amount freed inside the guest.
+        freed: ResourceVector,
+    },
+    /// Controller → agent: resources have been returned to the VM.
+    Reinflate {
+        /// Sequence number.
+        seq: u64,
+        /// The VM.
+        vm: VmId,
+        /// Newly available resources.
+        available: ResourceVector,
+    },
+    /// Agent → controller: liveness signal.
+    Heartbeat {
+        /// Sequence number.
+        seq: u64,
+        /// The VM.
+        vm: VmId,
+    },
+}
+
+impl Message {
+    /// The message's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Message::Deflate { seq, .. }
+            | Message::Relinquish { seq, .. }
+            | Message::Reinflate { seq, .. }
+            | Message::Heartbeat { seq, .. } => *seq,
+        }
+    }
+
+    /// The VM the message concerns.
+    pub fn vm(&self) -> VmId {
+        match self {
+            Message::Deflate { vm, .. }
+            | Message::Relinquish { vm, .. }
+            | Message::Reinflate { vm, .. }
+            | Message::Heartbeat { vm, .. } => *vm,
+        }
+    }
+}
+
+/// A wire-format parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line was empty.
+    Empty,
+    /// Unknown message kind.
+    UnknownKind(String),
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field value did not parse.
+    BadValue(&'static str),
+    /// A resource vector did not have exactly four components.
+    BadVector,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty message"),
+            ParseError::UnknownKind(k) => write!(f, "unknown message kind {k:?}"),
+            ParseError::MissingField(name) => write!(f, "missing field {name}"),
+            ParseError::BadValue(name) => write!(f, "malformed value for {name}"),
+            ParseError::BadVector => write!(f, "resource vector needs 4 components"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn encode_vector(v: &ResourceVector) -> String {
+    use deflate_core::ResourceKind as K;
+    format!(
+        "{:.3},{:.3},{:.3},{:.3}",
+        v.get(K::Cpu),
+        v.get(K::Memory),
+        v.get(K::DiskBw),
+        v.get(K::NetBw)
+    )
+}
+
+fn parse_vector(s: &str) -> Result<ResourceVector, ParseError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 4 {
+        return Err(ParseError::BadVector);
+    }
+    let mut vals = [0.0f64; 4];
+    for (i, p) in parts.iter().enumerate() {
+        vals[i] = p
+            .parse::<f64>()
+            .map_err(|_| ParseError::BadVector)
+            .and_then(|v| {
+                if v.is_finite() && v >= 0.0 {
+                    Ok(v)
+                } else {
+                    Err(ParseError::BadVector)
+                }
+            })?;
+    }
+    Ok(ResourceVector::new(vals[0], vals[1], vals[2], vals[3]))
+}
+
+/// Encodes a message as one line (no trailing newline).
+pub fn encode(msg: &Message) -> String {
+    match msg {
+        Message::Deflate {
+            seq,
+            vm,
+            target,
+            deadline,
+        } => format!(
+            "DEFLATE seq={seq} vm={} target={} deadline_ms={}",
+            vm.0,
+            encode_vector(target),
+            deadline.as_micros() / 1_000
+        ),
+        Message::Relinquish { seq, vm, freed } => {
+            format!("RELINQUISH seq={seq} vm={} freed={}", vm.0, encode_vector(freed))
+        }
+        Message::Reinflate {
+            seq,
+            vm,
+            available,
+        } => format!(
+            "REINFLATE seq={seq} vm={} available={}",
+            vm.0,
+            encode_vector(available)
+        ),
+        Message::Heartbeat { seq, vm } => format!("HEARTBEAT seq={seq} vm={}", vm.0),
+    }
+}
+
+fn field<'a>(fields: &'a [(&'a str, &'a str)], name: &'static str) -> Result<&'a str, ParseError> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| *v)
+        .ok_or(ParseError::MissingField(name))
+}
+
+fn parse_u64(fields: &[(&str, &str)], name: &'static str) -> Result<u64, ParseError> {
+    field(fields, name)?
+        .parse()
+        .map_err(|_| ParseError::BadValue(name))
+}
+
+/// Parses one line into a message.
+pub fn parse(line: &str) -> Result<Message, ParseError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut tokens = line.split(' ');
+    let kind = tokens.next().expect("split yields at least one token");
+    let fields: Vec<(&str, &str)> = tokens
+        .filter(|t| !t.is_empty())
+        .filter_map(|t| t.split_once('='))
+        .collect();
+
+    let seq = parse_u64(&fields, "seq")?;
+    let vm = VmId(parse_u64(&fields, "vm")?);
+    match kind {
+        "DEFLATE" => Ok(Message::Deflate {
+            seq,
+            vm,
+            target: parse_vector(field(&fields, "target")?)?,
+            deadline: SimDuration::from_millis(parse_u64(&fields, "deadline_ms")?),
+        }),
+        "RELINQUISH" => Ok(Message::Relinquish {
+            seq,
+            vm,
+            freed: parse_vector(field(&fields, "freed")?)?,
+        }),
+        "REINFLATE" => Ok(Message::Reinflate {
+            seq,
+            vm,
+            available: parse_vector(field(&fields, "available")?)?,
+        }),
+        "HEARTBEAT" => Ok(Message::Heartbeat { seq, vm }),
+        other => Err(ParseError::UnknownKind(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_(c: f64, m: f64, d: f64, n: f64) -> ResourceVector {
+        ResourceVector::new(c, m, d, n)
+    }
+
+    #[test]
+    fn round_trip_every_kind() {
+        let msgs = vec![
+            Message::Deflate {
+                seq: 7,
+                vm: VmId(3),
+                target: vec_(2.0, 8_192.0, 50.0, 100.0),
+                deadline: SimDuration::from_secs(120),
+            },
+            Message::Relinquish {
+                seq: 7,
+                vm: VmId(3),
+                freed: vec_(0.0, 5_120.0, 0.0, 0.0),
+            },
+            Message::Reinflate {
+                seq: 9,
+                vm: VmId(3),
+                available: vec_(2.0, 8_192.0, 50.0, 100.0),
+            },
+            Message::Heartbeat { seq: 10, vm: VmId(3) },
+        ];
+        for m in msgs {
+            let line = encode(&m);
+            let back = parse(&line).expect("round trip");
+            assert_eq!(back, m, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn example_lines_parse() {
+        let m = parse(
+            "DEFLATE seq=7 vm=3 target=2.000,8192.000,50.000,100.000 deadline_ms=120000",
+        )
+        .expect("parses");
+        assert_eq!(m.seq(), 7);
+        assert_eq!(m.vm(), VmId(3));
+        match m {
+            Message::Deflate { deadline, .. } => {
+                assert_eq!(deadline, SimDuration::from_secs(120))
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(parse(""), Err(ParseError::Empty));
+        assert_eq!(parse("   "), Err(ParseError::Empty));
+        assert!(matches!(
+            parse("EXPLODE seq=1 vm=1"),
+            Err(ParseError::UnknownKind(_))
+        ));
+        assert_eq!(
+            parse("HEARTBEAT vm=1"),
+            Err(ParseError::MissingField("seq"))
+        );
+        assert_eq!(
+            parse("HEARTBEAT seq=x vm=1"),
+            Err(ParseError::BadValue("seq"))
+        );
+        assert_eq!(
+            parse("RELINQUISH seq=1 vm=1 freed=1,2,3"),
+            Err(ParseError::BadVector)
+        );
+        assert_eq!(
+            parse("RELINQUISH seq=1 vm=1 freed=1,2,3,NaN"),
+            Err(ParseError::BadVector)
+        );
+        assert_eq!(
+            parse("RELINQUISH seq=1 vm=1 freed=1,2,3,-4"),
+            Err(ParseError::BadVector)
+        );
+    }
+
+    #[test]
+    fn ignores_extra_fields_and_whitespace() {
+        let m = parse("HEARTBEAT seq=1 vm=2 extra=field  ").expect("parses");
+        assert_eq!(m, Message::Heartbeat { seq: 1, vm: VmId(2) });
+    }
+
+    #[test]
+    fn parse_error_display() {
+        assert!(ParseError::MissingField("vm").to_string().contains("vm"));
+        assert!(ParseError::BadVector.to_string().contains("4 components"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the wire codec: encode/parse round-trips for
+//! arbitrary messages, and the parser never panics on arbitrary input.
+
+use agentproto::wire::{encode, parse, Message};
+use deflate_core::{ResourceVector, VmId};
+use proptest::prelude::*;
+use simkit::SimDuration;
+
+fn arb_vector() -> impl Strategy<Value = ResourceVector> {
+    (
+        0.0f64..128.0,
+        0.0f64..262_144.0,
+        0.0f64..4_000.0,
+        0.0f64..10_000.0,
+    )
+        .prop_map(|(c, m, d, n)| {
+            // The codec serializes at millidecimal precision; quantize so
+            // round-trips compare exactly.
+            let q = |x: f64| (x * 1_000.0).round() / 1_000.0;
+            ResourceVector::new(q(c), q(m), q(d), q(n))
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let deflate = (any::<u64>(), any::<u64>(), arb_vector(), 0u64..10_000_000).prop_map(
+        |(seq, vm, target, ms)| Message::Deflate {
+            seq,
+            vm: VmId(vm),
+            target,
+            deadline: SimDuration::from_millis(ms),
+        },
+    );
+    let relinquish =
+        (any::<u64>(), any::<u64>(), arb_vector()).prop_map(|(seq, vm, freed)| {
+            Message::Relinquish {
+                seq,
+                vm: VmId(vm),
+                freed,
+            }
+        });
+    let reinflate =
+        (any::<u64>(), any::<u64>(), arb_vector()).prop_map(|(seq, vm, available)| {
+            Message::Reinflate {
+                seq,
+                vm: VmId(vm),
+                available,
+            }
+        });
+    let heartbeat = (any::<u64>(), any::<u64>()).prop_map(|(seq, vm)| Message::Heartbeat {
+        seq,
+        vm: VmId(vm),
+    });
+    prop_oneof![deflate, relinquish, reinflate, heartbeat]
+}
+
+proptest! {
+    #[test]
+    fn encode_parse_round_trips(msg in arb_message()) {
+        let line = encode(&msg);
+        let back = parse(&line).expect("own encoding must parse");
+        // Vectors round-trip within the codec's 1e-3 quantization.
+        match (&msg, &back) {
+            (Message::Deflate { target: a, .. }, Message::Deflate { target: b, .. })
+            | (
+                Message::Relinquish { freed: a, .. },
+                Message::Relinquish { freed: b, .. },
+            )
+            | (
+                Message::Reinflate { available: a, .. },
+                Message::Reinflate { available: b, .. },
+            ) => prop_assert!(a.approx_eq(b, 1e-3)),
+            (Message::Heartbeat { .. }, Message::Heartbeat { .. }) => {}
+            _ => prop_assert!(false, "kind changed: {msg:?} vs {back:?}"),
+        }
+        prop_assert_eq!(msg.seq(), back.seq());
+        prop_assert_eq!(msg.vm(), back.vm());
+    }
+
+    /// The parser is total: arbitrary input yields Ok or a typed error,
+    /// never a panic.
+    #[test]
+    fn parser_never_panics(line in ".{0,200}") {
+        let _ = parse(&line);
+    }
+
+    /// Arbitrary field soup around a valid skeleton still parses the
+    /// skeleton.
+    #[test]
+    fn extra_fields_ignored(seq in any::<u64>(), vm in any::<u64>(), junk in "[a-z]{1,8}=[a-z0-9]{1,8}") {
+        let line = format!("HEARTBEAT seq={seq} vm={vm} {junk}");
+        let msg = parse(&line).expect("parses");
+        prop_assert_eq!(msg.seq(), seq);
+        prop_assert_eq!(msg.vm(), VmId(vm));
+    }
+}

@@ -1,0 +1,209 @@
+//! Synchronous MPI: the paper's canonical *inelastic legacy* application
+//! (§1: "applications without built-in fault-tolerance support, legacy
+//! applications that are not disruption-tolerant, and inelastic
+//! applications that require a fixed set of servers such as MPI … are
+//! challenging to run on preemptible servers \[but\] can all seamlessly
+//! run on deflatable transient resources").
+//!
+//! The model is a bulk-synchronous stencil code: one rank per vCPU, a
+//! barrier every iteration, no checkpointing. Its deflation policy is
+//! the paper's default for inelastic applications — *ignore the request*
+//! (the [`InelasticAgent`]) and let the OS and hypervisor reclaim.
+//!
+//! The decisive comparison is expected completion time:
+//!
+//! * on **deflatable** VMs the job always finishes, slowed by the
+//!   barrier-gated compute of the most-deflated rank;
+//! * on **preemptible** VMs every revocation restarts the job from
+//!   scratch, so with Poisson revocations of rate `λ` the expected
+//!   running time is the classic `E[T] = (e^{λT₀} − 1)/λ` — which grows
+//!   *exponentially* in `T₀/MTTF` and diverges for jobs longer than a
+//!   few failure periods.
+//!
+//! [`InelasticAgent`]: deflate_core::layers::InelasticAgent
+
+use deflate_core::ResourceKind;
+use hypervisor::guest::SharedVmState;
+use hypervisor::VmResourceView;
+use simkit::SimDuration;
+
+use crate::utility::lhp_penalty;
+
+/// Configuration of the MPI job.
+#[derive(Debug, Clone, Copy)]
+pub struct MpiParams {
+    /// Undeflated wall-clock running time.
+    pub base_runtime: SimDuration,
+    /// Fraction of an iteration spent computing (the rest is halo
+    /// exchange + barrier); stencil codes are compute-bound.
+    pub compute_frac: f64,
+    /// Resident set per VM (MiB).
+    pub memory_mb: f64,
+    /// Ranks per VM = vCPUs the job pins.
+    pub ranks_per_vm: u32,
+}
+
+impl Default for MpiParams {
+    fn default() -> Self {
+        MpiParams {
+            base_runtime: SimDuration::from_hours(6),
+            compute_frac: 0.85,
+            memory_mb: 10_240.0,
+            ranks_per_vm: 4,
+        }
+    }
+}
+
+/// The MPI application model (inelastic; no deflation agent).
+pub struct MpiApp {
+    params: MpiParams,
+}
+
+impl MpiApp {
+    /// Creates the job.
+    pub fn new(params: MpiParams) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&params.compute_frac),
+            "compute fraction must lie in [0, 1]"
+        );
+        MpiApp { params }
+    }
+
+    /// The configuration.
+    pub fn params(&self) -> &MpiParams {
+        &self.params
+    }
+
+    /// Sets the VM's application usage (ranks pin every vCPU).
+    pub fn init_usage(&self, vm_state: &SharedVmState) {
+        let mut st = vm_state.borrow_mut();
+        st.usage.memory_mb = self.params.memory_mb;
+        st.usage.busy_vcpus = f64::from(self.params.ranks_per_vm);
+        st.recompute_swap();
+    }
+
+    /// Per-iteration slowdown for the worst (most deflated) VM view in
+    /// the job: the barrier makes everyone wait for it.
+    pub fn slowdown(&self, worst: &VmResourceView) -> f64 {
+        if worst.oom {
+            return f64::INFINITY;
+        }
+        let p = &self.params;
+        let cpu_frac = (worst.effective.get(ResourceKind::Cpu)
+            / f64::from(p.ranks_per_vm))
+        .clamp(1e-3, 1.0);
+        let lhp = lhp_penalty(worst.cpu_overcommit_ratio);
+        // Swapped pages stall the stencil sweep badly.
+        let swap = 1.0 + 6.0 * (worst.swapped_mb / p.memory_mb).clamp(0.0, 1.0);
+        (1.0 - p.compute_frac) + p.compute_frac * lhp * swap / cpu_frac
+    }
+
+    /// Wall-clock running time on deflatable VMs: the job survives and
+    /// runs at the deflated rate (deflation applied for the whole run —
+    /// the conservative case).
+    pub fn runtime_deflated(&self, worst: &VmResourceView) -> SimDuration {
+        let s = self.slowdown(worst);
+        if s.is_finite() {
+            self.params.base_runtime.mul_f64(s)
+        } else {
+            SimDuration::from_hours(24 * 365)
+        }
+    }
+
+    /// Expected wall-clock running time on *preemptible* VMs with
+    /// exponentially-distributed revocations (mean time to failure
+    /// `mttf`) and restart-from-scratch (no checkpointing):
+    /// `E[T] = (e^{T₀/mttf} − 1)·mttf`.
+    pub fn expected_runtime_preemptible(&self, mttf: SimDuration) -> SimDuration {
+        let t0 = self.params.base_runtime.as_secs_f64();
+        let m = mttf.as_secs_f64();
+        assert!(m > 0.0, "MTTF must be positive");
+        let e = ((t0 / m).exp() - 1.0) * m;
+        SimDuration::from_secs_f64(e.min(3600.0 * 24.0 * 365.0 * 100.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deflate_core::{CascadeConfig, ResourceVector, VmId};
+    use hypervisor::{Vm, VmPriority};
+    use simkit::SimTime;
+
+    fn vm_spec() -> ResourceVector {
+        ResourceVector::new(4.0, 16_384.0, 200.0, 1_000.0)
+    }
+
+    fn setup() -> (MpiApp, Vm) {
+        let app = MpiApp::new(MpiParams::default());
+        let vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
+        app.init_usage(&vm.state());
+        (app, vm)
+    }
+
+    #[test]
+    fn baseline_runtime() {
+        let (app, vm) = setup();
+        assert!((app.slowdown(&vm.view()) - 1.0).abs() < 1e-9);
+        assert_eq!(app.runtime_deflated(&vm.view()), SimDuration::from_hours(6));
+    }
+
+    #[test]
+    fn deflation_slows_but_never_kills() {
+        let (app, mut vm) = setup();
+        vm.deflate(
+            SimTime::ZERO,
+            &vm_spec().scale(0.5),
+            &CascadeConfig::VM_LEVEL,
+        );
+        let t = app.runtime_deflated(&vm.view());
+        assert!(t > SimDuration::from_hours(6));
+        assert!(t < SimDuration::from_hours(24), "bounded slowdown: {t}");
+    }
+
+    #[test]
+    fn preemptible_runtime_explodes_for_long_jobs() {
+        let (app, mut vm) = setup();
+        // Google preemptible VMs: MTTF < 24 h. A 6-hour job survives-ish.
+        let day = app.expected_runtime_preemptible(SimDuration::from_hours(24));
+        assert!(day > SimDuration::from_hours(6));
+        // Busy periods: MTTF of 3 h → e²−1 ≈ 6.4 failure periods ≈ 19 h.
+        let busy = app.expected_runtime_preemptible(SimDuration::from_hours(3));
+        assert!(busy > SimDuration::from_hours(18), "busy {busy}");
+        // A 50 %-CPU-deflated run is far cheaper than restarting through
+        // 3-hour revocations (memory is left alone — the cluster manager
+        // reclaims CPU from compute-bound jobs first).
+        vm.deflate(
+            SimTime::ZERO,
+            &ResourceVector::cpu(2.0),
+            &CascadeConfig::VM_LEVEL,
+        );
+        let deflated = app.runtime_deflated(&vm.view());
+        assert!(deflated < busy, "deflated {deflated} vs preemptible {busy}");
+    }
+
+    #[test]
+    fn hypervisor_only_cpu_deflation_pays_lhp() {
+        let (app, mut vm_hv) = setup();
+        vm_hv.deflate(
+            SimTime::ZERO,
+            &ResourceVector::cpu(2.0),
+            &CascadeConfig::HYPERVISOR_ONLY,
+        );
+        let (app2, mut vm_os) = setup();
+        vm_os.deflate(
+            SimTime::ZERO,
+            &ResourceVector::cpu(2.0),
+            &CascadeConfig::OS_ONLY,
+        );
+        // Spinlock-heavy MPI suffers more under vCPU multiplexing.
+        assert!(app.slowdown(&vm_hv.view()) > app2.slowdown(&vm_os.view()));
+    }
+
+    #[test]
+    fn oom_is_fatal() {
+        let (app, vm) = setup();
+        vm.state().borrow_mut().unplugged = ResourceVector::memory(10_000.0);
+        assert!(app.slowdown(&vm.view()).is_infinite());
+    }
+}

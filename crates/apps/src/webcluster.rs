@@ -1,0 +1,176 @@
+//! A web-server cluster with a deflation-aware load balancer.
+//!
+//! Footnote 2 of the paper: "Web-application clusters are another
+//! popular cloud workload, and can use a deflation-aware load-balancer
+//! for cascade deflation", and §3.2.1: deflated web servers should
+//! "adjust the load-balancing rules accordingly (serve less traffic
+//! from deflated servers)".
+//!
+//! The cluster holds one [`WebServerApp`] per VM and
+//! splits the offered load across them:
+//!
+//! [`WebServerApp`]: crate::WebServerApp
+//!
+//! * [`LbPolicy::Uniform`] — 1/N each, deflation-oblivious: a deflated
+//!   member becomes a hotspot and drops requests while others idle;
+//! * [`LbPolicy::DeflationAware`] — weights proportional to each
+//!   member's current effective capacity.
+
+use hypervisor::VmResourceView;
+
+use crate::webserver::WebServerApp;
+
+/// How the load balancer splits traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbPolicy {
+    /// Equal shares, regardless of deflation.
+    Uniform,
+    /// Shares proportional to effective capacity.
+    DeflationAware,
+}
+
+/// A load-balanced cluster of web servers.
+pub struct WebCluster {
+    members: Vec<WebServerApp>,
+    policy: LbPolicy,
+}
+
+impl WebCluster {
+    /// Creates a cluster from its members.
+    pub fn new(members: Vec<WebServerApp>, policy: LbPolicy) -> Self {
+        assert!(!members.is_empty(), "a cluster needs members");
+        WebCluster { members, policy }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` when the cluster has no members (never, by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member applications.
+    pub fn members(&self) -> &[WebServerApp] {
+        &self.members
+    }
+
+    /// Per-member capacity (kreq/s) under the given views.
+    fn capacities(&self, views: &[VmResourceView]) -> Vec<f64> {
+        assert_eq!(views.len(), self.members.len(), "one view per member");
+        self.members
+            .iter()
+            .zip(views)
+            .map(|(m, v)| m.throughput_kreq(v))
+            .collect()
+    }
+
+    /// Traffic shares for the offered load.
+    pub fn shares(&self, offered_kreq: f64, views: &[VmResourceView]) -> Vec<f64> {
+        let caps = self.capacities(views);
+        match self.policy {
+            LbPolicy::Uniform => {
+                vec![offered_kreq / self.members.len() as f64; self.members.len()]
+            }
+            LbPolicy::DeflationAware => {
+                let total: f64 = caps.iter().sum();
+                if total <= 0.0 {
+                    return vec![0.0; self.members.len()];
+                }
+                caps.iter().map(|c| offered_kreq * c / total).collect()
+            }
+        }
+    }
+
+    /// Requests actually served (each member serves at most its
+    /// capacity; excess share is dropped).
+    pub fn served_kreq(&self, offered_kreq: f64, views: &[VmResourceView]) -> f64 {
+        let caps = self.capacities(views);
+        self.shares(offered_kreq, views)
+            .iter()
+            .zip(&caps)
+            .map(|(share, cap)| share.min(*cap))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::webserver::WebServerParams;
+    use deflate_core::{CascadeConfig, ResourceVector, VmId};
+    use hypervisor::{Vm, VmPriority};
+    use simkit::SimTime;
+
+    fn vm_spec() -> ResourceVector {
+        ResourceVector::new(4.0, 8_192.0, 200.0, 1_000.0)
+    }
+
+    /// Builds a 4-member cluster; member 0 is deflated by `fraction`.
+    fn cluster_with_hotspot(policy: LbPolicy, fraction: f64) -> (WebCluster, Vec<VmResourceView>) {
+        let mut members = Vec::new();
+        let mut views = Vec::new();
+        for i in 0..4 {
+            let app = WebServerApp::new(WebServerParams::default());
+            let vm = Vm::new(VmId(i), vm_spec(), VmPriority::Low);
+            app.init_usage(&vm.state());
+            let agent = app.agent(vm.state());
+            let mut vm = vm.with_agent(Box::new(agent));
+            if i == 0 && fraction > 0.0 {
+                vm.deflate(
+                    SimTime::ZERO,
+                    &vm_spec().scale(fraction),
+                    &CascadeConfig::FULL,
+                );
+            }
+            views.push(vm.view());
+            members.push(app);
+        }
+        (WebCluster::new(members, policy), views)
+    }
+
+    #[test]
+    fn undeflated_cluster_serves_everything() {
+        for policy in [LbPolicy::Uniform, LbPolicy::DeflationAware] {
+            let (c, views) = cluster_with_hotspot(policy, 0.0);
+            // 4 members × 96 kreq/s capacity.
+            let served = c.served_kreq(300.0, &views);
+            assert!((served - 300.0).abs() < 1e-6, "{policy:?}: {served}");
+        }
+    }
+
+    #[test]
+    fn aware_lb_routes_around_the_deflated_member() {
+        let offered = 330.0; // Near aggregate capacity.
+        let (uniform, vu) = cluster_with_hotspot(LbPolicy::Uniform, 0.5);
+        let (aware, va) = cluster_with_hotspot(LbPolicy::DeflationAware, 0.5);
+        let served_uniform = uniform.served_kreq(offered, &vu);
+        let served_aware = aware.served_kreq(offered, &va);
+        assert!(
+            served_aware > served_uniform * 1.1,
+            "aware {served_aware} uniform {served_uniform}"
+        );
+    }
+
+    #[test]
+    fn aware_shares_proportional_to_capacity() {
+        let (aware, views) = cluster_with_hotspot(LbPolicy::DeflationAware, 0.5);
+        let shares = aware.shares(100.0, &views);
+        // Member 0 is deflated by half: it receives roughly half the
+        // share of the healthy members.
+        assert!(shares[0] < shares[1] * 0.7, "shares {shares:?}");
+        assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_cluster_serves_nothing() {
+        let (aware, mut views) = cluster_with_hotspot(LbPolicy::DeflationAware, 0.0);
+        for v in &mut views {
+            v.oom = true;
+        }
+        assert_eq!(aware.served_kreq(100.0, &views), 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Web server cluster member: a thread-pool model with a pool-shrinking
+//! deflation agent (paper Table 1: "Web servers — CPU — reduce size of
+//! thread pool").
+//!
+//! A deflated web server shrinks its worker pool to match the reclaimed
+//! CPU and relies on the cluster's load balancer to send it less traffic
+//! ("serve less traffic from deflated servers", §3.2.1). The model is a
+//! simple M/M/c-flavoured capacity model: throughput is linear in worker
+//! threads until the effective CPUs saturate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use deflate_core::{ApplicationAgent, ReclaimResult, ResourceKind, ResourceVector};
+use hypervisor::guest::SharedVmState;
+use hypervisor::VmResourceView;
+use simkit::{SimDuration, SimTime};
+
+use crate::utility::lhp_penalty;
+
+/// Configuration of the web server.
+#[derive(Debug, Clone, Copy)]
+pub struct WebServerParams {
+    /// Configured worker threads at full size.
+    pub max_threads: u32,
+    /// Threads the agent will never go below (health checks, etc.).
+    pub min_threads: u32,
+    /// Requests/s one thread sustains when CPU is plentiful (thousands).
+    pub kreq_per_thread: f64,
+    /// Threads one vCPU can keep busy.
+    pub threads_per_vcpu: f64,
+    /// Memory per thread (MiB) plus a fixed overhead below.
+    pub thread_memory_mb: f64,
+    /// Fixed process overhead (MiB).
+    pub overhead_mb: f64,
+}
+
+impl Default for WebServerParams {
+    fn default() -> Self {
+        WebServerParams {
+            max_threads: 64,
+            min_threads: 4,
+            kreq_per_thread: 1.5,
+            threads_per_vcpu: 16.0,
+            thread_memory_mb: 24.0,
+            overhead_mb: 512.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    threads: u32,
+}
+
+/// The web server application model.
+pub struct WebServerApp {
+    params: WebServerParams,
+    shared: Rc<RefCell<PoolShared>>,
+}
+
+impl WebServerApp {
+    /// Creates a server with a full thread pool.
+    pub fn new(params: WebServerParams) -> Self {
+        WebServerApp {
+            params,
+            shared: Rc::new(RefCell::new(PoolShared {
+                threads: params.max_threads,
+            })),
+        }
+    }
+
+    /// The configuration.
+    pub fn params(&self) -> &WebServerParams {
+        &self.params
+    }
+
+    /// Current worker-pool size.
+    pub fn threads(&self) -> u32 {
+        self.shared.borrow().threads
+    }
+
+    /// Sets the VM's application usage.
+    pub fn init_usage(&self, vm_state: &SharedVmState) {
+        let p = self.params;
+        let mut st = vm_state.borrow_mut();
+        st.usage.memory_mb = p.overhead_mb + f64::from(self.threads()) * p.thread_memory_mb;
+        st.usage.busy_vcpus = f64::from(self.threads()) / p.threads_per_vcpu;
+        st.recompute_swap();
+    }
+
+    /// Builds the deflation agent (Table 1: shrink the thread pool).
+    pub fn agent(&self, vm_state: SharedVmState) -> WebServerAgent {
+        WebServerAgent {
+            params: self.params,
+            shared: Rc::clone(&self.shared),
+            vm: vm_state,
+        }
+    }
+
+    /// Request throughput in thousands of requests/s under the view.
+    pub fn throughput_kreq(&self, view: &VmResourceView) -> f64 {
+        if view.oom {
+            return 0.0;
+        }
+        let p = &self.params;
+        let threads = f64::from(self.shared.borrow().threads);
+        let eff_cpu = view.effective.get(ResourceKind::Cpu);
+        // Capacity is the lesser of pool size and what the CPUs sustain.
+        let effective_threads = threads.min(eff_cpu * p.threads_per_vcpu);
+        effective_threads * p.kreq_per_thread / lhp_penalty(view.cpu_overcommit_ratio)
+    }
+}
+
+/// The deflation agent for web servers: shrinks the worker pool to match
+/// the CPU reclamation target and relinquishes the CPU it no longer needs.
+pub struct WebServerAgent {
+    params: WebServerParams,
+    shared: Rc<RefCell<PoolShared>>,
+    vm: SharedVmState,
+}
+
+impl WebServerAgent {
+    fn sync_usage(&self) {
+        let threads = f64::from(self.shared.borrow().threads);
+        let p = self.params;
+        let mut st = self.vm.borrow_mut();
+        st.usage.memory_mb = p.overhead_mb + threads * p.thread_memory_mb;
+        st.usage.busy_vcpus = threads / p.threads_per_vcpu;
+        st.recompute_swap();
+    }
+}
+
+impl ApplicationAgent for WebServerAgent {
+    fn self_deflate(&mut self, _now: SimTime, target: &ResourceVector) -> ReclaimResult {
+        let want_cpu = target.get(ResourceKind::Cpu);
+        if want_cpu <= 0.0 {
+            return ReclaimResult::NOTHING;
+        }
+        let p = self.params;
+        let (freed_cpu, freed_mem) = {
+            let mut sh = self.shared.borrow_mut();
+            let shrink_threads = (want_cpu * p.threads_per_vcpu).floor() as u32;
+            let new_threads = sh.threads.saturating_sub(shrink_threads).max(p.min_threads);
+            let dropped = sh.threads - new_threads;
+            sh.threads = new_threads;
+            (
+                f64::from(dropped) / p.threads_per_vcpu,
+                f64::from(dropped) * p.thread_memory_mb,
+            )
+        };
+        self.sync_usage();
+        if freed_cpu <= 0.0 {
+            return ReclaimResult::NOTHING;
+        }
+        // Draining in-flight requests takes a moment.
+        let freed = ResourceVector::new(freed_cpu, freed_mem, 0.0, 0.0);
+        ReclaimResult::new(freed, SimDuration::from_millis(200))
+    }
+
+    fn reinflate(&mut self, _now: SimTime, available: &ResourceVector) {
+        let extra_cpu = available.get(ResourceKind::Cpu);
+        if extra_cpu <= 0.0 {
+            return;
+        }
+        {
+            let p = self.params;
+            let mut sh = self.shared.borrow_mut();
+            let add = (extra_cpu * p.threads_per_vcpu).floor() as u32;
+            sh.threads = (sh.threads + add).min(p.max_threads);
+        }
+        self.sync_usage();
+    }
+
+    fn name(&self) -> &str {
+        "webserver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deflate_core::{CascadeConfig, VmId};
+    use hypervisor::{Vm, VmPriority};
+
+    fn vm_spec() -> ResourceVector {
+        ResourceVector::new(4.0, 8_192.0, 200.0, 1_000.0)
+    }
+
+    fn setup_aware() -> (WebServerApp, Vm) {
+        let app = WebServerApp::new(WebServerParams::default());
+        let vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
+        app.init_usage(&vm.state());
+        let agent = app.agent(vm.state());
+        (app, vm.with_agent(Box::new(agent)))
+    }
+
+    #[test]
+    fn baseline_throughput() {
+        let (app, vm) = setup_aware();
+        let t = app.throughput_kreq(&vm.view());
+        assert!((t - 64.0 * 1.5).abs() < 1e-6, "t {t}");
+    }
+
+    #[test]
+    fn agent_shrinks_pool_and_relinquishes_cpu() {
+        let (app, mut vm) = setup_aware();
+        let out = vm.deflate(
+            SimTime::ZERO,
+            &ResourceVector::cpu(2.0),
+            &CascadeConfig::FULL,
+        );
+        assert!(out.met_target());
+        // Pool shrank by 2 vCPUs worth of threads.
+        assert_eq!(app.threads(), 32);
+        assert!((out.app.reclaimed.get(ResourceKind::Cpu) - 2.0).abs() < 1e-9);
+        // Throughput halves but there is no LHP penalty (CPU was truly
+        // relinquished, not multiplexed).
+        let view = vm.view();
+        let t = app.throughput_kreq(&view);
+        assert!((t - 32.0 * 1.5).abs() < 1.0, "t {t}");
+    }
+
+    #[test]
+    fn pool_never_below_min() {
+        let (app, vm) = setup_aware();
+        let mut agent = app.agent(vm.state());
+        agent.self_deflate(SimTime::ZERO, &ResourceVector::cpu(100.0));
+        assert_eq!(app.threads(), WebServerParams::default().min_threads);
+    }
+
+    #[test]
+    fn reinflate_regrows_pool() {
+        let (app, mut vm) = setup_aware();
+        vm.deflate(
+            SimTime::ZERO,
+            &ResourceVector::cpu(2.0),
+            &CascadeConfig::FULL,
+        );
+        assert_eq!(app.threads(), 32);
+        vm.reinflate(SimTime::from_secs(10), &ResourceVector::cpu(2.0));
+        assert_eq!(app.threads(), 64);
+    }
+
+    #[test]
+    fn hypervisor_deflation_pays_lhp() {
+        // Without the agent, throttling multiplexes the pool's vCPUs.
+        let app = WebServerApp::new(WebServerParams::default());
+        let mut vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
+        app.init_usage(&vm.state());
+        vm.deflate(
+            SimTime::ZERO,
+            &ResourceVector::cpu(2.0),
+            &CascadeConfig::HYPERVISOR_ONLY,
+        );
+        let t_hv = app.throughput_kreq(&vm.view());
+
+        let (app2, mut vm2) = setup_aware();
+        vm2.deflate(
+            SimTime::ZERO,
+            &ResourceVector::cpu(2.0),
+            &CascadeConfig::FULL,
+        );
+        let t_app = app2.throughput_kreq(&vm2.view());
+        assert!(t_app > t_hv, "app {t_app} hv {t_hv}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of deflation-aware placement over a 200-server pool.
+
+use cluster::placement::{choose_server, PlacementPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use deflate_core::{ResourceVector, ServerId, VmId};
+use hypervisor::{PhysicalServer, Vm, VmPriority};
+use simkit::SimRng;
+use std::hint::black_box;
+
+fn build_pool(n: u64) -> Vec<PhysicalServer> {
+    let capacity = ResourceVector::new(16.0, 65_536.0, 400.0, 800.0);
+    let spec = ResourceVector::new(2.0, 4_096.0, 50.0, 100.0);
+    (0..n)
+        .map(|i| {
+            let mut s = PhysicalServer::new(ServerId(i), capacity);
+            // Partially loaded with a mix of priorities.
+            for j in 0..(i % 6) {
+                let pri = if j % 2 == 0 {
+                    VmPriority::Low
+                } else {
+                    VmPriority::High
+                };
+                s.add_vm(Vm::new(VmId(i * 10 + j), spec, pri));
+            }
+            s
+        })
+        .collect()
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let servers = build_pool(200);
+    let demand = ResourceVector::new(4.0, 8_192.0, 100.0, 200.0);
+    for policy in PlacementPolicy::ALL {
+        c.bench_function(&format!("placement/{}_200_servers", policy.name()), |b| {
+            let mut rng = SimRng::seed_from_u64(7);
+            b.iter(|| {
+                black_box(choose_server(
+                    policy,
+                    black_box(&servers),
+                    black_box(&demand),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the discrete-event engine and RNG substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::rng::ZipfSampler;
+use simkit::{run, EventQueue, Scheduler, SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("simkit/queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times to exercise heap reordering.
+                q.push(SimTime::from_micros((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+
+    c.bench_function("simkit/scheduler_chain_10k", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u32> = Scheduler::new();
+            s.immediately(0);
+            let mut count = 0u32;
+            run(&mut s, None, |s, _, ev| {
+                count += 1;
+                if ev < 9_999 {
+                    s.after(SimDuration::from_micros(10), ev + 1);
+                }
+            });
+            black_box(count)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("simkit/lognormal_10k", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.lognormal(0.0, 1.2);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("simkit/zipf_sample_10k", |b| {
+        let z = ZipfSampler::new(100_000, 0.99);
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(z.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the Spark execution simulator and the deflation
+//! policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spark::policy::{choose_mechanism, PolicyInputs};
+use spark::workloads::{als, fig6_event, kmeans};
+use spark::DeflationMode;
+use std::hint::black_box;
+
+fn bench_workloads(c: &mut Criterion) {
+    c.bench_function("spark/als_cascade_run", |b| {
+        let w = als();
+        let ev = fig6_event(8, 0.5);
+        b.iter(|| black_box(w.run(DeflationMode::Cascade, Some(&ev), 7)))
+    });
+
+    c.bench_function("spark/kmeans_self_deflation_run", |b| {
+        let w = kmeans();
+        let ev = fig6_event(8, 0.5);
+        b.iter(|| black_box(w.run(DeflationMode::SelfDeflation, Some(&ev), 7)))
+    });
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let inputs = PolicyInputs {
+        progress: 0.5,
+        fractions: vec![0.5; 64],
+        sync_fraction: 0.4,
+        shuffle_imminent: false,
+    };
+    c.bench_function("spark/policy_decision_64vms", |b| {
+        b.iter(|| black_box(choose_mechanism(black_box(&inputs))))
+    });
+}
+
+criterion_group!(benches, bench_workloads, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Runs the full evaluation suite (every figure plus the ablations) and
+//! prints the markdown tables that back EXPERIMENTS.md. With an output
+//! directory as the first argument, also writes one TSV per table for
+//! plotting:
+//!
+//! ```text
+//! cargo run --release -p bench --bin all_experiments -- results/
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let out_dir = std::env::args().nth(1);
+    println!("# Resource Deflation — full experiment suite\n");
+    for t in bench::figs::run_all() {
+        t.print();
+        if let Some(dir) = &out_dir {
+            let dir = Path::new(dir);
+            if let Err(e) = fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+            let path = dir.join(format!("{}.tsv", t.id));
+            if let Err(e) = fs::write(&path, t.to_tsv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = out_dir {
+        eprintln!("TSV series written to {dir}");
+    }
+}

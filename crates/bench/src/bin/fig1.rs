@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 1.
+fn main() {
+    bench::figs::fig1::run().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Figs. 5a–5d.
+fn main() {
+    for t in bench::figs::fig5::run() {
+        t.print();
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Figs. 6a–6d.
+fn main() {
+    bench::figs::fig6::run().print();
+}

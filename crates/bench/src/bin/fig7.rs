@@ -1,0 +1,6 @@
+//! Regenerates paper Figs. 7a and 7b.
+fn main() {
+    for t in bench::figs::fig7::run() {
+        t.print();
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per paper figure; each `run()` rebuilds that figure's data.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod pricing_exp;
+
+use crate::Table;
+
+/// Runs every experiment, in paper order.
+pub fn run_all() -> Vec<Table> {
+    let mut out = vec![fig1::run()];
+    out.extend(fig5::run());
+    out.push(fig6::run());
+    out.extend(fig7::run());
+    out.extend(fig8::run());
+    out.extend(ablations::run());
+    out.push(pricing_exp::run());
+    out
+}

@@ -1,0 +1,178 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6) from the models in this workspace.
+//!
+//! Each `figs::*` module exposes a `run()` function returning one or more
+//! [`Table`]s; the `src/bin/fig*` binaries print them, and
+//! `src/bin/all_experiments` runs the full suite (the data behind
+//! `EXPERIMENTS.md`).
+
+use std::fmt::Write as _;
+
+pub mod figs;
+
+/// A printable result table (one per figure/series group).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Short id, e.g. `"fig5a"`.
+    pub id: &'static str,
+    /// What the paper's figure shows.
+    pub title: String,
+    /// Column names; the first column is the x-axis.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line comparison against the paper's claim.
+    pub expectation: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Table {
+            id,
+            title: title.into(),
+            columns: columns.into_iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            expectation: String::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Sets the paper-expectation note.
+    pub fn expect(&mut self, note: impl Into<String>) {
+        self.expectation = note.into();
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "### {} — {}\n", self.id, self.title).expect("write to String");
+        writeln!(out, "| {} |", self.columns.join(" | ")).expect("write to String");
+        writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        )
+        .expect("write to String");
+        for row in &self.rows {
+            writeln!(out, "| {} |", row.join(" | ")).expect("write to String");
+        }
+        if !self.expectation.is_empty() {
+            writeln!(out, "\n*Paper check:* {}", self.expectation).expect("write to String");
+        }
+        out
+    }
+
+    /// Renders as tab-separated values (for plotting).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.columns.join("\t")).expect("write to String");
+        for row in &self.rows {
+            writeln!(out, "{}", row.join("\t")).expect("write to String");
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+
+    /// Looks up a cell as f64 (for tests); row/col are 0-based, col 0 is
+    /// the x column.
+    pub fn cell(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "cell ({row},{col}) = {:?} not numeric",
+                    self.rows[row][col]
+                )
+            })
+    }
+
+    /// Column values as f64.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        (0..self.rows.len()).map(|r| self.cell(r, col)).collect()
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("figX", "demo", vec!["x", "y"]);
+        t.row(vec!["1".into(), "2.500".into()]);
+        t.row(vec!["50%".into(), "3.000".into()]);
+        t.expect("y grows");
+        t
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### figX — demo"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("| 1 | 2.500 |"));
+        assert!(md.contains("*Paper check:* y grows"));
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let tsv = sample().to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.starts_with("x\ty\n"));
+    }
+
+    #[test]
+    fn cell_parsing_handles_percent() {
+        let t = sample();
+        assert_eq!(t.cell(0, 1), 2.5);
+        assert_eq!(t.cell(1, 0), 50.0);
+        assert_eq!(t.column(1), vec![2.5, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("f", "t", vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(pct(0.5), "50%");
+    }
+}

@@ -1,0 +1,34 @@
+//! Deflation-based cluster management (paper §5).
+//!
+//! The cluster manager allocates a mix of non-deflatable high-priority VMs
+//! and deflatable low-priority VMs onto physical servers:
+//!
+//! * **Placement** uses deflation-aware multi-dimensional bin-packing: a
+//!   server's availability is `free + deflatable` (Eq. 4) and the fitness
+//!   of a VM for a server is the cosine similarity between the demand and
+//!   availability vectors. Best-fit, first-fit and 2-choices policies are
+//!   provided ([`placement`]).
+//! * **Reclamation** deflates all low-priority VMs on a server
+//!   proportionally to their deflatable range (the `hypervisor` crate's
+//!   [`LocalController`](hypervisor::LocalController)), falling back to
+//!   preemption only when minimum sizes make deflation insufficient.
+//! * **Reinflation** returns freed resources proportionally when VMs exit.
+//!
+//! [`simulate`] drives all of this from synthetic Eucalyptus-style traces
+//! ([`traces`]) over a 100-node cluster to measure preemption
+//! probabilities and server overcommitment under increasing load —
+//! reproducing Figs. 8c and 8d.
+
+pub mod manager;
+pub mod placement;
+pub mod predictor;
+pub mod pricing;
+pub mod simulate;
+pub mod traces;
+
+pub use manager::{ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome};
+pub use predictor::{DemandPredictor, Ewma};
+pub use pricing::{revenue, Rates, Revenue, TransientPricing};
+pub use placement::{AvailabilityMode, PlacementPolicy};
+pub use simulate::{run_cluster_replay, run_cluster_sim, ClusterSimConfig, ClusterSimResult};
+pub use traces::{from_csv, to_csv, InstanceType, TraceConfig, TraceGenerator, TraceParseError, VmRequest};

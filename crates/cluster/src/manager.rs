@@ -1,0 +1,579 @@
+//! The centralized cluster manager (paper §5, Fig. 2).
+//!
+//! The manager owns the physical servers, places arriving VMs with a
+//! deflation-aware bin-packing policy, asks the target server's local
+//! controller to make room (proportional cascade deflation, preemption
+//! fallback), and reinflates deflated VMs when resources free up.
+
+use std::collections::HashMap;
+
+use deflate_core::{CascadeConfig, ResourceKind, ResourceVector, ServerId, VmId};
+use hypervisor::{LocalController, PhysicalServer, Vm, VmPriority};
+use simkit::{SimRng, SimTime, TraceLog};
+
+use crate::placement::{choose_server_with, AvailabilityMode, PlacementPolicy};
+use crate::predictor::DemandPredictor;
+use crate::traces::VmRequest;
+
+/// Cluster manager configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterManagerConfig {
+    /// Number of physical servers.
+    pub n_servers: usize,
+    /// Per-server capacity.
+    pub server_capacity: ResourceVector,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// When `false`, low-priority VMs are *not* deflatable (their minimum
+    /// size equals their spec), so every resource shortage preempts —
+    /// the "preemption-only" baseline of Fig. 8c.
+    pub deflation_enabled: bool,
+    /// Cascade configuration used by local controllers.
+    pub cascade: CascadeConfig,
+    /// Fraction of a VM's memory its workload actually uses (drives how
+    /// much guest memory is free for hot-unplug; the Azure study the
+    /// paper cites puts average utilization below 50 %).
+    pub usage_fraction: f64,
+    /// Predictive headroom (the paper's §7 future work): forecast
+    /// high-priority demand with an EWMA and hold back that much CPU
+    /// from reinflation, so high-priority arrivals place into free
+    /// resources instead of waiting out a synchronous reclamation.
+    pub proactive_headroom: bool,
+    /// Capacity heterogeneity: 0 gives a homogeneous pool; `h > 0`
+    /// alternates servers between `(1+h)×` and `(1−h)×` the base
+    /// capacity (total capacity is preserved for even server counts).
+    /// Cosine-fitness placement only has direction to exploit on mixed
+    /// pools.
+    pub capacity_skew: f64,
+    /// RNG seed (placement randomization).
+    pub seed: u64,
+}
+
+impl Default for ClusterManagerConfig {
+    fn default() -> Self {
+        ClusterManagerConfig {
+            n_servers: 100,
+            server_capacity: ResourceVector::new(16.0, 65_536.0, 400.0, 800.0),
+            placement: PlacementPolicy::BestFit,
+            deflation_enabled: true,
+            cascade: CascadeConfig::VM_LEVEL,
+            usage_fraction: 0.5,
+            proactive_headroom: false,
+            capacity_skew: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Counters the manager maintains.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClusterStats {
+    /// VMs successfully placed.
+    pub launched: u64,
+    /// Low-priority VMs successfully placed.
+    pub launched_low: u64,
+    /// Requests rejected (no server fit even after deflation).
+    pub rejected: u64,
+    /// Low-priority VMs preempted to make room.
+    pub preempted: u64,
+    /// Deflation operations executed (per-VM cascades).
+    pub deflations: u64,
+    /// Reinflation operations executed.
+    pub reinflations: u64,
+    /// Σ reclamation latency paid by high-priority launches (seconds).
+    pub highpri_alloc_latency_secs: f64,
+    /// High-priority VMs launched.
+    pub highpri_launches: u64,
+}
+
+impl ClusterStats {
+    /// Mean reclamation latency a high-priority launch had to wait for.
+    pub fn mean_highpri_alloc_latency_secs(&self) -> f64 {
+        if self.highpri_launches == 0 {
+            0.0
+        } else {
+            self.highpri_alloc_latency_secs / self.highpri_launches as f64
+        }
+    }
+}
+
+/// The result of a launch request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchOutcome {
+    /// Placed on a server; lists any VMs preempted to make room.
+    Placed {
+        /// Target server.
+        server: ServerId,
+        /// Low-priority VMs preempted in the process.
+        preempted: Vec<VmId>,
+    },
+    /// No server could host the VM even with full deflation.
+    Rejected,
+}
+
+/// The deflation-based cluster manager.
+pub struct ClusterManager {
+    cfg: ClusterManagerConfig,
+    servers: Vec<PhysicalServer>,
+    controller: LocalController,
+    rng: SimRng,
+    stats: ClusterStats,
+    /// VM → server index.
+    index: HashMap<VmId, usize>,
+    /// Lifecycle trace (launches, deflations, preemptions, reinflations).
+    log: TraceLog,
+    /// High-priority demand forecaster (proactive headroom).
+    predictor: DemandPredictor,
+}
+
+impl ClusterManager {
+    /// Creates a cluster with empty servers.
+    pub fn new(cfg: ClusterManagerConfig) -> Self {
+        let skew = cfg.capacity_skew.clamp(0.0, 0.9);
+        let servers = (0..cfg.n_servers)
+            .map(|i| {
+                let factor = if skew == 0.0 {
+                    1.0
+                } else if i % 2 == 0 {
+                    1.0 + skew
+                } else {
+                    1.0 - skew
+                };
+                PhysicalServer::new(ServerId(i as u64), cfg.server_capacity.scale(factor))
+            })
+            .collect();
+        let controller = LocalController::new(cfg.cascade);
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        ClusterManager {
+            cfg,
+            servers,
+            controller,
+            rng,
+            stats: ClusterStats::default(),
+            index: HashMap::new(),
+            log: TraceLog::default(),
+            predictor: DemandPredictor::new(simkit::SimDuration::from_mins(10), 0.3),
+        }
+    }
+
+    /// The lifecycle trace recorded so far.
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+
+    /// The servers (for metrics).
+    pub fn servers(&self) -> &[PhysicalServer] {
+        &self.servers
+    }
+
+    /// Manager counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Number of currently running VMs.
+    pub fn running_vms(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether a VM is still running (it may have been preempted).
+    pub fn is_running(&self, id: VmId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Total physical capacity across all servers.
+    pub fn total_capacity(&self) -> ResourceVector {
+        self.servers
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, s| acc + s.capacity())
+    }
+
+    /// Cluster-wide committed fraction of capacity (dominant dimension).
+    pub fn utilization(&self) -> f64 {
+        let committed = self
+            .servers
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, s| acc + s.committed());
+        let capacity = self.total_capacity();
+        let mut worst: f64 = 0.0;
+        for k in ResourceKind::ALL {
+            if capacity.get(k) > 0.0 {
+                worst = worst.max(committed.get(k) / capacity.get(k));
+            }
+        }
+        worst
+    }
+
+    /// Cluster-wide nominal overcommitment: `Σ specs / capacity − 1` on
+    /// the dominant dimension (≥ 0).
+    pub fn overcommitment(&self) -> f64 {
+        let specs = self.servers.iter().fold(ResourceVector::ZERO, |acc, s| {
+            s.vms().fold(acc, |a, vm| a + vm.spec())
+        });
+        let capacity = self.total_capacity();
+        let mut worst: f64 = 0.0;
+        for k in ResourceKind::ALL {
+            if capacity.get(k) > 0.0 {
+                worst = worst.max(specs.get(k) / capacity.get(k));
+            }
+        }
+        (worst - 1.0).max(0.0)
+    }
+
+    /// Per-server nominal overcommitment values.
+    pub fn server_overcommitments(&self) -> Vec<f64> {
+        self.servers.iter().map(|s| s.overcommitment()).collect()
+    }
+
+    /// Aggregate CPU currently allocated to high-priority VMs (their
+    /// full specs — they are never deflated).
+    pub fn high_pri_cpu(&self) -> f64 {
+        self.servers
+            .iter()
+            .flat_map(|s| s.vms())
+            .filter(|vm| vm.priority() == VmPriority::High)
+            .map(|vm| vm.spec().get(ResourceKind::Cpu))
+            .sum()
+    }
+
+    /// Aggregate *nominal* CPU of running low-priority VMs (what flat
+    /// transient billing charges for).
+    pub fn low_pri_spec_cpu(&self) -> f64 {
+        self.servers
+            .iter()
+            .flat_map(|s| s.vms())
+            .filter(|vm| vm.priority() == VmPriority::Low)
+            .map(|vm| vm.spec().get(ResourceKind::Cpu))
+            .sum()
+    }
+
+    /// Aggregate *effective* CPU of running low-priority VMs (what
+    /// resource-as-a-service billing charges for).
+    pub fn low_pri_effective_cpu(&self) -> f64 {
+        self.servers
+            .iter()
+            .flat_map(|s| s.vms())
+            .filter(|vm| vm.priority() == VmPriority::Low)
+            .map(|vm| vm.effective().get(ResourceKind::Cpu))
+            .sum()
+    }
+
+    /// Handles a VM request: placement, reclamation, admission.
+    pub fn launch(&mut self, now: SimTime, req: &VmRequest) -> LaunchOutcome {
+        if !req.low_priority {
+            self.predictor
+                .observe(now, req.spec.get(ResourceKind::Cpu));
+        }
+        // Two-tier placement: prefer a server where free + deflatable
+        // resources cover the demand (no preemption needed). Only
+        // high-priority demand may fall back to servers where
+        // low-priority VMs must be preempted (§5, "In the worst case, VMs
+        // that are farthest from their deflation target are preempted").
+        let first_try = if self.cfg.deflation_enabled {
+            AvailabilityMode::Deflation
+        } else {
+            AvailabilityMode::PreemptionOnly
+        };
+        let mut chosen = choose_server_with(
+            self.cfg.placement,
+            &self.servers,
+            &req.spec,
+            first_try,
+            &mut self.rng,
+        );
+        if chosen.is_none() && !req.low_priority {
+            chosen = choose_server_with(
+                self.cfg.placement,
+                &self.servers,
+                &req.spec,
+                AvailabilityMode::PreemptionOnly,
+                &mut self.rng,
+            );
+        }
+        let Some(si) = chosen else {
+            self.stats.rejected += 1;
+            self.log
+                .record(now, "reject", format!("{} (no server fits)", req.id));
+            return LaunchOutcome::Rejected;
+        };
+
+        let report = self
+            .controller
+            .make_room(now, &mut self.servers[si], &req.spec);
+        self.stats.deflations += report.outcomes.len() as u64;
+        for (id, out) in &report.outcomes {
+            self.log.record(
+                now,
+                "deflate",
+                format!("{id} by {} for {}", out.total_reclaimed, req.id),
+            );
+        }
+        for id in &report.preempted {
+            self.index.remove(id);
+            self.log
+                .record(now, "preempt", format!("{id} for {}", req.id));
+        }
+        self.stats.preempted += report.preempted.len() as u64;
+
+        if !report.satisfied {
+            // Deflation and preemption could not cover the demand (the
+            // server was dominated by high-priority VMs); reject.
+            self.stats.rejected += 1;
+            self.log
+                .record(now, "reject", format!("{} (reclaim fell short)", req.id));
+            return LaunchOutcome::Rejected;
+        }
+
+        let priority = if req.low_priority {
+            VmPriority::Low
+        } else {
+            VmPriority::High
+        };
+        let min = if self.cfg.deflation_enabled {
+            req.min_size
+        } else if req.low_priority {
+            // Preemption-only baseline: nothing is deflatable.
+            req.spec
+        } else {
+            ResourceVector::ZERO
+        };
+        let vm = Vm::new(req.id, req.spec, priority).with_min(min);
+        vm.set_usage(
+            req.spec.get(ResourceKind::Memory) * self.cfg.usage_fraction,
+            req.spec.get(ResourceKind::Cpu) * self.cfg.usage_fraction,
+        );
+        self.servers[si].add_vm(vm);
+        self.index.insert(req.id, si);
+        self.log.record(
+            now,
+            "launch",
+            format!("{} on {} ({})", req.id, ServerId(si as u64), req.type_name),
+        );
+        self.stats.launched += 1;
+        if req.low_priority {
+            self.stats.launched_low += 1;
+        } else {
+            self.stats.highpri_launches += 1;
+            self.stats.highpri_alloc_latency_secs += report.latency.as_secs_f64();
+        }
+        LaunchOutcome::Placed {
+            server: ServerId(si as u64),
+            preempted: report.preempted,
+        }
+    }
+
+    /// Handles a VM's natural exit; freed resources reinflate the
+    /// server's deflated VMs. Returns `false` when the VM was already
+    /// gone (preempted earlier).
+    pub fn exit(&mut self, now: SimTime, id: VmId) -> bool {
+        let Some(si) = self.index.remove(&id) else {
+            return false;
+        };
+        let Some(vm) = self.servers[si].remove_vm(id) else {
+            return false;
+        };
+        let freed = vm.effective();
+        self.log.record(now, "exit", format!("{id} freeing {freed}"));
+
+        // Proactive headroom: hold back the forecast high-priority CPU
+        // demand from reinflation (cluster-wide free CPU counts toward
+        // the target).
+        let mut to_reinflate = freed;
+        if self.cfg.proactive_headroom {
+            let predicted = self.predictor.predict(now);
+            let free_cpu: f64 = self
+                .servers
+                .iter()
+                .map(|s| s.free().get(ResourceKind::Cpu))
+                .sum();
+            // `free_cpu` already includes the freed resources.
+            let deficit = (predicted - (free_cpu - freed.get(ResourceKind::Cpu))).max(0.0);
+            let hold_cpu = deficit.min(freed.get(ResourceKind::Cpu));
+            if freed.get(ResourceKind::Cpu) > 0.0 {
+                let hold_frac = hold_cpu / freed.get(ResourceKind::Cpu);
+                to_reinflate = freed.scale(1.0 - hold_frac);
+            }
+        }
+        let applied = self
+            .controller
+            .reinflate(now, &mut self.servers[si], &to_reinflate);
+        for (rid, got) in &applied {
+            self.log.record(now, "reinflate", format!("{rid} by {got}"));
+        }
+        self.stats.reinflations += applied.len() as u64;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimDuration;
+
+    fn small_cfg(deflation: bool) -> ClusterManagerConfig {
+        ClusterManagerConfig {
+            n_servers: 2,
+            server_capacity: ResourceVector::new(8.0, 32_768.0, 200.0, 400.0),
+            deflation_enabled: deflation,
+            ..ClusterManagerConfig::default()
+        }
+    }
+
+    fn req(id: u64, low: bool) -> VmRequest {
+        let spec = ResourceVector::new(4.0, 16_384.0, 100.0, 200.0);
+        VmRequest {
+            id: VmId(id),
+            arrival: SimTime::ZERO,
+            lifetime: SimDuration::from_hours(1),
+            spec,
+            type_name: "test",
+            low_priority: low,
+            min_size: if low { spec.scale(0.3) } else { ResourceVector::ZERO },
+        }
+    }
+
+    #[test]
+    fn places_until_full_then_deflates() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        // 4 VMs fill both servers exactly.
+        for i in 0..4 {
+            let out = m.launch(SimTime::ZERO, &req(i, true));
+            assert!(matches!(out, LaunchOutcome::Placed { .. }));
+        }
+        assert_eq!(m.running_vms(), 4);
+        assert!((m.utilization() - 1.0).abs() < 1e-9);
+        assert_eq!(m.overcommitment(), 0.0);
+
+        // A 5th VM forces deflation but no preemption.
+        let out = m.launch(SimTime::ZERO, &req(4, true));
+        match out {
+            LaunchOutcome::Placed { preempted, .. } => assert!(preempted.is_empty()),
+            LaunchOutcome::Rejected => panic!("should deflate, not reject"),
+        }
+        assert_eq!(m.running_vms(), 5);
+        assert!(m.overcommitment() > 0.0);
+        assert!(m.stats().deflations > 0);
+    }
+
+    #[test]
+    fn preemption_only_mode_preempts_instead() {
+        let mut m = ClusterManager::new(small_cfg(false));
+        for i in 0..4 {
+            m.launch(SimTime::ZERO, &req(i, true));
+        }
+        let out = m.launch(SimTime::ZERO, &req(4, true));
+        match out {
+            LaunchOutcome::Placed { preempted, .. } => {
+                assert!(!preempted.is_empty(), "preemption-only must preempt")
+            }
+            LaunchOutcome::Rejected => panic!("should place after preempting"),
+        }
+        assert!(m.stats().preempted > 0);
+        // The preempted VM no longer runs.
+        assert_eq!(m.running_vms(), 4);
+    }
+
+    #[test]
+    fn high_priority_is_never_preempted() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        for i in 0..4 {
+            m.launch(SimTime::ZERO, &req(i, false));
+        }
+        // Cluster is full of high-priority VMs; another must be rejected.
+        let out = m.launch(SimTime::ZERO, &req(4, false));
+        assert_eq!(out, LaunchOutcome::Rejected);
+        assert_eq!(m.stats().rejected, 1);
+        assert_eq!(m.running_vms(), 4);
+    }
+
+    #[test]
+    fn exit_reinflates_deflated_vms() {
+        let mut m = ClusterManager::new(ClusterManagerConfig {
+            n_servers: 1,
+            server_capacity: ResourceVector::new(8.0, 32_768.0, 200.0, 400.0),
+            ..ClusterManagerConfig::default()
+        });
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+        // Third VM deflates the first two.
+        m.launch(SimTime::ZERO, &req(2, true));
+        let deflated: f64 = m.servers()[0]
+            .vms()
+            .map(|vm| vm.max_deflation())
+            .fold(0.0, f64::max);
+        assert!(deflated > 0.0);
+
+        // One exits; the others reinflate.
+        assert!(m.exit(SimTime::from_secs(60), VmId(2)));
+        let still: f64 = m.servers()[0]
+            .vms()
+            .map(|vm| vm.max_deflation())
+            .fold(0.0, f64::max);
+        assert!(still < deflated, "reinflation should reduce deflation");
+        assert!(m.stats().reinflations > 0);
+    }
+
+    #[test]
+    fn heterogeneous_pool_alternates_capacities() {
+        let m = ClusterManager::new(ClusterManagerConfig {
+            n_servers: 4,
+            capacity_skew: 0.5,
+            ..small_cfg(true)
+        });
+        let caps: Vec<f64> = m
+            .servers()
+            .iter()
+            .map(|s| s.capacity().get(ResourceKind::Cpu))
+            .collect();
+        assert_eq!(caps, vec![12.0, 4.0, 12.0, 4.0]);
+        // Total capacity is preserved versus the homogeneous pool.
+        let hom = ClusterManager::new(ClusterManagerConfig {
+            n_servers: 4,
+            ..small_cfg(true)
+        });
+        assert!(m
+            .total_capacity()
+            .approx_eq(&hom.total_capacity(), 1e-9));
+        // Big VMs only fit the big servers.
+        let mut m = m;
+        for i in 0..3 {
+            let out = m.launch(SimTime::ZERO, &req(i, true));
+            assert!(matches!(out, LaunchOutcome::Placed { .. }), "vm {i}");
+        }
+        // Best-fit prefers the roomier (big) servers; the small ones
+        // stay empty while big-server headroom lasts.
+        for (i, s) in m.servers().iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(s.vm_count(), 0, "server {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lifecycle_trace_records_events() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        for i in 0..5 {
+            m.launch(SimTime::ZERO, &req(i, true));
+        }
+        m.exit(SimTime::from_secs(60), VmId(0));
+        let log = m.log();
+        assert_eq!(log.count("launch"), 5);
+        assert!(log.count("deflate") > 0, "5th VM forces deflation");
+        assert_eq!(log.count("exit"), 1);
+        assert!(log.count("reinflate") > 0, "exit frees resources");
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn exit_of_preempted_vm_is_noop() {
+        let mut m = ClusterManager::new(small_cfg(false));
+        for i in 0..5 {
+            m.launch(SimTime::ZERO, &req(i, true));
+        }
+        assert!(m.stats().preempted > 0);
+        // Find a preempted id: one of 0..5 is not running.
+        let gone: Vec<u64> = (0..5).filter(|i| !m.is_running(VmId(*i))).collect();
+        assert!(!gone.is_empty());
+        assert!(!m.exit(SimTime::from_secs(1), VmId(gone[0])));
+    }
+}

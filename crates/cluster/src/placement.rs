@@ -1,0 +1,276 @@
+//! Deflation-aware VM placement (paper §5, "Bin-packing based VM
+//! placement").
+//!
+//! A server's availability is `A_j = Free_j + Deflatable_j` (Eq. 4) and a
+//! VM's fitness for it is the cosine similarity between the demand vector
+//! and the availability vector. Three policies are implemented, as in the
+//! paper's Fig. 8d: best-fit (highest fitness), first-fit (first server
+//! that fits), and 2-choices (two random candidates, keep the fitter).
+
+use deflate_core::ResourceVector;
+use hypervisor::PhysicalServer;
+use simkit::SimRng;
+
+/// Which reclaimable resources count toward a server's availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvailabilityMode {
+    /// The paper's Eq. 4: `free + deflatable`.
+    Deflation,
+    /// A preemption-only manager: `free + preemptible` (low-priority VMs
+    /// can be killed to make room).
+    PreemptionOnly,
+}
+
+fn availability(server: &PhysicalServer, mode: AvailabilityMode) -> ResourceVector {
+    match mode {
+        AvailabilityMode::Deflation => server.availability(),
+        AvailabilityMode::PreemptionOnly => server.free() + server.preemptible(),
+    }
+}
+
+fn fits(server: &PhysicalServer, demand: &ResourceVector, mode: AvailabilityMode) -> bool {
+    availability(server, mode).dominates(demand)
+}
+
+/// A VM placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Highest cosine fitness among all servers that fit.
+    BestFit,
+    /// First server (by index) whose availability dominates the demand.
+    FirstFit,
+    /// Pick two random servers, use the fitter (power of two choices).
+    TwoChoices,
+}
+
+impl PlacementPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::BestFit,
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::TwoChoices,
+    ];
+
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::BestFit => "best-fit",
+            PlacementPolicy::FirstFit => "first-fit",
+            PlacementPolicy::TwoChoices => "2-choices",
+        }
+    }
+}
+
+/// Fitness of placing `demand` on `server`: cosine similarity between the
+/// demand and the availability vector (0 when the VM does not fit at all).
+pub fn fitness(server: &PhysicalServer, demand: &ResourceVector) -> f64 {
+    fitness_with(server, demand, AvailabilityMode::Deflation)
+}
+
+/// [`fitness`] under an explicit availability mode.
+pub fn fitness_with(
+    server: &PhysicalServer,
+    demand: &ResourceVector,
+    mode: AvailabilityMode,
+) -> f64 {
+    if !fits(server, demand, mode) {
+        return 0.0;
+    }
+    availability(server, mode).cosine_similarity(demand)
+}
+
+/// Picks a server for `demand` under `policy`; returns its index, or
+/// `None` when no server fits even after full reclamation.
+pub fn choose_server(
+    policy: PlacementPolicy,
+    servers: &[PhysicalServer],
+    demand: &ResourceVector,
+    rng: &mut SimRng,
+) -> Option<usize> {
+    choose_server_with(policy, servers, demand, AvailabilityMode::Deflation, rng)
+}
+
+/// [`choose_server`] under an explicit availability mode.
+///
+/// Selection runs in two passes: servers whose *free* resources already
+/// cover the demand are preferred (placing there disrupts nobody); only
+/// when none exists does the reclaimable availability of the given mode
+/// come into play.
+pub fn choose_server_with(
+    policy: PlacementPolicy,
+    servers: &[PhysicalServer],
+    demand: &ResourceVector,
+    mode: AvailabilityMode,
+    rng: &mut SimRng,
+) -> Option<usize> {
+    let free_pass = pick(policy, servers, demand, rng, &|s: &PhysicalServer| s.free());
+    if free_pass.is_some() {
+        return free_pass;
+    }
+    pick(policy, servers, demand, rng, &|s: &PhysicalServer| {
+        availability(s, mode)
+    })
+}
+
+/// One selection pass over an availability notion.
+fn pick(
+    policy: PlacementPolicy,
+    servers: &[PhysicalServer],
+    demand: &ResourceVector,
+    rng: &mut SimRng,
+    avail: &dyn Fn(&PhysicalServer) -> ResourceVector,
+) -> Option<usize> {
+    let fits = |s: &PhysicalServer| avail(s).dominates(demand);
+    let score = |s: &PhysicalServer| {
+        let a = avail(s);
+        (a.cosine_similarity(demand), a.norm())
+    };
+    match policy {
+        PlacementPolicy::FirstFit => servers.iter().position(fits),
+        PlacementPolicy::BestFit => {
+            let mut best: Option<(usize, (f64, f64))> = None;
+            for (i, s) in servers.iter().enumerate() {
+                if !fits(s) {
+                    continue;
+                }
+                let sc = score(s);
+                let better = match &best {
+                    None => true,
+                    Some((_, bs)) => {
+                        // Cosine values within float fuzz are ties; break
+                        // them by availability magnitude.
+                        if (sc.0 - bs.0).abs() < 1e-9 {
+                            sc.1 > bs.1 + 1e-9
+                        } else {
+                            sc.0 > bs.0
+                        }
+                    }
+                };
+                if better {
+                    best = Some((i, sc));
+                }
+            }
+            best.map(|(i, _)| i)
+        }
+        PlacementPolicy::TwoChoices => {
+            if servers.is_empty() {
+                return None;
+            }
+            let a = rng.index(servers.len());
+            let b = rng.index(servers.len());
+            let ok_a = fits(&servers[a]);
+            let ok_b = fits(&servers[b]);
+            match (ok_a, ok_b) {
+                (true, true) => {
+                    if score(&servers[a]) >= score(&servers[b]) {
+                        Some(a)
+                    } else {
+                        Some(b)
+                    }
+                }
+                (true, false) => Some(a),
+                (false, true) => Some(b),
+                // Both random picks failed; fall back to any fitting
+                // server so admission does not depend on luck alone.
+                (false, false) => servers.iter().position(fits),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deflate_core::{ServerId, VmId};
+    use hypervisor::{Vm, VmPriority};
+
+    fn capacity() -> ResourceVector {
+        ResourceVector::new(16.0, 65_536.0, 400.0, 400.0)
+    }
+
+    fn vm_spec() -> ResourceVector {
+        ResourceVector::new(4.0, 16_384.0, 100.0, 100.0)
+    }
+
+    fn servers(n: u64) -> Vec<PhysicalServer> {
+        (0..n)
+            .map(|i| PhysicalServer::new(ServerId(i), capacity()))
+            .collect()
+    }
+
+    #[test]
+    fn first_fit_takes_first() {
+        let mut ss = servers(3);
+        // Fill server 0 with high-priority VMs: no availability.
+        for i in 0..4 {
+            ss[0].add_vm(Vm::new(VmId(100 + i), vm_spec(), VmPriority::High));
+        }
+        let mut rng = SimRng::seed_from_u64(1);
+        let pick = choose_server(PlacementPolicy::FirstFit, &ss, &vm_spec(), &mut rng);
+        assert_eq!(pick, Some(1));
+    }
+
+    #[test]
+    fn best_fit_prefers_matching_direction() {
+        let mut ss = servers(2);
+        // Server 0 keeps full availability; server 1 loses most CPU to a
+        // high-priority VM, so a CPU-heavy demand fits server 0 better.
+        ss[1].add_vm(Vm::new(
+            VmId(1),
+            ResourceVector::new(14.0, 1_024.0, 0.0, 0.0),
+            VmPriority::High,
+        ));
+        let demand = ResourceVector::new(8.0, 4_096.0, 10.0, 10.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let pick = choose_server(PlacementPolicy::BestFit, &ss, &demand, &mut rng);
+        assert_eq!(pick, Some(0));
+    }
+
+    #[test]
+    fn no_server_fits_returns_none() {
+        let ss = servers(2);
+        let demand = ResourceVector::new(64.0, 1_000_000.0, 1e6, 1e6);
+        let mut rng = SimRng::seed_from_u64(1);
+        for p in PlacementPolicy::ALL {
+            assert_eq!(choose_server(p, &ss, &demand, &mut rng), None, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn deflatable_resources_count_as_availability() {
+        let mut ss = servers(1);
+        // Fill with low-priority VMs: free is zero but deflatable is full.
+        for i in 0..4 {
+            ss[0].add_vm(Vm::new(VmId(i), vm_spec(), VmPriority::Low));
+        }
+        assert!(ss[0].free().is_zero());
+        let mut rng = SimRng::seed_from_u64(1);
+        let pick = choose_server(PlacementPolicy::BestFit, &ss, &vm_spec(), &mut rng);
+        assert_eq!(pick, Some(0));
+    }
+
+    #[test]
+    fn two_choices_always_finds_a_fit_when_one_exists() {
+        let mut ss = servers(4);
+        for s in ss.iter_mut().take(3) {
+            for i in 0..4 {
+                s.add_vm(Vm::new(VmId(i), vm_spec(), VmPriority::High));
+            }
+        }
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let pick =
+                choose_server(PlacementPolicy::TwoChoices, &ss, &vm_spec(), &mut rng);
+            assert_eq!(pick, Some(3));
+        }
+    }
+
+    #[test]
+    fn fitness_zero_when_not_fitting() {
+        let mut ss = servers(1);
+        for i in 0..4 {
+            ss[0].add_vm(Vm::new(VmId(i), vm_spec(), VmPriority::High));
+        }
+        assert_eq!(fitness(&ss[0], &vm_spec()), 0.0);
+    }
+}

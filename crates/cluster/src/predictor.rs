@@ -1,0 +1,167 @@
+//! Predictive resource management for deflatable VMs — the paper's
+//! stated future work ("Incorporating predictive resource management
+//! \[26\] for deflatable VMs is part of our future work", §7).
+//!
+//! The idea, after Resource Central: forecast near-term high-priority
+//! demand and keep that much *free headroom* on the cluster by holding
+//! back reinflation of low-priority VMs. High-priority arrivals then
+//! place into free resources instead of waiting out a synchronous
+//! deflation, cutting their allocation latency — at the cost of keeping
+//! low-priority VMs slightly deflated for longer.
+//!
+//! The forecast is an exponentially-weighted moving average of the
+//! high-priority CPU demand that arrived in each fixed window.
+
+use simkit::{SimDuration, SimTime};
+
+/// An exponentially-weighted moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`
+    /// (larger = more reactive).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must lie in (0, 1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds in an observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// The current forecast (0 before any observation).
+    pub fn predict(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+}
+
+/// Windows high-priority demand and forecasts the next window's total.
+#[derive(Debug)]
+pub struct DemandPredictor {
+    window: SimDuration,
+    ewma: Ewma,
+    current_window: u64,
+    accumulating: f64,
+}
+
+impl DemandPredictor {
+    /// Creates a predictor with the given window and smoothing factor.
+    pub fn new(window: SimDuration, alpha: f64) -> Self {
+        assert!(!window.is_zero(), "prediction window must be positive");
+        DemandPredictor {
+            window,
+            ewma: Ewma::new(alpha),
+            current_window: 0,
+            accumulating: 0.0,
+        }
+    }
+
+    fn window_index(&self, now: SimTime) -> u64 {
+        now.as_micros() / self.window.as_micros().max(1)
+    }
+
+    /// Rolls the accumulator forward to `now`, folding completed windows
+    /// into the EWMA (empty windows count as zero demand).
+    fn roll(&mut self, now: SimTime) {
+        let idx = self.window_index(now);
+        while self.current_window < idx {
+            self.ewma.observe(self.accumulating);
+            self.accumulating = 0.0;
+            self.current_window += 1;
+        }
+    }
+
+    /// Records `demand` (e.g. CPU cores requested by a high-priority
+    /// arrival) at time `now`.
+    pub fn observe(&mut self, now: SimTime, demand: f64) {
+        self.roll(now);
+        self.accumulating += demand.max(0.0);
+    }
+
+    /// Forecast of the next window's total demand.
+    pub fn predict(&mut self, now: SimTime) -> f64 {
+        self.roll(now);
+        self.ewma.predict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_constant_signal() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.predict(), 0.0);
+        for _ in 0..50 {
+            e.observe(10.0);
+        }
+        assert!((e.predict() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_tracks_level_shifts() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..10 {
+            e.observe(4.0);
+        }
+        for _ in 0..10 {
+            e.observe(20.0);
+        }
+        let p = e.predict();
+        assert!(p > 15.0 && p <= 20.0, "p {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn predictor_windows_demand() {
+        let w = SimDuration::from_mins(10);
+        let mut p = DemandPredictor::new(w, 1.0); // alpha 1: last window.
+        // Window 0: 12 cores of demand.
+        p.observe(SimTime::from_secs(60), 8.0);
+        p.observe(SimTime::from_secs(300), 4.0);
+        // Still window 0: forecast is from *completed* windows only.
+        assert_eq!(p.predict(SimTime::from_secs(500)), 0.0);
+        // Window 1: window 0 folds in.
+        assert_eq!(p.predict(SimTime::from_secs(700)), 12.0);
+    }
+
+    #[test]
+    fn empty_windows_decay_the_forecast() {
+        let w = SimDuration::from_mins(10);
+        let mut p = DemandPredictor::new(w, 0.5);
+        p.observe(SimTime::from_secs(60), 16.0);
+        // Four quiet windows later the forecast has decayed.
+        let later = SimTime::from_secs(60 * 50);
+        let f = p.predict(later);
+        assert!(f < 16.0 * 0.2, "forecast {f}");
+    }
+
+    #[test]
+    fn predictor_stable_under_steady_load() {
+        let w = SimDuration::from_mins(10);
+        let mut p = DemandPredictor::new(w, 0.3);
+        for i in 0..60 {
+            p.observe(SimTime::from_secs(i * 600 + 60), 6.0);
+        }
+        // Predict at the start of window 60: folds windows 0..=59.
+        let f = p.predict(SimTime::from_secs(60 * 600 + 10));
+        assert!((f - 6.0).abs() < 0.5, "forecast {f}");
+    }
+}

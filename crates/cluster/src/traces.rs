@@ -1,0 +1,424 @@
+//! Synthetic cloud workload traces.
+//!
+//! The paper's cluster experiments replay the Eucalyptus IaaS traces
+//! ("VM arrivals, lifetimes, and VM sizes", §6.3). Those traces are not
+//! redistributable, so this module generates synthetic traces with the
+//! same structure: Poisson arrivals, heavy-tailed (log-normal) lifetimes,
+//! and a discrete instance-type size mix; a configurable fraction of VMs
+//! is low-priority/deflatable. Generation is seeded and deterministic, so
+//! every experiment replays exactly.
+
+use deflate_core::{ResourceVector, VmId};
+use simkit::{SimDuration, SimRng, SimTime};
+
+/// A cloud instance type (size mix entry).
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceType {
+    /// Type name (m1.small-style).
+    pub name: &'static str,
+    /// Resource demand.
+    pub spec: ResourceVector,
+    /// Relative popularity weight.
+    pub weight: f64,
+}
+
+/// The default Eucalyptus-flavoured size mix: small types dominate.
+pub fn default_instance_types() -> Vec<InstanceType> {
+    vec![
+        InstanceType {
+            name: "m1.small",
+            spec: ResourceVector::new(1.0, 2_048.0, 25.0, 50.0),
+            weight: 0.40,
+        },
+        InstanceType {
+            name: "m1.medium",
+            spec: ResourceVector::new(2.0, 4_096.0, 50.0, 100.0),
+            weight: 0.30,
+        },
+        InstanceType {
+            name: "m1.large",
+            spec: ResourceVector::new(4.0, 8_192.0, 100.0, 200.0),
+            weight: 0.20,
+        },
+        InstanceType {
+            name: "m1.xlarge",
+            spec: ResourceVector::new(8.0, 16_384.0, 200.0, 400.0),
+            weight: 0.10,
+        },
+    ]
+}
+
+/// One VM request in a trace.
+#[derive(Debug, Clone)]
+pub struct VmRequest {
+    /// Unique id.
+    pub id: VmId,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Requested lifetime (the VM exits on its own after this).
+    pub lifetime: SimDuration,
+    /// Resource demand.
+    pub spec: ResourceVector,
+    /// Instance-type name.
+    pub type_name: &'static str,
+    /// Whether the VM is low-priority (deflatable).
+    pub low_priority: bool,
+    /// Minimum size for deflation (zero for high-priority VMs, a
+    /// type-dependent fraction of the spec for low-priority ones).
+    pub min_size: ResourceVector,
+}
+
+/// Trace generation parameters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Mean VM arrivals per simulated hour.
+    pub arrivals_per_hour: f64,
+    /// Log-normal lifetime: median in minutes.
+    pub lifetime_median_mins: f64,
+    /// Log-normal lifetime: sigma of the underlying normal.
+    pub lifetime_sigma: f64,
+    /// Fraction of VMs that are low-priority/deflatable.
+    pub low_priority_fraction: f64,
+    /// Minimum size of low-priority VMs as a fraction of their spec
+    /// (the paper's "empirically determined minimum levels").
+    pub min_size_fraction: f64,
+    /// Instance-type mix.
+    pub types: Vec<InstanceType>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            arrivals_per_hour: 120.0,
+            lifetime_median_mins: 90.0,
+            lifetime_sigma: 1.2,
+            low_priority_fraction: 0.5,
+            min_size_fraction: 0.15,
+            types: default_instance_types(),
+            seed: 42,
+        }
+    }
+}
+
+/// A deterministic synthetic trace generator.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cfg: TraceConfig,
+    rng: SimRng,
+    next_id: u64,
+    clock: SimTime,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    pub fn new(cfg: TraceConfig) -> Self {
+        let seed = cfg.seed;
+        TraceGenerator {
+            cfg,
+            rng: SimRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Generates the next request.
+    pub fn next_request(&mut self) -> VmRequest {
+        let rate_per_sec = self.cfg.arrivals_per_hour / 3_600.0;
+        self.clock += self.rng.poisson_interarrival(rate_per_sec);
+
+        let weights: Vec<f64> = self.cfg.types.iter().map(|t| t.weight).collect();
+        let ty = self.cfg.types[self.rng.weighted_index(&weights)];
+
+        let median_secs = self.cfg.lifetime_median_mins * 60.0;
+        let lifetime =
+            SimDuration::from_secs_f64(self.rng.lognormal(median_secs.ln(), self.cfg.lifetime_sigma));
+
+        let low_priority = self.rng.chance(self.cfg.low_priority_fraction);
+        let min_size = if low_priority {
+            ty.spec.scale(self.cfg.min_size_fraction)
+        } else {
+            ResourceVector::ZERO
+        };
+
+        let id = VmId(self.next_id);
+        self.next_id += 1;
+        VmRequest {
+            id,
+            arrival: self.clock,
+            lifetime,
+            spec: ty.spec,
+            type_name: ty.name,
+            low_priority,
+            min_size,
+        }
+    }
+
+    /// Generates requests until `horizon`.
+    pub fn generate_until(&mut self, horizon: SimTime) -> Vec<VmRequest> {
+        let mut out = Vec::new();
+        loop {
+            let req = self.next_request();
+            if req.arrival > horizon {
+                break;
+            }
+            out.push(req);
+        }
+        out
+    }
+}
+
+/// A trace-file parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The header row was missing or wrong.
+    BadHeader,
+    /// A row had the wrong number of columns.
+    BadRow(usize),
+    /// A field failed to parse.
+    BadField {
+        /// 1-based row number (excluding the header).
+        row: usize,
+        /// Column name.
+        column: &'static str,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::BadHeader => write!(f, "missing or malformed header row"),
+            TraceParseError::BadRow(r) => write!(f, "row {r}: wrong column count"),
+            TraceParseError::BadField { row, column } => {
+                write!(f, "row {row}: malformed {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+const CSV_HEADER: &str =
+    "id,arrival_s,lifetime_s,cpu,memory_mib,disk_mbps,net_mbps,low_priority,min_fraction";
+
+/// Serializes a trace in the repository's CSV format (Eucalyptus-style:
+/// arrivals, lifetimes, sizes, priority class).
+pub fn to_csv(requests: &[VmRequest]) -> String {
+    use deflate_core::ResourceKind as K;
+    use std::fmt::Write as _;
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for r in requests {
+        let min_fraction = if r.spec.get(K::Cpu) > 0.0 {
+            r.min_size.get(K::Cpu) / r.spec.get(K::Cpu)
+        } else {
+            0.0
+        };
+        writeln!(
+            out,
+            "{},{:.3},{:.3},{},{},{},{},{},{:.4}",
+            r.id.0,
+            r.arrival.as_secs_f64(),
+            r.lifetime.as_secs_f64(),
+            r.spec.get(K::Cpu),
+            r.spec.get(K::Memory),
+            r.spec.get(K::DiskBw),
+            r.spec.get(K::NetBw),
+            u8::from(r.low_priority),
+            min_fraction,
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Parses a trace from the CSV format written by [`to_csv`].
+pub fn from_csv(text: &str) -> Result<Vec<VmRequest>, TraceParseError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(TraceParseError::BadHeader)?;
+    if header.trim() != CSV_HEADER {
+        return Err(TraceParseError::BadHeader);
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let row = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 9 {
+            return Err(TraceParseError::BadRow(row));
+        }
+        let num = |idx: usize, column: &'static str| -> Result<f64, TraceParseError> {
+            cols[idx]
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or(TraceParseError::BadField { row, column })
+        };
+        let id = cols[0]
+            .parse::<u64>()
+            .map_err(|_| TraceParseError::BadField { row, column: "id" })?;
+        let low_priority = match cols[7] {
+            "0" => false,
+            "1" => true,
+            _ => {
+                return Err(TraceParseError::BadField {
+                    row,
+                    column: "low_priority",
+                })
+            }
+        };
+        let spec = ResourceVector::new(
+            num(3, "cpu")?,
+            num(4, "memory_mib")?,
+            num(5, "disk_mbps")?,
+            num(6, "net_mbps")?,
+        );
+        let min_fraction = num(8, "min_fraction")?;
+        out.push(VmRequest {
+            id: VmId(id),
+            arrival: SimTime::from_secs_f64(num(1, "arrival_s")?),
+            lifetime: SimDuration::from_secs_f64(num(2, "lifetime_s")?),
+            spec,
+            type_name: "csv",
+            low_priority,
+            min_size: if low_priority {
+                spec.scale(min_fraction.min(1.0))
+            } else {
+                ResourceVector::ZERO
+            },
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TraceConfig {
+        TraceConfig::default()
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let horizon = SimTime::from_secs(24 * 3_600);
+        let a = TraceGenerator::new(config()).generate_until(horizon);
+        let b = TraceGenerator::new(config()).generate_until(horizon);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.low_priority, y.low_priority);
+        }
+    }
+
+    #[test]
+    fn arrival_rate_close_to_requested() {
+        let horizon = SimTime::from_secs(48 * 3_600);
+        let reqs = TraceGenerator::new(config()).generate_until(horizon);
+        let per_hour = reqs.len() as f64 / 48.0;
+        assert!((per_hour - 120.0).abs() < 15.0, "rate {per_hour}");
+    }
+
+    #[test]
+    fn arrivals_are_monotonic_and_ids_unique() {
+        let reqs = TraceGenerator::new(config()).generate_until(SimTime::from_secs(3_600 * 8));
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+            assert!(w[0].id != w[1].id);
+        }
+    }
+
+    #[test]
+    fn low_priority_fraction_holds() {
+        let reqs = TraceGenerator::new(config()).generate_until(SimTime::from_secs(3_600 * 48));
+        let low = reqs.iter().filter(|r| r.low_priority).count() as f64;
+        let frac = low / reqs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "low-pri fraction {frac}");
+    }
+
+    #[test]
+    fn min_sizes_only_for_low_priority() {
+        let reqs = TraceGenerator::new(config()).generate_until(SimTime::from_secs(3_600 * 8));
+        for r in &reqs {
+            if r.low_priority {
+                assert!(r.min_size.approx_eq(&r.spec.scale(0.15), 1e-9));
+            } else {
+                assert!(r.min_size.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn lifetimes_heavy_tailed() {
+        let reqs = TraceGenerator::new(config()).generate_until(SimTime::from_secs(3_600 * 100));
+        let mut lifetimes: Vec<f64> = reqs.iter().map(|r| r.lifetime.as_secs_f64()).collect();
+        lifetimes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = lifetimes[lifetimes.len() / 2];
+        let p95 = lifetimes[lifetimes.len() * 95 / 100];
+        // Median near 90 min; the tail is several times longer.
+        assert!((median - 90.0 * 60.0).abs() < 20.0 * 60.0, "median {median}");
+        assert!(p95 > 3.0 * median, "p95 {p95} median {median}");
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let reqs = TraceGenerator::new(config()).generate_until(SimTime::from_secs(3_600 * 4));
+        assert!(!reqs.is_empty());
+        let csv = to_csv(&reqs);
+        let back = from_csv(&csv).expect("own CSV parses");
+        assert_eq!(back.len(), reqs.len());
+        for (a, b) in reqs.iter().zip(back.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.low_priority, b.low_priority);
+            assert!(a.spec.approx_eq(&b.spec, 1e-6));
+            assert!(
+                (a.arrival.as_secs_f64() - b.arrival.as_secs_f64()).abs() < 1e-2,
+                "arrival mismatch"
+            );
+            assert!(a.min_size.approx_eq(&b.min_size, 1.0));
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert_eq!(from_csv("").unwrap_err(), TraceParseError::BadHeader);
+        assert_eq!(
+            from_csv("wrong,header").unwrap_err(),
+            TraceParseError::BadHeader
+        );
+        let hdr = "id,arrival_s,lifetime_s,cpu,memory_mib,disk_mbps,net_mbps,low_priority,min_fraction";
+        assert_eq!(
+            from_csv(&format!("{hdr}\n1,2,3")).unwrap_err(),
+            TraceParseError::BadRow(1)
+        );
+        assert!(matches!(
+            from_csv(&format!("{hdr}\nx,0,60,1,1024,10,10,1,0.25")),
+            Err(TraceParseError::BadField { column: "id", .. })
+        ));
+        assert!(matches!(
+            from_csv(&format!("{hdr}\n1,0,60,1,1024,10,10,2,0.25")),
+            Err(TraceParseError::BadField { column: "low_priority", .. })
+        ));
+        assert!(matches!(
+            from_csv(&format!("{hdr}\n1,0,60,-1,1024,10,10,1,0.25")),
+            Err(TraceParseError::BadField { column: "cpu", .. })
+        ));
+        // Blank lines are fine.
+        let ok = from_csv(&format!("{hdr}\n\n1,0,60,1,1024,10,10,1,0.25\n"))
+            .expect("parses");
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn type_mix_weights_respected() {
+        let reqs = TraceGenerator::new(config()).generate_until(SimTime::from_secs(3_600 * 100));
+        let small = reqs.iter().filter(|r| r.type_name == "m1.small").count() as f64;
+        let frac = small / reqs.len() as f64;
+        assert!((frac - 0.4).abs() < 0.05, "m1.small fraction {frac}");
+    }
+}

@@ -1,0 +1,594 @@
+//! The cascade deflation controller (paper §3.2, Fig. 3) and the reverse
+//! cascade used for reinflation (§5).
+//!
+//! Reclamation starts at the highest layer (the application) and cascades
+//! down to the guest OS and the hypervisor; each layer is best-effort and
+//! whatever it fails to reclaim *falls through* to the next layer. The
+//! hypervisor is the layer of last resort and reclaims any remainder
+//! through overcommitment.
+//!
+//! The controller is deliberately mechanism-agnostic: it only talks to the
+//! three layer traits from [`crate::layers`], so the same control flow
+//! drives the simulated substrate in this workspace and could drive a
+//! libvirt-backed implementation unchanged.
+
+use simkit::{SimDuration, SimTime};
+
+use crate::layers::{ApplicationAgent, GuestOs, HypervisorControl};
+use crate::resources::ResourceVector;
+
+/// Which layers participate in a deflation, and the optional deadline.
+///
+/// The paper evaluates hypervisor-only, OS-only, hypervisor+OS, and the
+/// full three-layer cascade (Fig. 5); the two booleans select among them.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeConfig {
+    /// Ask the application agent to self-deflate first.
+    pub use_app: bool,
+    /// Use guest-OS hot-unplug.
+    pub use_os: bool,
+    /// Fall through to hypervisor overcommitment for the remainder.
+    pub use_hypervisor: bool,
+    /// Overall deadline; when a layer would exceed it, the cascade skips
+    /// ahead (paper §5: "If a deflation operation times out, we proceed to
+    /// the next level").
+    pub deadline: Option<SimDuration>,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig::FULL
+    }
+}
+
+impl CascadeConfig {
+    /// The full three-layer cascade.
+    pub const FULL: CascadeConfig = CascadeConfig {
+        use_app: true,
+        use_os: true,
+        use_hypervisor: true,
+        deadline: None,
+    };
+
+    /// Hypervisor-level overcommitment only (black-box VM overcommitment,
+    /// what VM-level cluster managers do today).
+    pub const HYPERVISOR_ONLY: CascadeConfig = CascadeConfig {
+        use_app: false,
+        use_os: false,
+        use_hypervisor: true,
+        deadline: None,
+    };
+
+    /// Guest-OS hot-unplug only (no fall-through; may miss the target).
+    pub const OS_ONLY: CascadeConfig = CascadeConfig {
+        use_app: false,
+        use_os: true,
+        use_hypervisor: false,
+        deadline: None,
+    };
+
+    /// Hypervisor + OS ("VM-level deflation" in the paper's terminology,
+    /// i.e. the cascade without application participation).
+    pub const VM_LEVEL: CascadeConfig = CascadeConfig {
+        use_app: false,
+        use_os: true,
+        use_hypervisor: true,
+        deadline: None,
+    };
+
+    /// Returns this configuration with a deadline attached.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What one layer contributed to a cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LayerReport {
+    /// What the cascade asked this layer for.
+    pub requested: ResourceVector,
+    /// What the layer reclaimed.
+    pub reclaimed: ResourceVector,
+    /// Time the layer's mechanism took.
+    pub latency: SimDuration,
+}
+
+/// The result of one cascade deflation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CascadeOutcome {
+    /// Application-layer contribution (voluntarily relinquished).
+    pub app: LayerReport,
+    /// Guest-OS layer contribution (hot-unplugged).
+    pub os: LayerReport,
+    /// Hypervisor layer contribution (overcommitted).
+    pub hypervisor: LayerReport,
+    /// Total resources reclaimed and returned to the server.
+    pub total_reclaimed: ResourceVector,
+    /// End-to-end latency (layers run sequentially, as in the paper's
+    /// per-VM controller; cross-VM deflations are concurrent).
+    pub latency: SimDuration,
+    /// Target minus total reclaimed (zero when the target was met).
+    pub shortfall: ResourceVector,
+}
+
+impl CascadeOutcome {
+    /// Returns `true` when the full target was reclaimed.
+    pub fn met_target(&self) -> bool {
+        self.shortfall.is_zero()
+    }
+}
+
+fn remaining_budget(deadline: Option<SimDuration>, spent: SimDuration) -> Option<SimDuration> {
+    deadline.map(|d| d.saturating_since_zero(spent))
+}
+
+// Small extension trait to keep the budget arithmetic readable.
+trait SaturatingSince {
+    fn saturating_since_zero(self, spent: SimDuration) -> SimDuration;
+}
+
+impl SaturatingSince for SimDuration {
+    fn saturating_since_zero(self, spent: SimDuration) -> SimDuration {
+        if spent >= self {
+            SimDuration::ZERO
+        } else {
+            self - spent
+        }
+    }
+}
+
+/// Runs cascade deflation against one VM (paper Fig. 3).
+///
+/// `target` is the reclamation vector the cluster manager assigned to this
+/// VM. The function drives the three layers in order and returns a
+/// [`CascadeOutcome`] describing who reclaimed what and how long it took.
+///
+/// The guest-OS unplug target follows the pseudo-code exactly:
+/// `min(target, max(app_relinquished, unpluggable))` — resources the
+/// application just freed are unpluggable even if the OS's own free pool is
+/// smaller.
+///
+/// # Examples
+///
+/// See the crate-level example and the `hypervisor` crate, which provides
+/// the substrate implementing the three traits.
+pub fn deflate_vm(
+    now: SimTime,
+    target: &ResourceVector,
+    app: Option<&mut dyn ApplicationAgent>,
+    os: &mut dyn GuestOs,
+    hv: &mut dyn HypervisorControl,
+    cfg: &CascadeConfig,
+) -> CascadeOutcome {
+    let mut outcome = CascadeOutcome::default();
+    let mut spent = SimDuration::ZERO;
+
+    // Layer 1: application self-deflation (best-effort, may decline).
+    let mut app_r = ResourceVector::ZERO;
+    if cfg.use_app {
+        if let Some(agent) = app {
+            let res = agent.self_deflate(now, target);
+            // An agent cannot relinquish more than asked.
+            app_r = res.reclaimed.min(target);
+            outcome.app = LayerReport {
+                requested: *target,
+                reclaimed: app_r,
+                latency: res.latency,
+            };
+            spent += res.latency;
+        }
+    }
+
+    // Layer 2: guest-OS hot-unplug.
+    //
+    // `unplug_target = min(target, max(app_r, unpluggable))`: the
+    // application's relinquished resources are free inside the guest, so
+    // they are unpluggable even when the OS free pool alone is smaller.
+    let mut unplug_r = ResourceVector::ZERO;
+    if cfg.use_os {
+        let budget = remaining_budget(cfg.deadline, spent);
+        if budget != Some(SimDuration::ZERO) {
+            let unplug_target = app_r.max(&os.unpluggable()).min(target);
+            if !unplug_target.is_zero() {
+                let res = os.try_unplug(now, &unplug_target, budget);
+                unplug_r = res.reclaimed.min(&unplug_target);
+                outcome.os = LayerReport {
+                    requested: unplug_target,
+                    reclaimed: unplug_r,
+                    latency: res.latency,
+                };
+                spent += res.latency;
+            }
+        }
+    }
+
+    // Layer 3: hypervisor overcommitment picks up the slack.
+    //
+    // Resources already unplugged are released to the hypervisor
+    // automatically; only the remainder needs overcommitment.
+    let mut hv_r = ResourceVector::ZERO;
+    if cfg.use_hypervisor {
+        let remainder = target.saturating_sub(&unplug_r);
+        if !remainder.is_zero() {
+            let budget = remaining_budget(cfg.deadline, spent);
+            let res = hv.overcommit(now, &remainder, budget);
+            hv_r = res.reclaimed.min(&remainder);
+            outcome.hypervisor = LayerReport {
+                requested: remainder,
+                reclaimed: hv_r,
+                latency: res.latency,
+            };
+            spent += res.latency;
+        }
+    }
+
+    outcome.total_reclaimed = unplug_r + hv_r;
+    outcome.latency = spent;
+    outcome.shortfall = target.saturating_sub(&outcome.total_reclaimed);
+    outcome
+}
+
+/// The reverse cascade: returns `amount` of resources to a deflated VM
+/// (paper §5, "Cascade deflation can be used 'in reverse'").
+///
+/// Hypervisor-level overcommitment is released first (cheapest and it
+/// un-throttles the VM immediately), the remainder is hot-plugged back into
+/// the guest, and finally the application agent is informed of the total so
+/// it can re-expand (grow heap, re-admit tasks, ...).
+///
+/// Returns the amount actually re-inflated, which may be less than
+/// requested if the VM was not deflated that far.
+pub fn reinflate_vm(
+    now: SimTime,
+    amount: &ResourceVector,
+    app: Option<&mut dyn ApplicationAgent>,
+    os: &mut dyn GuestOs,
+    hv: &mut dyn HypervisorControl,
+) -> ResourceVector {
+    let released = hv.release(now, amount);
+    let remainder = amount.saturating_sub(&released);
+    let plugged = if remainder.is_zero() {
+        ResourceVector::ZERO
+    } else {
+        os.hot_plug(now, &remainder)
+    };
+    let total = released + plugged;
+    if !total.is_zero() {
+        if let Some(agent) = app {
+            agent.reinflate(now, &total);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{InelasticAgent, ReclaimResult};
+    use crate::resources::ResourceKind;
+
+    /// A scriptable fake guest OS.
+    struct FakeOs {
+        free: ResourceVector,
+        unplugged: ResourceVector,
+        /// Fraction of the unplug request that succeeds (busy-resource model).
+        success_fraction: f64,
+        latency: SimDuration,
+    }
+
+    impl FakeOs {
+        fn new(free: ResourceVector) -> Self {
+            FakeOs {
+                free,
+                unplugged: ResourceVector::ZERO,
+                success_fraction: 1.0,
+                latency: SimDuration::from_secs(1),
+            }
+        }
+    }
+
+    impl GuestOs for FakeOs {
+        fn unpluggable(&self) -> ResourceVector {
+            self.free
+        }
+
+        fn try_unplug(
+            &mut self,
+            _now: SimTime,
+            target: &ResourceVector,
+            budget: Option<SimDuration>,
+        ) -> ReclaimResult {
+            if budget == Some(SimDuration::ZERO) {
+                return ReclaimResult::NOTHING;
+            }
+            let got = target.scale(self.success_fraction);
+            self.unplugged += got;
+            self.free = self.free.saturating_sub(&got);
+            ReclaimResult::new(got, self.latency)
+        }
+
+        fn hot_plug(&mut self, _now: SimTime, amount: &ResourceVector) -> ResourceVector {
+            let give = amount.min(&self.unplugged);
+            self.unplugged -= give;
+            self.free += give;
+            give
+        }
+    }
+
+    /// A fake hypervisor that always reclaims in full.
+    struct FakeHv {
+        over: ResourceVector,
+        latency: SimDuration,
+    }
+
+    impl FakeHv {
+        fn new() -> Self {
+            FakeHv {
+                over: ResourceVector::ZERO,
+                latency: SimDuration::from_secs(10),
+            }
+        }
+    }
+
+    impl HypervisorControl for FakeHv {
+        fn overcommit(
+            &mut self,
+            _now: SimTime,
+            amount: &ResourceVector,
+            budget: Option<SimDuration>,
+        ) -> ReclaimResult {
+            if budget == Some(SimDuration::ZERO) {
+                return ReclaimResult::NOTHING;
+            }
+            self.over += *amount;
+            ReclaimResult::new(*amount, self.latency)
+        }
+
+        fn release(&mut self, _now: SimTime, amount: &ResourceVector) -> ResourceVector {
+            let give = amount.min(&self.over);
+            self.over -= give;
+            give
+        }
+
+        fn overcommitted(&self) -> ResourceVector {
+            self.over
+        }
+    }
+
+    /// An agent that relinquishes a fixed fraction of any request.
+    struct FractionAgent(f64);
+
+    impl ApplicationAgent for FractionAgent {
+        fn self_deflate(&mut self, _now: SimTime, target: &ResourceVector) -> ReclaimResult {
+            ReclaimResult::new(target.scale(self.0), SimDuration::from_millis(100))
+        }
+
+        fn reinflate(&mut self, _now: SimTime, _available: &ResourceVector) {}
+    }
+
+    fn target() -> ResourceVector {
+        ResourceVector::new(2.0, 8_192.0, 50.0, 100.0)
+    }
+
+    #[test]
+    fn full_cascade_meets_target() {
+        let mut os = FakeOs::new(ResourceVector::new(1.0, 4_096.0, 50.0, 100.0));
+        let mut hv = FakeHv::new();
+        let mut agent = FractionAgent(0.5);
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            Some(&mut agent),
+            &mut os,
+            &mut hv,
+            &CascadeConfig::FULL,
+        );
+        assert!(out.met_target(), "shortfall: {}", out.shortfall);
+        assert!(out.total_reclaimed.approx_eq(&target(), 1e-9));
+        // App relinquished half; OS unplugged max(app, free) ∧ target.
+        assert_eq!(out.app.reclaimed, target().scale(0.5));
+        // OS unplug target: max(half-target, free) elementwise, min target.
+        let expected_unplug = target()
+            .scale(0.5)
+            .max(&ResourceVector::new(1.0, 4_096.0, 50.0, 100.0))
+            .min(&target());
+        assert!(out.os.reclaimed.approx_eq(&expected_unplug, 1e-9));
+        // Hypervisor picked up exactly the slack.
+        let slack = target().saturating_sub(&out.os.reclaimed);
+        assert!(out.hypervisor.reclaimed.approx_eq(&slack, 1e-9));
+        // Latency is the sum of layer latencies.
+        assert_eq!(
+            out.latency,
+            SimDuration::from_millis(100) + SimDuration::from_secs(1) + SimDuration::from_secs(10)
+        );
+    }
+
+    #[test]
+    fn hypervisor_only_reclaims_everything_at_hv() {
+        let mut os = FakeOs::new(target());
+        let mut hv = FakeHv::new();
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            None,
+            &mut os,
+            &mut hv,
+            &CascadeConfig::HYPERVISOR_ONLY,
+        );
+        assert!(out.met_target());
+        assert!(out.os.reclaimed.is_zero());
+        assert!(out.hypervisor.reclaimed.approx_eq(&target(), 1e-9));
+        assert!(hv.overcommitted().approx_eq(&target(), 1e-9));
+    }
+
+    #[test]
+    fn os_only_can_fall_short() {
+        // Free pool smaller than target and no hypervisor fall-through.
+        let free = ResourceVector::new(1.0, 2_048.0, 0.0, 0.0);
+        let mut os = FakeOs::new(free);
+        let mut hv = FakeHv::new();
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            None,
+            &mut os,
+            &mut hv,
+            &CascadeConfig::OS_ONLY,
+        );
+        assert!(!out.met_target());
+        assert!(out.os.reclaimed.approx_eq(&free, 1e-9));
+        assert_eq!(
+            out.shortfall.get(ResourceKind::Memory),
+            8_192.0 - 2_048.0
+        );
+        assert!(out.hypervisor.reclaimed.is_zero());
+    }
+
+    #[test]
+    fn partial_unplug_falls_through() {
+        let mut os = FakeOs::new(target());
+        os.success_fraction = 0.25; // Busy resources: only 25 % unplugs.
+        let mut hv = FakeHv::new();
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            None,
+            &mut os,
+            &mut hv,
+            &CascadeConfig::VM_LEVEL,
+        );
+        assert!(out.met_target());
+        assert!(out.os.reclaimed.approx_eq(&target().scale(0.25), 1e-9));
+        assert!(out
+            .hypervisor
+            .reclaimed
+            .approx_eq(&target().scale(0.75), 1e-9));
+    }
+
+    #[test]
+    fn inelastic_agent_pushes_everything_down() {
+        let mut os = FakeOs::new(ResourceVector::ZERO); // Nothing free either.
+        let mut hv = FakeHv::new();
+        let mut agent = InelasticAgent;
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            Some(&mut agent),
+            &mut os,
+            &mut hv,
+            &CascadeConfig::FULL,
+        );
+        assert!(out.met_target());
+        assert!(out.app.reclaimed.is_zero());
+        assert!(out.os.reclaimed.is_zero());
+        assert!(out.hypervisor.reclaimed.approx_eq(&target(), 1e-9));
+    }
+
+    #[test]
+    fn deadline_skips_exhausted_layers() {
+        let mut os = FakeOs::new(target());
+        os.latency = SimDuration::from_secs(5);
+        let mut hv = FakeHv::new();
+        let mut agent = FractionAgent(1.0);
+        // Deadline shorter than the app layer's latency: OS and HV get a
+        // zero budget and reclaim nothing.
+        let cfg = CascadeConfig::FULL.with_deadline(SimDuration::from_millis(50));
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            Some(&mut agent),
+            &mut os,
+            &mut hv,
+            &cfg,
+        );
+        assert!(out.os.reclaimed.is_zero());
+        assert!(out.hypervisor.reclaimed.is_zero());
+        assert!(!out.met_target());
+    }
+
+    #[test]
+    fn agent_cannot_overshoot_target() {
+        struct Overeager;
+        impl ApplicationAgent for Overeager {
+            fn self_deflate(&mut self, _n: SimTime, t: &ResourceVector) -> ReclaimResult {
+                ReclaimResult::new(t.scale(10.0), SimDuration::ZERO)
+            }
+            fn reinflate(&mut self, _n: SimTime, _a: &ResourceVector) {}
+        }
+        let mut os = FakeOs::new(target());
+        let mut hv = FakeHv::new();
+        let mut agent = Overeager;
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            Some(&mut agent),
+            &mut os,
+            &mut hv,
+            &CascadeConfig::FULL,
+        );
+        assert!(out.app.reclaimed.approx_eq(&target(), 1e-9));
+        assert!(out.total_reclaimed.approx_eq(&target(), 1e-9));
+    }
+
+    #[test]
+    fn reinflate_releases_hv_first_then_plugs() {
+        let mut os = FakeOs::new(target());
+        os.success_fraction = 0.5;
+        let mut hv = FakeHv::new();
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            None,
+            &mut os,
+            &mut hv,
+            &CascadeConfig::VM_LEVEL,
+        );
+        assert!(out.met_target());
+        let overcommitted_before = hv.overcommitted();
+        assert!(!overcommitted_before.is_zero());
+
+        // Reinflate the full target: hypervisor share released, rest plugged.
+        let got = reinflate_vm(SimTime::ZERO, &target(), None, &mut os, &mut hv);
+        assert!(got.approx_eq(&target(), 1e-9));
+        assert!(hv.overcommitted().is_zero());
+        assert!(os.unplugged.is_zero());
+    }
+
+    #[test]
+    fn reinflate_caps_at_deflated_amount() {
+        let mut os = FakeOs::new(target());
+        let mut hv = FakeHv::new();
+        // Deflate only half the target.
+        let half = target().scale(0.5);
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &half,
+            None,
+            &mut os,
+            &mut hv,
+            &CascadeConfig::VM_LEVEL,
+        );
+        assert!(out.met_target());
+        // Ask for twice as much back; get only the deflated half.
+        let got = reinflate_vm(SimTime::ZERO, &target(), None, &mut os, &mut hv);
+        assert!(got.approx_eq(&half, 1e-9), "got {got}");
+    }
+
+    #[test]
+    fn zero_target_is_a_noop() {
+        let mut os = FakeOs::new(target());
+        let mut hv = FakeHv::new();
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &ResourceVector::ZERO,
+            None,
+            &mut os,
+            &mut hv,
+            &CascadeConfig::FULL,
+        );
+        assert!(out.met_target());
+        assert!(out.total_reclaimed.is_zero());
+        assert_eq!(out.latency, SimDuration::ZERO);
+    }
+}

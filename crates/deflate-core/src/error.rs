@@ -1,0 +1,53 @@
+//! Error types for deflation operations.
+
+use std::fmt;
+
+use crate::resources::ResourceVector;
+
+/// Errors raised by deflation policies and controllers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeflateError {
+    /// The requested reclamation exceeds what all deflatable VMs can give
+    /// up (every VM already at its minimum size); the shortfall must be met
+    /// by preempting VMs instead.
+    InfeasibleTarget {
+        /// How much of the demand cannot be met by deflation.
+        shortfall: ResourceVector,
+    },
+    /// A VM referenced by a policy decision does not exist.
+    UnknownVm(crate::ids::VmId),
+    /// A server referenced by a policy decision does not exist.
+    UnknownServer(crate::ids::ServerId),
+}
+
+impl fmt::Display for DeflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeflateError::InfeasibleTarget { shortfall } => {
+                write!(f, "deflation target infeasible; shortfall {shortfall}")
+            }
+            DeflateError::UnknownVm(id) => write!(f, "unknown VM {id}"),
+            DeflateError::UnknownServer(id) => write!(f, "unknown server {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DeflateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ServerId, VmId};
+
+    #[test]
+    fn display_messages() {
+        let e = DeflateError::InfeasibleTarget {
+            shortfall: ResourceVector::cpu(2.0),
+        };
+        assert!(e.to_string().contains("infeasible"));
+        assert!(DeflateError::UnknownVm(VmId(1)).to_string().contains("vm-1"));
+        assert!(DeflateError::UnknownServer(ServerId(2))
+            .to_string()
+            .contains("server-2"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared identifier types for VMs and physical servers.
+
+use std::fmt;
+
+/// Identifier of a virtual machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub u64);
+
+/// Identifier of a physical server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub u64);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(VmId(3).to_string(), "vm-3");
+        assert_eq!(ServerId(7).to_string(), "server-7");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(VmId(1) < VmId(2));
+        assert_eq!(ServerId(5), ServerId(5));
+    }
+}

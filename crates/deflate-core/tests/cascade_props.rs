@@ -1,0 +1,207 @@
+//! Property-based tests of the cascade deflation controller: for *any*
+//! layer behaviors (arbitrary partial compliance at the application and
+//! OS layers), the controller's accounting must hold.
+
+use deflate_core::{
+    cascade, ApplicationAgent, CascadeConfig, GuestOs, HypervisorControl, ReclaimResult,
+    ResourceKind, ResourceVector,
+};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+/// An application agent that relinquishes an arbitrary fraction of any
+/// request.
+struct FracAgent {
+    frac: f64,
+    latency_ms: u64,
+}
+
+impl ApplicationAgent for FracAgent {
+    fn self_deflate(&mut self, _now: SimTime, target: &ResourceVector) -> ReclaimResult {
+        ReclaimResult::new(
+            target.scale(self.frac),
+            SimDuration::from_millis(self.latency_ms),
+        )
+    }
+    fn reinflate(&mut self, _now: SimTime, _a: &ResourceVector) {}
+}
+
+/// A guest OS with an arbitrary free pool and unplug success fraction.
+struct FracOs {
+    free: ResourceVector,
+    success: f64,
+    unplugged: ResourceVector,
+    latency_ms: u64,
+}
+
+impl GuestOs for FracOs {
+    fn unpluggable(&self) -> ResourceVector {
+        self.free
+    }
+    fn try_unplug(
+        &mut self,
+        _now: SimTime,
+        target: &ResourceVector,
+        _budget: Option<SimDuration>,
+    ) -> ReclaimResult {
+        let got = target.scale(self.success);
+        self.unplugged += got;
+        self.free = self.free.saturating_sub(&got);
+        ReclaimResult::new(got, SimDuration::from_millis(self.latency_ms))
+    }
+    fn hot_plug(&mut self, _now: SimTime, amount: &ResourceVector) -> ResourceVector {
+        let give = amount.min(&self.unplugged);
+        self.unplugged -= give;
+        give
+    }
+}
+
+/// A hypervisor that always reclaims in full.
+struct FullHv {
+    over: ResourceVector,
+    latency_ms: u64,
+}
+
+impl HypervisorControl for FullHv {
+    fn overcommit(
+        &mut self,
+        _now: SimTime,
+        amount: &ResourceVector,
+        _budget: Option<SimDuration>,
+    ) -> ReclaimResult {
+        self.over += *amount;
+        ReclaimResult::new(*amount, SimDuration::from_millis(self.latency_ms))
+    }
+    fn release(&mut self, _now: SimTime, amount: &ResourceVector) -> ResourceVector {
+        let give = amount.min(&self.over);
+        self.over -= give;
+        give
+    }
+    fn overcommitted(&self) -> ResourceVector {
+        self.over
+    }
+}
+
+fn arb_vector() -> impl Strategy<Value = ResourceVector> {
+    (
+        0.0f64..32.0,
+        0.0f64..131_072.0,
+        0.0f64..1_000.0,
+        0.0f64..5_000.0,
+    )
+        .prop_map(|(c, m, d, n)| ResourceVector::new(c, m, d, n))
+}
+
+proptest! {
+    /// Whatever the layers do, total = os + hv, shortfall = target −
+    /// total, nothing exceeds the target, and latency sums the layers.
+    #[test]
+    fn cascade_accounting_holds(
+        target in arb_vector(),
+        free in arb_vector(),
+        app_frac in 0.0f64..1.0,
+        os_success in 0.0f64..1.0,
+        app_ms in 0u64..2_000,
+        os_ms in 0u64..2_000,
+        hv_ms in 0u64..2_000,
+    ) {
+        let mut agent = FracAgent { frac: app_frac, latency_ms: app_ms };
+        let mut os = FracOs {
+            free,
+            success: os_success,
+            unplugged: ResourceVector::ZERO,
+            latency_ms: os_ms,
+        };
+        let mut hv = FullHv { over: ResourceVector::ZERO, latency_ms: hv_ms };
+        let out = cascade::deflate_vm(
+            SimTime::ZERO,
+            &target,
+            Some(&mut agent),
+            &mut os,
+            &mut hv,
+            &CascadeConfig::FULL,
+        );
+
+        // Per-layer reclaims never exceed the target.
+        prop_assert!(target.scale(1.0 + 1e-9).dominates(&out.app.reclaimed));
+        prop_assert!(target.scale(1.0 + 1e-9).dominates(&out.os.reclaimed));
+        prop_assert!(target.scale(1.0 + 1e-9).dominates(&out.total_reclaimed));
+
+        // total = os + hv (the app's relinquished resources flow through
+        // the OS/hypervisor to actually leave the VM).
+        let sum = out.os.reclaimed + out.hypervisor.reclaimed;
+        prop_assert!(sum.approx_eq(&out.total_reclaimed, 1e-6));
+
+        // shortfall + total = target.
+        let back = out.total_reclaimed + out.shortfall;
+        prop_assert!(back.approx_eq(&target, 1e-6));
+
+        // With a full-compliance hypervisor, the target is always met.
+        prop_assert!(out.met_target());
+
+        // Latency is the sum of engaged layers' latencies.
+        let max_ms = SimDuration::from_millis(app_ms + os_ms + hv_ms);
+        prop_assert!(out.latency <= max_ms);
+    }
+
+    /// Reinflation after deflation returns exactly what was reclaimed,
+    /// for any split between the OS and hypervisor layers.
+    #[test]
+    fn reinflate_inverts_deflate(
+        target in arb_vector(),
+        free in arb_vector(),
+        os_success in 0.0f64..1.0,
+    ) {
+        let mut os = FracOs {
+            free,
+            success: os_success,
+            unplugged: ResourceVector::ZERO,
+            latency_ms: 1,
+        };
+        let mut hv = FullHv { over: ResourceVector::ZERO, latency_ms: 1 };
+        let out = cascade::deflate_vm(
+            SimTime::ZERO,
+            &target,
+            None,
+            &mut os,
+            &mut hv,
+            &CascadeConfig::VM_LEVEL,
+        );
+        prop_assert!(out.met_target());
+
+        let got = cascade::reinflate_vm(SimTime::ZERO, &target, None, &mut os, &mut hv);
+        prop_assert!(got.approx_eq(&target, 1e-6), "got {} want {}", got, target);
+        prop_assert!(hv.overcommitted().is_zero());
+        for k in ResourceKind::ALL {
+            prop_assert!(os.unplugged.get(k) < 1e-6);
+        }
+    }
+
+    /// Disabling layers can only shift work downward, never change the
+    /// total under a full-compliance hypervisor.
+    #[test]
+    fn layer_config_shifts_but_conserves(
+        target in arb_vector(),
+        free in arb_vector(),
+    ) {
+        for cfg in [CascadeConfig::HYPERVISOR_ONLY, CascadeConfig::VM_LEVEL] {
+            let mut os = FracOs {
+                free,
+                success: 1.0,
+                unplugged: ResourceVector::ZERO,
+                latency_ms: 1,
+            };
+            let mut hv = FullHv { over: ResourceVector::ZERO, latency_ms: 1 };
+            let out = cascade::deflate_vm(
+                SimTime::ZERO,
+                &target,
+                None,
+                &mut os,
+                &mut hv,
+                &cfg,
+            );
+            prop_assert!(out.met_target());
+            prop_assert!(out.total_reclaimed.approx_eq(&target, 1e-6));
+        }
+    }
+}

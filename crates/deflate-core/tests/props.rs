@@ -1,0 +1,123 @@
+//! Property-based tests for the resource algebra and the proportional
+//! deflation policy.
+
+use deflate_core::{
+    proportional_targets, ResourceKind, ResourceVector, VmDeflationState, VmId,
+};
+use proptest::prelude::*;
+
+fn arb_vector() -> impl Strategy<Value = ResourceVector> {
+    (
+        0.0f64..64.0,
+        0.0f64..262_144.0,
+        0.0f64..2_000.0,
+        0.0f64..10_000.0,
+    )
+        .prop_map(|(c, m, d, n)| ResourceVector::new(c, m, d, n))
+}
+
+fn arb_vm_set() -> impl Strategy<Value = Vec<VmDeflationState>> {
+    prop::collection::vec((arb_vector(), 0.0f64..1.0), 0..12).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cur, min_frac))| {
+                VmDeflationState::with_min(VmId(i as u64), cur, cur.scale(min_frac))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn saturating_sub_never_negative(a in arb_vector(), b in arb_vector()) {
+        let d = a.saturating_sub(&b);
+        for k in ResourceKind::ALL {
+            prop_assert!(d.get(k) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn min_max_bracket(a in arb_vector(), b in arb_vector()) {
+        let lo = a.min(&b);
+        let hi = a.max(&b);
+        prop_assert!(hi.dominates(&lo));
+        prop_assert!(hi.dominates(&a));
+        prop_assert!(hi.dominates(&b));
+        prop_assert!(a.dominates(&lo));
+        prop_assert!(b.dominates(&lo));
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(a in arb_vector(), b in arb_vector()) {
+        let s = a.cosine_similarity(&b);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&s), "similarity {s}");
+    }
+
+    #[test]
+    fn fraction_of_in_unit_interval(a in arb_vector(), b in arb_vector()) {
+        let f = a.fraction_of(&b);
+        for k in ResourceKind::ALL {
+            prop_assert!((0.0..=1.0).contains(&f.get(k)));
+        }
+    }
+
+    #[test]
+    fn addition_commutes(a in arb_vector(), b in arb_vector()) {
+        prop_assert!((a + b).approx_eq(&(b + a), 1e-9));
+    }
+
+    #[test]
+    fn scale_distributes(a in arb_vector(), k in 0.0f64..4.0) {
+        let lhs = (a + a).scale(k);
+        let rhs = a.scale(k) + a.scale(k);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-6));
+    }
+
+    /// The proportional policy's core invariants: each target stays within
+    /// the VM's deflatable range, and satisfied + shortfall equals demand.
+    #[test]
+    fn proportional_targets_invariants(demand in arb_vector(), vms in arb_vm_set()) {
+        let plan = proportional_targets(&demand, &vms);
+        prop_assert_eq!(plan.targets.len(), vms.len());
+
+        for (vm, (id, target)) in vms.iter().zip(plan.targets.iter()) {
+            prop_assert_eq!(vm.id, *id);
+            // Never deflate below the minimum.
+            prop_assert!(
+                vm.deflatable().scale(1.0 + 1e-9).dominates(target),
+                "target {} exceeds deflatable {}", target, vm.deflatable()
+            );
+        }
+
+        // Per-dimension accounting: satisfied + shortfall == demand, and
+        // the sum of the targets equals satisfied.
+        let sum = plan
+            .targets
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, (_, t)| acc + *t);
+        for k in ResourceKind::ALL {
+            let got = plan.satisfied.get(k) + plan.shortfall.get(k);
+            prop_assert!((got - demand.get(k)).abs() < 1e-6,
+                "dim {k}: satisfied {} + shortfall {} != demand {}",
+                plan.satisfied.get(k), plan.shortfall.get(k), demand.get(k));
+            prop_assert!((sum.get(k) - plan.satisfied.get(k)).abs() < 1e-6);
+        }
+    }
+
+    /// Feasibility is exactly "the pooled deflatable resources dominate
+    /// the demand".
+    #[test]
+    fn feasibility_matches_pool(demand in arb_vector(), vms in arb_vm_set()) {
+        let pool = vms
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.deflatable());
+        let plan = proportional_targets(&demand, &vms);
+        // Allow relative slack for float accumulation.
+        if plan.feasible() {
+            prop_assert!(pool.scale(1.0 + 1e-6).dominates(&demand));
+        } else {
+            prop_assert!(!pool.dominates(&demand.scale(1.0 - 1e-9)) || demand.is_zero());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Burstable VMs: the §8 comparison point.
+//!
+//! The paper argues a deflatable VM's management complexity is "at-par
+//! with burstable VMs \[81\] that are already being offered by cloud
+//! providers … the key difference is that deflation is only performed
+//! under resource pressure, and not over the entire lifetime of the VM".
+//!
+//! This module implements the burstable side of that comparison: a
+//! credit-based CPU model after AWS T-instances / Azure B-series. The VM
+//! earns credits while it uses less than its baseline share and spends
+//! them to burst to full speed; once the bucket is empty it is throttled
+//! to the baseline *whether or not the host is under pressure* — which
+//! is exactly what deflation avoids.
+
+use simkit::SimDuration;
+
+/// Credit-model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstableParams {
+    /// Baseline CPU share per vCPU (e.g. 0.2 = 20 % of a core).
+    pub baseline_fraction: f64,
+    /// Credit bucket capacity in core-seconds.
+    pub credit_cap: f64,
+    /// Credits at boot (providers grant launch credits).
+    pub initial_credits: f64,
+    /// vCPUs.
+    pub vcpus: f64,
+}
+
+impl Default for BurstableParams {
+    fn default() -> Self {
+        BurstableParams {
+            baseline_fraction: 0.2,
+            credit_cap: 4.0 * 3_600.0, // 4 core-hours.
+            initial_credits: 600.0,
+            vcpus: 4.0,
+        }
+    }
+}
+
+/// A burstable VM's CPU-credit state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditModel {
+    params: BurstableParams,
+    credits: f64,
+}
+
+impl CreditModel {
+    /// Creates a model with launch credits.
+    pub fn new(params: BurstableParams) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&params.baseline_fraction),
+            "baseline fraction must lie in [0, 1]"
+        );
+        CreditModel {
+            params,
+            credits: params.initial_credits.min(params.credit_cap),
+        }
+    }
+
+    /// Current credit balance (core-seconds).
+    pub fn credits(&self) -> f64 {
+        self.credits
+    }
+
+    /// The baseline CPU allocation (cores).
+    pub fn baseline_cores(&self) -> f64 {
+        self.params.baseline_fraction * self.params.vcpus
+    }
+
+    /// Advances the model by `dt` with the application demanding
+    /// `demand_cores`; returns the cores actually delivered.
+    ///
+    /// Demand at or below baseline accrues credits; demand above baseline
+    /// spends them, and once the bucket is empty the VM is clamped to its
+    /// baseline.
+    pub fn step(&mut self, dt: SimDuration, demand_cores: f64) -> f64 {
+        let secs = dt.as_secs_f64();
+        let demand = demand_cores.clamp(0.0, self.params.vcpus);
+        let baseline = self.baseline_cores();
+
+        if demand <= baseline {
+            // Idle headroom earns credits.
+            self.credits =
+                (self.credits + (baseline - demand) * secs).min(self.params.credit_cap);
+            return demand;
+        }
+
+        // Bursting: spend credits for the above-baseline share.
+        let burst_cores = demand - baseline;
+        let burst_needed = burst_cores * secs;
+        if self.credits >= burst_needed {
+            self.credits -= burst_needed;
+            demand
+        } else {
+            // Partial burst until credits run out, then baseline.
+            let burst_secs = self.credits / burst_cores;
+            let delivered_core_secs =
+                demand * burst_secs + baseline * (secs - burst_secs);
+            self.credits = 0.0;
+            delivered_core_secs / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CreditModel {
+        CreditModel::new(BurstableParams::default())
+    }
+
+    #[test]
+    fn idle_accrues_credits_to_cap() {
+        let mut m = CreditModel::new(BurstableParams {
+            credit_cap: 100.0,
+            initial_credits: 0.0,
+            ..BurstableParams::default()
+        });
+        // Fully idle: accrues baseline (0.8 cores) per second.
+        let delivered = m.step(SimDuration::from_secs(10), 0.0);
+        assert_eq!(delivered, 0.0);
+        assert!((m.credits() - 8.0).abs() < 1e-9);
+        // Cap is enforced.
+        m.step(SimDuration::from_hours(10), 0.0);
+        assert_eq!(m.credits(), 100.0);
+    }
+
+    #[test]
+    fn bursting_spends_credits() {
+        let mut m = model();
+        let before = m.credits();
+        let delivered = m.step(SimDuration::from_secs(60), 4.0);
+        assert_eq!(delivered, 4.0, "full burst while credits last");
+        // Spent (4 − 0.8) × 60 = 192 core-seconds.
+        assert!((before - m.credits() - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_credits_throttle_to_baseline() {
+        let mut m = CreditModel::new(BurstableParams {
+            initial_credits: 0.0,
+            ..BurstableParams::default()
+        });
+        let delivered = m.step(SimDuration::from_secs(60), 4.0);
+        assert!((delivered - m.baseline_cores()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_burst_midway_through_a_step() {
+        let mut m = CreditModel::new(BurstableParams {
+            initial_credits: 32.0, // 10 s of 3.2-core burst.
+            ..BurstableParams::default()
+        });
+        let delivered = m.step(SimDuration::from_secs(20), 4.0);
+        // 10 s at 4 cores + 10 s at 0.8 → mean 2.4 cores.
+        assert!((delivered - 2.4).abs() < 1e-9, "delivered {delivered}");
+        assert_eq!(m.credits(), 0.0);
+    }
+
+    #[test]
+    fn deflation_beats_burstable_for_sustained_work() {
+        // A sustained 4-core workload over 2 hours, with one 20-minute
+        // window of host pressure that deflates the deflatable VM by 50%.
+        let mut burst = model();
+        let step = SimDuration::from_secs(60);
+        let mut burst_work = 0.0;
+        let mut defl_work = 0.0;
+        for minute in 0..120 {
+            burst_work += burst.step(step, 4.0) * 60.0;
+            // Deflatable VM: full speed except minutes 40–59.
+            let deflated = (40..60).contains(&minute);
+            let cores = if deflated { 2.0 } else { 4.0 };
+            defl_work += cores * 60.0;
+        }
+        assert!(
+            defl_work > 1.5 * burst_work,
+            "deflatable {defl_work} vs burstable {burst_work} core-seconds"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Reclamation latency models.
+//!
+//! The paper observes that deflation latency is "dominated by deflating
+//! memory, since it often entails saving memory state to stable storage"
+//! (§6.3, Fig. 8b). The model below captures that: hypervisor-level memory
+//! reclamation of *used* pages is bound by the host swap disk; hot-unplug
+//! of *free* pages is bound by page-migration speed (an order of magnitude
+//! faster); CPU and I/O mechanisms are near-instant by comparison.
+
+use simkit::SimDuration;
+
+/// Throughput/latency constants for every reclamation mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Host-swap write rate for hypervisor memory reclamation of used
+    /// pages (MB/s). Bound by the swap disk.
+    pub swap_rate_mb_per_s: f64,
+    /// Page-migration rate for memory hot-unplug of free pages (MB/s).
+    pub unplug_rate_mb_per_s: f64,
+    /// Balloon inflation rate (MB/s): the balloon driver allocates guest
+    /// pages one chunk at a time and hands them to the host — slower
+    /// than offlining whole blocks.
+    pub balloon_rate_mb_per_s: f64,
+    /// Rate at which the hypervisor can drop/limit *free* guest memory
+    /// without swapping (MB/s) — effectively the ballooning fast path.
+    pub free_reclaim_rate_mb_per_s: f64,
+    /// Time to offline one vCPU.
+    pub cpu_unplug: SimDuration,
+    /// Time to apply a CPU-shares change (cgroup write).
+    pub cpu_shares: SimDuration,
+    /// Time to apply a disk/network throttle (cgroup/libvirt call).
+    pub io_throttle: SimDuration,
+    /// Fixed overhead of one pass of the incremental memory-reclaim
+    /// control loop (§5: "we use a control loop for incremental, gradual
+    /// reclamation").
+    pub control_loop_pass: SimDuration,
+    /// Memory reclaimed per control-loop pass (MB); large reclamations
+    /// take multiple passes and accumulate per-pass overhead.
+    pub control_loop_step_mb: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            swap_rate_mb_per_s: 250.0,
+            unplug_rate_mb_per_s: 4_000.0,
+            balloon_rate_mb_per_s: 1_500.0,
+            free_reclaim_rate_mb_per_s: 4_000.0,
+            cpu_unplug: SimDuration::from_millis(300),
+            cpu_shares: SimDuration::from_millis(20),
+            io_throttle: SimDuration::from_millis(20),
+            control_loop_pass: SimDuration::from_millis(500),
+            control_loop_step_mb: 2_048.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency to hot-unplug `mb` of (free) guest memory.
+    pub fn memory_unplug(&self, mb: f64) -> SimDuration {
+        SimDuration::from_secs_f64(mb.max(0.0) / self.unplug_rate_mb_per_s)
+    }
+
+    /// Latency to inflate the balloon by `mb` of guest memory.
+    pub fn balloon_inflate(&self, mb: f64) -> SimDuration {
+        SimDuration::from_secs_f64(mb.max(0.0) / self.balloon_rate_mb_per_s)
+    }
+
+    /// Given a latency budget, how many MB can the balloon reclaim?
+    pub fn balloonable_within(&self, budget: SimDuration) -> f64 {
+        budget.as_secs_f64() * self.balloon_rate_mb_per_s
+    }
+
+    /// Latency to unplug `n` vCPUs.
+    pub fn vcpu_unplug(&self, n: u32) -> SimDuration {
+        self.cpu_unplug * u64::from(n)
+    }
+
+    /// Latency for the hypervisor to reclaim memory: `swapped_mb` of used
+    /// pages must be written to the swap device, `free_mb` can be dropped
+    /// at the fast path rate; the incremental control loop adds a per-pass
+    /// overhead proportional to the total.
+    pub fn memory_overcommit(&self, swapped_mb: f64, free_mb: f64) -> SimDuration {
+        let swap = SimDuration::from_secs_f64(swapped_mb.max(0.0) / self.swap_rate_mb_per_s);
+        let free = SimDuration::from_secs_f64(free_mb.max(0.0) / self.free_reclaim_rate_mb_per_s);
+        let total_mb = swapped_mb.max(0.0) + free_mb.max(0.0);
+        let passes = (total_mb / self.control_loop_step_mb).ceil() as u64;
+        swap + free + self.control_loop_pass * passes
+    }
+
+    /// Given a latency budget, how many MB of used pages can be swapped?
+    pub fn swappable_within(&self, budget: SimDuration) -> f64 {
+        budget.as_secs_f64() * self.swap_rate_mb_per_s
+    }
+
+    /// Given a latency budget, how many MB of free pages can be unplugged?
+    pub fn unpluggable_within(&self, budget: SimDuration) -> f64 {
+        budget.as_secs_f64() * self.unplug_rate_mb_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_unplug_scales_linearly() {
+        let m = LatencyModel::default();
+        let one = m.memory_unplug(4_000.0);
+        assert!((one.as_secs_f64() - 1.0).abs() < 1e-9);
+        let two = m.memory_unplug(8_000.0);
+        assert!((two.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(m.memory_unplug(-5.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn swap_path_much_slower_than_unplug() {
+        let m = LatencyModel::default();
+        let swap = m.memory_overcommit(10_000.0, 0.0);
+        let unplug = m.memory_unplug(10_000.0);
+        assert!(swap.as_secs_f64() > 3.0 * unplug.as_secs_f64());
+    }
+
+    #[test]
+    fn control_loop_overhead_accumulates() {
+        let m = LatencyModel::default();
+        let small = m.memory_overcommit(0.0, 1_000.0);
+        let large = m.memory_overcommit(0.0, 50_000.0);
+        // 50 GB needs ~25 passes at 2 GB/pass -> >12 s of pass overhead.
+        assert!(large.as_secs_f64() > small.as_secs_f64() + 10.0);
+    }
+
+    #[test]
+    fn vcpu_unplug_per_cpu() {
+        let m = LatencyModel::default();
+        assert_eq!(m.vcpu_unplug(0), SimDuration::ZERO);
+        assert_eq!(m.vcpu_unplug(4), SimDuration::from_millis(1_200));
+    }
+
+    #[test]
+    fn budget_inversions_round_trip() {
+        let m = LatencyModel::default();
+        let budget = SimDuration::from_secs(2);
+        assert!((m.swappable_within(budget) - 500.0).abs() < 1e-9);
+        assert!((m.unpluggable_within(budget) - 8_000.0).abs() < 1e-9);
+    }
+}

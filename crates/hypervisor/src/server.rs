@@ -1,0 +1,451 @@
+//! Physical servers and the per-server local deflation controller
+//! (paper §5).
+//!
+//! Each server tracks resource allocation and availability and runs a
+//! [`LocalController`] that implements proportional cascade deflation at
+//! single-machine granularity: given a resource demand (e.g. a new
+//! high-priority VM to place), it deflates all low-priority VMs
+//! proportionally — concurrently, so the reclamation latency is the *max*
+//! across VMs, not the sum — and preempts VMs only when deflation to
+//! minimum sizes still cannot cover the demand.
+
+use std::collections::BTreeMap;
+
+use deflate_core::{
+    proportional_reinflation, proportional_targets, CascadeConfig, CascadeOutcome, ResourceVector,
+    ServerId, VmDeflationState, VmId,
+};
+use simkit::{SimDuration, SimTime};
+
+use crate::vm::{Vm, VmPriority};
+
+/// A physical machine hosting a mix of high- and low-priority VMs.
+pub struct PhysicalServer {
+    id: ServerId,
+    capacity: ResourceVector,
+    vms: BTreeMap<VmId, Vm>,
+}
+
+impl std::fmt::Debug for PhysicalServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysicalServer")
+            .field("id", &self.id)
+            .field("capacity", &self.capacity)
+            .field("vms", &self.vms.len())
+            .finish()
+    }
+}
+
+impl PhysicalServer {
+    /// Creates an empty server.
+    pub fn new(id: ServerId, capacity: ResourceVector) -> Self {
+        PhysicalServer {
+            id,
+            capacity,
+            vms: BTreeMap::new(),
+        }
+    }
+
+    /// The server's identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Total physical capacity.
+    pub fn capacity(&self) -> ResourceVector {
+        self.capacity
+    }
+
+    /// Sum of the *effective* allocations of all hosted VMs.
+    pub fn committed(&self) -> ResourceVector {
+        self.vms
+            .values()
+            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.effective())
+    }
+
+    /// Free (uncommitted) resources.
+    pub fn free(&self) -> ResourceVector {
+        self.capacity.saturating_sub(&self.committed())
+    }
+
+    /// Resources still reclaimable from low-priority VMs by deflation.
+    pub fn deflatable(&self) -> ResourceVector {
+        self.vms
+            .values()
+            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.deflatable_amount())
+    }
+
+    /// The paper's availability vector `A_j = Free_j + Deflatable_j`
+    /// (Eq. 4), used by placement fitness.
+    pub fn availability(&self) -> ResourceVector {
+        self.free() + self.deflatable()
+    }
+
+    /// Resources reclaimable by *preempting* low-priority VMs outright
+    /// (their full effective allocations) — the availability notion of a
+    /// preemption-only cluster manager.
+    pub fn preemptible(&self) -> ResourceVector {
+        self.vms
+            .values()
+            .filter(|vm| vm.priority() == VmPriority::Low)
+            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.effective())
+    }
+
+    /// Whether a VM of the given spec could run here after deflation.
+    pub fn fits(&self, spec: &ResourceVector) -> bool {
+        self.availability().dominates(spec)
+    }
+
+    /// Nominal overcommitment: `max(0, Σ spec / capacity − 1)` on the
+    /// dominant dimension (Fig. 8d's y-axis).
+    pub fn overcommitment(&self) -> f64 {
+        let total_spec = self
+            .vms
+            .values()
+            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.spec());
+        let ratio = total_spec.fraction_of(&self.capacity.max(&total_spec));
+        // fraction_of clamps to [0,1]; recompute the raw dominant ratio.
+        let mut worst: f64 = 0.0;
+        for k in deflate_core::ResourceKind::ALL {
+            let cap = self.capacity.get(k);
+            if cap > 0.0 {
+                worst = worst.max(total_spec.get(k) / cap);
+            }
+        }
+        let _ = ratio;
+        (worst - 1.0).max(0.0)
+    }
+
+    /// Adds a VM. The caller (the cluster manager) is responsible for
+    /// having made room first; this only records the VM.
+    pub fn add_vm(&mut self, vm: Vm) {
+        self.vms.insert(vm.id(), vm);
+    }
+
+    /// Removes and returns a VM (shutdown or preemption).
+    pub fn remove_vm(&mut self, id: VmId) -> Option<Vm> {
+        self.vms.remove(&id)
+    }
+
+    /// Looks up a VM.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    /// Looks up a VM mutably.
+    pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
+        self.vms.get_mut(&id)
+    }
+
+    /// Iterates over hosted VMs.
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.values()
+    }
+
+    /// Number of hosted VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Ids of low-priority VMs.
+    pub fn low_priority_ids(&self) -> Vec<VmId> {
+        self.vms
+            .values()
+            .filter(|vm| vm.priority() == VmPriority::Low)
+            .map(|vm| vm.id())
+            .collect()
+    }
+}
+
+/// The outcome of one `make_room` invocation.
+#[derive(Debug, Default)]
+pub struct ReclaimReport {
+    /// Resources freed by deflation (plus preemptions).
+    pub freed: ResourceVector,
+    /// Reclamation latency: VM deflations run concurrently, so this is
+    /// the maximum per-VM cascade latency.
+    pub latency: SimDuration,
+    /// Per-VM cascade outcomes.
+    pub outcomes: Vec<(VmId, CascadeOutcome)>,
+    /// VMs preempted because deflation could not cover the demand.
+    pub preempted: Vec<VmId>,
+    /// Whether the demand is now satisfiable from free resources.
+    pub satisfied: bool,
+}
+
+/// Per-server deflation controller (paper Fig. 2, §5).
+#[derive(Debug, Clone, Copy)]
+pub struct LocalController {
+    /// Cascade configuration used for every VM deflation.
+    pub cascade: CascadeConfig,
+}
+
+impl Default for LocalController {
+    fn default() -> Self {
+        LocalController {
+            cascade: CascadeConfig::FULL,
+        }
+    }
+}
+
+impl LocalController {
+    /// Creates a controller with the given cascade configuration.
+    pub fn new(cascade: CascadeConfig) -> Self {
+        LocalController { cascade }
+    }
+
+    /// Makes room for `demand` on `server`: deflates all low-priority VMs
+    /// proportionally, and preempts the VMs farthest from their deflation
+    /// targets if deflation alone is insufficient.
+    pub fn make_room(
+        &self,
+        now: SimTime,
+        server: &mut PhysicalServer,
+        demand: &ResourceVector,
+    ) -> ReclaimReport {
+        let mut report = ReclaimReport::default();
+        let free = server.free();
+        let need = demand.saturating_sub(&free);
+        if need.is_zero() {
+            report.satisfied = true;
+            return report;
+        }
+
+        // Proportional targets across all low-priority VMs.
+        let states: Vec<VmDeflationState> = server
+            .vms
+            .values()
+            .filter(|vm| vm.deflatable())
+            .map(|vm| VmDeflationState::with_min(vm.id(), vm.effective(), vm.min_size()))
+            .collect();
+        let plan = proportional_targets(&need, &states);
+
+        // Deflate concurrently: latency is the max across VMs.
+        for (id, target) in &plan.targets {
+            if target.is_zero() {
+                continue;
+            }
+            let vm = server
+                .vms
+                .get_mut(id)
+                .expect("planned VM exists on this server");
+            let out = vm.deflate(now, target, &self.cascade);
+            report.freed += out.total_reclaimed;
+            if out.latency > report.latency {
+                report.latency = out.latency;
+            }
+            report.outcomes.push((*id, out));
+        }
+
+        // Preemption fallback: deflation hit minimum sizes and the demand
+        // is still not covered. Preempt the VMs farthest from their
+        // deflation target (largest cascade shortfall) until it is.
+        let mut still_needed = demand.saturating_sub(&server.free());
+        if !still_needed.is_zero() {
+            let mut candidates: Vec<(f64, VmId)> = report
+                .outcomes
+                .iter()
+                .map(|(id, out)| (out.shortfall.total(), *id))
+                .collect();
+            // Also consider deflatable VMs that received no target.
+            for id in server.low_priority_ids() {
+                if !candidates.iter().any(|(_, c)| *c == id) {
+                    candidates.push((0.0, id));
+                }
+            }
+            candidates.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("shortfalls are finite")
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            for (_, id) in candidates {
+                if still_needed.is_zero() {
+                    break;
+                }
+                if let Some(vm) = server.remove_vm(id) {
+                    report.freed += vm.effective();
+                    report.preempted.push(id);
+                    still_needed = demand.saturating_sub(&server.free());
+                }
+            }
+        }
+
+        report.satisfied = server.free().dominates(demand);
+        report
+    }
+
+    /// Returns freed resources to deflated VMs, proportionally to their
+    /// deficits (paper §5, reinflation).
+    pub fn reinflate(
+        &self,
+        now: SimTime,
+        server: &mut PhysicalServer,
+        freed: &ResourceVector,
+    ) -> Vec<(VmId, ResourceVector)> {
+        let vms: Vec<(VmId, ResourceVector, ResourceVector)> = server
+            .vms
+            .values()
+            .filter(|vm| vm.deflatable())
+            .map(|vm| (vm.id(), vm.effective(), vm.spec()))
+            .collect();
+        let shares = proportional_reinflation(freed, &vms);
+        let mut applied = Vec::new();
+        for (id, share) in shares {
+            if share.is_zero() {
+                continue;
+            }
+            let vm = server.vms.get_mut(&id).expect("VM exists");
+            let got = vm.reinflate(now, &share);
+            if !got.is_zero() {
+                applied.push((id, got));
+            }
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm_spec() -> ResourceVector {
+        ResourceVector::new(4.0, 16_384.0, 100.0, 100.0)
+    }
+
+    fn server_capacity() -> ResourceVector {
+        ResourceVector::new(16.0, 65_536.0, 400.0, 400.0)
+    }
+
+    fn low_vm(id: u64) -> Vm {
+        Vm::new(VmId(id), vm_spec(), VmPriority::Low)
+    }
+
+    fn server_with_low_vms(n: u64) -> PhysicalServer {
+        let mut s = PhysicalServer::new(ServerId(1), server_capacity());
+        for i in 0..n {
+            s.add_vm(low_vm(i));
+        }
+        s
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let s = server_with_low_vms(2);
+        assert_eq!(s.vm_count(), 2);
+        assert_eq!(s.committed(), vm_spec().scale(2.0));
+        assert_eq!(s.free(), server_capacity() - vm_spec().scale(2.0));
+        assert_eq!(s.deflatable(), vm_spec().scale(2.0));
+        assert_eq!(s.availability(), server_capacity());
+        assert!(s.fits(&vm_spec()));
+    }
+
+    #[test]
+    fn make_room_with_free_resources_is_noop() {
+        let mut s = server_with_low_vms(1);
+        let ctl = LocalController::default();
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        assert!(r.satisfied);
+        assert!(r.freed.is_zero());
+        assert!(r.outcomes.is_empty());
+    }
+
+    #[test]
+    fn make_room_deflates_proportionally() {
+        // Fill the server completely with 4 low-pri VMs.
+        let mut s = server_with_low_vms(4);
+        assert!(s.free().is_zero());
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
+        let demand = vm_spec(); // One more VM's worth.
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &demand);
+        assert!(r.satisfied, "freed {}", r.freed);
+        assert!(r.preempted.is_empty());
+        assert_eq!(r.outcomes.len(), 4);
+        // Each VM gave up ~25 % of its allocation.
+        for (_, out) in &r.outcomes {
+            assert!(out
+                .total_reclaimed
+                .approx_eq(&vm_spec().scale(0.25), 1.0));
+        }
+        assert!(s.free().dominates(&demand));
+    }
+
+    #[test]
+    fn make_room_latency_is_max_not_sum() {
+        let mut s = server_with_low_vms(4);
+        for id in s.low_priority_ids() {
+            s.vm_mut(id).unwrap().set_usage(12_000.0, 2.0);
+        }
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        let max_vm = r
+            .outcomes
+            .iter()
+            .map(|(_, o)| o.latency)
+            .max()
+            .expect("outcomes exist");
+        assert_eq!(r.latency, max_vm);
+        let sum: f64 = r.outcomes.iter().map(|(_, o)| o.latency.as_secs_f64()).sum();
+        assert!(r.latency.as_secs_f64() < sum);
+    }
+
+    #[test]
+    fn preempts_when_minimums_block_deflation() {
+        let mut s = PhysicalServer::new(ServerId(1), vm_spec().scale(2.0));
+        // Two VMs fill the server; both refuse to deflate below 90 %.
+        for i in 0..2 {
+            let vm = Vm::new(VmId(i), vm_spec(), VmPriority::Low)
+                .with_min(vm_spec().scale(0.9));
+            s.add_vm(vm);
+        }
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        assert!(r.satisfied);
+        assert!(!r.preempted.is_empty());
+        assert!(s.vm_count() < 2);
+    }
+
+    #[test]
+    fn high_priority_vms_are_never_touched() {
+        let mut s = PhysicalServer::new(ServerId(1), vm_spec().scale(2.0));
+        s.add_vm(Vm::new(VmId(1), vm_spec(), VmPriority::High));
+        s.add_vm(Vm::new(VmId(2), vm_spec(), VmPriority::Low));
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        assert!(r.satisfied);
+        // Only the low-priority VM was deflated or preempted.
+        assert!(s.vm(VmId(1)).is_some());
+        assert!(r.outcomes.iter().all(|(id, _)| *id == VmId(2)));
+        let hp = s.vm(VmId(1)).unwrap();
+        assert!(hp.effective().approx_eq(&vm_spec(), 1e-9));
+    }
+
+    #[test]
+    fn reinflation_returns_resources_proportionally() {
+        let mut s = server_with_low_vms(2);
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
+        // Deflate both VMs by half a VM's worth.
+        let extra = vm_spec();
+        let before_free = s.free();
+        ctl.make_room(SimTime::ZERO, &mut s, &(before_free + extra));
+        let deflated: Vec<f64> = s.vms().map(|vm| vm.max_deflation()).collect();
+        assert!(deflated.iter().all(|d| *d > 0.0));
+
+        // Resources free up again; reinflate.
+        let applied = ctl.reinflate(SimTime::from_secs(60), &mut s, &extra);
+        assert_eq!(applied.len(), 2);
+        for vm in s.vms() {
+            assert!(vm.max_deflation() < 1e-6, "still deflated: {vm:?}");
+        }
+    }
+
+    #[test]
+    fn overcommitment_metric() {
+        let mut s = PhysicalServer::new(ServerId(1), vm_spec().scale(2.0));
+        assert_eq!(s.overcommitment(), 0.0);
+        s.add_vm(low_vm(1));
+        s.add_vm(low_vm(2));
+        assert_eq!(s.overcommitment(), 0.0);
+        s.add_vm(low_vm(3));
+        assert!((s.overcommitment() - 0.5).abs() < 1e-9);
+    }
+}

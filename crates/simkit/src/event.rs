@@ -1,0 +1,297 @@
+//! Deterministic future-event list and simulation driver.
+//!
+//! Events are ordered by `(time, sequence)`: two events scheduled for the
+//! same instant fire in the order they were scheduled, which keeps every
+//! simulation in this workspace fully deterministic for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+struct Entry<Ev> {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl<Ev> PartialEq for Entry<Ev> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<Ev> Eq for Entry<Ev> {}
+
+impl<Ev> PartialOrd for Entry<Ev> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<Ev> Ord for Entry<Ev> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we pop the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with stable FIFO tie-breaking.
+pub struct EventQueue<Ev> {
+    heap: BinaryHeap<Entry<Ev>>,
+    seq: u64,
+}
+
+impl<Ev> Default for EventQueue<Ev> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Ev> EventQueue<Ev> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Inserts `ev` to fire at instant `at`.
+    pub fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        self.heap.pop().map(|e| (e.at, e.ev))
+    }
+
+    /// Returns the time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The simulation clock plus pending events; handlers use it to schedule
+/// follow-up events.
+pub struct Scheduler<Ev> {
+    now: SimTime,
+    queue: EventQueue<Ev>,
+    dispatched: u64,
+}
+
+impl<Ev> Default for Scheduler<Ev> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Ev> Scheduler<Ev> {
+    /// Creates a scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedules `ev` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — scheduling into the past would make
+    /// the event loop non-monotonic.
+    pub fn at(&mut self, at: SimTime, ev: Ev) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, ev);
+    }
+
+    /// Schedules `ev` after a relative delay from the current time.
+    pub fn after(&mut self, delay: SimDuration, ev: Ev) {
+        let at = self.now + delay;
+        self.queue.push(at, ev);
+    }
+
+    /// Schedules `ev` to fire immediately (at the current instant, after any
+    /// already-pending events for this instant).
+    pub fn immediately(&mut self, ev: Ev) {
+        self.queue.push(self.now, ev);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pops the next event and advances the clock to it.
+    fn step(&mut self) -> Option<(SimTime, Ev)> {
+        let (at, ev) = self.queue.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.dispatched += 1;
+        Some((at, ev))
+    }
+}
+
+/// Runs the simulation until the queue drains or `until` is reached.
+///
+/// Events with a timestamp strictly greater than `until` (when given) are
+/// left in the queue, and the clock is advanced to `until`. The handler
+/// receives the scheduler (to schedule more events), the event time, and the
+/// event itself.
+pub fn run<Ev>(
+    sched: &mut Scheduler<Ev>,
+    until: Option<SimTime>,
+    mut handler: impl FnMut(&mut Scheduler<Ev>, SimTime, Ev),
+) {
+    loop {
+        match sched.queue.peek_time() {
+            None => break,
+            Some(t) => {
+                if let Some(limit) = until {
+                    if t > limit {
+                        sched.now = limit;
+                        return;
+                    }
+                }
+            }
+        }
+        // The peek above guarantees an event exists.
+        let (t, ev) = sched.step().expect("event disappeared between peek and pop");
+        handler(sched, t, ev);
+    }
+    if let Some(limit) = until {
+        if limit > sched.now {
+            sched.now = limit;
+        }
+    }
+}
+
+/// Convenience wrapper over [`run`] with a mandatory horizon.
+pub fn run_until<Ev>(
+    sched: &mut Scheduler<Ev>,
+    until: SimTime,
+    handler: impl FnMut(&mut Scheduler<Ev>, SimTime, Ev),
+) {
+    run(sched, Some(until), handler);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn scheduler_advances_clock() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.after(SimDuration::from_secs(5), 1);
+        s.at(SimTime::from_secs(2), 2);
+        let mut order = Vec::new();
+        run(&mut s, None, |_, t, ev| order.push((t, ev)));
+        assert_eq!(
+            order,
+            vec![(SimTime::from_secs(2), 2), (SimTime::from_secs(5), 1)]
+        );
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        assert_eq!(s.dispatched(), 2);
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.immediately(0);
+        let mut count = 0u32;
+        run(&mut s, None, |s, _, ev| {
+            count += 1;
+            if ev < 4 {
+                s.after(SimDuration::from_secs(1), ev + 1);
+            }
+        });
+        assert_eq!(count, 5);
+        assert_eq!(s.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn horizon_stops_and_preserves_future_events() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.at(SimTime::from_secs(1), 1);
+        s.at(SimTime::from_secs(10), 2);
+        let mut seen = Vec::new();
+        run_until(&mut s, SimTime::from_secs(5), |_, _, ev| seen.push(ev));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        assert_eq!(s.pending(), 1);
+        // Resuming picks the leftover event back up.
+        run(&mut s, None, |_, _, ev| seen.push(ev));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_run_advances_to_horizon() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        run_until(&mut s, SimTime::from_secs(7), |_, _, _| {});
+        assert_eq!(s.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.at(SimTime::from_secs(1), 1);
+        run(&mut s, None, |s, _, _| {
+            s.at(SimTime::ZERO, 9);
+        });
+    }
+}

@@ -1,0 +1,373 @@
+//! Metric recording for simulations: counters, time-weighted gauges,
+//! time series, and histograms, plus CSV export for the figure harness.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::stats;
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A gauge whose *time-weighted* average is what matters (e.g. cluster
+/// utilization over a run).
+#[derive(Debug, Clone)]
+pub struct TimeWeightedGauge {
+    current: f64,
+    last_update: SimTime,
+    weighted_sum: f64,
+    observed: SimDuration,
+    peak: f64,
+}
+
+impl TimeWeightedGauge {
+    /// Creates a gauge with an initial value at `t0`.
+    pub fn new(t0: SimTime, initial: f64) -> Self {
+        TimeWeightedGauge {
+            current: initial,
+            last_update: t0,
+            weighted_sum: 0.0,
+            observed: SimDuration::ZERO,
+            peak: initial,
+        }
+    }
+
+    /// Sets the gauge to `value` at time `now`, accumulating the previous
+    /// value over the elapsed interval.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.saturating_since(self.last_update);
+        self.weighted_sum += self.current * dt.as_secs_f64();
+        self.observed += dt;
+        self.last_update = now;
+        self.current = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Adds `delta` to the gauge at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.current + delta;
+        self.set(now, v);
+    }
+
+    /// The instantaneous value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// The largest value ever set.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted average over `[t0, now]`; call [`set`](Self::set) (or
+    /// this with the final time via [`finalized_mean`](Self::finalized_mean))
+    /// before reading.
+    pub fn mean(&self) -> f64 {
+        let secs = self.observed.as_secs_f64();
+        if secs == 0.0 {
+            self.current
+        } else {
+            self.weighted_sum / secs
+        }
+    }
+
+    /// Accumulates up to `now` and returns the time-weighted average.
+    pub fn finalized_mean(&mut self, now: SimTime) -> f64 {
+        let v = self.current;
+        self.set(now, v);
+        self.mean()
+    }
+}
+
+/// A recorded series of `(time, value)` samples.
+#[derive(Debug, Default, Clone)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample. Times must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous sample (in debug builds).
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().map(|(pt, _)| *pt <= t).unwrap_or(true),
+            "time series samples must be chronological"
+        );
+        self.points.push((t, v));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Just the values.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|(_, v)| *v).collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|(_, v)| *v)
+    }
+
+    /// Mean of the sampled values (unweighted).
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.values())
+    }
+
+    /// Re-buckets the series into fixed windows, averaging samples in each
+    /// window. Empty windows repeat the previous value (or 0 initially).
+    pub fn resample(&self, window: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!window.is_zero(), "resample window must be positive");
+        let Some(&(first, _)) = self.points.first() else {
+            return Vec::new();
+        };
+        let (last, _) = *self.points.last().expect("non-empty");
+        let mut out = Vec::new();
+        let mut t = first;
+        let mut idx = 0;
+        let mut prev = 0.0;
+        while t <= last {
+            let end = t + window;
+            let mut sum = 0.0;
+            let mut n = 0;
+            while idx < self.points.len() && self.points[idx].0 < end {
+                sum += self.points[idx].1;
+                n += 1;
+                idx += 1;
+            }
+            let v = if n > 0 { sum / n as f64 } else { prev };
+            out.push((t, v));
+            prev = v;
+            t = end;
+        }
+        out
+    }
+}
+
+/// A histogram of raw samples supporting quantiles and means.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.samples)
+    }
+
+    /// Interpolated quantile `q` in `[0, 1]` (0 if empty).
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("histogram samples must not be NaN"));
+            self.sorted = true;
+        }
+        stats::percentile_sorted(&self.samples, q)
+    }
+
+    /// Raw samples in insertion or sorted order (unspecified).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A named registry of time series, used by experiment harnesses to gather
+/// all outputs of a run and export them as CSV.
+#[derive(Debug, Default)]
+pub struct MetricSet {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Appends a sample to the named series, creating it on first use.
+    pub fn push(&mut self, name: &str, t: SimTime, v: f64) {
+        self.series.entry(name.to_string()).or_default().push(t, v);
+    }
+
+    /// Looks up a series.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Names in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Renders every series as long-format CSV: `series,time_s,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,time_s,value\n");
+        for (name, ts) in &self.series {
+            for (t, v) in ts.points() {
+                writeln!(out, "{},{:.6},{:.6}", name, t.as_secs_f64(), v)
+                    .expect("writing to String cannot fail");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_time_weighted_mean() {
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
+        g.set(SimTime::from_secs(10), 100.0); // 0 for 10s
+        g.set(SimTime::from_secs(20), 0.0); // 100 for 10s
+        assert!((g.mean() - 50.0).abs() < 1e-9);
+        assert_eq!(g.peak(), 100.0);
+        assert_eq!(g.current(), 0.0);
+    }
+
+    #[test]
+    fn gauge_finalized_mean_extends_interval() {
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 10.0);
+        let m = g.finalized_mean(SimTime::from_secs(4));
+        assert!((m - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_add_is_relative() {
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 1.0);
+        g.add(SimTime::from_secs(1), 2.0);
+        assert_eq!(g.current(), 3.0);
+        g.add(SimTime::from_secs(2), -1.5);
+        assert_eq!(g.current(), 1.5);
+    }
+
+    #[test]
+    fn series_records_and_averages() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(1), 2.0);
+        ts.push(SimTime::from_secs(2), 4.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.last(), Some(4.0));
+        assert!((ts.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_resample_fills_gaps() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(0), 1.0);
+        ts.push(SimTime::from_secs(0), 3.0);
+        ts.push(SimTime::from_secs(5), 10.0);
+        let r = ts.resample(SimDuration::from_secs(1));
+        assert_eq!(r.len(), 6);
+        assert_eq!(r[0].1, 2.0); // Average of 1 and 3.
+        assert_eq!(r[1].1, 2.0); // Gap repeats previous.
+        assert_eq!(r[5].1, 10.0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metricset_csv() {
+        let mut m = MetricSet::new();
+        m.push("x", SimTime::from_secs(1), 1.5);
+        m.push("x", SimTime::from_secs(2), 2.5);
+        m.push("y", SimTime::ZERO, 0.0);
+        let csv = m.to_csv();
+        assert!(csv.starts_with("series,time_s,value\n"));
+        assert!(csv.contains("x,1.000000,1.500000"));
+        assert!(csv.contains("y,0.000000,0.000000"));
+        assert_eq!(m.names(), vec!["x", "y"]);
+        assert_eq!(m.get("x").map(|ts| ts.len()), Some(2));
+    }
+}

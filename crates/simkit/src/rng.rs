@@ -1,0 +1,331 @@
+//! Seeded random number generation with the distributions cluster
+//! simulations need.
+//!
+//! All distributions are implemented from first principles (inverse
+//! transform, Box–Muller, Zipf rejection-free CDF tables) so the workspace
+//! only depends on the `rand` core crate, and so sampling is reproducible
+//! for a given seed regardless of external crate versions.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic, seedable simulation RNG.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second sample from the last Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child RNG, e.g. one per simulated server,
+    /// so adding entities does not perturb existing entity streams.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s: u64 = self.inner.random();
+        SimRng::seed_from_u64(s ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_range requires lo < hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index requires a non-empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential sample with the given rate (mean `1/rate`), via inverse
+    /// transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        // `1 - u` keeps the argument strictly positive: u in [0,1).
+        let u = 1.0 - self.uniform();
+        -u.ln() / rate
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Draw u1 in (0,1] to keep ln() finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal sample where the *underlying normal* has parameters
+    /// (`mu`, `sigma`): the result is `exp(N(mu, sigma))`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto sample with scale `x_min > 0` and shape `alpha > 0`
+    /// (heavy-tailed; used for job lifetimes).
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        let u = 1.0 - self.uniform();
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Samples an inter-arrival gap of a Poisson process with the given
+    /// rate (events per simulated second).
+    pub fn poisson_interarrival(&mut self, rate_per_sec: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.exponential(rate_per_sec))
+    }
+
+    /// Picks an index from a weighted distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or the total weight is not positive.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index requires weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index requires positive total weight");
+        let mut x = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+/// A Zipf-distributed sampler over ranks `0..n` with skew `theta`.
+///
+/// Pre-computes the CDF once so per-sample cost is a binary search; this is
+/// the popularity distribution used by the memcached model (`theta ≈ 0.99`
+/// matches YCSB's default).
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with skew `theta > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta <= 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        assert!(theta > 0.0, "Zipf skew must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` when the sampler has a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of the `k` most popular ranks — i.e. the
+    /// expected hit rate of an LRU cache holding `k` objects under
+    /// independent-reference Zipf traffic.
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[k.min(self.cdf.len()) - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = rng();
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let va: Vec<f64> = (0..8).map(|_| a.uniform()).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.uniform()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = r.uniform_range(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(r.lognormal(0.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(r.pareto(3.0, 1.5) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted_index(&[1.0, 2.0, 7.0])] += 1;
+        }
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((f2 - 0.7).abs() < 0.02, "f2 {f2}");
+    }
+
+    #[test]
+    fn zipf_head_mass_monotone() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut prev = 0.0;
+        for k in [1, 10, 100, 500, 1000] {
+            let m = z.head_mass(k);
+            assert!(m > prev);
+            prev = m;
+        }
+        assert!((z.head_mass(1000) - 1.0).abs() < 1e-12);
+        assert_eq!(z.head_mass(0), 0.0);
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed() {
+        let z = ZipfSampler::new(100, 0.99);
+        let mut r = rng();
+        let mut head = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        let observed = head as f64 / n as f64;
+        let expected = z.head_mass(10);
+        assert!((observed - expected).abs() < 0.02, "obs {observed} exp {expected}");
+    }
+
+    #[test]
+    fn poisson_interarrival_positive() {
+        let mut r = rng();
+        let d = r.poisson_interarrival(10.0);
+        assert!(d > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = rng();
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0)); // Clamped.
+    }
+}

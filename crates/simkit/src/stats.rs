@@ -1,0 +1,117 @@
+//! Small statistics helpers shared by the metrics module and the
+//! benchmark harness.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for slices shorter than 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 1]`) of *unsorted* data;
+/// 0 for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    percentile_sorted(&sorted, q)
+}
+
+/// Linear-interpolated percentile of already-sorted data.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Weighted mean of `(value, weight)` pairs; 0 when total weight is 0.
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> f64 {
+    let total_w: f64 = pairs.iter().map(|(_, w)| w).sum();
+    if total_w <= 0.0 {
+        return 0.0;
+    }
+    pairs.iter().map(|(v, w)| v * w).sum::<f64>() / total_w
+}
+
+/// Maximum value; 0 for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+}
+
+/// Minimum value; 0 for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&xs, 0.5), 2.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -1.0), 1.0);
+        assert_eq!(percentile(&xs, 2.0), 3.0);
+    }
+
+    #[test]
+    fn weighted_mean_basics() {
+        assert_eq!(weighted_mean(&[]), 0.0);
+        assert_eq!(weighted_mean(&[(10.0, 0.0)]), 0.0);
+        let m = weighted_mean(&[(1.0, 1.0), (3.0, 3.0)]);
+        assert!((m - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[1.0, 9.0, 3.0]), 9.0);
+        assert_eq!(min(&[1.0, 9.0, 3.0]), 1.0);
+    }
+}

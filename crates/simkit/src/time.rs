@@ -1,0 +1,281 @@
+//! Fixed-point simulated time.
+//!
+//! Simulated time is a [`u64`] count of microseconds since the start of the
+//! simulation. Using integers (rather than `f64` seconds) keeps event
+//! ordering exact and runs bit-reproducible across platforms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Microseconds per second, the resolution of [`SimTime`].
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An instant in simulated time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// microsecond. Negative values saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Returns the instant as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Returns the duration elapsed since `earlier`, or zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60 * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600 * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Negative values saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Returns the duration as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Returns `true` for the zero-length duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to the
+    /// nearest microsecond.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0, "duration scale factor must be non-negative");
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Returns the ratio `self / other` as `f64`, or 0 when `other` is zero.
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let t = SimTime::from_secs_f64(1.25);
+        assert_eq!(t.as_micros(), 1_250_000);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-9);
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs(4);
+        assert_eq!(t + d, SimTime::from_secs(14));
+        assert_eq!(t - d, SimTime::from_secs(6));
+        assert_eq!(t - SimTime::from_secs(3), SimDuration::from_secs(7));
+        assert_eq!(d * 3, SimDuration::from_secs(12));
+        assert_eq!(d / 2, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(5);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn ratio_and_scaling() {
+        let d = SimDuration::from_secs(10);
+        assert!((d.ratio(SimDuration::from_secs(40)) - 0.25).abs() < 1e-12);
+        assert_eq!(SimDuration::from_secs(1).ratio(SimDuration::ZERO), 0.0);
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "0.250000s");
+    }
+}

@@ -1,0 +1,134 @@
+//! Structured trace logging for simulations.
+//!
+//! Cluster runs produce thousands of lifecycle events (VM placed, VM
+//! deflated, VM preempted, ...). The [`TraceLog`] records them with a hard
+//! capacity cap so pathological runs cannot exhaust memory, and supports
+//! simple category filtering for tests and the experiment harness.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Short machine-friendly category, e.g. `"deflate"` or `"preempt"`.
+    pub category: &'static str,
+    /// Human-readable details.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+    }
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::with_capacity(100_000)
+    }
+}
+
+impl TraceLog {
+    /// Creates a log that keeps at most `capacity` events; later events are
+    /// counted but dropped.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event (or counts it as dropped when at capacity).
+    pub fn record(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            at,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// All retained events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events in a given category.
+    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Number of events in a category.
+    pub fn count(&self, category: &str) -> usize {
+        self.by_category(category).count()
+    }
+
+    /// Number of events dropped due to the capacity cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut log = TraceLog::default();
+        log.record(SimTime::ZERO, "deflate", "vm-1 by 25%");
+        log.record(SimTime::from_secs(1), "preempt", "vm-2");
+        log.record(SimTime::from_secs(2), "deflate", "vm-3 by 10%");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count("deflate"), 2);
+        assert_eq!(log.count("preempt"), 1);
+        assert_eq!(log.count("missing"), 0);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn capacity_cap_drops() {
+        let mut log = TraceLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(SimTime::from_secs(i), "x", "e");
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        let ev = TraceEvent {
+            at: SimTime::from_secs(1),
+            category: "deflate",
+            message: "vm-1".into(),
+        };
+        assert_eq!(format!("{ev}"), "[1.000000s] deflate: vm-1");
+    }
+}

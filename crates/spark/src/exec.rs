@@ -1,0 +1,893 @@
+//! Bulk-synchronous execution of stage DAGs over deflatable workers, with
+//! per-partition location tracking and lineage-based recomputation.
+//!
+//! The simulator executes stages in topological order. Within a stage,
+//! task assignment depends on whether Spark *knows* about the deflation:
+//!
+//! * under **VM-level** deflation the scheduler is unaware — tasks spread
+//!   evenly over nominal slots and the stage is gated by the slowest
+//!   (most-deflated) worker: slowdown `1/(1−max d)` (Eq. 1);
+//! * under **self-deflation** the master kills tasks and blacklists
+//!   executors — capacity shrinks but load rebalances: slowdown
+//!   `1/(1−mean d)` (Eq. 3) — at the price of losing the RDD partitions
+//!   the killed executors held, which are recomputed by recursively
+//!   tracing the lineage graph exactly as Spark's DAG scheduler does.
+//! * under **preemption** whole workers disappear with everything they
+//!   stored — the transiency mechanism of today's clouds.
+
+use std::collections::{HashMap, HashSet};
+
+use simkit::{SimDuration, SimRng};
+
+use crate::policy::{choose_mechanism_with_r, ChosenMechanism, DeflationDecision, PolicyInputs, REstimateKind};
+use crate::rdd::{DepKind, RddDag};
+use crate::stage::{build_stages, Stage, StageId};
+
+/// A pool of Spark worker VMs.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    /// Nominal task slots per worker (≈ vCPUs).
+    pub slots: Vec<f64>,
+    /// Speed factor per worker (1.0 = full speed; reduced by VM-level
+    /// deflation).
+    pub speed: Vec<f64>,
+    /// Usable slots per worker (reduced by self-deflation blacklisting
+    /// and preemption).
+    pub capacity: Vec<f64>,
+    /// Contention multiplier (≥ 1) applied to black-box (unaware)
+    /// execution: overcommitted VMs suffer interference beyond the pure
+    /// resource cut — memory pressure, spills, GC — which is exactly the
+    /// "stragglers and higher long-term impact" the paper attributes to
+    /// VM-level deflation (§4.1).
+    pub vm_contention: f64,
+    /// Spark speculative execution: straggling tasks are re-launched on
+    /// faster workers near a stage's end, so an unaware stage is no
+    /// longer gated purely by the slowest worker (Eq. 1's `max d`
+    /// assumption holds for the paper's setup, where BigDL disables
+    /// speculation; this switch quantifies what speculation changes).
+    pub speculation: bool,
+}
+
+impl WorkerPool {
+    /// Creates `n` identical workers with `slots` task slots each.
+    pub fn uniform(n: usize, slots: f64) -> Self {
+        assert!(n > 0 && slots > 0.0, "pool needs workers and slots");
+        WorkerPool {
+            slots: vec![slots; n],
+            speed: vec![1.0; n],
+            capacity: vec![slots; n],
+            vm_contention: 1.0,
+            speculation: false,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total nominal slots.
+    pub fn total_slots(&self) -> f64 {
+        self.slots.iter().sum()
+    }
+
+    /// Total effective task-processing rate (capacity × speed).
+    pub fn total_rate(&self) -> f64 {
+        self.capacity
+            .iter()
+            .zip(&self.speed)
+            .map(|(c, s)| c * s)
+            .sum()
+    }
+
+    /// Slowest positive worker speed (gates BSP stages under unaware
+    /// scheduling).
+    pub fn min_speed(&self) -> f64 {
+        self.speed
+            .iter()
+            .zip(&self.capacity)
+            .filter(|(_, c)| **c > 0.0)
+            .map(|(s, _)| *s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// BSP time for a stage of `tasks` tasks at `cost` each.
+    ///
+    /// `aware` selects the deflation-aware scheduler (balanced by current
+    /// rate) versus the unaware one (balanced by nominal slots, gated by
+    /// the slowest worker). Always at least one wave.
+    pub fn stage_time(&self, tasks: usize, cost: SimDuration, aware: bool) -> SimDuration {
+        if tasks == 0 {
+            return SimDuration::ZERO;
+        }
+        let fluid = if aware {
+            let rate = self.total_rate();
+            assert!(rate > 0.0, "no capacity left to run tasks");
+            tasks as f64 / rate
+        } else if self.speculation {
+            // Speculation copies straggling tasks to faster workers: the
+            // stage finishes when the aggregate rate has processed the
+            // tasks plus the duplicated straggler work (~10 % overhead),
+            // instead of waiting for the slowest worker.
+            let rate = self.total_rate();
+            assert!(rate > 0.0, "no capacity left to run tasks");
+            tasks as f64 * 1.10 / rate
+        } else {
+            let slots = self.total_slots();
+            let min_speed = self.min_speed();
+            assert!(
+                slots > 0.0 && min_speed.is_finite() && min_speed > 0.0,
+                "no runnable workers"
+            );
+            (tasks as f64 / slots) / min_speed
+        };
+        // At least one wave: a stage cannot finish faster than one task.
+        let wave_floor = if aware {
+            let max_speed = self
+                .speed
+                .iter()
+                .zip(&self.capacity)
+                .filter(|(_, c)| **c > 0.0)
+                .map(|(s, _)| *s)
+                .fold(0.0f64, f64::max);
+            1.0 / max_speed.max(1e-12)
+        } else {
+            1.0 / self.min_speed()
+        };
+        let contention = if aware { 1.0 } else { self.vm_contention };
+        cost.mul_f64(fluid.max(wave_floor) * contention)
+    }
+}
+
+/// How resources are reclaimed from the Spark job's VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeflationMode {
+    /// No deflation (baseline).
+    None,
+    /// OS + hypervisor reclamation: workers slow down, nothing is lost.
+    VmLevel,
+    /// The master kills tasks and blacklists executors.
+    SelfDeflation,
+    /// Whole workers are revoked (today's transient clouds).
+    Preemption,
+    /// The paper's policy: estimate both and pick the better mechanism.
+    Cascade,
+}
+
+/// A deflation applied while the job runs.
+#[derive(Debug, Clone)]
+pub struct DeflationEvent {
+    /// Job progress (fraction of baseline running time) at which the
+    /// reclamation arrives.
+    pub at_progress: f64,
+    /// Per-worker deflation fractions `d`.
+    pub fractions: Vec<f64>,
+}
+
+impl DeflationEvent {
+    /// Deflates every worker by the same fraction at the given progress.
+    pub fn uniform(n_workers: usize, fraction: f64, at_progress: f64) -> Self {
+        DeflationEvent {
+            at_progress,
+            fractions: vec![fraction; n_workers],
+        }
+    }
+}
+
+/// The outcome of one simulated job execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock running time.
+    pub duration: SimDuration,
+    /// Baseline (undeflated) running time.
+    pub baseline: SimDuration,
+    /// Time spent recomputing lost partitions.
+    pub recompute: SimDuration,
+    /// Number of recomputed tasks.
+    pub recomputed_tasks: usize,
+    /// The policy decision, when [`DeflationMode::Cascade`] ran.
+    pub decision: Option<DeflationDecision>,
+}
+
+impl RunResult {
+    /// Running time normalized to the baseline.
+    pub fn normalized(&self) -> f64 {
+        self.duration.ratio(self.baseline).max(0.0)
+    }
+}
+
+/// The BSP execution simulator.
+pub struct BspSimulator {
+    stages: Vec<Stage>,
+    pool: WorkerPool,
+    rng: SimRng,
+    /// Worker index of each output partition, per completed stage.
+    locations: HashMap<StageId, Vec<usize>>,
+    /// Partitions lost to executor kills / preemptions, per stage.
+    lost: HashMap<StageId, HashSet<usize>>,
+    /// One-off stall charged after a preemption: revocation grace,
+    /// fetch-failure detection, task retries and executor re-registration
+    /// — disruption that self-deflation's cooperative kill avoids (§6.2).
+    pending_stall: SimDuration,
+}
+
+impl BspSimulator {
+    /// Builds a simulator for a lineage graph on the given pool.
+    pub fn new(dag: &RddDag, pool: WorkerPool, seed: u64) -> Self {
+        BspSimulator {
+            stages: build_stages(dag),
+            pool,
+            rng: SimRng::seed_from_u64(seed),
+            locations: HashMap::new(),
+            lost: HashMap::new(),
+            pending_stall: SimDuration::ZERO,
+        }
+    }
+
+    /// The stages being executed (topological order).
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Baseline running time on the undeflated pool.
+    pub fn baseline(&self) -> SimDuration {
+        let fresh = WorkerPool::uniform(self.pool.len(), self.pool.slots[0]);
+        self.stages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| {
+                acc + fresh.stage_time(s.tasks, s.task_cost, true)
+            })
+    }
+
+    /// Records where a completed stage's partitions live: spread
+    /// proportionally to current worker rates (weighted round-robin).
+    fn place_partitions(&mut self, sid: StageId, tasks: usize) {
+        let rates: Vec<f64> = self
+            .pool
+            .capacity
+            .iter()
+            .zip(&self.pool.speed)
+            .map(|(c, s)| c * s)
+            .collect();
+        let total: f64 = rates.iter().sum();
+        let mut locs = Vec::with_capacity(tasks);
+        if total <= 0.0 {
+            self.locations.insert(sid, locs);
+            return;
+        }
+        let mut acc = vec![0.0f64; rates.len()];
+        for _ in 0..tasks {
+            // Deterministic weighted assignment: pick the worker with the
+            // largest remaining share.
+            let mut best = 0;
+            let mut best_score = f64::NEG_INFINITY;
+            for (i, r) in rates.iter().enumerate() {
+                if *r <= 0.0 {
+                    continue;
+                }
+                let score = r / total - acc[i];
+                if score > best_score {
+                    best_score = score;
+                    best = i;
+                }
+            }
+            acc[best] += 1.0 / tasks as f64;
+            locs.push(best);
+        }
+        self.locations.insert(sid, locs);
+    }
+
+    /// Marks partitions on `worker` lost with probability `frac`.
+    fn lose_partitions(&mut self, worker: usize, frac: f64) {
+        if frac <= 0.0 {
+            return;
+        }
+        // Iterate stages in sorted order: HashMap order would make RNG
+        // consumption (and thus the run) non-deterministic.
+        let mut sids: Vec<StageId> = self.locations.keys().copied().collect();
+        sids.sort();
+        for sid in sids {
+            let locs = &self.locations[&sid];
+            for (p, loc) in locs.iter().enumerate() {
+                if *loc == worker && self.rng.chance(frac) {
+                    self.lost.entry(sid).or_default().insert(p);
+                }
+            }
+        }
+    }
+
+    /// Applies the deflation event under the given mechanism.
+    fn apply_deflation(&mut self, ev: &DeflationEvent, mechanism: ChosenMechanism) {
+        match mechanism {
+            ChosenMechanism::VmLevel => {
+                let max_d = ev.fractions.iter().copied().fold(0.0f64, f64::max);
+                self.pool.vm_contention = 1.0 + 0.3 * max_d;
+                for (i, d) in ev.fractions.iter().enumerate() {
+                    self.pool.speed[i] *= (1.0 - d).max(0.0);
+                }
+            }
+            ChosenMechanism::SelfDeflation => {
+                let fractions = ev.fractions.clone();
+                for (i, d) in fractions.iter().enumerate() {
+                    self.pool.capacity[i] *= (1.0 - d).max(0.0);
+                    self.lose_partitions(i, *d);
+                }
+            }
+        }
+    }
+
+    /// Preempts enough whole workers to cover the event's aggregate
+    /// deflation; they lose everything they stored.
+    fn apply_preemption(&mut self, ev: &DeflationEvent) {
+        let total: f64 = ev.fractions.iter().sum();
+        let k = total.round() as usize;
+        // Preempt the most-deflated workers first.
+        let mut order: Vec<usize> = (0..self.pool.len()).collect();
+        order.sort_by(|a, b| {
+            ev.fractions[*b]
+                .partial_cmp(&ev.fractions[*a])
+                .expect("fractions are finite")
+                .then_with(|| a.cmp(b))
+        });
+        for &w in order.iter().take(k.min(self.pool.len().saturating_sub(1))) {
+            self.pool.capacity[w] = 0.0;
+            self.pool.speed[w] = 0.0;
+            self.lose_partitions(w, 1.0);
+        }
+        self.pending_stall = self.baseline().mul_f64(0.1);
+    }
+
+    /// Recursively resolves missing inputs for `upcoming` (the stage
+    /// about to run) and recomputes them; returns (time, task count).
+    fn recompute_missing(&mut self, upcoming: usize) -> (SimDuration, usize) {
+        // Required partitions per stage, seeded by the upcoming stage's
+        // parents.
+        let mut need: HashMap<StageId, HashSet<usize>> = HashMap::new();
+        let stage = &self.stages[upcoming];
+        for (pid, kind) in &stage.parents {
+            let pstage = &self.stages[pid.0];
+            let set: HashSet<usize> = match kind {
+                DepKind::Wide => (0..pstage.tasks).collect(),
+                DepKind::Narrow => (0..stage.tasks.min(pstage.tasks)).collect(),
+            };
+            need.entry(*pid).or_default().extend(set);
+        }
+
+        // Walk backwards: a needed+lost partition must be recomputed, and
+        // its own inputs must be present.
+        let mut to_recompute: HashMap<StageId, HashSet<usize>> = HashMap::new();
+        for idx in (0..upcoming).rev() {
+            let sid = StageId(idx);
+            let Some(needed) = need.remove(&sid) else {
+                continue;
+            };
+            let lost = self.lost.get(&sid);
+            let missing: HashSet<usize> = match lost {
+                None => continue,
+                Some(l) => needed.intersection(l).copied().collect(),
+            };
+            if missing.is_empty() {
+                continue;
+            }
+            let stage = &self.stages[idx];
+            for (pid, kind) in &stage.parents {
+                let pstage = &self.stages[pid.0];
+                let set: HashSet<usize> = match kind {
+                    DepKind::Wide => (0..pstage.tasks).collect(),
+                    DepKind::Narrow => missing
+                        .iter()
+                        .copied()
+                        .filter(|p| *p < pstage.tasks)
+                        .collect(),
+                };
+                need.entry(*pid).or_default().extend(set);
+            }
+            to_recompute.insert(sid, missing);
+        }
+
+        // Recompute in topological order (parents first), deflation-aware.
+        let mut time = SimDuration::ZERO;
+        let mut count = 0;
+        let mut order: Vec<StageId> = to_recompute.keys().copied().collect();
+        order.sort();
+        for sid in order {
+            let missing = &to_recompute[&sid];
+            let stage = &self.stages[sid.0];
+            time += self.pool.stage_time(missing.len(), stage.task_cost, true);
+            count += missing.len();
+            // The partitions exist again.
+            if let Some(l) = self.lost.get_mut(&sid) {
+                for p in missing {
+                    l.remove(p);
+                }
+            }
+        }
+        (time, count)
+    }
+
+    /// Expected recomputation fraction `r` if the executors were killed
+    /// with the event's per-worker fractions right before stage
+    /// `upcoming` — the DAG-exact estimator: trace the lineage backwards
+    /// from the upcoming stage exactly as the recomputation pass would,
+    /// using expected (fractional) partition losses instead of sampled
+    /// ones, and normalize the resulting recomputation time into Eq. 3's
+    /// `r` (such that `r·c/(1−mean d) ≈ recompute_time/T`).
+    pub fn expected_recompute_fraction(
+        &self,
+        fractions: &[f64],
+        upcoming: usize,
+        elapsed: SimDuration,
+        baseline: SimDuration,
+    ) -> f64 {
+        let c = elapsed.ratio(baseline);
+        if c <= 0.0 {
+            return 0.0;
+        }
+        // Expected lost fraction per completed stage.
+        let lost_frac = |sid: StageId| -> f64 {
+            let Some(locs) = self.locations.get(&sid) else {
+                return 0.0;
+            };
+            if locs.is_empty() {
+                return 0.0;
+            }
+            let total: f64 = locs
+                .iter()
+                .map(|w| fractions.get(*w).copied().unwrap_or(0.0))
+                .sum();
+            total / locs.len() as f64
+        };
+
+        // Backward pass: needed[s] = fraction of s's partitions required.
+        let mut needed = vec![0.0f64; self.stages.len()];
+        if upcoming < self.stages.len() {
+            for (pid, _) in &self.stages[upcoming].parents {
+                needed[pid.0] = 1.0;
+            }
+        }
+        let mut recompute_work = 0.0f64; // Serial task-seconds.
+        for idx in (0..upcoming).rev() {
+            if needed[idx] <= 0.0 {
+                continue;
+            }
+            let stage = &self.stages[idx];
+            let missing_frac = needed[idx] * lost_frac(StageId(idx));
+            if missing_frac <= 0.0 {
+                continue;
+            }
+            recompute_work +=
+                missing_frac * stage.tasks as f64 * stage.task_cost.as_secs_f64();
+            for (pid, kind) in &stage.parents {
+                match kind {
+                    // A wide read needs *all* parent partitions as soon as
+                    // any output partition must be recomputed.
+                    DepKind::Wide => needed[pid.0] = 1.0,
+                    DepKind::Narrow => {
+                        needed[pid.0] = (needed[pid.0] + missing_frac).min(1.0)
+                    }
+                }
+            }
+        }
+
+        // The recomputation runs on the post-kill capacity.
+        let rate_after: f64 = self
+            .pool
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, slots)| slots * (1.0 - fractions.get(i).copied().unwrap_or(0.0)).max(0.0))
+            .sum();
+        if rate_after <= 0.0 {
+            return 1.0;
+        }
+        let recompute_secs = recompute_work / rate_after;
+        let mean_d = if fractions.is_empty() {
+            0.0
+        } else {
+            fractions.iter().sum::<f64>() / fractions.len() as f64
+        };
+        // Invert Eq. 3's recomputation term: r·c·T/(1−mean d) = cost.
+        let r = recompute_secs / baseline.as_secs_f64() * (1.0 - mean_d) / c;
+        r.clamp(0.0, 1.0)
+    }
+
+    /// Runs the job to completion with the paper's default sync-time
+    /// `r` estimator.
+    pub fn run(&mut self, mode: DeflationMode, event: Option<&DeflationEvent>) -> RunResult {
+        self.run_with_estimator(mode, event, REstimateKind::SyncHeuristic)
+    }
+
+    /// Runs the job to completion under the given mode, event, and — for
+    /// [`DeflationMode::Cascade`] — recomputation estimator (§4.1 offers
+    /// worst-case, sync-heuristic and DAG-exact estimates).
+    pub fn run_with_estimator(
+        &mut self,
+        mode: DeflationMode,
+        event: Option<&DeflationEvent>,
+        estimator: REstimateKind,
+    ) -> RunResult {
+        let baseline = self.baseline();
+        let mut elapsed = SimDuration::ZERO;
+        let mut recompute = SimDuration::ZERO;
+        let mut recomputed_tasks = 0usize;
+        let mut deflated = false;
+        let mut deferred = false;
+        let mut decision = None;
+        let mut sync_elapsed = SimDuration::ZERO;
+
+        for idx in 0..self.stages.len() {
+            // Deflation arrives at the first stage boundary past the
+            // requested progress point. The master defers the decision
+            // past a boundary that sits mid-shuffle (the upcoming stage
+            // would immediately re-read inputs a kill would destroy) —
+            // but by at most one stage, so shuffle-chain jobs still
+            // deflate promptly.
+            if let (Some(ev), false) = (event, deflated) {
+                let progress = elapsed.ratio(baseline);
+                let safe_boundary = !self.stages[idx].is_synchronous()
+                    || deferred
+                    || idx + 1 == self.stages.len();
+                if progress >= ev.at_progress && mode != DeflationMode::None && !safe_boundary {
+                    deferred = true;
+                }
+                if progress >= ev.at_progress && mode != DeflationMode::None && safe_boundary {
+                    deflated = true;
+                    match mode {
+                        DeflationMode::VmLevel => {
+                            self.apply_deflation(ev, ChosenMechanism::VmLevel)
+                        }
+                        DeflationMode::SelfDeflation => {
+                            self.apply_deflation(ev, ChosenMechanism::SelfDeflation)
+                        }
+                        DeflationMode::Preemption => self.apply_preemption(ev),
+                        DeflationMode::Cascade => {
+                            let inputs = PolicyInputs {
+                                progress,
+                                fractions: ev.fractions.clone(),
+                                sync_fraction: sync_elapsed.ratio(elapsed),
+                                shuffle_imminent: self.stages[idx].is_synchronous(),
+                            };
+                            let r = match estimator {
+                                REstimateKind::WorstCase => 1.0,
+                                REstimateKind::SyncHeuristic => {
+                                    if inputs.shuffle_imminent {
+                                        1.0
+                                    } else {
+                                        inputs.sync_fraction
+                                    }
+                                }
+                                REstimateKind::DagExact => self
+                                    .expected_recompute_fraction(
+                                        &ev.fractions,
+                                        idx,
+                                        elapsed,
+                                        baseline,
+                                    ),
+                            };
+                            let d = choose_mechanism_with_r(&inputs, r);
+                            self.apply_deflation(ev, d.chosen);
+                            decision = Some(d);
+                        }
+                        DeflationMode::None => unreachable!("checked above"),
+                    }
+                }
+            }
+
+            // A preemption stalls the driver before anything else runs.
+            elapsed += self.pending_stall;
+            self.pending_stall = SimDuration::ZERO;
+
+            // Recompute any inputs lost to kills/preemptions.
+            let (rt, rc) = self.recompute_missing(idx);
+            recompute += rt;
+            recomputed_tasks += rc;
+            elapsed += rt;
+
+            // Execute the stage. The scheduler is deflation-aware unless
+            // the reclamation was VM-level (black-box).
+            let aware = !matches!(mode, DeflationMode::VmLevel)
+                && !matches!(
+                    decision,
+                    Some(DeflationDecision {
+                        chosen: ChosenMechanism::VmLevel,
+                        ..
+                    })
+                );
+            let stage = &self.stages[idx];
+            let t = self.pool.stage_time(stage.tasks, stage.task_cost, aware);
+            elapsed += t;
+            if stage.is_synchronous() {
+                sync_elapsed += t;
+            }
+            let (sid, tasks) = (stage.id, stage.tasks);
+            self.place_partitions(sid, tasks);
+        }
+
+        RunResult {
+            duration: elapsed,
+            baseline,
+            recompute,
+            recomputed_tasks,
+            decision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::DagBuilder;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    /// A shuffle-chain job: src -> wide -> wide -> wide.
+    fn shuffle_chain() -> RddDag {
+        let mut b = DagBuilder::new();
+        let mut h = b.source("src", 32, secs(2));
+        for i in 0..6 {
+            h = b.wide(&format!("shuffle{i}"), h, 32, secs(2));
+        }
+        b.build(h)
+    }
+
+    /// An iterative cached-map job: cached src; per iteration a narrow
+    /// map over the cache plus a tiny reduce.
+    fn cached_iterations() -> RddDag {
+        let mut b = DagBuilder::new();
+        let src = b.source("src", 32, secs(4)).cache(&mut b);
+        let mut last = src;
+        for i in 0..8 {
+            let m = b.narrow(&format!("map{i}"), src, secs(2));
+            last = b.wide(&format!("agg{i}"), m, 1, SimDuration::from_millis(100));
+        }
+        b.build(last)
+    }
+
+    #[test]
+    fn baseline_is_deterministic_and_positive() {
+        let dag = shuffle_chain();
+        let sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let b1 = sim.baseline();
+        let b2 = sim.baseline();
+        assert_eq!(b1, b2);
+        assert!(b1 > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn no_deflation_matches_baseline() {
+        let dag = shuffle_chain();
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let r = sim.run(DeflationMode::None, None);
+        assert_eq!(r.duration, r.baseline);
+        assert!((r.normalized() - 1.0).abs() < 1e-9);
+        assert_eq!(r.recomputed_tasks, 0);
+    }
+
+    #[test]
+    fn vm_level_matches_eq1() {
+        let dag = shuffle_chain();
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let ev = DeflationEvent::uniform(8, 0.5, 0.5);
+        let r = sim.run(DeflationMode::VmLevel, Some(&ev));
+        // Eq. 1: c + (1-c)/(1-0.5) with c close to the stage boundary at
+        // or after 0.5.
+        let n = r.normalized();
+        // Eq. 1 plus the contention penalty of black-box overcommitment;
+        // the effective c is the stage boundary at or after 0.5 (with the
+        // one-stage mid-shuffle deferral).
+        assert!((1.3..=1.8).contains(&n), "normalized {n}");
+        assert_eq!(r.recomputed_tasks, 0);
+    }
+
+    #[test]
+    fn self_deflation_recomputes_on_shuffle_chains() {
+        let dag = shuffle_chain();
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let ev = DeflationEvent::uniform(8, 0.5, 0.5);
+        let r = sim.run(DeflationMode::SelfDeflation, Some(&ev));
+        assert!(r.recomputed_tasks > 0, "shuffle chain must recompute");
+        // Self costs more than VM-level here (the paper's ALS case).
+        let mut sim2 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let rv = sim2.run(DeflationMode::VmLevel, Some(&ev));
+        assert!(
+            r.normalized() > rv.normalized(),
+            "self {} vs vm {}",
+            r.normalized(),
+            rv.normalized()
+        );
+    }
+
+    #[test]
+    fn self_deflation_cheap_on_cached_iterations() {
+        let dag = cached_iterations();
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let ev = DeflationEvent::uniform(8, 0.5, 0.5);
+        let r = sim.run(DeflationMode::SelfDeflation, Some(&ev));
+        // Some cached source partitions may be re-read, but the cost is
+        // small compared to the shuffle chain.
+        let n = r.normalized();
+        assert!(n < 2.0, "normalized {n}");
+    }
+
+    #[test]
+    fn preemption_is_worst_on_shuffle_chains() {
+        let dag = shuffle_chain();
+        let ev = DeflationEvent::uniform(8, 0.5, 0.5);
+
+        let mut s1 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let rp = s1.run(DeflationMode::Preemption, Some(&ev));
+        let mut s2 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let rs = s2.run(DeflationMode::SelfDeflation, Some(&ev));
+        let mut s3 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let rv = s3.run(DeflationMode::VmLevel, Some(&ev));
+
+        assert!(
+            rp.normalized() >= rs.normalized() && rs.normalized() > rv.normalized(),
+            "preempt {} self {} vm {}",
+            rp.normalized(),
+            rs.normalized(),
+            rv.normalized()
+        );
+    }
+
+    #[test]
+    fn cascade_picks_vm_for_shuffle_chain() {
+        let dag = shuffle_chain();
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let ev = DeflationEvent::uniform(8, 0.5, 0.5);
+        let r = sim.run(DeflationMode::Cascade, Some(&ev));
+        let d = r.decision.expect("cascade decides");
+        assert_eq!(d.chosen, ChosenMechanism::VmLevel);
+        // And the outcome tracks the VM-level run.
+        let mut s2 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let rv = s2.run(DeflationMode::VmLevel, Some(&ev));
+        assert!((r.normalized() - rv.normalized()).abs() < 0.05);
+    }
+
+    #[test]
+    fn uneven_deflation_straggles_vm_level() {
+        // Only one worker deflated: VM-level pays max d, self pays mean d.
+        let dag = cached_iterations();
+        let mut fr = vec![0.0; 8];
+        fr[3] = 0.6;
+        let ev = DeflationEvent {
+            at_progress: 0.3,
+            fractions: fr,
+        };
+        let mut s1 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let rv = s1.run(DeflationMode::VmLevel, Some(&ev));
+        let mut s2 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let rs = s2.run(DeflationMode::SelfDeflation, Some(&ev));
+        assert!(
+            rs.normalized() < rv.normalized(),
+            "self {} vm {}",
+            rs.normalized(),
+            rv.normalized()
+        );
+        // Cascade should therefore pick self-deflation here.
+        let mut s3 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let rc = s3.run(DeflationMode::Cascade, Some(&ev));
+        assert_eq!(
+            rc.decision.expect("decides").chosen,
+            ChosenMechanism::SelfDeflation
+        );
+    }
+
+    #[test]
+    fn deflation_at_end_costs_little() {
+        let dag = shuffle_chain();
+        let ev_late = DeflationEvent::uniform(8, 0.5, 0.95);
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let r = sim.run(DeflationMode::VmLevel, Some(&ev_late));
+        assert!(r.normalized() < 1.3, "late deflation: {}", r.normalized());
+    }
+
+    #[test]
+    fn dag_exact_estimator_ranks_workloads() {
+        // The exact estimator must see the shuffle chain as expensive to
+        // recompute and the cached iteration as cheap.
+        let chain = shuffle_chain();
+        let mut sim = BspSimulator::new(&chain, WorkerPool::uniform(8, 4.0), 1);
+        // Execute the first half so partitions have locations.
+        let baseline = sim.baseline();
+        let _ = sim.run(DeflationMode::None, None);
+        let fractions = vec![0.5; 8];
+        let mid = sim.stages().len() / 2;
+        let r_chain =
+            sim.expected_recompute_fraction(&fractions, mid, baseline.mul_f64(0.5), baseline);
+
+        let cached = cached_iterations();
+        let mut sim2 = BspSimulator::new(&cached, WorkerPool::uniform(8, 4.0), 1);
+        let baseline2 = sim2.baseline();
+        let _ = sim2.run(DeflationMode::None, None);
+        let mid2 = sim2.stages().len() / 2;
+        let r_cached =
+            sim2.expected_recompute_fraction(&fractions, mid2, baseline2.mul_f64(0.5), baseline2);
+
+        assert!(
+            r_chain > 2.0 * r_cached,
+            "chain r {r_chain} cached r {r_cached}"
+        );
+        assert!((0.0..=1.0).contains(&r_chain));
+        assert!((0.0..=1.0).contains(&r_cached));
+    }
+
+    #[test]
+    fn worst_case_estimator_never_self_deflates_uniformly() {
+        let dag = cached_iterations();
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+        let ev = DeflationEvent::uniform(8, 0.5, 0.5);
+        let r = sim.run_with_estimator(
+            DeflationMode::Cascade,
+            Some(&ev),
+            crate::policy::REstimateKind::WorstCase,
+        );
+        assert_eq!(
+            r.decision.expect("decides").chosen,
+            ChosenMechanism::VmLevel
+        );
+    }
+
+    #[test]
+    fn estimators_agree_on_extreme_workloads() {
+        // For the shuffle chain all three estimators should pick
+        // VM-level; disagreement only appears on middling workloads.
+        let dag = shuffle_chain();
+        let ev = DeflationEvent::uniform(8, 0.5, 0.5);
+        for est in [
+            crate::policy::REstimateKind::WorstCase,
+            crate::policy::REstimateKind::SyncHeuristic,
+            crate::policy::REstimateKind::DagExact,
+        ] {
+            let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), 1);
+            let r = sim.run_with_estimator(DeflationMode::Cascade, Some(&ev), est);
+            assert_eq!(
+                r.decision.expect("decides").chosen,
+                ChosenMechanism::VmLevel,
+                "{est:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_softens_the_straggler_gate() {
+        // One worker at half speed: without speculation the stage is
+        // gated by it; with speculation the aggregate rate governs.
+        let mut pool = WorkerPool::uniform(4, 2.0);
+        pool.speed[0] = 0.5;
+        let plain = pool.stage_time(16, secs(1), false);
+        pool.speculation = true;
+        let spec = pool.stage_time(16, secs(1), false);
+        assert!(spec < plain, "speculative {spec} plain {plain}");
+        // But speculation is not free: it duplicates work, so it stays
+        // above the deflation-aware scheduler.
+        let aware = pool.stage_time(16, secs(1), true);
+        assert!(spec >= aware);
+    }
+
+    #[test]
+    fn pool_stage_time_unaware_gated_by_slowest() {
+        let mut pool = WorkerPool::uniform(4, 2.0);
+        pool.speed[0] = 0.5;
+        let aware = pool.stage_time(16, secs(1), true);
+        let unaware = pool.stage_time(16, secs(1), false);
+        assert!(unaware > aware, "unaware {unaware} aware {aware}");
+        // Unaware: 16 tasks / 8 slots = 2 waves, /0.5 speed = 4 s
+        // (vm_contention is 1.0 unless a VM-level deflation set it).
+        assert_eq!(unaware, secs(4));
+    }
+
+    #[test]
+    fn stage_time_has_single_wave_floor() {
+        let pool = WorkerPool::uniform(8, 4.0);
+        let t = pool.stage_time(1, secs(10), true);
+        assert_eq!(t, secs(10));
+    }
+}

@@ -1,0 +1,228 @@
+//! The Spark cascade-deflation policy: running-time models and mechanism
+//! selection (paper §4.1, Eqs. 1–3).
+//!
+//! When the cluster manager deflates a Spark application's VMs, the Spark
+//! master collects the per-VM deflation fractions into the deflation
+//! vector `d` and estimates the remaining running time under the two
+//! available mechanisms:
+//!
+//! * `T_vm = T·[c + (1−c)/(1−max d)]` — VM-level deflation creates
+//!   stragglers on the most-deflated VM and the BSP barrier makes every
+//!   stage wait for it;
+//! * `T_self = T·[c + (r·c + 1−c)/(1−mean d)]` — self-deflation (killing
+//!   tasks + blacklisting executors) rebalances load to the *mean*
+//!   deflation, but pays `r·c·T` of recomputation;
+//!
+//! where `c` is job progress and `r` is the recomputation-cost fraction,
+//! estimated online as the job's synchronous (shuffle) time share — and
+//! forced to the worst case `r = 1` when a shuffle is imminent, because
+//! the killed tasks' shuffle inputs will not be cached.
+//!
+//! The common factor `T` cancels, so the policy compares the bracketed
+//! expressions directly.
+
+/// What the Spark master knows when a deflation request arrives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyInputs {
+    /// Job progress `c` in `[0, 1]` (fraction of stages completed).
+    pub progress: f64,
+    /// Per-VM deflation fractions `d`.
+    pub fractions: Vec<f64>,
+    /// Fraction of elapsed time spent in synchronous (shuffle) stages —
+    /// the `r` heuristic.
+    pub sync_fraction: f64,
+    /// Whether the next stage performs a shuffle (forces `r = 1`).
+    pub shuffle_imminent: bool,
+}
+
+/// The mechanism the policy selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChosenMechanism {
+    /// Let the OS + hypervisor reclaim (stragglers, no recomputation).
+    VmLevel,
+    /// Kill tasks and blacklist executors (recomputation, no stragglers).
+    SelfDeflation,
+}
+
+/// The decision plus the estimates behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeflationDecision {
+    /// Selected mechanism.
+    pub chosen: ChosenMechanism,
+    /// Normalized running-time estimate with VM-level deflation (Eq. 1,
+    /// divided by `T`).
+    pub t_vm: f64,
+    /// Normalized running-time estimate with self-deflation (Eq. 3,
+    /// divided by `T`).
+    pub t_self: f64,
+    /// The recomputation fraction used.
+    pub r: f64,
+}
+
+/// Eq. 1 without the common factor `T`: `c + (1−c)/(1−max d)`.
+pub fn estimate_t_vm(progress: f64, max_d: f64) -> f64 {
+    let c = progress.clamp(0.0, 1.0);
+    let d = max_d.clamp(0.0, 0.999_999);
+    c + (1.0 - c) / (1.0 - d)
+}
+
+/// Eq. 3 without the common factor `T`: `c + (r·c + 1−c)/(1−mean d)`.
+pub fn estimate_t_self(progress: f64, mean_d: f64, r: f64) -> f64 {
+    let c = progress.clamp(0.0, 1.0);
+    let d = mean_d.clamp(0.0, 0.999_999);
+    let r = r.clamp(0.0, 1.0);
+    c + (r * c + 1.0 - c) / (1.0 - d)
+}
+
+/// How the policy estimates the recomputation fraction `r` (§4.1:
+/// "Spark applications thus have a choice of different recomputation
+/// cost estimates").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum REstimateKind {
+    /// `r = 1`: assume the entire completed work must be recomputed —
+    /// application-oblivious, maximally conservative (never picks
+    /// self-deflation unless the deflation vector is very uneven).
+    WorstCase,
+    /// The paper's default middle ground: `r` = fraction of elapsed time
+    /// spent in synchronous (shuffle-read) stages, forced to 1 when a
+    /// shuffle is imminent.
+    #[default]
+    SyncHeuristic,
+    /// Application-specific: trace the RDD DAG and compute the expected
+    /// recomputation cost exactly (the Spark master "can determine the
+    /// recomputation cost by recursively tracing the DAG").
+    DagExact,
+}
+
+/// Runs the policy with the default sync-time heuristic.
+pub fn choose_mechanism(inputs: &PolicyInputs) -> DeflationDecision {
+    let r = if inputs.shuffle_imminent {
+        1.0
+    } else {
+        inputs.sync_fraction.clamp(0.0, 1.0)
+    };
+    choose_mechanism_with_r(inputs, r)
+}
+
+/// Runs the policy with an explicitly-computed recomputation fraction
+/// (worst-case or DAG-exact estimators supply `r` directly).
+pub fn choose_mechanism_with_r(inputs: &PolicyInputs, r: f64) -> DeflationDecision {
+    let max_d = inputs
+        .fractions
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    let mean_d = if inputs.fractions.is_empty() {
+        0.0
+    } else {
+        inputs.fractions.iter().sum::<f64>() / inputs.fractions.len() as f64
+    };
+    let r = r.clamp(0.0, 1.0);
+    let t_vm = estimate_t_vm(inputs.progress, max_d);
+    let t_self = estimate_t_self(inputs.progress, mean_d, r);
+    let chosen = if t_self < t_vm {
+        ChosenMechanism::SelfDeflation
+    } else {
+        ChosenMechanism::VmLevel
+    };
+    DeflationDecision {
+        chosen,
+        t_vm,
+        t_self,
+        r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(c: f64, d: f64, sync: f64, imminent: bool) -> PolicyInputs {
+        PolicyInputs {
+            progress: c,
+            fractions: vec![d; 8],
+            sync_fraction: sync,
+            shuffle_imminent: imminent,
+        }
+    }
+
+    #[test]
+    fn eq1_matches_paper_examples() {
+        // No deflation: remaining time unchanged.
+        assert!((estimate_t_vm(0.5, 0.0) - 1.0).abs() < 1e-12);
+        // Deflate by 50 % halfway: second half runs at half speed.
+        assert!((estimate_t_vm(0.5, 0.5) - 1.5).abs() < 1e-12);
+        // Deflation at the very end costs nothing.
+        assert!((estimate_t_vm(1.0, 0.9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_adds_recomputation() {
+        // r = 0: self-deflation at mean d behaves like Eq. 1 at max d.
+        assert!((estimate_t_self(0.5, 0.5, 0.0) - 1.5).abs() < 1e-12);
+        // r = 1: the whole first half is recomputed at reduced speed.
+        assert!((estimate_t_self(0.5, 0.5, 1.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffle_heavy_jobs_prefer_vm_level() {
+        // ALS-like: high sync fraction.
+        let d = choose_mechanism(&inputs(0.5, 0.5, 0.9, false));
+        assert_eq!(d.chosen, ChosenMechanism::VmLevel);
+        assert!(d.t_vm < d.t_self);
+    }
+
+    #[test]
+    fn low_recompute_jobs_prefer_self() {
+        // K-means-like: low sync fraction, uneven deflation.
+        let mut fr = vec![0.0; 8];
+        fr[0] = 0.5; // Only one VM heavily deflated.
+        let d = choose_mechanism(&PolicyInputs {
+            progress: 0.3,
+            fractions: fr,
+            sync_fraction: 0.05,
+            shuffle_imminent: false,
+        });
+        assert_eq!(d.chosen, ChosenMechanism::SelfDeflation);
+        // mean d = 0.0625 vs max d = 0.5: rebalancing wins easily.
+        assert!(d.t_self < d.t_vm);
+    }
+
+    #[test]
+    fn shuffle_imminent_forces_worst_case_r() {
+        let d = choose_mechanism(&inputs(0.5, 0.5, 0.0, true));
+        assert_eq!(d.r, 1.0);
+        assert_eq!(d.chosen, ChosenMechanism::VmLevel);
+    }
+
+    #[test]
+    fn jobs_near_completion_prefer_vm_level() {
+        // "our policy tends to use VM overcommitment for jobs that are
+        // close to completion" (§4.1).
+        let d = choose_mechanism(&inputs(0.95, 0.5, 0.5, false));
+        assert_eq!(d.chosen, ChosenMechanism::VmLevel);
+    }
+
+    #[test]
+    fn early_jobs_with_uniform_deflation_prefer_self_when_r_small() {
+        // With uniform d, mean = max; self wins only via lower r·c cost —
+        // at small c even r > 0 barely matters, so the two tie; VM-level
+        // wins ties (no kill risk).
+        let d = choose_mechanism(&inputs(0.1, 0.5, 0.0, false));
+        assert_eq!(d.t_vm, d.t_self);
+        assert_eq!(d.chosen, ChosenMechanism::VmLevel);
+    }
+
+    #[test]
+    fn estimates_clamp_degenerate_inputs() {
+        assert!(estimate_t_vm(2.0, 1.5).is_finite());
+        assert!(estimate_t_self(-1.0, 1.0, 2.0).is_finite());
+        let d = choose_mechanism(&PolicyInputs {
+            progress: 0.5,
+            fractions: vec![],
+            sync_fraction: 0.5,
+            shuffle_imminent: false,
+        });
+        assert_eq!(d.chosen, ChosenMechanism::VmLevel);
+    }
+}

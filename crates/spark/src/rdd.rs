@@ -1,0 +1,251 @@
+//! Resilient Distributed Datasets: lineage graphs with narrow/wide
+//! dependencies (paper §4.1, Fig. 4).
+//!
+//! An RDD is a partitioned dataset computed from its parents; if a
+//! partition is lost, Spark recomputes it by recursively tracing the
+//! dependency graph. *Narrow* dependencies need one parent partition per
+//! child partition; *wide* (shuffle) dependencies need **all** parent
+//! partitions, which is why shuffle-heavy jobs have high recomputation
+//! costs under task loss.
+
+use simkit::SimDuration;
+
+/// Identifier of an RDD within one job's lineage graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RddId(pub usize);
+
+/// How a child partition depends on its parent's partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// One-to-one (map, filter, union): child partition `i` needs parent
+    /// partition `i`.
+    Narrow,
+    /// Shuffle (groupBy, join, reduceByKey): every child partition needs
+    /// every parent partition.
+    Wide,
+}
+
+/// One RDD in a lineage graph.
+#[derive(Debug, Clone)]
+pub struct Rdd {
+    /// This RDD's id (its index in the job's `rdds` vector).
+    pub id: RddId,
+    /// Parents with the dependency kind.
+    pub parents: Vec<(RddId, DepKind)>,
+    /// Number of partitions.
+    pub partitions: usize,
+    /// Compute cost of one partition's task (excluding parents).
+    pub task_cost: SimDuration,
+    /// Whether this RDD is persisted (`.cache()`): its partitions are
+    /// materialized on executors and later stages can read them without
+    /// recomputation — until the executor holding them dies.
+    pub cached: bool,
+    /// Human-readable name for traces.
+    pub name: String,
+}
+
+/// Builder for RDD lineage graphs.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::SimDuration;
+/// use spark::{DagBuilder, DepKind};
+///
+/// let mut b = DagBuilder::new();
+/// let src = b.source("input", 8, SimDuration::from_secs(10)).cache(&mut b);
+/// let mapped = b.narrow("map", src, SimDuration::from_secs(5));
+/// let shuffled = b.wide("reduce", mapped, 8, SimDuration::from_secs(3));
+/// let job = b.build(shuffled);
+/// assert_eq!(job.rdds.len(), 3);
+/// assert_eq!(job.rdds[2].parents[0].1, DepKind::Wide);
+/// ```
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    rdds: Vec<Rdd>,
+}
+
+/// A handle to an RDD under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RddHandle(pub RddId);
+
+impl RddHandle {
+    /// Marks the RDD as cached and returns the handle.
+    pub fn cache(self, b: &mut DagBuilder) -> RddHandle {
+        b.rdds[self.0 .0].cached = true;
+        self
+    }
+}
+
+/// A complete lineage graph with a designated final RDD.
+#[derive(Debug, Clone)]
+pub struct RddDag {
+    /// All RDDs, indexed by [`RddId`]; parents always precede children.
+    pub rdds: Vec<Rdd>,
+    /// The action's target RDD.
+    pub final_rdd: RddId,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DagBuilder::default()
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        parents: Vec<(RddId, DepKind)>,
+        partitions: usize,
+        task_cost: SimDuration,
+    ) -> RddHandle {
+        assert!(partitions > 0, "an RDD needs at least one partition");
+        let id = RddId(self.rdds.len());
+        self.rdds.push(Rdd {
+            id,
+            parents,
+            partitions,
+            task_cost,
+            cached: false,
+            name: name.to_string(),
+        });
+        RddHandle(id)
+    }
+
+    /// A source RDD (HDFS read, parallelize, ...). Recomputing a lost
+    /// source partition re-reads the external input at `task_cost`.
+    pub fn source(&mut self, name: &str, partitions: usize, task_cost: SimDuration) -> RddHandle {
+        self.push(name, Vec::new(), partitions, task_cost)
+    }
+
+    /// A narrow transformation (same partition count as the parent).
+    pub fn narrow(&mut self, name: &str, parent: RddHandle, task_cost: SimDuration) -> RddHandle {
+        let partitions = self.rdds[parent.0 .0].partitions;
+        self.push(
+            name,
+            vec![(parent.0, DepKind::Narrow)],
+            partitions,
+            task_cost,
+        )
+    }
+
+    /// A wide (shuffle) transformation with an explicit partition count.
+    pub fn wide(
+        &mut self,
+        name: &str,
+        parent: RddHandle,
+        partitions: usize,
+        task_cost: SimDuration,
+    ) -> RddHandle {
+        self.push(name, vec![(parent.0, DepKind::Wide)], partitions, task_cost)
+    }
+
+    /// A wide transformation joining two parents.
+    pub fn join(
+        &mut self,
+        name: &str,
+        left: RddHandle,
+        right: RddHandle,
+        partitions: usize,
+        task_cost: SimDuration,
+    ) -> RddHandle {
+        self.push(
+            name,
+            vec![(left.0, DepKind::Wide), (right.0, DepKind::Wide)],
+            partitions,
+            task_cost,
+        )
+    }
+
+    /// Finalizes the graph with `final_rdd` as the action target.
+    pub fn build(self, final_rdd: RddHandle) -> RddDag {
+        assert!(
+            final_rdd.0 .0 < self.rdds.len(),
+            "final RDD must belong to this builder"
+        );
+        RddDag {
+            rdds: self.rdds,
+            final_rdd: final_rdd.0,
+        }
+    }
+}
+
+impl RddDag {
+    /// Looks up an RDD.
+    pub fn rdd(&self, id: RddId) -> &Rdd {
+        &self.rdds[id.0]
+    }
+
+    /// Total number of tasks if every RDD ran exactly once.
+    pub fn total_tasks(&self) -> usize {
+        self.rdds.iter().map(|r| r.partitions).sum()
+    }
+
+    /// Returns RDD ids in topological order (parents first). The builder
+    /// guarantees this is just index order.
+    pub fn topo_order(&self) -> impl Iterator<Item = RddId> + '_ {
+        (0..self.rdds.len()).map(RddId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn builder_links_parents() {
+        let mut b = DagBuilder::new();
+        let src = b.source("src", 4, secs(1));
+        let m = b.narrow("map", src, secs(2));
+        let r = b.wide("reduce", m, 2, secs(3));
+        let dag = b.build(r);
+        assert_eq!(dag.rdds.len(), 3);
+        assert_eq!(dag.rdd(RddId(1)).parents, vec![(RddId(0), DepKind::Narrow)]);
+        assert_eq!(dag.rdd(RddId(2)).parents, vec![(RddId(1), DepKind::Wide)]);
+        assert_eq!(dag.rdd(RddId(1)).partitions, 4); // Narrow keeps count.
+        assert_eq!(dag.rdd(RddId(2)).partitions, 2);
+        assert_eq!(dag.final_rdd, RddId(2));
+        assert_eq!(dag.total_tasks(), 10);
+    }
+
+    #[test]
+    fn cache_marks_rdd() {
+        let mut b = DagBuilder::new();
+        let src = b.source("src", 4, secs(1)).cache(&mut b);
+        let dag = b.build(src);
+        assert!(dag.rdd(RddId(0)).cached);
+    }
+
+    #[test]
+    fn join_has_two_wide_parents() {
+        let mut b = DagBuilder::new();
+        let a = b.source("a", 4, secs(1));
+        let c = b.source("c", 4, secs(1));
+        let j = b.join("join", a, c, 8, secs(2));
+        let dag = b.build(j);
+        let parents = &dag.rdd(RddId(2)).parents;
+        assert_eq!(parents.len(), 2);
+        assert!(parents.iter().all(|(_, k)| *k == DepKind::Wide));
+    }
+
+    #[test]
+    fn topo_order_is_index_order() {
+        let mut b = DagBuilder::new();
+        let s = b.source("s", 2, secs(1));
+        let m = b.narrow("m", s, secs(1));
+        let dag = b.build(m);
+        let order: Vec<RddId> = dag.topo_order().collect();
+        assert_eq!(order, vec![RddId(0), RddId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn rejects_zero_partitions() {
+        let mut b = DagBuilder::new();
+        b.source("bad", 0, secs(1));
+    }
+}

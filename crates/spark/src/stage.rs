@@ -1,0 +1,212 @@
+//! The DAG scheduler's stage splitting.
+//!
+//! Spark pipelines chains of narrow transformations into *stages* and
+//! breaks stages at shuffle (wide) boundaries; a cached parent also ends a
+//! pipeline, because its partitions are read from the block store rather
+//! than recomputed inline. Stages execute in topological order under the
+//! bulk-synchronous model (§4.1): a stage finishes only when its last task
+//! finishes.
+
+use std::collections::HashMap;
+
+use simkit::SimDuration;
+
+use crate::rdd::{DepKind, RddDag, RddId};
+
+/// Identifier of a stage within one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub usize);
+
+/// One stage: a pipelined chain of narrow transformations.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// This stage's id (index in topological order).
+    pub id: StageId,
+    /// The RDDs pipelined into this stage, in execution order; the last
+    /// one is the stage's output RDD.
+    pub rdds: Vec<RddId>,
+    /// Number of tasks (= partitions of the output RDD).
+    pub tasks: usize,
+    /// Per-task cost: the sum of the pipelined RDDs' task costs.
+    pub task_cost: SimDuration,
+    /// Parent stages and how this stage reads them.
+    pub parents: Vec<(StageId, DepKind)>,
+    /// Whether this stage's output is a shuffle write (it is read by at
+    /// least one wide child) — used by the policy's "shuffle imminent"
+    /// check and the synchronous-time heuristic.
+    pub shuffle_output: bool,
+    /// Name of the output RDD.
+    pub name: String,
+}
+
+impl Stage {
+    /// Serial work in this stage (tasks × per-task cost).
+    pub fn total_work(&self) -> SimDuration {
+        self.task_cost * self.tasks as u64
+    }
+
+    /// Whether this stage is *synchronous* in the paper's sense: it
+    /// shuffle-reads its inputs (has a wide parent), so its execution time
+    /// counts toward the recomputation-fraction heuristic `r`, and killed
+    /// tasks before it lose un-cached shuffle inputs.
+    pub fn is_synchronous(&self) -> bool {
+        self.parents.iter().any(|(_, k)| *k == DepKind::Wide)
+    }
+}
+
+/// Splits a lineage graph into stages.
+///
+/// Returns stages in topological order (parents first); the last stage
+/// produces the job's final RDD.
+pub fn build_stages(dag: &RddDag) -> Vec<Stage> {
+    // An RDD starts a new stage if it is a source, has a wide dependency,
+    // or reads a cached parent. Otherwise it joins its (single narrow,
+    // uncached) parent's stage.
+    let mut stage_of: HashMap<RddId, usize> = HashMap::new();
+    let mut stages: Vec<Stage> = Vec::new();
+
+    for id in dag.topo_order() {
+        let rdd = dag.rdd(id);
+        let starts_new = rdd.parents.is_empty()
+            || rdd.parents.iter().any(|(p, k)| {
+                *k == DepKind::Wide || dag.rdd(*p).cached
+            })
+            || rdd.parents.len() > 1;
+
+        if starts_new {
+            let sid = stages.len();
+            let mut parents = Vec::new();
+            for (p, k) in &rdd.parents {
+                let ps = stage_of[p];
+                parents.push((StageId(ps), *k));
+            }
+            stages.push(Stage {
+                id: StageId(sid),
+                rdds: vec![id],
+                tasks: rdd.partitions,
+                task_cost: rdd.task_cost,
+                parents,
+                shuffle_output: false,
+                name: rdd.name.clone(),
+            });
+            stage_of.insert(id, sid);
+        } else {
+            // Exactly one narrow, uncached parent: pipeline into its stage.
+            let (p, _) = rdd.parents[0];
+            let sid = stage_of[&p];
+            let stage = &mut stages[sid];
+            stage.rdds.push(id);
+            stage.task_cost += rdd.task_cost;
+            stage.tasks = rdd.partitions;
+            stage.name = rdd.name.clone();
+            stage_of.insert(id, sid);
+        }
+    }
+
+    // Mark shuffle outputs: a stage whose output RDD is read widely.
+    for id in dag.topo_order() {
+        for (p, k) in &dag.rdd(id).parents {
+            if *k == DepKind::Wide {
+                let ps = stage_of[p];
+                stages[ps].shuffle_output = true;
+            }
+        }
+    }
+
+    stages
+}
+
+/// The baseline (undeflated) running time of the stages on a cluster with
+/// `total_slots` parallel task slots: Σ per-stage BSP time.
+pub fn baseline_duration(stages: &[Stage], total_slots: f64) -> SimDuration {
+    assert!(total_slots > 0.0, "cluster needs capacity");
+    let mut total = SimDuration::ZERO;
+    for s in stages {
+        let waves = (s.tasks as f64 / total_slots).ceil();
+        total += s.task_cost.mul_f64(waves);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::DagBuilder;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    /// src -> map -> reduce -> map2: three stages (map pipelines into
+    /// src's stage; reduce starts one; map2 pipelines into reduce's).
+    #[test]
+    fn narrow_chains_pipeline() {
+        let mut b = DagBuilder::new();
+        let src = b.source("src", 8, secs(1));
+        let m = b.narrow("map", src, secs(2));
+        let r = b.wide("reduce", m, 4, secs(3));
+        let m2 = b.narrow("map2", r, secs(1));
+        let dag = b.build(m2);
+        let stages = build_stages(&dag);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].rdds.len(), 2);
+        assert_eq!(stages[0].tasks, 8);
+        assert_eq!(stages[0].task_cost, secs(3)); // 1 + 2 pipelined.
+        assert!(stages[0].shuffle_output);
+        // Stage 0 shuffle-writes but does not shuffle-read.
+        assert!(!stages[0].is_synchronous());
+        assert!(stages[1].is_synchronous());
+        assert_eq!(stages[1].rdds.len(), 2);
+        assert_eq!(stages[1].tasks, 4);
+        assert_eq!(stages[1].parents, vec![(StageId(0), DepKind::Wide)]);
+    }
+
+    /// A cached parent breaks the pipeline even for narrow deps —
+    /// iterative workloads re-read the cached RDD each iteration.
+    #[test]
+    fn cached_parent_breaks_stage() {
+        let mut b = DagBuilder::new();
+        let src = b.source("src", 8, secs(10)).cache(&mut b);
+        let m1 = b.narrow("iter1-map", src, secs(2));
+        let dag = b.build(m1);
+        let stages = build_stages(&dag);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[1].parents, vec![(StageId(0), DepKind::Narrow)]);
+        assert!(!stages[0].shuffle_output);
+        assert!(!stages[1].is_synchronous());
+    }
+
+    #[test]
+    fn join_creates_multi_parent_stage() {
+        let mut b = DagBuilder::new();
+        let a = b.source("a", 4, secs(1));
+        let c = b.source("c", 4, secs(1));
+        let j = b.join("join", a, c, 8, secs(2));
+        let dag = b.build(j);
+        let stages = build_stages(&dag);
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[2].parents.len(), 2);
+        assert!(stages[0].shuffle_output && stages[1].shuffle_output);
+    }
+
+    #[test]
+    fn baseline_duration_accounts_waves() {
+        let mut b = DagBuilder::new();
+        let src = b.source("src", 16, secs(10));
+        let dag = b.build(src);
+        let stages = build_stages(&dag);
+        // 16 tasks on 8 slots: 2 waves of 10 s.
+        assert_eq!(baseline_duration(&stages, 8.0), secs(20));
+        // 16 slots: 1 wave.
+        assert_eq!(baseline_duration(&stages, 16.0), secs(10));
+    }
+
+    #[test]
+    fn total_work_is_tasks_times_cost() {
+        let mut b = DagBuilder::new();
+        let src = b.source("src", 4, secs(5));
+        let dag = b.build(src);
+        let stages = build_stages(&dag);
+        assert_eq!(stages[0].total_work(), secs(20));
+    }
+}

@@ -1,0 +1,412 @@
+//! Synchronous data-parallel DNN training (BigDL-style CNN/RNN on Spark,
+//! paper §4.1, Figs. 6c/6d/7b).
+//!
+//! Training is the paper's *inelastic* workload: every iteration ends in
+//! a synchronous parameter aggregation, so the loss of a single task
+//! stalls the whole job and forces a restart from the last model
+//! checkpoint. That gives the four mechanisms very different costs:
+//!
+//! * **VM-level deflation** never kills tasks — iterations just slow
+//!   down, gated by the most-deflated worker's *compute* phase (the
+//!   synchronous communication phase dominates, so even 50 % deflation
+//!   costs only ~20 % running time for the CNN);
+//! * **self-deflation** kills tasks — the job restarts from the last
+//!   checkpoint and re-runs with the training data repartitioned over the
+//!   reduced capacity (compute-heavier iterations);
+//! * **preemption** does the same, plus re-provisioning overhead, plus
+//!   the *periodic checkpointing tax* that preemptible deployments must
+//!   pay even in failure-free execution (Fig. 7b: ~20 % lower throughput
+//!   at all times).
+
+use simkit::{SimDuration, SimTime};
+
+use crate::exec::{DeflationEvent, DeflationMode};
+use crate::policy::{choose_mechanism, ChosenMechanism, DeflationDecision, PolicyInputs};
+
+/// Configuration of a synchronous training job.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingParams {
+    /// Number of training iterations.
+    pub iterations: u32,
+    /// Undeflated time per iteration.
+    pub iter_time: SimDuration,
+    /// Fraction of an iteration spent in parallel compute (the rest is
+    /// synchronous parameter exchange). Gates VM-level slowdown.
+    pub compute_frac: f64,
+    /// Compute fraction after a restart repartitions data over reduced
+    /// capacity (compute-heavier).
+    pub restarted_compute_frac: f64,
+    /// Number of worker VMs.
+    pub n_workers: usize,
+    /// Model-checkpoint spacing as a fraction of the job (1.0 = only the
+    /// initial state exists; restarts lose all progress).
+    pub checkpoint_interval_frac: f64,
+    /// Throughput tax of periodic checkpointing (applies to the
+    /// preemption deployment at all times, Fig. 7b).
+    pub checkpoint_overhead: f64,
+    /// Restart cost (reload data + model) as a fraction of the job.
+    pub restart_overhead_frac: f64,
+    /// Records/second processed at full speed (Fig. 7b's y-axis).
+    pub base_records_per_sec: f64,
+}
+
+impl Default for TrainingParams {
+    fn default() -> Self {
+        TrainingParams {
+            iterations: 600,
+            iter_time: SimDuration::from_secs(6),
+            compute_frac: 0.2,
+            restarted_compute_frac: 0.5,
+            n_workers: 8,
+            checkpoint_interval_frac: 1.0,
+            checkpoint_overhead: 0.2,
+            restart_overhead_frac: 0.1,
+            base_records_per_sec: 1_000.0,
+        }
+    }
+}
+
+/// The outcome of one training execution.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingRun {
+    /// Wall-clock running time.
+    pub duration: SimDuration,
+    /// Undeflated running time.
+    pub baseline: SimDuration,
+    /// Policy decision when run in [`DeflationMode::Cascade`].
+    pub decision: Option<DeflationDecision>,
+}
+
+impl TrainingRun {
+    /// Running time normalized to the baseline.
+    pub fn normalized(&self) -> f64 {
+        self.duration.ratio(self.baseline)
+    }
+}
+
+/// A synchronous training job.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingJob {
+    params: TrainingParams,
+}
+
+impl TrainingJob {
+    /// Creates a job.
+    pub fn new(params: TrainingParams) -> Self {
+        assert!(params.n_workers > 0, "training needs workers");
+        assert!(
+            (0.0..=1.0).contains(&params.compute_frac)
+                && (0.0..=1.0).contains(&params.restarted_compute_frac),
+            "compute fractions must lie in [0, 1]"
+        );
+        TrainingJob { params }
+    }
+
+    /// The configuration.
+    pub fn params(&self) -> &TrainingParams {
+        &self.params
+    }
+
+    /// Undeflated running time.
+    pub fn baseline(&self) -> SimDuration {
+        self.params.iter_time * u64::from(self.params.iterations)
+    }
+
+    /// Per-iteration slowdown when workers keep running but the
+    /// most-deflated one computes slower (BSP: everyone waits for it).
+    pub fn slowdown_running(&self, max_d: f64) -> f64 {
+        let cf = self.params.compute_frac;
+        let d = max_d.clamp(0.0, 0.95);
+        (1.0 - cf) + cf / (1.0 - d)
+    }
+
+    /// Per-iteration slowdown after a restart repartitions the data over
+    /// the surviving capacity.
+    pub fn slowdown_restarted(&self, mean_d: f64) -> f64 {
+        let cf = self.params.restarted_compute_frac;
+        let d = mean_d.clamp(0.0, 0.95);
+        (1.0 - cf) + cf / (1.0 - d)
+    }
+
+    fn stats(event: &DeflationEvent) -> (f64, f64) {
+        let max_d = event.fractions.iter().copied().fold(0.0f64, f64::max);
+        let mean_d = if event.fractions.is_empty() {
+            0.0
+        } else {
+            event.fractions.iter().sum::<f64>() / event.fractions.len() as f64
+        };
+        (max_d, mean_d)
+    }
+
+    /// Normalized running time of a kill-and-restart mechanism.
+    fn restart_cost(&self, c: f64, mean_d: f64, overhead_mult: f64, taxed: bool) -> f64 {
+        let p = &self.params;
+        // Restart resumes from the last checkpoint at or before c.
+        let interval = p.checkpoint_interval_frac.clamp(0.01, 1.0);
+        let ckpt = (c / interval).floor() * interval;
+        let rerun = (1.0 - ckpt).max(0.0);
+        let total = c
+            + p.restart_overhead_frac * overhead_mult
+            + rerun * self.slowdown_restarted(mean_d);
+        if taxed {
+            total * (1.0 + p.checkpoint_overhead)
+        } else {
+            total
+        }
+    }
+
+    /// Runs the job under the given mode and deflation event; the
+    /// deflation persists to the end of the job (as in Fig. 6).
+    pub fn run(&self, mode: DeflationMode, event: Option<&DeflationEvent>) -> TrainingRun {
+        let baseline = self.baseline();
+        let Some(event) = event else {
+            // Failure-free: only the preemption deployment pays its
+            // checkpointing tax.
+            let mult = if mode == DeflationMode::Preemption {
+                1.0 + self.params.checkpoint_overhead
+            } else {
+                1.0
+            };
+            return TrainingRun {
+                duration: baseline.mul_f64(mult),
+                baseline,
+                decision: None,
+            };
+        };
+        let c = event.at_progress.clamp(0.0, 1.0);
+        let (max_d, mean_d) = Self::stats(event);
+
+        let (normalized, decision) = match mode {
+            DeflationMode::None => (1.0, None),
+            DeflationMode::VmLevel => (c + (1.0 - c) * self.slowdown_running(max_d), None),
+            DeflationMode::SelfDeflation => (self.restart_cost(c, mean_d, 1.0, false), None),
+            DeflationMode::Preemption => (self.restart_cost(c, mean_d, 1.5, true), None),
+            DeflationMode::Cascade => {
+                // Training is entirely synchronous: r = 1 (every killed
+                // task's inputs must be regenerated from a checkpoint).
+                let inputs = PolicyInputs {
+                    progress: c,
+                    fractions: event.fractions.clone(),
+                    sync_fraction: 1.0,
+                    shuffle_imminent: true,
+                };
+                let d = choose_mechanism(&inputs);
+                let n = match d.chosen {
+                    ChosenMechanism::VmLevel => c + (1.0 - c) * self.slowdown_running(max_d),
+                    ChosenMechanism::SelfDeflation => self.restart_cost(c, mean_d, 1.0, false),
+                };
+                (n, Some(d))
+            }
+        };
+
+        TrainingRun {
+            duration: baseline.mul_f64(normalized),
+            baseline,
+            decision,
+        }
+    }
+
+    /// Throughput over time under transient resource pressure in
+    /// `[pressure_start, pressure_end)` deflating every worker by
+    /// `fraction` — the Fig. 7b timeline.
+    ///
+    /// * `Baseline` ([`DeflationMode::None`]): flat at base throughput.
+    /// * `Deflation` ([`DeflationMode::VmLevel`]): dips by the running
+    ///   slowdown during the pressure window, then fully recovers
+    ///   (reinflation).
+    /// * `Preemption`: pays the checkpoint tax always; at pressure start
+    ///   the VMs are revoked — zero throughput while restarting, then
+    ///   degraded throughput on the surviving capacity; after the window
+    ///   the preempted capacity is re-acquired and another restart occurs.
+    pub fn throughput_timeline(
+        &self,
+        mode: DeflationMode,
+        pressure_start: SimTime,
+        pressure_end: SimTime,
+        fraction: f64,
+        horizon: SimTime,
+        step: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
+        let p = &self.params;
+        let base = p.base_records_per_sec;
+        let taxed = base / (1.0 + p.checkpoint_overhead);
+        let restart_time = self.baseline().mul_f64(p.restart_overhead_frac * 1.5);
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t <= horizon {
+            let in_pressure = t >= pressure_start && t < pressure_end;
+            let v = match mode {
+                DeflationMode::None => base,
+                DeflationMode::VmLevel | DeflationMode::Cascade => {
+                    if in_pressure {
+                        base / self.slowdown_running(fraction)
+                    } else {
+                        base
+                    }
+                }
+                DeflationMode::SelfDeflation | DeflationMode::Preemption => {
+                    if in_pressure {
+                        let since = t.saturating_since(pressure_start);
+                        if since < restart_time {
+                            0.0 // Restarting from checkpoint.
+                        } else {
+                            taxed / self.slowdown_restarted(fraction)
+                        }
+                    } else if t >= pressure_end {
+                        let since = t.saturating_since(pressure_end);
+                        if since < restart_time {
+                            0.0 // Restarting to reclaim the capacity.
+                        } else {
+                            taxed
+                        }
+                    } else {
+                        taxed
+                    }
+                }
+            };
+            out.push((t, v));
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnn() -> TrainingJob {
+        TrainingJob::new(TrainingParams::default())
+    }
+
+    fn half_deflation(c: f64) -> DeflationEvent {
+        DeflationEvent::uniform(8, 0.5, c)
+    }
+
+    #[test]
+    fn baseline_time() {
+        let job = cnn();
+        assert_eq!(job.baseline(), SimDuration::from_secs(3_600));
+        let r = job.run(DeflationMode::None, None);
+        assert!((r.normalized() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vm_level_costs_about_20_percent_at_half_deflation() {
+        // Paper Fig. 6c: "the increase in running time even at 50%
+        // deflation is only 20%" — for pressure over the whole run.
+        let job = cnn();
+        let r = job.run(DeflationMode::VmLevel, Some(&half_deflation(0.0)));
+        assert!((r.normalized() - 1.2).abs() < 0.01, "n {}", r.normalized());
+        let r_half = job.run(DeflationMode::VmLevel, Some(&half_deflation(0.5)));
+        assert!((r_half.normalized() - 1.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn kill_mechanisms_are_far_worse_for_training() {
+        let job = cnn();
+        let ev = half_deflation(0.5);
+        let vm = job.run(DeflationMode::VmLevel, Some(&ev)).normalized();
+        let sf = job.run(DeflationMode::SelfDeflation, Some(&ev)).normalized();
+        let pr = job.run(DeflationMode::Preemption, Some(&ev)).normalized();
+        assert!(vm < 1.25, "vm {vm}");
+        assert!(sf > 1.8, "self {sf}");
+        assert!(pr > sf, "preempt {pr} self {sf}");
+        // "Compared to preemption ... deflation results in a 2× decrease"
+        // — the running-time overhead ratio is large.
+        assert!((pr - 1.0) / (vm - 1.0) > 2.0, "pr {pr} vm {vm}");
+    }
+
+    #[test]
+    fn cascade_picks_vm_level_for_training() {
+        let job = cnn();
+        let ev = half_deflation(0.5);
+        let r = job.run(DeflationMode::Cascade, Some(&ev));
+        let d = r.decision.expect("cascade decides");
+        assert_eq!(d.chosen, ChosenMechanism::VmLevel);
+        let vm = job.run(DeflationMode::VmLevel, Some(&ev));
+        assert_eq!(r.duration, vm.duration);
+    }
+
+    #[test]
+    fn checkpoints_bound_restart_loss() {
+        let p = TrainingParams {
+            checkpoint_interval_frac: 0.25,
+            ..TrainingParams::default()
+        };
+        let job = TrainingJob::new(p);
+        let with_ckpt = job
+            .run(DeflationMode::SelfDeflation, Some(&half_deflation(0.5)))
+            .normalized();
+        let without = cnn()
+            .run(DeflationMode::SelfDeflation, Some(&half_deflation(0.5)))
+            .normalized();
+        assert!(with_ckpt < without, "ckpt {with_ckpt} none {without}");
+    }
+
+    #[test]
+    fn preemption_pays_tax_even_without_pressure() {
+        let job = cnn();
+        let r = job.run(DeflationMode::Preemption, None);
+        assert!((r.normalized() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_shapes_match_fig7b() {
+        let job = cnn();
+        let start = SimTime::from_secs(600);
+        let end = SimTime::from_secs(2_400);
+        let horizon = SimTime::from_secs(4_800);
+        let step = SimDuration::from_secs(60);
+
+        let base = job.throughput_timeline(DeflationMode::None, start, end, 0.5, horizon, step);
+        assert!(base.iter().all(|(_, v)| (*v - 1_000.0).abs() < 1e-9));
+
+        let defl = job.throughput_timeline(DeflationMode::VmLevel, start, end, 0.5, horizon, step);
+        // ~833 rec/s during pressure (20 % reduction), 1000 outside.
+        let during: Vec<f64> = defl
+            .iter()
+            .filter(|(t, _)| *t >= start && *t < end)
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(during.iter().all(|v| (*v - 1_000.0 / 1.2).abs() < 1.0));
+        assert!((defl.last().expect("non-empty").1 - 1_000.0).abs() < 1e-9);
+
+        let pre =
+            job.throughput_timeline(DeflationMode::Preemption, start, end, 0.5, horizon, step);
+        // Tax before pressure; a zero-throughput restart right after the
+        // preemption; degraded during the window.
+        let before = pre
+            .iter()
+            .find(|(t, _)| *t < start)
+            .expect("sample before pressure")
+            .1;
+        assert!((before - 1_000.0 / 1.2).abs() < 1.0);
+        let at_kill = pre
+            .iter()
+            .find(|(t, _)| *t >= start)
+            .expect("sample at kill")
+            .1;
+        assert_eq!(at_kill, 0.0);
+        // Deflation throughput dominates preemption everywhere.
+        for ((_, d), (_, p)) in defl.iter().zip(pre.iter()) {
+            assert!(d + 1e-9 >= *p);
+        }
+    }
+
+    #[test]
+    fn rnn_parameters_give_lower_preemption_cost_than_cnn() {
+        // The RNN checkpoints more often, so restarts lose less.
+        let rnn_p = TrainingParams {
+            compute_frac: 0.25,
+            restarted_compute_frac: 0.45,
+            checkpoint_interval_frac: 0.25,
+            ..TrainingParams::default()
+        };
+        let rnn = TrainingJob::new(rnn_p);
+        let ev = half_deflation(0.5);
+        let rnn_pr = rnn.run(DeflationMode::Preemption, Some(&ev)).normalized();
+        let cnn_pr = cnn().run(DeflationMode::Preemption, Some(&ev)).normalized();
+        assert!(rnn_pr < cnn_pr, "rnn {rnn_pr} cnn {cnn_pr}");
+    }
+}

@@ -1,0 +1,423 @@
+//! The paper's four Spark workloads (Table 2) as ready-made jobs.
+//!
+//! * **ALS** — `mllib` Alternating Least Squares: iterative and
+//!   *shuffle-heavy* (each iteration alternates two wide factor-update
+//!   stages), so self-deflation triggers deep recursive recomputation and
+//!   the policy prefers VM-level deflation (Fig. 6a).
+//! * **K-means** — `mllib` dense clustering: a cached input re-scanned by
+//!   a narrow map each iteration plus a tiny aggregation; task kills lose
+//!   little, so self-deflation wins (Fig. 6b).
+//! * **CNN / RNN** — BigDL synchronous DNN training (ResNet on CIFAR-10 /
+//!   character RNN on Shakespeare): inelastic, restart-on-kill jobs where
+//!   only VM-level deflation avoids checkpoint restarts (Figs. 6c, 6d).
+
+use simkit::SimDuration;
+
+use crate::exec::{BspSimulator, DeflationEvent, DeflationMode, RunResult, WorkerPool};
+use crate::policy::{DeflationDecision, REstimateKind};
+use crate::rdd::{DagBuilder, RddDag};
+use crate::training::{TrainingJob, TrainingParams};
+
+/// A runnable paper workload.
+pub enum SparkWorkload {
+    /// A DAG job executed by the BSP simulator.
+    Dag {
+        /// Workload name (for tables).
+        name: &'static str,
+        /// The lineage graph.
+        dag: RddDag,
+        /// Worker pool configuration.
+        pool: WorkerPool,
+    },
+    /// A synchronous training job.
+    Training {
+        /// Workload name (for tables).
+        name: &'static str,
+        /// The job model.
+        job: TrainingJob,
+    },
+}
+
+/// Uniform summary of one run, for the figure harnesses.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSummary {
+    /// Running time normalized to the undeflated baseline.
+    pub normalized: f64,
+    /// The policy decision, for cascade runs.
+    pub decision: Option<DeflationDecision>,
+    /// Recomputed tasks (0 for training jobs, which restart instead).
+    pub recomputed_tasks: usize,
+}
+
+impl SparkWorkload {
+    /// The workload's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SparkWorkload::Dag { name, .. } => name,
+            SparkWorkload::Training { name, .. } => name,
+        }
+    }
+
+    /// Number of worker VMs.
+    pub fn workers(&self) -> usize {
+        match self {
+            SparkWorkload::Dag { pool, .. } => pool.len(),
+            SparkWorkload::Training { job, .. } => job.params().n_workers,
+        }
+    }
+
+    /// Runs the workload under a deflation mode and event, with the
+    /// paper's default sync-heuristic `r` estimator.
+    pub fn run(
+        &self,
+        mode: DeflationMode,
+        event: Option<&DeflationEvent>,
+        seed: u64,
+    ) -> RunSummary {
+        self.run_with_estimator(mode, event, seed, REstimateKind::SyncHeuristic)
+    }
+
+    /// Runs the workload with an explicit recomputation estimator for the
+    /// cascade policy (training jobs are fully synchronous, so the
+    /// estimator only affects DAG workloads).
+    pub fn run_with_estimator(
+        &self,
+        mode: DeflationMode,
+        event: Option<&DeflationEvent>,
+        seed: u64,
+        estimator: REstimateKind,
+    ) -> RunSummary {
+        match self {
+            SparkWorkload::Dag { dag, pool, .. } => {
+                let mut sim = BspSimulator::new(dag, pool.clone(), seed);
+                let r: RunResult = sim.run_with_estimator(mode, event, estimator);
+                RunSummary {
+                    normalized: r.normalized(),
+                    decision: r.decision,
+                    recomputed_tasks: r.recomputed_tasks,
+                }
+            }
+            SparkWorkload::Training { job, .. } => {
+                let r = job.run(mode, event);
+                RunSummary {
+                    normalized: r.normalized(),
+                    decision: r.decision,
+                    recomputed_tasks: 0,
+                }
+            }
+        }
+    }
+}
+
+/// Standard evaluation pool: 8 worker VMs with 4 task slots each
+/// (the paper's 8-worker/4-vCPU cluster).
+pub fn standard_pool() -> WorkerPool {
+    WorkerPool::uniform(8, 4.0)
+}
+
+/// ALS on a 100 GB dataset: shuffle-heavy iterative factorization.
+pub fn als() -> SparkWorkload {
+    let mut b = DagBuilder::new();
+    let mut h = b.source("ratings", 64, SimDuration::from_secs(8));
+    for i in 0..5 {
+        h = b.wide(
+            &format!("user-factors-{i}"),
+            h,
+            64,
+            SimDuration::from_secs(6),
+        );
+        h = b.wide(
+            &format!("item-factors-{i}"),
+            h,
+            64,
+            SimDuration::from_secs(6),
+        );
+    }
+    SparkWorkload::Dag {
+        name: "ALS",
+        dag: b.build(h),
+        pool: standard_pool(),
+    }
+}
+
+/// Dense K-means on a 50 GB dataset: cached input, narrow per-iteration
+/// scans, tiny aggregations.
+pub fn kmeans() -> SparkWorkload {
+    let mut b = DagBuilder::new();
+    let src = b
+        .source("points", 64, SimDuration::from_secs(6))
+        .cache(&mut b);
+    let mut last = src;
+    for i in 0..10 {
+        let m = b.narrow(&format!("assign-{i}"), src, SimDuration::from_secs(3));
+        last = b.wide(
+            &format!("update-centers-{i}"),
+            m,
+            1,
+            SimDuration::from_millis(200),
+        );
+    }
+    SparkWorkload::Dag {
+        name: "K-means",
+        dag: b.build(last),
+        pool: standard_pool(),
+    }
+}
+
+/// ResNet CNN training on CIFAR-10 with Spark-BigDL (batch 720,
+/// depth 20): heavily synchronous, checkpoint only at job start.
+pub fn cnn() -> SparkWorkload {
+    SparkWorkload::Training {
+        name: "CNN",
+        job: TrainingJob::new(TrainingParams::default()),
+    }
+}
+
+/// Character-RNN training on the Shakespeare corpus with Spark-BigDL:
+/// synchronous but with more frequent model checkpoints.
+pub fn rnn() -> SparkWorkload {
+    let params = TrainingParams {
+        compute_frac: 0.25,
+        restarted_compute_frac: 0.45,
+        checkpoint_interval_frac: 0.25,
+        checkpoint_overhead: 0.15,
+        ..TrainingParams::default()
+    };
+    SparkWorkload::Training {
+        name: "RNN",
+        job: TrainingJob::new(params),
+    }
+}
+
+/// PageRank (GraphX-style, Table 2's "graph analytics" row): cached
+/// edges re-joined with the rank vector every iteration — wide
+/// contributions and wide rank updates, but the big edge input itself is
+/// recoverable from cache/HDFS, so recomputation depth sits between
+/// ALS's and K-means'.
+pub fn pagerank() -> SparkWorkload {
+    let mut b = DagBuilder::new();
+    let edges = b
+        .source("edges", 64, SimDuration::from_secs(10))
+        .cache(&mut b);
+    let mut ranks = b.narrow("init-ranks", edges, SimDuration::from_millis(500));
+    for i in 0..6 {
+        let contrib = b.join(
+            &format!("contrib-{i}"),
+            edges,
+            ranks,
+            64,
+            SimDuration::from_secs(4),
+        );
+        ranks = b.wide(
+            &format!("ranks-{i}"),
+            contrib,
+            64,
+            SimDuration::from_secs(1),
+        );
+    }
+    SparkWorkload::Dag {
+        name: "PageRank",
+        dag: b.build(ranks),
+        pool: standard_pool(),
+    }
+}
+
+/// TeraSort: read → one giant range-partitioning shuffle → sorted write.
+/// Almost all the job's synchronous time sits in a single shuffle, so
+/// the right mechanism flips with the deflation's timing.
+pub fn terasort() -> SparkWorkload {
+    let mut b = DagBuilder::new();
+    let input = b.source("input", 128, SimDuration::from_secs(5));
+    let sorted = b.wide("range-partition", input, 128, SimDuration::from_secs(7));
+    let written = b.narrow("write", sorted, SimDuration::from_secs(2));
+    SparkWorkload::Dag {
+        name: "TeraSort",
+        dag: b.build(written),
+        pool: standard_pool(),
+    }
+}
+
+/// All four evaluation workloads (Fig. 6 order).
+pub fn all_workloads() -> Vec<SparkWorkload> {
+    vec![als(), kmeans(), cnn(), rnn()]
+}
+
+/// The Fig. 6 workloads plus the two extended ones (PageRank, TeraSort).
+pub fn extended_workloads() -> Vec<SparkWorkload> {
+    vec![als(), kmeans(), cnn(), rnn(), pagerank(), terasort()]
+}
+
+/// The paper's Fig. 6 deflation event: every worker deflated by
+/// `fraction`, roughly 50 % into the run, with the small per-VM jitter a
+/// real cascade produces (per-VM reclamation outcomes never match
+/// exactly).
+pub fn fig6_event(workers: usize, fraction: f64) -> DeflationEvent {
+    let mut fractions = Vec::with_capacity(workers);
+    for i in 0..workers {
+        // Deterministic ±4 % jitter around the requested fraction.
+        let jitter = ((i * 2654435761) % 9) as f64 / 100.0 - 0.04;
+        fractions.push((fraction + jitter).clamp(0.0, 0.95));
+    }
+    DeflationEvent {
+        at_progress: 0.5,
+        fractions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ChosenMechanism;
+
+    #[test]
+    fn workload_inventory() {
+        let all = all_workloads();
+        let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["ALS", "K-means", "CNN", "RNN"]);
+        assert!(all.iter().all(|w| w.workers() == 8));
+    }
+
+    #[test]
+    fn als_prefers_vm_level() {
+        let w = als();
+        let ev = fig6_event(8, 0.5);
+        let r = w.run(DeflationMode::Cascade, Some(&ev), 7);
+        assert_eq!(
+            r.decision.expect("decides").chosen,
+            ChosenMechanism::VmLevel
+        );
+        // And VM-level is genuinely cheaper than self-deflation.
+        let rv = w.run(DeflationMode::VmLevel, Some(&ev), 7);
+        let rs = w.run(DeflationMode::SelfDeflation, Some(&ev), 7);
+        assert!(
+            rs.normalized > rv.normalized,
+            "self {} vm {}",
+            rs.normalized,
+            rv.normalized
+        );
+        assert!(rs.recomputed_tasks > 50, "ALS recomputation is deep");
+    }
+
+    #[test]
+    fn kmeans_prefers_self_deflation() {
+        let w = kmeans();
+        let ev = fig6_event(8, 0.5);
+        let r = w.run(DeflationMode::Cascade, Some(&ev), 7);
+        assert_eq!(
+            r.decision.expect("decides").chosen,
+            ChosenMechanism::SelfDeflation
+        );
+        let rv = w.run(DeflationMode::VmLevel, Some(&ev), 7);
+        let rs = w.run(DeflationMode::SelfDeflation, Some(&ev), 7);
+        assert!(
+            rs.normalized < rv.normalized,
+            "self {} vm {}",
+            rs.normalized,
+            rv.normalized
+        );
+    }
+
+    #[test]
+    fn training_prefers_vm_level_and_beats_preemption_2x() {
+        for w in [cnn(), rnn()] {
+            let ev = fig6_event(8, 0.5);
+            let rc = w.run(DeflationMode::Cascade, Some(&ev), 7);
+            assert_eq!(
+                rc.decision.expect("decides").chosen,
+                ChosenMechanism::VmLevel,
+                "{}",
+                w.name()
+            );
+            let rp = w.run(DeflationMode::Preemption, Some(&ev), 7);
+            assert!(
+                (rp.normalized - 1.0) / (rc.normalized - 1.0) > 2.0,
+                "{}: cascade {} preempt {}",
+                w.name(),
+                rc.normalized,
+                rp.normalized
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_event_has_jitter_but_right_mean() {
+        let ev = fig6_event(8, 0.5);
+        let mean: f64 = ev.fractions.iter().sum::<f64>() / 8.0;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+        let max = ev.fractions.iter().copied().fold(0.0f64, f64::max);
+        let min = ev.fractions.iter().copied().fold(1.0f64, f64::min);
+        assert!(max > min, "jitter required");
+    }
+
+    #[test]
+    fn extended_workloads_run_under_every_mode() {
+        for w in [pagerank(), terasort()] {
+            let ev = fig6_event(8, 0.5);
+            let base = w.run(DeflationMode::None, None, 3);
+            assert!((base.normalized - 1.0).abs() < 1e-9, "{}", w.name());
+            for mode in [
+                DeflationMode::VmLevel,
+                DeflationMode::SelfDeflation,
+                DeflationMode::Preemption,
+                DeflationMode::Cascade,
+            ] {
+                let r = w.run(mode, Some(&ev), 3);
+                assert!(
+                    r.normalized >= 1.0 && r.normalized < 5.0,
+                    "{} {:?}: {}",
+                    w.name(),
+                    mode,
+                    r.normalized
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_is_shuffle_bound_enough_for_vm_level() {
+        let w = pagerank();
+        let ev = fig6_event(8, 0.5);
+        let r = w.run(DeflationMode::Cascade, Some(&ev), 3);
+        assert_eq!(
+            r.decision.expect("decides").chosen,
+            ChosenMechanism::VmLevel
+        );
+        // And cascade beats preemption comfortably.
+        let rp = w.run(DeflationMode::Preemption, Some(&ev), 3);
+        assert!(rp.normalized > r.normalized);
+    }
+
+    #[test]
+    fn terasort_cascade_never_regrets_much() {
+        let w = terasort();
+        for at in [0.2, 0.5, 0.8] {
+            let mut ev = fig6_event(8, 0.5);
+            ev.at_progress = at;
+            let rc = w.run(DeflationMode::Cascade, Some(&ev), 3).normalized;
+            let rv = w.run(DeflationMode::VmLevel, Some(&ev), 3).normalized;
+            let rs = w.run(DeflationMode::SelfDeflation, Some(&ev), 3).normalized;
+            assert!(
+                rc <= rv.min(rs) * 1.12,
+                "at {at}: cascade {rc} vs best {}",
+                rv.min(rs)
+            );
+        }
+    }
+
+    #[test]
+    fn preemption_worst_for_als() {
+        let w = als();
+        let ev = fig6_event(8, 0.5);
+        let rp = w.run(DeflationMode::Preemption, Some(&ev), 7);
+        let rs = w.run(DeflationMode::SelfDeflation, Some(&ev), 7);
+        // "recomputation costs for self-deflation are lower ... compared
+        // to preemption, because self-deflation allows recovering some
+        // RDD partitions from Spark's RDD cache" (§6.2).
+        assert!(
+            rp.normalized >= rs.normalized,
+            "preempt {} self {}",
+            rp.normalized,
+            rs.normalized
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the Spark substrate: random lineage graphs
+//! through stage-splitting and the BSP executor.
+
+use proptest::prelude::*;
+use simkit::SimDuration;
+use spark::rdd::RddDag;
+use spark::{build_stages, BspSimulator, DagBuilder, DeflationEvent, DeflationMode, WorkerPool};
+
+/// Strategy: a random linear lineage (each RDD chains onto the previous
+/// one with a random dependency kind, cost, and caching).
+fn arb_dag() -> impl Strategy<Value = RddDag> {
+    let op = (0u8..3, 1usize..64, 50u64..5_000);
+    (1usize..64, 100u64..5_000, prop::collection::vec(op, 0..12)).prop_map(
+        |(src_parts, src_cost, ops)| {
+            let mut b = DagBuilder::new();
+            let mut h = b.source("src", src_parts, SimDuration::from_millis(src_cost));
+            for (i, (kind, parts, cost)) in ops.into_iter().enumerate() {
+                h = match kind {
+                    0 => b.narrow(&format!("map{i}"), h, SimDuration::from_millis(cost)),
+                    1 => b.wide(
+                        &format!("shuffle{i}"),
+                        h,
+                        parts,
+                        SimDuration::from_millis(cost),
+                    ),
+                    _ => {
+                        let cached =
+                            b.narrow(&format!("cache{i}"), h, SimDuration::from_millis(cost));
+                        cached.cache(&mut b)
+                    }
+                };
+            }
+            b.build(h)
+        },
+    )
+}
+
+fn arb_event() -> impl Strategy<Value = DeflationEvent> {
+    (
+        prop::collection::vec(0.0f64..0.9, 8),
+        0.0f64..1.0,
+    )
+        .prop_map(|(fractions, at)| DeflationEvent {
+            at_progress: at,
+            fractions,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stage splitting covers every RDD exactly once, in topological
+    /// order, with parents preceding children.
+    #[test]
+    fn stage_splitting_partitions_the_dag(dag in arb_dag()) {
+        let stages = build_stages(&dag);
+        let mut seen = vec![false; dag.rdds.len()];
+        for s in &stages {
+            for r in &s.rdds {
+                prop_assert!(!seen[r.0], "RDD {} in two stages", r.0);
+                seen[r.0] = true;
+            }
+            for (pid, _) in &s.parents {
+                prop_assert!(pid.0 < s.id.0, "parent stage after child");
+            }
+            prop_assert!(s.tasks > 0);
+        }
+        prop_assert!(seen.iter().all(|b| *b), "some RDD not in any stage");
+    }
+
+    /// An undeflated run always matches the baseline exactly.
+    #[test]
+    fn no_deflation_is_baseline(dag in arb_dag(), seed in 0u64..1000) {
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), seed);
+        let r = sim.run(DeflationMode::None, None);
+        prop_assert_eq!(r.duration, r.baseline);
+        prop_assert_eq!(r.recomputed_tasks, 0);
+    }
+
+    /// Any deflation can only slow a job down, never speed it up; and
+    /// runs are deterministic per seed.
+    #[test]
+    fn deflation_never_speeds_up(
+        dag in arb_dag(),
+        ev in arb_event(),
+        mode_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mode = [
+            DeflationMode::VmLevel,
+            DeflationMode::SelfDeflation,
+            DeflationMode::Preemption,
+            DeflationMode::Cascade,
+        ][mode_idx];
+        let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), seed);
+        let r = sim.run(mode, Some(&ev));
+        prop_assert!(
+            r.normalized() >= 1.0 - 1e-9,
+            "{mode:?} sped the job up: {}",
+            r.normalized()
+        );
+        prop_assert!(r.duration.as_secs_f64().is_finite());
+
+        let mut sim2 = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), seed);
+        let r2 = sim2.run(mode, Some(&ev));
+        prop_assert_eq!(r.duration, r2.duration, "non-deterministic run");
+        prop_assert_eq!(r.recomputed_tasks, r2.recomputed_tasks);
+    }
+
+    /// The cascade never does worse than BOTH pure mechanisms by more
+    /// than the policy's modeling error allows (it always picks one of
+    /// them, so it can never exceed the worse of the two).
+    #[test]
+    fn cascade_bounded_by_worst_mechanism(
+        dag in arb_dag(),
+        frac in 0.1f64..0.8,
+        at in 0.1f64..0.9,
+        seed in 0u64..100,
+    ) {
+        let ev = DeflationEvent::uniform(8, frac, at);
+        let run = |mode| {
+            let mut sim = BspSimulator::new(&dag, WorkerPool::uniform(8, 4.0), seed);
+            sim.run(mode, Some(&ev)).normalized()
+        };
+        let cascade = run(DeflationMode::Cascade);
+        let vm = run(DeflationMode::VmLevel);
+        let selfd = run(DeflationMode::SelfDeflation);
+        prop_assert!(
+            cascade <= vm.max(selfd) + 1e-9,
+            "cascade {cascade} worse than both (vm {vm}, self {selfd})"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Cluster-scale deflation: replays a synthetic cloud trace against the
+//! deflation-based cluster manager and its preemption-only counterpart.
+//!
+//! ```text
+//! cargo run -p bench --example cluster_overcommit
+//! ```
+
+use cluster::{run_cluster_sim, ClusterManagerConfig, ClusterSimConfig, TraceConfig};
+use simkit::SimDuration;
+
+fn main() {
+    println!("40-server cluster, 12 simulated hours, 50% low-priority VMs\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "arrivals/h", "mode", "launched", "preempted", "P[preempt]", "overcommit"
+    );
+    for rate in [50.0, 100.0, 150.0, 200.0] {
+        for deflation in [true, false] {
+            let cfg = ClusterSimConfig {
+                manager: ClusterManagerConfig {
+                    n_servers: 40,
+                    deflation_enabled: deflation,
+                    ..ClusterManagerConfig::default()
+                },
+                trace: TraceConfig {
+                    arrivals_per_hour: rate,
+                    ..TraceConfig::default()
+                },
+                horizon: SimDuration::from_hours(12),
+            };
+            let r = run_cluster_sim(&cfg);
+            println!(
+                "{:>10.0} {:>12} {:>12} {:>12} {:>12.3} {:>9.0}%",
+                rate,
+                if deflation { "deflation" } else { "preempt-only" },
+                r.stats.launched,
+                r.stats.preempted,
+                r.preemption_probability,
+                r.mean_overcommitment * 100.0,
+            );
+        }
+    }
+    println!(
+        "\nDeflation sustains overcommitment with (near-)zero preemptions,\n\
+         while the preemption-only manager kills low-priority VMs as soon\n\
+         as servers fill up — paper Fig. 8c."
+    );
+}

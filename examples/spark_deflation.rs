@@ -1,0 +1,43 @@
+//! Spark under resource pressure: runs every paper workload under every
+//! reclamation mechanism and shows what the cascade policy chose.
+//!
+//! ```text
+//! cargo run -p bench --example spark_deflation
+//! ```
+
+use spark::workloads::{all_workloads, fig6_event};
+use spark::DeflationMode;
+
+fn main() {
+    println!("Deflating every worker by ~50% halfway through each job:\n");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>11}   policy chose",
+        "workload", "Cascade", "Self", "VM", "Preemption"
+    );
+    for w in all_workloads() {
+        let ev = fig6_event(w.workers(), 0.5);
+        let rc = w.run(DeflationMode::Cascade, Some(&ev), 7);
+        let rs = w.run(DeflationMode::SelfDeflation, Some(&ev), 7);
+        let rv = w.run(DeflationMode::VmLevel, Some(&ev), 7);
+        let rp = w.run(DeflationMode::Preemption, Some(&ev), 7);
+        let chose = rc
+            .decision
+            .map(|d| format!("{:?} (T_vm={:.2}, T_self={:.2}, r={:.2})",
+                d.chosen, d.t_vm, d.t_self, d.r))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<10} {:>8.2}x {:>8.2}x {:>8.2}x {:>10.2}x   {}",
+            w.name(),
+            rc.normalized,
+            rs.normalized,
+            rv.normalized,
+            rp.normalized,
+            chose
+        );
+    }
+    println!(
+        "\nNormalized running time (1.0 = undeflated). The cascade policy\n\
+         picks VM-level deflation for shuffle-heavy/synchronous jobs (ALS,\n\
+         CNN, RNN) and self-deflation for K-means — matching paper Fig. 6."
+    );
+}

@@ -1,0 +1,191 @@
+//! Cluster-level integration: the manager, placement, deflation and
+//! preemption working together under trace-driven load, with capacity
+//! invariants checked throughout.
+
+use cluster::{
+    run_cluster_sim, ClusterManager, ClusterManagerConfig, ClusterSimConfig, LaunchOutcome,
+    PlacementPolicy, TraceConfig, TraceGenerator,
+};
+use deflate_core::ResourceKind;
+use simkit::{SimDuration, SimTime};
+
+fn manager_cfg(n_servers: usize, deflation: bool) -> ClusterManagerConfig {
+    ClusterManagerConfig {
+        n_servers,
+        deflation_enabled: deflation,
+        ..ClusterManagerConfig::default()
+    }
+}
+
+/// No server may ever commit more than its capacity, no matter how hard
+/// the manager overcommits nominal specs.
+#[test]
+fn committed_never_exceeds_capacity() {
+    let mut m = ClusterManager::new(manager_cfg(10, true));
+    let mut gen = TraceGenerator::new(TraceConfig {
+        arrivals_per_hour: 2_000.0,
+        ..TraceConfig::default()
+    });
+    let mut peak_overcommit = 0.0f64;
+    for _ in 0..400 {
+        let req = gen.next_request();
+        m.launch(req.arrival, &req);
+        peak_overcommit = peak_overcommit.max(m.overcommitment());
+        for s in m.servers() {
+            let committed = s.committed();
+            let capacity = s.capacity();
+            for k in ResourceKind::ALL {
+                assert!(
+                    committed.get(k) <= capacity.get(k) + 1e-6,
+                    "{}: committed {} > capacity {}",
+                    s.id(),
+                    committed,
+                    capacity
+                );
+            }
+        }
+    }
+    // The cluster actually had to deflate to stay within capacity, and
+    // overcommitted at some point (later high-priority arrivals may have
+    // preempted the overcommitment away again).
+    assert!(m.stats().deflations > 0);
+    assert!(peak_overcommit > 0.0);
+}
+
+/// High-priority VMs always receive their full allocation, even on
+/// heavily overcommitted servers.
+#[test]
+fn high_priority_vms_keep_full_allocation() {
+    let mut m = ClusterManager::new(manager_cfg(5, true));
+    let mut gen = TraceGenerator::new(TraceConfig {
+        arrivals_per_hour: 1_500.0,
+        low_priority_fraction: 0.5,
+        ..TraceConfig::default()
+    });
+    let mut high_ids = Vec::new();
+    for _ in 0..200 {
+        let req = gen.next_request();
+        if let LaunchOutcome::Placed { .. } = m.launch(req.arrival, &req) {
+            if !req.low_priority {
+                high_ids.push((req.id, req.spec));
+            }
+        }
+    }
+    assert!(!high_ids.is_empty());
+    for (id, spec) in high_ids {
+        if !m.is_running(id) {
+            continue; // Exited naturally? (no departures here) — placed VMs stay.
+        }
+        let vm = m
+            .servers()
+            .iter()
+            .find_map(|s| s.vm(id))
+            .expect("high-priority VM is never preempted");
+        assert!(
+            vm.effective().approx_eq(&spec, 1e-6),
+            "{id}: effective {} != spec {}",
+            vm.effective(),
+            spec
+        );
+    }
+}
+
+/// Departures trigger reinflation: after the load drains, surviving
+/// low-priority VMs return to (nearly) full size.
+#[test]
+fn drain_reinflates_survivors() {
+    let mut m = ClusterManager::new(manager_cfg(4, true));
+    // All low-priority: pure deflation dynamics, no preemption by
+    // high-priority arrivals.
+    let mut gen = TraceGenerator::new(TraceConfig {
+        arrivals_per_hour: 1_000.0,
+        low_priority_fraction: 1.0,
+        ..TraceConfig::default()
+    });
+    let mut placed = Vec::new();
+    for _ in 0..120 {
+        let req = gen.next_request();
+        if let LaunchOutcome::Placed { .. } = m.launch(req.arrival, &req) {
+            placed.push(req.id);
+        }
+    }
+    let max_deflation_before: f64 = m
+        .servers()
+        .iter()
+        .flat_map(|s| s.vms())
+        .map(|vm| vm.max_deflation())
+        .fold(0.0, f64::max);
+    assert!(max_deflation_before > 0.0, "load should deflate someone");
+
+    // Exit three quarters of the VMs.
+    let keep = placed.len() / 4;
+    for id in placed.iter().skip(keep) {
+        m.exit(SimTime::from_secs(10_000), *id);
+    }
+    let max_deflation_after: f64 = m
+        .servers()
+        .iter()
+        .flat_map(|s| s.vms())
+        .map(|vm| vm.max_deflation())
+        .fold(0.0, f64::max);
+    assert!(
+        max_deflation_after < max_deflation_before,
+        "reinflation should shrink deflation: {max_deflation_after} vs {max_deflation_before}"
+    );
+}
+
+/// The paper's Fig. 8c headline: same trace, deflation preempts (much)
+/// less than preemption-only and reaches higher goodput.
+#[test]
+fn deflation_dominates_preemption_only() {
+    let trace = TraceConfig {
+        arrivals_per_hour: 90.0,
+        seed: 99,
+        ..TraceConfig::default()
+    };
+    let base = ClusterSimConfig {
+        manager: manager_cfg(25, true),
+        trace: trace.clone(),
+        horizon: SimDuration::from_hours(10),
+    };
+    let defl = run_cluster_sim(&base);
+    let pre = run_cluster_sim(&ClusterSimConfig {
+        manager: manager_cfg(25, false),
+        ..base
+    });
+
+    assert!(pre.preemption_probability > defl.preemption_probability);
+    // Goodput proxy: successfully launched and never-preempted VMs.
+    let defl_goodput = defl.stats.launched - defl.stats.preempted;
+    let pre_goodput = pre.stats.launched - pre.stats.preempted;
+    assert!(
+        defl_goodput >= pre_goodput,
+        "deflation goodput {defl_goodput} < preemption-only {pre_goodput}"
+    );
+}
+
+/// All three placement policies keep working at cluster scale and yield
+/// comparable overcommitment (Fig. 8d).
+#[test]
+fn placement_policies_comparable_at_scale() {
+    let mut means = Vec::new();
+    for policy in PlacementPolicy::ALL {
+        let cfg = ClusterSimConfig {
+            manager: ClusterManagerConfig {
+                n_servers: 15,
+                placement: policy,
+                ..ClusterManagerConfig::default()
+            },
+            trace: TraceConfig {
+                arrivals_per_hour: 50.0,
+                ..TraceConfig::default()
+            },
+            horizon: SimDuration::from_hours(8),
+        };
+        let r = run_cluster_sim(&cfg);
+        let mean = simkit::stats::mean(&r.server_overcommitment);
+        means.push(mean);
+    }
+    let spread = simkit::stats::max(&means) - simkit::stats::min(&means);
+    assert!(spread < 0.3, "policy overcommitment spread too wide: {means:?}");
+}

@@ -1,0 +1,116 @@
+//! Full-stack control-plane integration: the cascade's application layer
+//! reached over the wire protocol, with a *real* application agent on
+//! the remote side — the paper's controller → REST → in-VM agent path.
+
+use agentproto::{AgentEndpoint, AgentPolicy, Duplex, ProtocolAgent};
+use apps::{MemcachedApp, MemcachedParams};
+use deflate_core::{CascadeConfig, ResourceKind, ResourceVector, VmId};
+use hypervisor::{Vm, VmPriority};
+use simkit::{SimDuration, SimTime};
+
+fn spec() -> ResourceVector {
+    ResourceVector::new(4.0, 16_384.0, 200.0, 1_000.0)
+}
+
+/// memcached's agent serving over the wire behaves like the in-process
+/// one, plus the round-trip latency.
+#[test]
+fn cascade_through_the_wire_matches_in_process() {
+    let target = ResourceVector::memory(8_192.0);
+
+    // In-process reference.
+    let app_ref = MemcachedApp::new(MemcachedParams::default());
+    let vm = Vm::new(VmId(1), spec(), VmPriority::Low);
+    app_ref.init_usage(&vm.state());
+    let agent = app_ref.agent(vm.state());
+    let mut vm_ref = vm.with_agent(Box::new(agent));
+    let out_ref = vm_ref.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+
+    // Over-the-wire: the same memcached agent behind a protocol endpoint.
+    let app_net = MemcachedApp::new(MemcachedParams::default());
+    let vm = Vm::new(VmId(2), spec(), VmPriority::Low);
+    app_net.init_usage(&vm.state());
+    let remote = AgentEndpoint::with_delegate(VmId(2), Box::new(app_net.agent(vm.state())));
+    let link = Duplex::new(SimDuration::from_millis(20));
+    let proto = ProtocolAgent::new(VmId(2), remote, link, SimDuration::from_secs(30));
+    let mut vm_net = vm.with_agent(Box::new(proto));
+    let out_net = vm_net.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+
+    // Same relinquished amount and cache size.
+    assert!(out_net
+        .app
+        .reclaimed
+        .approx_eq(&out_ref.app.reclaimed, 1e-6));
+    assert_eq!(app_net.cache_mb(), app_ref.cache_mb());
+    assert!(out_net.met_target());
+    // The wire adds exactly two link delays to the app layer.
+    let extra = out_net.app.latency - out_ref.app.latency;
+    assert_eq!(extra, SimDuration::from_millis(40));
+}
+
+/// A dead agent (no response) must not stall the cascade: the deadline
+/// expires and the OS + hypervisor reclaim everything.
+#[test]
+fn dead_agent_falls_through_to_lower_layers() {
+    let target = spec().scale(0.5);
+    let vm = Vm::new(VmId(3), spec(), VmPriority::Low);
+    vm.set_usage(6_000.0, 2.0);
+    let remote = AgentEndpoint::new(VmId(3), AgentPolicy::Silent);
+    let link = Duplex::new(SimDuration::from_millis(20));
+    let deadline = SimDuration::from_secs(2);
+    let proto = ProtocolAgent::new(VmId(3), remote, link, deadline);
+    let mut vm = vm.with_agent(Box::new(proto));
+
+    let out = vm.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+    assert!(out.met_target(), "lower layers must pick up the slack");
+    assert!(out.app.reclaimed.is_zero());
+    assert_eq!(out.app.latency, deadline);
+    let lower = out.os.reclaimed + out.hypervisor.reclaimed;
+    assert!(lower.approx_eq(&target, 1e-6));
+}
+
+/// A lossy link behaves like a timeout, not an error.
+#[test]
+fn lossy_link_degrades_to_vm_level() {
+    let target = ResourceVector::memory(4_096.0);
+    let app = MemcachedApp::new(MemcachedParams::default());
+    let vm = Vm::new(VmId(4), spec(), VmPriority::Low);
+    app.init_usage(&vm.state());
+    let remote = AgentEndpoint::with_delegate(VmId(4), Box::new(app.agent(vm.state())));
+    let link = Duplex::new(SimDuration::from_millis(5)).with_drop_every(1); // Drop all.
+    let proto = ProtocolAgent::new(VmId(4), remote, link, SimDuration::from_millis(500));
+    let mut vm = vm.with_agent(Box::new(proto));
+
+    let out = vm.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+    assert!(out.met_target());
+    assert!(out.app.reclaimed.is_zero());
+    // The cache was never asked (request dropped), so it stays full.
+    assert_eq!(app.cache_mb(), MemcachedParams::default().base_cache_mb);
+}
+
+/// Reinflation notifications reach the remote agent and regrow the cache.
+#[test]
+fn reinflation_round_trips_the_wire() {
+    let target = ResourceVector::memory(8_192.0);
+    let app = MemcachedApp::new(MemcachedParams::default());
+    let vm = Vm::new(VmId(5), spec(), VmPriority::Low);
+    app.init_usage(&vm.state());
+    let remote = AgentEndpoint::with_delegate(VmId(5), Box::new(app.agent(vm.state())));
+    let link = Duplex::new(SimDuration::from_millis(10));
+    let proto = ProtocolAgent::new(VmId(5), remote, link, SimDuration::from_secs(30));
+    let mut vm = vm.with_agent(Box::new(proto));
+
+    vm.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+    let shrunk = app.cache_mb();
+    assert!(shrunk < MemcachedParams::default().base_cache_mb);
+
+    vm.reinflate(SimTime::from_secs(60), &target);
+    assert!(
+        app.cache_mb() > shrunk,
+        "reinflation over the wire should regrow the cache"
+    );
+    let mem_back = vm
+        .effective()
+        .get(ResourceKind::Memory);
+    assert!((mem_back - 16_384.0).abs() < 1e-6);
+}
