@@ -49,13 +49,9 @@ impl ProtocolAgent {
 
 impl ApplicationAgent for ProtocolAgent {
     fn self_deflate(&mut self, now: SimTime, target: &ResourceVector) -> ReclaimResult {
-        let seq = self.controller.request_deflation(
-            now,
-            &mut self.link,
-            self.vm,
-            *target,
-            self.deadline,
-        );
+        let seq =
+            self.controller
+                .request_deflation(now, &mut self.link, self.vm, *target, self.deadline);
 
         // Deliver the request to the remote agent after the link delay;
         // the remote queues its (possibly delayed) response.
@@ -129,8 +125,7 @@ mod tests {
     fn silent_remote_times_out_and_cascade_gets_zero() {
         let remote = AgentEndpoint::new(VmId(1), AgentPolicy::Silent);
         let link = Duplex::new(SimDuration::from_millis(10));
-        let mut agent =
-            ProtocolAgent::new(VmId(1), remote, link, SimDuration::from_millis(500));
+        let mut agent = ProtocolAgent::new(VmId(1), remote, link, SimDuration::from_millis(500));
         let r = agent.self_deflate(SimTime::ZERO, &target());
         assert!(r.reclaimed.is_zero());
         assert_eq!(r.latency, SimDuration::from_millis(500));

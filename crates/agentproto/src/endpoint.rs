@@ -112,7 +112,10 @@ impl ControllerEndpoint {
     ) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        link.send_to_agent(now, wire::encode(&Message::Reinflate { seq, vm, available }));
+        link.send_to_agent(
+            now,
+            wire::encode(&Message::Reinflate { seq, vm, available }),
+        );
     }
 
     /// Drains the link and the deadline queue; returns completed
@@ -202,7 +205,9 @@ pub struct AgentEndpoint {
 
 impl std::fmt::Debug for AgentEndpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AgentEndpoint").field("vm", &self.vm).finish()
+        f.debug_struct("AgentEndpoint")
+            .field("vm", &self.vm)
+            .finish()
     }
 }
 
@@ -231,7 +236,9 @@ impl AgentEndpoint {
     pub fn poll(&mut self, now: SimTime, link: &mut Duplex) {
         for line in link.recv_at_agent(now) {
             match wire::parse(&line) {
-                Ok(Message::Deflate { seq, vm, target, .. }) if vm == self.vm => {
+                Ok(Message::Deflate {
+                    seq, vm, target, ..
+                }) if vm == self.vm => {
                     match &mut self.behavior {
                         AgentBehavior::Policy(AgentPolicy::Fraction { fraction, delay }) => {
                             let freed = target.scale(fraction.clamp(0.0, 1.0));
@@ -412,8 +419,7 @@ mod tests {
 
     #[test]
     fn reinflate_notification_reaches_agent() {
-        let (mut ctl, mut agent, mut link) =
-            setup(AgentPolicy::Silent, 0);
+        let (mut ctl, mut agent, mut link) = setup(AgentPolicy::Silent, 0);
         ctl.notify_reinflate(SimTime::ZERO, &mut link, VmId(3), target());
         agent.poll(SimTime::ZERO, &mut link);
         assert_eq!(agent.reinflations, vec![target()]);

@@ -27,6 +27,8 @@ pub mod transport;
 pub mod wire;
 
 pub use bridge::ProtocolAgent;
-pub use endpoint::{AgentEndpoint, AgentPolicy, ControllerEndpoint, PendingRequest, RequestOutcome};
+pub use endpoint::{
+    AgentEndpoint, AgentPolicy, ControllerEndpoint, PendingRequest, RequestOutcome,
+};
 pub use transport::Duplex;
 pub use wire::{Message, ParseError};

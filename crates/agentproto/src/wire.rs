@@ -157,13 +157,13 @@ pub fn encode(msg: &Message) -> String {
             deadline.as_micros() / 1_000
         ),
         Message::Relinquish { seq, vm, freed } => {
-            format!("RELINQUISH seq={seq} vm={} freed={}", vm.0, encode_vector(freed))
+            format!(
+                "RELINQUISH seq={seq} vm={} freed={}",
+                vm.0,
+                encode_vector(freed)
+            )
         }
-        Message::Reinflate {
-            seq,
-            vm,
-            available,
-        } => format!(
+        Message::Reinflate { seq, vm, available } => format!(
             "REINFLATE seq={seq} vm={} available={}",
             vm.0,
             encode_vector(available)
@@ -250,7 +250,10 @@ mod tests {
                 vm: VmId(3),
                 available: vec_(2.0, 8_192.0, 50.0, 100.0),
             },
-            Message::Heartbeat { seq: 10, vm: VmId(3) },
+            Message::Heartbeat {
+                seq: 10,
+                vm: VmId(3),
+            },
         ];
         for m in msgs {
             let line = encode(&m);
@@ -261,10 +264,8 @@ mod tests {
 
     #[test]
     fn example_lines_parse() {
-        let m = parse(
-            "DEFLATE seq=7 vm=3 target=2.000,8192.000,50.000,100.000 deadline_ms=120000",
-        )
-        .expect("parses");
+        let m = parse("DEFLATE seq=7 vm=3 target=2.000,8192.000,50.000,100.000 deadline_ms=120000")
+            .expect("parses");
         assert_eq!(m.seq(), 7);
         assert_eq!(m.vm(), VmId(3));
         match m {
@@ -308,7 +309,13 @@ mod tests {
     #[test]
     fn ignores_extra_fields_and_whitespace() {
         let m = parse("HEARTBEAT seq=1 vm=2 extra=field  ").expect("parses");
-        assert_eq!(m, Message::Heartbeat { seq: 1, vm: VmId(2) });
+        assert_eq!(
+            m,
+            Message::Heartbeat {
+                seq: 1,
+                vm: VmId(2)
+            }
+        );
     }
 
     #[test]

@@ -30,26 +30,22 @@ fn arb_message() -> impl Strategy<Value = Message> {
             deadline: SimDuration::from_millis(ms),
         },
     );
-    let relinquish =
-        (any::<u64>(), any::<u64>(), arb_vector()).prop_map(|(seq, vm, freed)| {
-            Message::Relinquish {
-                seq,
-                vm: VmId(vm),
-                freed,
-            }
-        });
-    let reinflate =
-        (any::<u64>(), any::<u64>(), arb_vector()).prop_map(|(seq, vm, available)| {
-            Message::Reinflate {
-                seq,
-                vm: VmId(vm),
-                available,
-            }
-        });
-    let heartbeat = (any::<u64>(), any::<u64>()).prop_map(|(seq, vm)| Message::Heartbeat {
-        seq,
-        vm: VmId(vm),
+    let relinquish = (any::<u64>(), any::<u64>(), arb_vector()).prop_map(|(seq, vm, freed)| {
+        Message::Relinquish {
+            seq,
+            vm: VmId(vm),
+            freed,
+        }
     });
+    let reinflate = (any::<u64>(), any::<u64>(), arb_vector()).prop_map(|(seq, vm, available)| {
+        Message::Reinflate {
+            seq,
+            vm: VmId(vm),
+            available,
+        }
+    });
+    let heartbeat =
+        (any::<u64>(), any::<u64>()).prop_map(|(seq, vm)| Message::Heartbeat { seq, vm: VmId(vm) });
     prop_oneof![deflate, relinquish, reinflate, heartbeat]
 }
 

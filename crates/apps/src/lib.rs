@@ -33,7 +33,7 @@ pub mod webserver;
 pub use jvm::{JvmAgent, JvmApp, JvmParams};
 pub use kcompile::{KcompileApp, KcompileParams};
 pub use memcached::{MemcachedAgent, MemcachedApp, MemcachedParams};
-pub use utility::{lhp_penalty, UtilityCurve};
 pub use mpi::{MpiApp, MpiParams};
+pub use utility::{lhp_penalty, UtilityCurve};
 pub use webcluster::{LbPolicy, WebCluster};
 pub use webserver::{WebServerAgent, WebServerApp, WebServerParams};

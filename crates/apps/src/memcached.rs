@@ -163,7 +163,11 @@ impl MemcachedApp {
 
     /// Expected hit rate for a cache of `mb` MiB, all in RAM.
     pub fn hit_rate(&self, mb: f64) -> f64 {
-        zipf_head_mass(self.objects_in(mb), self.params.n_objects, self.params.zipf_theta)
+        zipf_head_mass(
+            self.objects_in(mb),
+            self.params.n_objects,
+            self.params.zipf_theta,
+        )
     }
 
     /// Successful GETs (cache hits) per second, in thousands, under the
@@ -255,8 +259,7 @@ impl ApplicationAgent for MemcachedAgent {
         let effective_mem = self.vm.borrow().effective_memory_mb();
         let p = self.params;
         let future_available = (effective_mem - want).max(0.0);
-        let desired =
-            (future_available - p.overhead_mb).clamp(p.min_cache_mb, p.base_cache_mb);
+        let desired = (future_available - p.overhead_mb).clamp(p.min_cache_mb, p.base_cache_mb);
         let freed = {
             let mut sh = self.shared.borrow_mut();
             let new_cache = desired.min(sh.cache_mb);

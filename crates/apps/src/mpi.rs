@@ -89,9 +89,8 @@ impl MpiApp {
             return f64::INFINITY;
         }
         let p = &self.params;
-        let cpu_frac = (worst.effective.get(ResourceKind::Cpu)
-            / f64::from(p.ranks_per_vm))
-        .clamp(1e-3, 1.0);
+        let cpu_frac =
+            (worst.effective.get(ResourceKind::Cpu) / f64::from(p.ranks_per_vm)).clamp(1e-3, 1.0);
         let lhp = lhp_penalty(worst.cpu_overcommit_ratio);
         // Swapped pages stall the stencil sweep badly.
         let swap = 1.0 + 6.0 * (worst.swapped_mb / p.memory_mb).clamp(0.0, 1.0);

@@ -3,9 +3,7 @@
 
 use apps::{MemcachedApp, MemcachedParams};
 use criterion::{criterion_group, criterion_main, Criterion};
-use deflate_core::{
-    proportional_targets, CascadeConfig, ResourceVector, VmDeflationState, VmId,
-};
+use deflate_core::{proportional_targets, CascadeConfig, ResourceVector, VmDeflationState, VmId};
 use hypervisor::{Vm, VmPriority};
 use simkit::SimTime;
 use std::hint::black_box;
@@ -22,11 +20,7 @@ fn bench_cascade(c: &mut Criterion) {
             app.init_usage(&vm.state());
             let agent = app.agent(vm.state());
             let mut vm = vm.with_agent(Box::new(agent));
-            let out = vm.deflate(
-                SimTime::ZERO,
-                &vm_spec().scale(0.5),
-                &CascadeConfig::FULL,
-            );
+            let out = vm.deflate(SimTime::ZERO, &vm_spec().scale(0.5), &CascadeConfig::FULL);
             black_box(out.total_reclaimed)
         })
     });
@@ -57,9 +51,7 @@ fn bench_cascade(c: &mut Criterion) {
 
 fn bench_proportional(c: &mut Criterion) {
     let vms: Vec<VmDeflationState> = (0..64)
-        .map(|i| {
-            VmDeflationState::with_min(VmId(i), vm_spec(), vm_spec().scale(0.3))
-        })
+        .map(|i| VmDeflationState::with_min(VmId(i), vm_spec(), vm_spec().scale(0.3)))
         .collect();
     let demand = vm_spec().scale(10.0);
     c.bench_function("policy/proportional_targets_64vms", |b| {

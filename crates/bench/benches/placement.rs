@@ -31,7 +31,7 @@ fn bench_placement(c: &mut Criterion) {
     let servers = build_pool(200);
     let demand = ResourceVector::new(4.0, 8_192.0, 100.0, 200.0);
     for policy in PlacementPolicy::ALL {
-        c.bench_function(&format!("placement/{}_200_servers", policy.name()), |b| {
+        c.bench_function(format!("placement/{}_200_servers", policy.name()), |b| {
             let mut rng = SimRng::seed_from_u64(7);
             b.iter(|| {
                 black_box(choose_server(

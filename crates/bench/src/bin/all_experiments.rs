@@ -1,7 +1,8 @@
 //! Runs the full evaluation suite (every figure plus the ablations) and
-//! prints the markdown tables that back EXPERIMENTS.md. With an output
-//! directory as the first argument, also writes one TSV per table for
-//! plotting:
+//! prints the markdown tables that back EXPERIMENTS.md, followed by the
+//! machine-readable run summary. With an output directory as the first
+//! argument, also writes one TSV per table for plotting and the run
+//! summary as `run_summary.json`:
 //!
 //! ```text
 //! cargo run --release -p bench --bin all_experiments -- results/
@@ -9,11 +10,15 @@
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 fn main() {
     let out_dir = std::env::args().nth(1);
     println!("# Resource Deflation — full experiment suite\n");
-    for t in bench::figs::run_all() {
+    let start = Instant::now();
+    let tables = bench::figs::run_all();
+    let wall = start.elapsed().as_secs_f64();
+    for t in &tables {
         t.print();
         if let Some(dir) = &out_dir {
             let dir = Path::new(dir);
@@ -28,7 +33,15 @@ fn main() {
             }
         }
     }
+    let summary = bench::run_summary("all_experiments", &tables, wall).to_pretty();
+    println!("--- run summary (all_experiments) ---");
+    println!("{summary}");
     if let Some(dir) = out_dir {
-        eprintln!("TSV series written to {dir}");
+        let path = Path::new(&dir).join("run_summary.json");
+        if let Err(e) = fs::write(&path, &summary) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("TSV series and run_summary.json written to {dir}");
     }
 }

@@ -1,4 +1,4 @@
 //! Regenerates paper Fig. 1.
 fn main() {
-    bench::figs::fig1::run().print();
+    bench::print_run("fig1", || vec![bench::figs::fig1::run()]);
 }

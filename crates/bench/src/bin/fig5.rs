@@ -1,6 +1,4 @@
 //! Regenerates paper Figs. 5a–5d.
 fn main() {
-    for t in bench::figs::fig5::run() {
-        t.print();
-    }
+    bench::print_run("fig5", bench::figs::fig5::run);
 }

@@ -1,4 +1,4 @@
 //! Regenerates paper Figs. 6a–6d.
 fn main() {
-    bench::figs::fig6::run().print();
+    bench::print_run("fig6", || vec![bench::figs::fig6::run()]);
 }

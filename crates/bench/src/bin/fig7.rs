@@ -1,6 +1,4 @@
 //! Regenerates paper Figs. 7a and 7b.
 fn main() {
-    for t in bench::figs::fig7::run() {
-        t.print();
-    }
+    bench::print_run("fig7", bench::figs::fig7::run);
 }

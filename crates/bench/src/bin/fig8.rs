@@ -1,7 +1,5 @@
 //! Regenerates paper Figs. 8a–8d (the 8c/8d cluster sweeps take a
 //! minute or two at paper scale).
 fn main() {
-    for t in bench::figs::fig8::run() {
-        t.print();
-    }
+    bench::print_run("fig8", bench::figs::fig8::run);
 }

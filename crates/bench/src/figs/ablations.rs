@@ -50,9 +50,7 @@ pub fn r_estimators() -> Table {
                 let mut ev = fig6_event(w.workers(), frac);
                 ev.at_progress = at;
                 let vm = w.run(DeflationMode::VmLevel, Some(&ev), 7).normalized;
-                let selfd = w
-                    .run(DeflationMode::SelfDeflation, Some(&ev), 7)
-                    .normalized;
+                let selfd = w.run(DeflationMode::SelfDeflation, Some(&ev), 7).normalized;
                 let best = vm.min(selfd);
                 let mut cells = vec![w.name().to_string(), pct(frac), pct(at)];
                 for est in estimators {
@@ -82,20 +80,22 @@ pub fn deadline_sweep() -> Table {
     let mut t = Table::new(
         "ablation-deadline",
         "Cascade deadline vs reclaimed memory (16 GiB VM, 10 GiB target, busy guest)",
-        vec!["deadline (s)", "reclaimed (MiB)", "latency (s)", "met target"],
+        vec![
+            "deadline (s)",
+            "reclaimed (MiB)",
+            "latency (s)",
+            "met target",
+        ],
     );
     for deadline_s in [1u64, 2, 5, 10, 20, 60, 120] {
         let spec = ResourceVector::new(4.0, 16_384.0, 200.0, 1_000.0);
         let mut vm = Vm::new(VmId(1), spec, VmPriority::Low);
         vm.set_usage(14_000.0, 3.0);
-        let cfg =
-            CascadeConfig::VM_LEVEL.with_deadline(SimDuration::from_secs(deadline_s));
+        let cfg = CascadeConfig::VM_LEVEL.with_deadline(SimDuration::from_secs(deadline_s));
         let out = vm.deflate(SimTime::ZERO, &ResourceVector::memory(10_240.0), &cfg);
         t.row(vec![
             deadline_s.to_string(),
-            f1(out
-                .total_reclaimed
-                .get(deflate_core::ResourceKind::Memory)),
+            f1(out.total_reclaimed.get(deflate_core::ResourceKind::Memory)),
             f1(out.latency.as_secs_f64()),
             out.met_target().to_string(),
         ]);
@@ -214,7 +214,12 @@ pub fn speculation() -> Table {
     let mut t = Table::new(
         "ablation-speculation",
         "ALS under uneven VM-level deflation: normalized time, speculation off/on",
-        vec!["max d (one VM)", "Eq.1 prediction", "speculation off", "speculation on"],
+        vec![
+            "max d (one VM)",
+            "Eq.1 prediction",
+            "speculation off",
+            "speculation on",
+        ],
     );
     for d in [0.2, 0.4, 0.6] {
         let ev = {
@@ -236,12 +241,7 @@ pub fn speculation() -> Table {
             sim.run(DeflationMode::VmLevel, Some(&ev)).normalized()
         };
         let eq1 = spark::policy::estimate_t_vm(0.5, d);
-        t.row(vec![
-            pct(d),
-            f3(eq1),
-            f3(run(false)),
-            f3(run(true)),
-        ]);
+        t.row(vec![pct(d), f3(eq1), f3(run(false)), f3(run(true))]);
     }
     t.expect(
         "with speculation off, the measured slowdown tracks Eq. 1's          max-d gate; speculation re-runs stragglers elsewhere and pulls          the penalty toward the mean deflation",
@@ -259,10 +259,7 @@ pub fn heterogeneous_placement() -> Table {
 }
 
 /// [`heterogeneous_placement`] with explicit scale (shrunk in tests).
-pub fn heterogeneous_placement_with(
-    n_servers: usize,
-    horizon: simkit::SimDuration,
-) -> Table {
+pub fn heterogeneous_placement_with(n_servers: usize, horizon: simkit::SimDuration) -> Table {
     use cluster::{run_cluster_sim, ClusterManagerConfig, ClusterSimConfig, TraceConfig};
 
     let mut t = Table::new(
@@ -295,7 +292,12 @@ pub fn heterogeneous_placement_with(
             };
             let r = run_cluster_sim(&cfg);
             t.row(vec![
-                if skew == 0.0 { "homogeneous" } else { "3:1 mixed" }.to_string(),
+                if skew == 0.0 {
+                    "homogeneous"
+                } else {
+                    "3:1 mixed"
+                }
+                .to_string(),
                 policy.name().to_string(),
                 r.stats.launched.to_string(),
                 r.stats.rejected.to_string(),
@@ -357,7 +359,10 @@ mod tests {
             assert!(w[1] + 1e-6 >= w[0], "reclaimed must grow: {reclaimed:?}");
         }
         for r in 0..t.rows.len() {
-            assert!(t.cell(r, 2) <= t.cell(r, 0) + 1e-3, "latency within deadline");
+            assert!(
+                t.cell(r, 2) <= t.cell(r, 0) + 1e-3,
+                "latency within deadline"
+            );
         }
         // The longest deadline meets the target.
         assert_eq!(t.rows.last().expect("rows")[3], "true");

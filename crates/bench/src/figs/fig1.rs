@@ -45,7 +45,13 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "fig1",
         "Normalized performance vs. deflation % (all resources)",
-        vec!["deflation", "SpecJBB", "Kcompile", "Memcached", "Spark-Kmeans"],
+        vec![
+            "deflation",
+            "SpecJBB",
+            "Kcompile",
+            "Memcached",
+            "Spark-Kmeans",
+        ],
     );
 
     for step in 0..=10 {

@@ -54,7 +54,12 @@ pub fn fig5a() -> Table {
     let mut t = Table::new(
         "fig5a",
         "Memcached memory deflation (no app agent): normalized throughput",
-        vec!["memory deflation", "Hypervisor only", "OS only", "Hypervisor+OS"],
+        vec![
+            "memory deflation",
+            "Hypervisor only",
+            "OS only",
+            "Hypervisor+OS",
+        ],
     );
     let configs: [(&CascadeConfig, bool); 3] = [
         (&CascadeConfig::HYPERVISOR_ONLY, false),
@@ -69,11 +74,7 @@ pub fn fig5a() -> Table {
             let mut vm = fresh_vm(force);
             app.init_usage(&vm.state());
             let base = app.throughput_kgets(&vm.view());
-            vm.deflate(
-                SimTime::ZERO,
-                &ResourceVector::memory(16_384.0 * f),
-                cfg,
-            );
+            vm.deflate(SimTime::ZERO, &ResourceVector::memory(16_384.0 * f), cfg);
             let now = app.throughput_kgets(&vm.view());
             cells.push(f3(now / base));
         }
@@ -92,7 +93,12 @@ pub fn fig5b() -> Table {
     let mut t = Table::new(
         "fig5b",
         "Kernel compile CPU deflation: normalized throughput",
-        vec!["CPU deflation", "Hypervisor only", "OS only", "Hypervisor+OS"],
+        vec![
+            "CPU deflation",
+            "Hypervisor only",
+            "OS only",
+            "Hypervisor+OS",
+        ],
     );
     let configs: [&CascadeConfig; 3] = [
         &CascadeConfig::HYPERVISOR_ONLY,

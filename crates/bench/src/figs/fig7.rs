@@ -85,10 +85,7 @@ mod tests {
         let vm_col = t.column(2);
         // Self beats VM somewhere early…
         assert!(
-            self_col
-                .iter()
-                .zip(&vm_col)
-                .any(|(s, v)| s < v),
+            self_col.iter().zip(&vm_col).any(|(s, v)| s < v),
             "self should win early: {self_col:?} vs {vm_col:?}"
         );
         // …and VM beats self at the last point.

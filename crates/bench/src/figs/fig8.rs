@@ -280,7 +280,10 @@ mod tests {
             let hv = t.cell(r, 1);
             let vm_level = t.cell(r, 2);
             let cascade = t.cell(r, 3);
-            assert!(cascade <= vm_level && vm_level <= hv, "row {r}: {cascade} {vm_level} {hv}");
+            assert!(
+                cascade <= vm_level && vm_level <= hv,
+                "row {r}: {cascade} {vm_level} {hv}"
+            );
         }
         // At 55% the cascade is at least 2x faster than hypervisor-only.
         let last = t.rows.len() - 1;

@@ -57,8 +57,7 @@ pub fn run_with(n_servers: usize, horizon: SimDuration) -> Table {
         }
         let pre_flat = revenue(&results[0], &rates, TransientPricing::FlatDiscount).total();
         let defl_flat = revenue(&results[1], &rates, TransientPricing::FlatDiscount).total();
-        let defl_raas =
-            revenue(&results[1], &rates, TransientPricing::ResourceAsAService).total();
+        let defl_raas = revenue(&results[1], &rates, TransientPricing::ResourceAsAService).total();
         t.row(vec![
             pct(results[1].offered_utilization),
             f1(pre_flat),

@@ -98,10 +98,7 @@ impl Table {
             .trim_end_matches('%')
             .parse()
             .unwrap_or_else(|_| {
-                panic!(
-                    "cell ({row},{col}) = {:?} not numeric",
-                    self.rows[row][col]
-                )
+                panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col])
             })
     }
 
@@ -109,6 +106,49 @@ impl Table {
     pub fn column(&self, col: usize) -> Vec<f64> {
         (0..self.rows.len()).map(|r| self.cell(r, col)).collect()
     }
+}
+
+/// Builds the machine-readable observability report for one figure run:
+/// a JSON document with per-table row/column counts, aggregate counters,
+/// and the wall-clock time the experiment took. Every `fig*` binary
+/// prints this after its tables so harnesses can scrape results without
+/// parsing markdown.
+pub fn run_summary(run: &str, tables: &[Table], wall_time_s: f64) -> simkit::JsonValue {
+    let mut obs = simkit::Observability::new();
+    for t in tables {
+        obs.metrics.incr("bench.tables");
+        obs.metrics.add("bench.rows", t.rows.len() as u64);
+        obs.metrics
+            .observe("bench.rows_per_table", t.rows.len() as f64);
+    }
+    obs.metrics.observe("bench.wall_time_s", wall_time_s);
+    let mut doc = obs.run_summary(run);
+    let mut tables_json = simkit::JsonValue::object();
+    for t in tables {
+        tables_json.set(
+            t.id,
+            simkit::JsonValue::object()
+                .with("title", t.title.as_str())
+                .with("columns", t.columns.len())
+                .with("rows", t.rows.len())
+                .with("checked", !t.expectation.is_empty()),
+        );
+    }
+    doc.set("tables", tables_json);
+    doc
+}
+
+/// Prints a figure run end-to-end: the markdown tables followed by the
+/// machine-readable run summary (fenced by a marker line for scraping).
+pub fn print_run(run: &str, runner: impl FnOnce() -> Vec<Table>) {
+    let start = std::time::Instant::now();
+    let tables = runner();
+    let wall = start.elapsed().as_secs_f64();
+    for t in &tables {
+        t.print();
+    }
+    println!("--- run summary ({run}) ---");
+    println!("{}", run_summary(run, &tables, wall).to_pretty());
 }
 
 /// Formats a float with 3 decimals.
@@ -167,6 +207,31 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("f", "t", vec!["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn run_summary_is_machine_readable() {
+        let doc = run_summary("figX", &[sample(), sample()], 0.25);
+        let text = doc.to_pretty();
+        let parsed = simkit::JsonValue::parse(&text).expect("summary parses");
+        assert_eq!(parsed.get("run").and_then(|v| v.as_str()), Some("figX"));
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("bench.tables"))
+                .and_then(|v| v.as_f64()),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("bench.rows"))
+                .and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+        let t = parsed.get("tables").and_then(|t| t.get("figX")).unwrap();
+        assert_eq!(t.get("rows").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(t.get("checked").and_then(|v| v.as_bool()), Some(true));
     }
 
     #[test]

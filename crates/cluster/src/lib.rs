@@ -27,8 +27,10 @@ pub mod simulate;
 pub mod traces;
 
 pub use manager::{ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome};
+pub use placement::{AvailabilityMode, PlacementPolicy};
 pub use predictor::{DemandPredictor, Ewma};
 pub use pricing::{revenue, Rates, Revenue, TransientPricing};
-pub use placement::{AvailabilityMode, PlacementPolicy};
 pub use simulate::{run_cluster_replay, run_cluster_sim, ClusterSimConfig, ClusterSimResult};
-pub use traces::{from_csv, to_csv, InstanceType, TraceConfig, TraceGenerator, TraceParseError, VmRequest};
+pub use traces::{
+    from_csv, to_csv, InstanceType, TraceConfig, TraceGenerator, TraceParseError, VmRequest,
+};

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use deflate_core::{CascadeConfig, ResourceKind, ResourceVector, ServerId, VmId};
 use hypervisor::{LocalController, PhysicalServer, Vm, VmPriority};
-use simkit::{SimRng, SimTime, TraceLog};
+use simkit::{JsonValue, Observability, SimRng, SimTime, TraceLog};
 
 use crate::placement::{choose_server_with, AvailabilityMode, PlacementPolicy};
 use crate::predictor::DemandPredictor;
@@ -120,8 +120,9 @@ pub struct ClusterManager {
     stats: ClusterStats,
     /// VM → server index.
     index: HashMap<VmId, usize>,
-    /// Lifecycle trace (launches, deflations, preemptions, reinflations).
-    log: TraceLog,
+    /// Unified observability: metrics registry plus lifecycle trace
+    /// (launches, deflations, preemptions, reinflations, spans).
+    obs: Observability,
     /// High-priority demand forecaster (proactive headroom).
     predictor: DemandPredictor,
 }
@@ -151,14 +152,32 @@ impl ClusterManager {
             rng,
             stats: ClusterStats::default(),
             index: HashMap::new(),
-            log: TraceLog::default(),
+            obs: Observability::new(),
             predictor: DemandPredictor::new(simkit::SimDuration::from_mins(10), 0.3),
         }
     }
 
     /// The lifecycle trace recorded so far.
     pub fn log(&self) -> &TraceLog {
-        &self.log
+        &self.obs.trace
+    }
+
+    /// The full observability bundle (metrics registry + trace).
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Mutable observability access (CSV/JSON export needs `&mut` for
+    /// lazy quantile sorting; harnesses may also record their own keys).
+    pub fn observability_mut(&mut self) -> &mut Observability {
+        &mut self.obs
+    }
+
+    /// Folds gauge history up to `now` and builds the machine-readable
+    /// per-run summary (counters, gauges, histograms, span counts).
+    pub fn run_summary(&mut self, now: SimTime, run: &str) -> JsonValue {
+        self.obs.finalize(now);
+        self.obs.run_summary(run)
     }
 
     /// The servers (for metrics).
@@ -261,8 +280,7 @@ impl ClusterManager {
     /// Handles a VM request: placement, reclamation, admission.
     pub fn launch(&mut self, now: SimTime, req: &VmRequest) -> LaunchOutcome {
         if !req.low_priority {
-            self.predictor
-                .observe(now, req.spec.get(ResourceKind::Cpu));
+            self.predictor.observe(now, req.spec.get(ResourceKind::Cpu));
         }
         // Two-tier placement: prefer a server where free + deflatable
         // resources cover the demand (no preemption needed). Only
@@ -292,7 +310,9 @@ impl ClusterManager {
         }
         let Some(si) = chosen else {
             self.stats.rejected += 1;
-            self.log
+            self.obs.metrics.incr("cluster.rejected");
+            self.obs
+                .trace
                 .record(now, "reject", format!("{} (no server fits)", req.id));
             return LaunchOutcome::Rejected;
         };
@@ -301,25 +321,44 @@ impl ClusterManager {
             .controller
             .make_room(now, &mut self.servers[si], &req.spec);
         self.stats.deflations += report.outcomes.len() as u64;
+        self.obs
+            .metrics
+            .add("cluster.deflations", report.outcomes.len() as u64);
         for (id, out) in &report.outcomes {
-            self.log.record(
+            self.obs.trace.record(
                 now,
                 "deflate",
                 format!("{id} by {} for {}", out.total_reclaimed, req.id),
             );
+            self.obs
+                .metrics
+                .observe("cascade.latency_s", out.latency.as_secs_f64());
         }
         for id in &report.preempted {
             self.index.remove(id);
-            self.log
+            self.obs
+                .trace
                 .record(now, "preempt", format!("{id} for {}", req.id));
         }
         self.stats.preempted += report.preempted.len() as u64;
+        self.obs
+            .metrics
+            .add("cluster.preempted", report.preempted.len() as u64);
+        if !report.outcomes.is_empty() || !report.preempted.is_empty() {
+            // Structured span: the full make_room payload, with one
+            // cascade.deflate child (per-layer LayerReports) per VM.
+            self.obs
+                .trace
+                .record_span(report.to_span(now, ServerId(si as u64)));
+        }
 
         if !report.satisfied {
             // Deflation and preemption could not cover the demand (the
             // server was dominated by high-priority VMs); reject.
             self.stats.rejected += 1;
-            self.log
+            self.obs.metrics.incr("cluster.rejected");
+            self.obs
+                .trace
                 .record(now, "reject", format!("{} (reclaim fell short)", req.id));
             return LaunchOutcome::Rejected;
         }
@@ -344,22 +383,43 @@ impl ClusterManager {
         );
         self.servers[si].add_vm(vm);
         self.index.insert(req.id, si);
-        self.log.record(
+        self.obs.trace.record(
             now,
             "launch",
             format!("{} on {} ({})", req.id, ServerId(si as u64), req.type_name),
         );
         self.stats.launched += 1;
+        self.obs.metrics.incr("cluster.launched");
         if req.low_priority {
             self.stats.launched_low += 1;
+            self.obs.metrics.incr("cluster.launched_low");
         } else {
             self.stats.highpri_launches += 1;
             self.stats.highpri_alloc_latency_secs += report.latency.as_secs_f64();
+            self.obs.metrics.incr("cluster.highpri_launches");
+            self.obs
+                .metrics
+                .observe("highpri.alloc_latency_s", report.latency.as_secs_f64());
         }
+        self.update_gauges(now);
         LaunchOutcome::Placed {
             server: ServerId(si as u64),
             preempted: report.preempted,
         }
+    }
+
+    /// Records the cluster-wide time-weighted gauges at `now`.
+    fn update_gauges(&mut self, now: SimTime) {
+        let util = self.utilization();
+        let over = self.overcommitment();
+        let running = self.running_vms() as f64;
+        self.obs.metrics.gauge_set("cluster.utilization", now, util);
+        self.obs
+            .metrics
+            .gauge_set("cluster.overcommitment", now, over);
+        self.obs
+            .metrics
+            .gauge_set("cluster.running_vms", now, running);
     }
 
     /// Handles a VM's natural exit; freed resources reinflate the
@@ -373,7 +433,20 @@ impl ClusterManager {
             return false;
         };
         let freed = vm.effective();
-        self.log.record(now, "exit", format!("{id} freeing {freed}"));
+        self.obs
+            .trace
+            .record(now, "exit", format!("{id} freeing {freed}"));
+        self.obs.metrics.incr("cluster.exits");
+        // Fold the guest's hotplug counters into the registry so run
+        // summaries report cluster-wide unplug activity.
+        let hp = vm.hotplug_stats();
+        self.obs
+            .metrics
+            .add("vm.hotplug.unplug_attempts", hp.unplug_attempts);
+        self.obs
+            .metrics
+            .add("vm.hotplug.unplug_shortfalls", hp.unplug_shortfalls);
+        self.obs.metrics.add("vm.hotplug.plug_ops", hp.plug_ops);
 
         // Proactive headroom: hold back the forecast high-priority CPU
         // demand from reinflation (cluster-wide free CPU counts toward
@@ -398,9 +471,15 @@ impl ClusterManager {
             .controller
             .reinflate(now, &mut self.servers[si], &to_reinflate);
         for (rid, got) in &applied {
-            self.log.record(now, "reinflate", format!("{rid} by {got}"));
+            self.obs
+                .trace
+                .record(now, "reinflate", format!("{rid} by {got}"));
         }
         self.stats.reinflations += applied.len() as u64;
+        self.obs
+            .metrics
+            .add("cluster.reinflations", applied.len() as u64);
+        self.update_gauges(now);
         true
     }
 }
@@ -428,7 +507,11 @@ mod tests {
             spec,
             type_name: "test",
             low_priority: low,
-            min_size: if low { spec.scale(0.3) } else { ResourceVector::ZERO },
+            min_size: if low {
+                spec.scale(0.3)
+            } else {
+                ResourceVector::ZERO
+            },
         }
     }
 
@@ -531,9 +614,7 @@ mod tests {
             n_servers: 4,
             ..small_cfg(true)
         });
-        assert!(m
-            .total_capacity()
-            .approx_eq(&hom.total_capacity(), 1e-9));
+        assert!(m.total_capacity().approx_eq(&hom.total_capacity(), 1e-9));
         // Big VMs only fit the big servers.
         let mut m = m;
         for i in 0..3 {
@@ -562,6 +643,59 @@ mod tests {
         assert_eq!(log.count("exit"), 1);
         assert!(log.count("reinflate") > 0, "exit frees resources");
         assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn manager_emits_spans_and_metrics() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        for i in 0..5 {
+            m.launch(SimTime::ZERO, &req(i, true));
+        }
+        m.exit(SimTime::from_secs(60), VmId(0));
+
+        // The 5th launch forced deflation, which records a structured
+        // make_room span with cascade.deflate children.
+        let obs = m.observability();
+        let rooms: Vec<_> = obs.trace.spans_by_kind("server.make_room").collect();
+        assert!(!rooms.is_empty(), "deflation should record a span");
+        let room = rooms[0];
+        assert!(room.children.iter().any(|c| c.kind == "cascade.deflate"));
+
+        // Counters mirror ClusterStats.
+        let stats = m.stats();
+        let obs = m.observability();
+        assert_eq!(obs.metrics.count("cluster.launched"), stats.launched);
+        assert_eq!(obs.metrics.count("cluster.deflations"), stats.deflations);
+        assert_eq!(obs.metrics.count("cluster.exits"), 1);
+        assert_eq!(
+            obs.metrics.count("cluster.reinflations"),
+            stats.reinflations
+        );
+        // Hotplug counters were folded in on exit (VM_LEVEL cascade does
+        // not unplug, so attempts may be zero — the key need not exist).
+        assert!(obs.metrics.histogram("cascade.latency_s").is_some());
+    }
+
+    #[test]
+    fn run_summary_is_machine_readable() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        for i in 0..5 {
+            m.launch(SimTime::ZERO, &req(i, true));
+        }
+        let doc = m.run_summary(SimTime::from_secs(100), "unit");
+        assert_eq!(doc.get("run").and_then(|v| v.as_str()), Some("unit"));
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("cluster.launched"))
+                .and_then(|v| v.as_f64()),
+            Some(5.0)
+        );
+        assert!(doc
+            .get("gauges")
+            .and_then(|g| g.get("cluster.utilization"))
+            .is_some());
+        let text = doc.to_pretty();
+        assert!(simkit::JsonValue::parse(&text).is_ok());
     }
 
     #[test]

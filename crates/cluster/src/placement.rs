@@ -232,7 +232,12 @@ mod tests {
         let demand = ResourceVector::new(64.0, 1_000_000.0, 1e6, 1e6);
         let mut rng = SimRng::seed_from_u64(1);
         for p in PlacementPolicy::ALL {
-            assert_eq!(choose_server(p, &ss, &demand, &mut rng), None, "{}", p.name());
+            assert_eq!(
+                choose_server(p, &ss, &demand, &mut rng),
+                None,
+                "{}",
+                p.name()
+            );
         }
     }
 
@@ -259,8 +264,7 @@ mod tests {
         }
         let mut rng = SimRng::seed_from_u64(9);
         for _ in 0..50 {
-            let pick =
-                choose_server(PlacementPolicy::TwoChoices, &ss, &vm_spec(), &mut rng);
+            let pick = choose_server(PlacementPolicy::TwoChoices, &ss, &vm_spec(), &mut rng);
             assert_eq!(pick, Some(3));
         }
     }

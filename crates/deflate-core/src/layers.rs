@@ -55,9 +55,12 @@ impl ReclaimResult {
 pub trait ApplicationAgent {
     /// Asks the application to voluntarily relinquish up to `target`.
     ///
-    /// Returns the amount the application freed *inside the guest* (it
-    /// still needs to be unplugged or reclaimed by lower layers to reach
-    /// the hypervisor) and the time the mechanism took (e.g. a GC pass).
+    /// Returns the amount the application freed *inside the guest* and the
+    /// time the mechanism took (e.g. a GC pass). Freed resources become
+    /// unpluggable by the guest OS; whether unplugged or merely left idle
+    /// and overcommitted, they count toward the cascade's total once — the
+    /// controller credits `max(app, os)`, not the sum (see
+    /// [`crate::cascade::deflate_vm`]).
     fn self_deflate(&mut self, now: SimTime, target: &ResourceVector) -> ReclaimResult;
 
     /// Notifies the application that `available` additional resources were

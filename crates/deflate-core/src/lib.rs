@@ -47,7 +47,5 @@ pub use cascade::{deflate_vm, reinflate_vm, CascadeConfig, CascadeOutcome, Layer
 pub use error::DeflateError;
 pub use ids::{ServerId, VmId};
 pub use layers::{ApplicationAgent, GuestOs, HypervisorControl, ReclaimResult};
-pub use policy::{
-    proportional_reinflation, proportional_targets, DeflationPlan, VmDeflationState,
-};
+pub use policy::{proportional_reinflation, proportional_targets, DeflationPlan, VmDeflationState};
 pub use resources::{ResourceKind, ResourceVector};

@@ -71,10 +71,8 @@ impl DeflationPlan {
 /// dimension, every VM is assigned its full deflatable amount there and
 /// the remainder is reported as [`DeflationPlan::shortfall`].
 pub fn proportional_targets(demand: &ResourceVector, vms: &[VmDeflationState]) -> DeflationPlan {
-    let mut targets: Vec<(VmId, ResourceVector)> = vms
-        .iter()
-        .map(|vm| (vm.id, ResourceVector::ZERO))
-        .collect();
+    let mut targets: Vec<(VmId, ResourceVector)> =
+        vms.iter().map(|vm| (vm.id, ResourceVector::ZERO)).collect();
     let mut satisfied = ResourceVector::ZERO;
     let mut shortfall = ResourceVector::ZERO;
 

@@ -1,6 +1,14 @@
 //! Property-based tests of the cascade deflation controller: for *any*
 //! layer behaviors (arbitrary partial compliance at the application and
-//! OS layers), the controller's accounting must hold.
+//! OS layers), any of the eight layer configurations, and with or without
+//! a deadline, the controller's accounting must hold:
+//!
+//! 1. `total_reclaimed <= target` elementwise;
+//! 2. `shortfall = target - total_reclaimed` elementwise;
+//! 3. `total_reclaimed` is the *de-duplicated* sum of the layer
+//!    contributions, `max(app, os) + hypervisor` (the app and OS layers
+//!    drain the same in-guest pool, so their overlap is counted once);
+//! 4. `latency` is the sum of the engaged layers' latencies.
 
 use deflate_core::{
     cascade, ApplicationAgent, CascadeConfig, GuestOs, HypervisorControl, ReclaimResult,
@@ -42,8 +50,11 @@ impl GuestOs for FracOs {
         &mut self,
         _now: SimTime,
         target: &ResourceVector,
-        _budget: Option<SimDuration>,
+        budget: Option<SimDuration>,
     ) -> ReclaimResult {
+        if budget == Some(SimDuration::ZERO) {
+            return ReclaimResult::NOTHING;
+        }
         let got = target.scale(self.success);
         self.unplugged += got;
         self.free = self.free.saturating_sub(&got);
@@ -56,7 +67,7 @@ impl GuestOs for FracOs {
     }
 }
 
-/// A hypervisor that always reclaims in full.
+/// A hypervisor that reclaims in full unless its time budget is exhausted.
 struct FullHv {
     over: ResourceVector,
     latency_ms: u64,
@@ -67,8 +78,11 @@ impl HypervisorControl for FullHv {
         &mut self,
         _now: SimTime,
         amount: &ResourceVector,
-        _budget: Option<SimDuration>,
+        budget: Option<SimDuration>,
     ) -> ReclaimResult {
+        if budget == Some(SimDuration::ZERO) {
+            return ReclaimResult::NOTHING;
+        }
         self.over += *amount;
         ReclaimResult::new(*amount, SimDuration::from_millis(self.latency_ms))
     }
@@ -92,9 +106,23 @@ fn arb_vector() -> impl Strategy<Value = ResourceVector> {
         .prop_map(|(c, m, d, n)| ResourceVector::new(c, m, d, n))
 }
 
+/// All eight layer on/off combinations.
+fn all_configs() -> [CascadeConfig; 8] {
+    let mut out = [CascadeConfig::FULL; 8];
+    for (i, cfg) in out.iter_mut().enumerate() {
+        cfg.use_app = i & 1 != 0;
+        cfg.use_os = i & 2 != 0;
+        cfg.use_hypervisor = i & 4 != 0;
+        cfg.deadline = None;
+    }
+    out
+}
+
 proptest! {
-    /// Whatever the layers do, total = os + hv, shortfall = target −
-    /// total, nothing exceeds the target, and latency sums the layers.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The four accounting invariants, across all eight configurations and
+    /// with or without a deadline.
     #[test]
     fn cascade_accounting_holds(
         target in arb_vector(),
@@ -104,44 +132,113 @@ proptest! {
         app_ms in 0u64..2_000,
         os_ms in 0u64..2_000,
         hv_ms in 0u64..2_000,
+        deadline_ms in 0u64..6_000,
+        use_deadline in any::<bool>(),
     ) {
-        let mut agent = FracAgent { frac: app_frac, latency_ms: app_ms };
-        let mut os = FracOs {
-            free,
-            success: os_success,
-            unplugged: ResourceVector::ZERO,
-            latency_ms: os_ms,
-        };
-        let mut hv = FullHv { over: ResourceVector::ZERO, latency_ms: hv_ms };
-        let out = cascade::deflate_vm(
-            SimTime::ZERO,
-            &target,
-            Some(&mut agent),
-            &mut os,
-            &mut hv,
-            &CascadeConfig::FULL,
-        );
+        for cfg in all_configs() {
+            let cfg = if use_deadline {
+                cfg.with_deadline(SimDuration::from_millis(deadline_ms))
+            } else {
+                cfg
+            };
+            let mut agent = FracAgent { frac: app_frac, latency_ms: app_ms };
+            let mut os = FracOs {
+                free,
+                success: os_success,
+                unplugged: ResourceVector::ZERO,
+                latency_ms: os_ms,
+            };
+            let mut hv = FullHv { over: ResourceVector::ZERO, latency_ms: hv_ms };
+            let out = cascade::deflate_vm(
+                SimTime::ZERO,
+                &target,
+                Some(&mut agent),
+                &mut os,
+                &mut hv,
+                &cfg,
+            );
 
-        // Per-layer reclaims never exceed the target.
-        prop_assert!(target.scale(1.0 + 1e-9).dominates(&out.app.reclaimed));
-        prop_assert!(target.scale(1.0 + 1e-9).dominates(&out.os.reclaimed));
-        prop_assert!(target.scale(1.0 + 1e-9).dominates(&out.total_reclaimed));
+            // (1) Nothing exceeds the target, per layer or in total.
+            let cap = target.scale(1.0 + 1e-9);
+            prop_assert!(cap.dominates(&out.app.reclaimed), "{cfg:?}");
+            prop_assert!(cap.dominates(&out.os.reclaimed), "{cfg:?}");
+            prop_assert!(cap.dominates(&out.hypervisor.reclaimed), "{cfg:?}");
+            prop_assert!(cap.dominates(&out.total_reclaimed), "{cfg:?}");
 
-        // total = os + hv (the app's relinquished resources flow through
-        // the OS/hypervisor to actually leave the VM).
-        let sum = out.os.reclaimed + out.hypervisor.reclaimed;
-        prop_assert!(sum.approx_eq(&out.total_reclaimed, 1e-6));
+            // (2) shortfall = target - total, elementwise and non-negative.
+            let back = out.total_reclaimed + out.shortfall;
+            prop_assert!(back.approx_eq(&target, 1e-6), "{cfg:?}");
+            for k in ResourceKind::ALL {
+                prop_assert!(out.shortfall.get(k) >= 0.0, "{cfg:?}");
+            }
 
-        // shortfall + total = target.
-        let back = out.total_reclaimed + out.shortfall;
-        prop_assert!(back.approx_eq(&target, 1e-6));
+            // (3) total is the de-duplicated layer sum: the app and OS
+            // layers drain the same in-guest pool (overlap counted once),
+            // the hypervisor's share is disjoint.
+            let dedup = out.app.reclaimed.max(&out.os.reclaimed) + out.hypervisor.reclaimed;
+            prop_assert!(
+                dedup.approx_eq(&out.total_reclaimed, 1e-6),
+                "{cfg:?}: dedup {} vs total {}",
+                dedup,
+                out.total_reclaimed
+            );
 
-        // With a full-compliance hypervisor, the target is always met.
-        prop_assert!(out.met_target());
+            // (4) End-to-end latency is the sum of the layer latencies.
+            prop_assert_eq!(
+                out.latency,
+                out.app.latency + out.os.latency + out.hypervisor.latency
+            );
 
-        // Latency is the sum of engaged layers' latencies.
-        let max_ms = SimDuration::from_millis(app_ms + os_ms + hv_ms);
-        prop_assert!(out.latency <= max_ms);
+            // Disabled layers must not report activity.
+            if !cfg.use_app {
+                prop_assert!(out.app.reclaimed.is_zero());
+                prop_assert_eq!(out.app.latency, SimDuration::ZERO);
+            }
+            if !cfg.use_os {
+                prop_assert!(out.os.reclaimed.is_zero());
+            }
+            if !cfg.use_hypervisor {
+                prop_assert!(out.hypervisor.reclaimed.is_zero());
+            }
+
+            // With the hypervisor engaged and no deadline, the target is
+            // always met (layer of last resort).
+            if cfg.use_hypervisor && !use_deadline {
+                prop_assert!(out.met_target(), "{cfg:?}: shortfall {}", out.shortfall);
+            }
+        }
+    }
+
+    /// An agent that relinquishes everything leaves nothing for the
+    /// hypervisor to overcommit, in any configuration that asks the app.
+    #[test]
+    fn full_relinquish_never_overcommits(
+        target in arb_vector(),
+        free in arb_vector(),
+    ) {
+        for mut cfg in all_configs() {
+            cfg.use_app = true;
+            let mut agent = FracAgent { frac: 1.0, latency_ms: 5 };
+            let mut os = FracOs {
+                free,
+                success: 1.0,
+                unplugged: ResourceVector::ZERO,
+                latency_ms: 5,
+            };
+            let mut hv = FullHv { over: ResourceVector::ZERO, latency_ms: 5 };
+            let out = cascade::deflate_vm(
+                SimTime::ZERO,
+                &target,
+                Some(&mut agent),
+                &mut os,
+                &mut hv,
+                &cfg,
+            );
+            prop_assert!(out.hypervisor.requested.is_zero(), "{cfg:?}");
+            prop_assert!(hv.overcommitted().is_zero(), "{cfg:?}");
+            prop_assert!(out.total_reclaimed.approx_eq(&target, 1e-6), "{cfg:?}");
+            prop_assert!(out.met_target(), "{cfg:?}");
+        }
     }
 
     /// Reinflation after deflation returns exactly what was reclaimed,

@@ -1,9 +1,7 @@
 //! Property-based tests for the resource algebra and the proportional
 //! deflation policy.
 
-use deflate_core::{
-    proportional_targets, ResourceKind, ResourceVector, VmDeflationState, VmId,
-};
+use deflate_core::{proportional_targets, ResourceKind, ResourceVector, VmDeflationState, VmId};
 use proptest::prelude::*;
 
 fn arb_vector() -> impl Strategy<Value = ResourceVector> {

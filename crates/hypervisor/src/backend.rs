@@ -126,8 +126,7 @@ impl HypervisorControl for HvBackend {
         // Swapped pages fault back in lazily; the bookkeeping cost is
         // charged to application performance, not the controller. Blindly
         // swapped pages are re-admitted as the limit rises.
-        st.blind_swapped_mb =
-            (st.blind_swapped_mb - give.get(ResourceKind::Memory)).max(0.0);
+        st.blind_swapped_mb = (st.blind_swapped_mb - give.get(ResourceKind::Memory)).max(0.0);
         st.recompute_swap();
         give
     }

@@ -81,8 +81,7 @@ impl CreditModel {
 
         if demand <= baseline {
             // Idle headroom earns credits.
-            self.credits =
-                (self.credits + (baseline - demand) * secs).min(self.params.credit_cap);
+            self.credits = (self.credits + (baseline - demand) * secs).min(self.params.credit_cap);
             return demand;
         }
 
@@ -95,8 +94,7 @@ impl CreditModel {
         } else {
             // Partial burst until credits run out, then baseline.
             let burst_secs = self.credits / burst_cores;
-            let delivered_core_secs =
-                demand * burst_secs + baseline * (secs - burst_secs);
+            let delivered_core_secs = demand * burst_secs + baseline * (secs - burst_secs);
             self.credits = 0.0;
             delivered_core_secs / secs
         }

@@ -39,6 +39,23 @@ pub struct AppUsage {
     pub net_mbps: f64,
 }
 
+/// Counters for guest hot-plug/unplug activity, kept on [`VmState`] so
+/// the cluster manager can fold them into its metrics registry when a VM
+/// leaves (`vm.hotplug.*` keys).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct HotplugStats {
+    /// Unplug operations attempted (one per [`GuestOs::try_unplug`]).
+    pub unplug_attempts: u64,
+    /// Attempts that reclaimed less than asked (busy or fragmented).
+    pub unplug_shortfalls: u64,
+    /// Hot-plug (re-add) operations.
+    pub plug_ops: u64,
+    /// Total vCPUs removed across all unplugs.
+    pub cpus_unplugged: f64,
+    /// Total memory removed across all unplugs (MiB; includes ballooned).
+    pub memory_unplugged_mb: f64,
+}
+
 /// The full mutable state of one VM, shared between the guest model, the
 /// hypervisor backend, and the application agent.
 ///
@@ -68,6 +85,8 @@ pub struct VmState {
     pub ballooned_mb: f64,
     /// vCPUs with pinned tasks (refuse to unplug).
     pub pinned_vcpus: u32,
+    /// Hot-plug/unplug activity counters.
+    pub hotplug: HotplugStats,
 }
 
 /// Shared handle to a VM's state.
@@ -86,6 +105,7 @@ impl VmState {
             blind_swapped_mb: 0.0,
             ballooned_mb: 0.0,
             pinned_vcpus: 0,
+            hotplug: HotplugStats::default(),
         }
     }
 
@@ -125,10 +145,7 @@ impl VmState {
     /// Free guest memory: visible minus application RSS, page cache, and
     /// balloon-held pages.
     pub fn free_memory_mb(&self) -> f64 {
-        (self.visible_memory_mb()
-            - self.usage.memory_mb
-            - self.page_cache_mb
-            - self.ballooned_mb)
+        (self.visible_memory_mb() - self.usage.memory_mb - self.page_cache_mb - self.ballooned_mb)
             .max(0.0)
     }
 
@@ -273,8 +290,7 @@ impl GuestOs for GuestModel {
             // plus the droppable cache is reachable.
             st.free_memory_mb() + self.cfg.droppable_cache * st.page_cache_mb
         } else {
-            self.cfg.frag_factor * st.free_memory_mb()
-                + self.cfg.droppable_cache * st.page_cache_mb
+            self.cfg.frag_factor * st.free_memory_mb() + self.cfg.droppable_cache * st.page_cache_mb
         };
         // Disk and NIC hot-unplug is unsafe and never offered.
         ResourceVector::new(cpus, mem, 0.0, 0.0)
@@ -305,7 +321,9 @@ impl GuestOs for GuestModel {
         // Memory: rate-limited by page migration (hot-unplug) or balloon
         // inflation, capped by the budget.
         let balloon = self.cfg.memory_mechanism == MemoryMechanism::Balloon;
-        let want_mem = target.get(ResourceKind::Memory).min(cap.get(ResourceKind::Memory));
+        let want_mem = target
+            .get(ResourceKind::Memory)
+            .min(cap.get(ResourceKind::Memory));
         if want_mem > 0.0 {
             let mem_budget = budget.map(|b| {
                 if b > latency {
@@ -353,6 +371,12 @@ impl GuestOs for GuestModel {
         } else {
             st.unplugged += got;
         }
+        st.hotplug.unplug_attempts += 1;
+        if !got.scale(1.0 + 1e-9).dominates(target) {
+            st.hotplug.unplug_shortfalls += 1;
+        }
+        st.hotplug.cpus_unplugged += got.get(ResourceKind::Cpu);
+        st.hotplug.memory_unplugged_mb += got.get(ResourceKind::Memory);
         st.recompute_swap();
         ReclaimResult::new(got, latency)
     }
@@ -368,12 +392,12 @@ impl GuestOs for GuestModel {
         let want_mem = amount.get(ResourceKind::Memory);
         let from_balloon = want_mem.min(st.ballooned_mb);
         st.ballooned_mb -= from_balloon;
-        let from_unplug = (want_mem - from_balloon)
-            .min(st.unplugged.get(ResourceKind::Memory));
+        let from_unplug = (want_mem - from_balloon).min(st.unplugged.get(ResourceKind::Memory));
         let give = ResourceVector::new(cpus, from_balloon + from_unplug, 0.0, 0.0);
-        st.unplugged = st
-            .unplugged
-            .saturating_sub(&ResourceVector::new(cpus, from_unplug, 0.0, 0.0));
+        st.unplugged =
+            st.unplugged
+                .saturating_sub(&ResourceVector::new(cpus, from_unplug, 0.0, 0.0));
+        st.hotplug.plug_ops += 1;
         st.recompute_swap();
         give
     }
@@ -406,7 +430,10 @@ mod tests {
             st.overcommitted = ResourceVector::new(0.5, 1_024.0, 50.0, 0.0);
         }
         let st = state.borrow();
-        assert_eq!(st.visible(), ResourceVector::new(3.0, 14_336.0, 200.0, 1_000.0));
+        assert_eq!(
+            st.visible(),
+            ResourceVector::new(3.0, 14_336.0, 200.0, 1_000.0)
+        );
         assert_eq!(
             st.effective(),
             ResourceVector::new(2.5, 13_312.0, 150.0, 1_000.0)
@@ -439,11 +466,7 @@ mod tests {
     #[test]
     fn unplug_is_integral_for_cpus() {
         let mut g = guest_with_usage(0.0, 0.0);
-        let r = g.try_unplug(
-            SimTime::ZERO,
-            &ResourceVector::cpu(2.7),
-            None,
-        );
+        let r = g.try_unplug(SimTime::ZERO, &ResourceVector::cpu(2.7), None);
         assert_eq!(r.reclaimed.get(ResourceKind::Cpu), 2.0);
         assert_eq!(g.state().borrow().online_vcpus(), 2);
     }
@@ -451,11 +474,7 @@ mod tests {
     #[test]
     fn unplug_memory_capped_by_free() {
         let mut g = guest_with_usage(12_288.0, 0.0); // 4 GiB free.
-        let r = g.try_unplug(
-            SimTime::ZERO,
-            &ResourceVector::memory(8_192.0),
-            None,
-        );
+        let r = g.try_unplug(SimTime::ZERO, &ResourceVector::memory(8_192.0), None);
         let got = r.reclaimed.get(ResourceKind::Memory);
         assert!((got - 0.95 * 4_096.0).abs() < 1e-6, "got {got}");
         assert!(r.latency > SimDuration::ZERO);
@@ -479,11 +498,7 @@ mod tests {
     fn unplug_drops_page_cache_when_free_insufficient() {
         let mut g = guest_with_usage(15_000.0, 1_000.0);
         // free = 384; frag-capped 364.8; cache droppable 800.
-        let r = g.try_unplug(
-            SimTime::ZERO,
-            &ResourceVector::memory(1_000.0),
-            None,
-        );
+        let r = g.try_unplug(SimTime::ZERO, &ResourceVector::memory(1_000.0), None);
         let got = r.reclaimed.get(ResourceKind::Memory);
         assert!(got > 900.0, "got {got}");
         assert!(g.state().borrow().page_cache_mb < 1_000.0);
@@ -497,13 +512,27 @@ mod tests {
             &ResourceVector::new(2.0, 4_096.0, 0.0, 0.0),
             None,
         );
-        let back = g.hot_plug(
-            SimTime::ZERO,
-            &ResourceVector::new(3.0, 10_000.0, 0.0, 0.0),
-        );
+        let back = g.hot_plug(SimTime::ZERO, &ResourceVector::new(3.0, 10_000.0, 0.0, 0.0));
         assert_eq!(back.get(ResourceKind::Cpu), 2.0);
         assert!((back.get(ResourceKind::Memory) - 4_096.0).abs() < 1e-6);
         assert!(g.state().borrow().unplugged.is_zero());
+    }
+
+    #[test]
+    fn hotplug_stats_track_attempts_and_shortfalls() {
+        let mut g = guest_with_usage(12_288.0, 0.0); // 4 GiB free.
+                                                     // Asks for more than is unpluggable: counts as a shortfall.
+        g.try_unplug(SimTime::ZERO, &ResourceVector::memory(8_192.0), None);
+        // Fully satisfiable CPU unplug: no shortfall.
+        g.try_unplug(SimTime::ZERO, &ResourceVector::cpu(2.0), None);
+        g.hot_plug(SimTime::ZERO, &ResourceVector::cpu(2.0));
+        let st = g.state();
+        let stats = st.borrow().hotplug;
+        assert_eq!(stats.unplug_attempts, 2);
+        assert_eq!(stats.unplug_shortfalls, 1);
+        assert_eq!(stats.plug_ops, 1);
+        assert_eq!(stats.cpus_unplugged, 2.0);
+        assert!(stats.memory_unplugged_mb > 0.0);
     }
 
     #[test]

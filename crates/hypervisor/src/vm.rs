@@ -6,8 +6,8 @@ use deflate_core::{
 };
 use simkit::SimTime;
 
-use crate::guest::{GuestConfig, GuestModel, SharedVmState, VmState};
 use crate::backend::HvBackend;
+use crate::guest::{GuestConfig, GuestModel, SharedVmState, VmState};
 use crate::latency::LatencyModel;
 
 /// Scheduling class of a VM (paper §2.1): high-priority VMs are never
@@ -158,6 +158,12 @@ impl Vm {
         SharedVmState::clone(&self.state)
     }
 
+    /// Snapshot of the guest's hot-plug/unplug counters, for folding into
+    /// a metrics registry.
+    pub fn hotplug_stats(&self) -> crate::guest::HotplugStats {
+        self.state.borrow().hotplug
+    }
+
     /// Snapshot of the resource situation for performance models.
     pub fn view(&self) -> VmResourceView {
         let st = self.state.borrow();
@@ -195,7 +201,9 @@ impl Vm {
         cascade::deflate_vm(
             now,
             &target,
-            self.agent.as_deref_mut().map(|a| a as &mut dyn ApplicationAgent),
+            self.agent
+                .as_deref_mut()
+                .map(|a| a as &mut dyn ApplicationAgent),
             &mut self.guest,
             &mut self.backend,
             cfg,
@@ -207,7 +215,9 @@ impl Vm {
         cascade::reinflate_vm(
             now,
             amount,
-            self.agent.as_deref_mut().map(|a| a as &mut dyn ApplicationAgent),
+            self.agent
+                .as_deref_mut()
+                .map(|a| a as &mut dyn ApplicationAgent),
             &mut self.guest,
             &mut self.backend,
         )
@@ -265,15 +275,9 @@ mod tests {
     fn deflation_respects_min_size() {
         let min = spec().scale(0.75);
         let mut vm = Vm::new(VmId(1), spec(), VmPriority::Low).with_min(min);
-        let out = vm.deflate(
-            SimTime::ZERO,
-            &spec().scale(0.5),
-            &CascadeConfig::VM_LEVEL,
-        );
+        let out = vm.deflate(SimTime::ZERO, &spec().scale(0.5), &CascadeConfig::VM_LEVEL);
         // Only 25 % of spec was deflatable.
-        assert!(out
-            .total_reclaimed
-            .approx_eq(&spec().scale(0.25), 1e-6));
+        assert!(out.total_reclaimed.approx_eq(&spec().scale(0.25), 1e-6));
         assert!(vm.effective().dominates(&min));
     }
 

@@ -1,0 +1,166 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest compiles full regexes; this stand-in supports the
+//! pattern subset the workspace's tests use — sequences of atoms, where
+//! an atom is `.` (any printable ASCII character), a character class
+//! `[a-z0-9_]` (ranges and literals, no negation), or a literal
+//! character, optionally followed by `{n}` or `{m,n}` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Any,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    /// Inclusive upper repetition bound.
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition bound"),
+                    hi.trim().parse().expect("repetition bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Any => {
+            // Printable ASCII, space through '~'.
+            char::from(b' ' + rng.below(95) as u8)
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = (hi as u32) - (lo as u32) + 1;
+            char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                .expect("class range stays in ASCII")
+        }
+        Atom::Literal(c) => *c,
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let reps = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                out.push(sample_atom(&p.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_pattern_generates_in_alphabet() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let pat = "[a-z]{1,8}=[a-z0-9]{1,8}";
+        for _ in 0..200 {
+            let s = pat.generate(&mut rng);
+            let (k, v) = s.split_once('=').expect("has '='");
+            assert!((1..=8).contains(&k.len()));
+            assert!((1..=8).contains(&v.len()));
+            assert!(k.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_respects_length() {
+        let mut rng = TestRng::seed_from_u64(12);
+        for _ in 0..200 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_and_exact_count() {
+        let mut rng = TestRng::seed_from_u64(13);
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!("[x]{3}".generate(&mut rng), "xxx");
+    }
+}

@@ -184,7 +184,9 @@ pub fn run<Ev>(
             }
         }
         // The peek above guarantees an event exists.
-        let (t, ev) = sched.step().expect("event disappeared between peek and pop");
+        let (t, ev) = sched
+            .step()
+            .expect("event disappeared between peek and pop");
         handler(sched, t, ev);
     }
     if let Some(limit) = until {

@@ -1,9 +1,16 @@
 //! Metric recording for simulations: counters, time-weighted gauges,
 //! time series, and histograms, plus CSV export for the figure harness.
+//!
+//! For ad-hoc instrumentation the individual types can be held directly;
+//! for end-to-end observability the [`MetricsRegistry`] addresses all
+//! three kinds by hierarchical dotted key (`cluster.deflations`,
+//! `cascade.os.latency_s`, ...) and exports a single machine-readable
+//! snapshot as JSON or CSV.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::json::JsonValue;
 use crate::stats;
 use crate::time::{SimDuration, SimTime};
 
@@ -60,11 +67,17 @@ impl TimeWeightedGauge {
 
     /// Sets the gauge to `value` at time `now`, accumulating the previous
     /// value over the elapsed interval.
+    ///
+    /// Out-of-order updates (a `now` before the previous update) are safe:
+    /// they contribute a zero-length interval and the gauge clock never
+    /// runs backwards, so later intervals are not double-counted.
     pub fn set(&mut self, now: SimTime, value: f64) {
         let dt = now.saturating_since(self.last_update);
         self.weighted_sum += self.current * dt.as_secs_f64();
         self.observed += dt;
-        self.last_update = now;
+        if now > self.last_update {
+            self.last_update = now;
+        }
         self.current = value;
         if value > self.peak {
             self.peak = value;
@@ -283,6 +296,188 @@ impl MetricSet {
     }
 }
 
+/// A registry of counters, time-weighted gauges, and histograms addressed
+/// by hierarchical dotted key.
+///
+/// Keys are free-form strings by convention structured as
+/// `component.sub.metric`, e.g. `cluster.preempted`,
+/// `cascade.hypervisor.latency_s`, `vm.hotplug.failed`. Metrics are
+/// created lazily on first touch, so instrumentation sites never need
+/// registration boilerplate.
+///
+/// # Export
+///
+/// [`to_json`](Self::to_json) renders one snapshot object with a section
+/// per metric kind; histogram sections include count, mean, and the
+/// p50/p90/p99 quantiles. [`to_csv`](Self::to_csv) renders the same
+/// snapshot as long-format `kind,key,stat,value` rows.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, TimeWeightedGauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds one to the named counter (created at zero on first use).
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Adds `n` to the named counter (created at zero on first use).
+    pub fn add(&mut self, key: &str, n: u64) {
+        self.counters.entry(key.to_string()).or_default().add(n);
+    }
+
+    /// Current value of a counter (zero when never touched).
+    pub fn count(&self, key: &str) -> u64 {
+        self.counters.get(key).map(Counter::get).unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value` at `now`.
+    ///
+    /// The first call creates the gauge with `now` as its origin; later
+    /// calls accumulate time-weighted history. Out-of-order updates are
+    /// safe — an earlier `now` contributes a zero-length interval (the
+    /// gauge clock never runs backwards).
+    pub fn gauge_set(&mut self, key: &str, now: SimTime, value: f64) {
+        self.gauges
+            .entry(key.to_string())
+            .or_insert_with(|| TimeWeightedGauge::new(now, value))
+            .set(now, value);
+    }
+
+    /// Adds `delta` to the named gauge at `now` (created at `delta`).
+    pub fn gauge_add(&mut self, key: &str, now: SimTime, delta: f64) {
+        self.gauges
+            .entry(key.to_string())
+            .or_insert_with(|| TimeWeightedGauge::new(now, 0.0))
+            .add(now, delta);
+    }
+
+    /// Looks up a gauge.
+    pub fn gauge(&self, key: &str) -> Option<&TimeWeightedGauge> {
+        self.gauges.get(key)
+    }
+
+    /// Records a sample into the named histogram (created on first use).
+    pub fn observe(&mut self, key: &str, v: f64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Looks up a histogram.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Interpolated quantile of the named histogram (zero when absent).
+    pub fn quantile(&mut self, key: &str, q: f64) -> f64 {
+        self.histograms
+            .get_mut(key)
+            .map(|h| h.quantile(q))
+            .unwrap_or(0.0)
+    }
+
+    /// Accumulates every gauge up to `now` so means cover the full run.
+    /// Call once at the end of a simulation before exporting.
+    pub fn finalize(&mut self, now: SimTime) {
+        for g in self.gauges.values_mut() {
+            g.finalized_mean(now);
+        }
+    }
+
+    /// All keys, each prefixed with its metric kind.
+    pub fn keys(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        out.extend(self.counters.keys().map(|k| format!("counter:{k}")));
+        out.extend(self.gauges.keys().map(|k| format!("gauge:{k}")));
+        out.extend(self.histograms.keys().map(|k| format!("histogram:{k}")));
+        out
+    }
+
+    /// Returns `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders a snapshot of every metric as a JSON object.
+    pub fn to_json(&mut self) -> JsonValue {
+        let mut counters = JsonValue::object();
+        for (k, c) in &self.counters {
+            counters.set(k, c.get());
+        }
+        let mut gauges = JsonValue::object();
+        for (k, g) in &self.gauges {
+            gauges.set(
+                k,
+                JsonValue::object()
+                    .with("current", g.current())
+                    .with("mean", g.mean())
+                    .with("peak", g.peak()),
+            );
+        }
+        let mut histograms = JsonValue::object();
+        // Quantiles need `&mut` (lazy sort), so iterate keys by value.
+        let keys: Vec<String> = self.histograms.keys().cloned().collect();
+        for k in keys {
+            let h = self.histograms.get_mut(&k).expect("key just listed");
+            let snap = JsonValue::object()
+                .with("count", h.len())
+                .with("mean", h.mean())
+                .with("p50", h.quantile(0.50))
+                .with("p90", h.quantile(0.90))
+                .with("p99", h.quantile(0.99))
+                .with("min", h.quantile(0.0))
+                .with("max", h.quantile(1.0));
+            histograms.set(&k, snap);
+        }
+        JsonValue::object()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", histograms)
+    }
+
+    /// Renders the snapshot as long-format CSV: `kind,key,stat,value`.
+    pub fn to_csv(&mut self) -> String {
+        let mut out = String::from("kind,key,stat,value\n");
+        for (k, c) in &self.counters {
+            writeln!(out, "counter,{k},value,{}", c.get()).expect("writing to String cannot fail");
+        }
+        for (k, g) in &self.gauges {
+            for (stat, v) in [
+                ("current", g.current()),
+                ("mean", g.mean()),
+                ("peak", g.peak()),
+            ] {
+                writeln!(out, "gauge,{k},{stat},{v:.6}").expect("writing to String cannot fail");
+            }
+        }
+        let keys: Vec<String> = self.histograms.keys().cloned().collect();
+        for k in keys {
+            let h = self.histograms.get_mut(&k).expect("key just listed");
+            for (stat, v) in [
+                ("count", h.len() as f64),
+                ("mean", h.mean()),
+                ("p50", h.quantile(0.50)),
+                ("p90", h.quantile(0.90)),
+                ("p99", h.quantile(0.99)),
+            ] {
+                writeln!(out, "histogram,{k},{stat},{v:.6}")
+                    .expect("writing to String cannot fail");
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +550,98 @@ mod tests {
         assert_eq!(h.quantile(0.5), 3.0);
         assert_eq!(h.quantile(1.0), 5.0);
         assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_creates_lazily_and_counts() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.count("cluster.launched"), 0);
+        r.incr("cluster.launched");
+        r.add("cluster.launched", 4);
+        r.incr("cluster.preempted");
+        assert_eq!(r.count("cluster.launched"), 5);
+        assert_eq!(r.count("cluster.preempted"), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn registry_gauge_tolerates_out_of_order_updates() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("util", SimTime::from_secs(10), 1.0);
+        r.gauge_set("util", SimTime::from_secs(20), 3.0); // 1.0 for 10s
+                                                          // Regression in time: must not panic or count negative intervals.
+        r.gauge_set("util", SimTime::from_secs(5), 7.0);
+        r.gauge_set("util", SimTime::from_secs(20), 7.0);
+        let g = r.gauge("util").unwrap();
+        assert_eq!(g.current(), 7.0);
+        assert_eq!(g.peak(), 7.0);
+        // Only the forward intervals accumulate: 1.0 over [10, 20].
+        // The out-of-order set contributes a zero-length interval, and the
+        // following set(20) finds last_update already at 20.
+        assert!((g.mean() - 1.0).abs() < 1e-9, "mean {}", g.mean());
+    }
+
+    #[test]
+    fn registry_histogram_percentiles() {
+        let mut r = MetricsRegistry::new();
+        for v in 1..=100 {
+            r.observe("lat", f64::from(v));
+        }
+        assert!((r.quantile("lat", 0.5) - 50.5).abs() < 1.0);
+        assert!((r.quantile("lat", 0.9) - 90.0).abs() < 1.5);
+        assert!((r.quantile("lat", 0.99) - 99.0).abs() < 1.5);
+        assert_eq!(r.quantile("missing", 0.5), 0.0);
+        assert_eq!(r.histogram("lat").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn registry_json_snapshot() {
+        let mut r = MetricsRegistry::new();
+        r.add("c.events", 3);
+        r.gauge_set("g.util", SimTime::ZERO, 0.5);
+        r.gauge_set("g.util", SimTime::from_secs(10), 1.5);
+        r.observe("h.lat", 2.0);
+        r.observe("h.lat", 4.0);
+        r.finalize(SimTime::from_secs(10));
+        let doc = r.to_json();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("c.events"))
+                .and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        let util = doc.get("gauges").and_then(|g| g.get("g.util")).unwrap();
+        assert_eq!(util.get("current").and_then(|v| v.as_f64()), Some(1.5));
+        assert!((util.get("mean").and_then(|v| v.as_f64()).unwrap() - 0.5).abs() < 1e-9);
+        let lat = doc.get("histograms").and_then(|h| h.get("h.lat")).unwrap();
+        assert_eq!(lat.get("count").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(lat.get("mean").and_then(|v| v.as_f64()), Some(3.0));
+        // The compact rendering parses back to the same document.
+        let round = crate::json::JsonValue::parse(&doc.to_string()).unwrap();
+        assert_eq!(round, doc);
+    }
+
+    #[test]
+    fn registry_csv_snapshot() {
+        let mut r = MetricsRegistry::new();
+        r.incr("a.b");
+        r.gauge_set("g", SimTime::ZERO, 2.0);
+        r.observe("h", 1.0);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("kind,key,stat,value\n"));
+        assert!(csv.contains("counter,a.b,value,1"));
+        assert!(csv.contains("gauge,g,current,2.000000"));
+        assert!(csv.contains("histogram,h,p50,1.000000"));
+    }
+
+    #[test]
+    fn registry_keys_are_kind_prefixed() {
+        let mut r = MetricsRegistry::new();
+        r.incr("x");
+        r.gauge_set("y", SimTime::ZERO, 0.0);
+        r.observe("z", 1.0);
+        assert_eq!(r.keys(), vec!["counter:x", "gauge:y", "histogram:z"]);
     }
 
     #[test]

@@ -1,20 +1,56 @@
 //! Seeded random number generation with the distributions cluster
 //! simulations need.
 //!
-//! All distributions are implemented from first principles (inverse
-//! transform, Box–Muller, Zipf rejection-free CDF tables) so the workspace
-//! only depends on the `rand` core crate, and so sampling is reproducible
-//! for a given seed regardless of external crate versions.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//! Everything is implemented from first principles (xoshiro256++ core,
+//! inverse transform, Box–Muller, Zipf rejection-free CDF tables) so the
+//! workspace has no external RNG dependency and sampling is reproducible
+//! for a given seed regardless of crate versions or platform.
 
 use crate::time::SimDuration;
+
+/// The xoshiro256++ generator (Blackman & Vigna), seeded through
+/// splitmix64 so any 64-bit seed yields a well-mixed 256-bit state.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn from_seed(seed: u64) -> Self {
+        // splitmix64 state expansion, as recommended by the xoshiro
+        // authors for seeding from a narrow seed.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Xoshiro256pp { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A deterministic, seedable simulation RNG.
 #[derive(Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     /// Cached second sample from the last Box–Muller transform.
     gauss_spare: Option<f64>,
 }
@@ -23,7 +59,7 @@ impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::from_seed(seed),
             gauss_spare: None,
         }
     }
@@ -31,13 +67,18 @@ impl SimRng {
     /// Derives an independent child RNG, e.g. one per simulated server,
     /// so adding entities does not perturb existing entity streams.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s: u64 = self.inner.random();
+        let s: u64 = self.inner.next_u64();
         SimRng::seed_from_u64(s ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// The next raw 64-bit output of the generator.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -57,7 +98,10 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.inner.random_range(0..n)
+        // Lemire's multiply-shift bounded sampler (bias is negligible for
+        // the ranges simulations use, and it keeps sampling branch-free).
+        let n = n as u64;
+        (((u128::from(self.inner.next_u64()) * u128::from(n)) >> 64) as u64) as usize
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -107,7 +151,10 @@ impl SimRng {
     /// Pareto sample with scale `x_min > 0` and shape `alpha > 0`
     /// (heavy-tailed; used for job lifetimes).
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         let u = 1.0 - self.uniform();
         x_min / u.powf(1.0 / alpha)
     }
@@ -311,7 +358,10 @@ mod tests {
         }
         let observed = head as f64 / n as f64;
         let expected = z.head_mass(10);
-        assert!((observed - expected).abs() < 0.02, "obs {observed} exp {expected}");
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "obs {observed} exp {expected}"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile input must not contain NaN")
+    });
     percentile_sorted(&sorted, q)
 }
 
@@ -58,7 +61,10 @@ pub fn weighted_mean(pairs: &[(f64, f64)]) -> f64 {
 
 /// Maximum value; 0 for an empty slice.
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    xs.iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
 }
 
 /// Minimum value; 0 for an empty slice.

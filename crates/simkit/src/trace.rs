@@ -4,10 +4,20 @@
 //! deflated, VM preempted, ...). The [`TraceLog`] records them with a hard
 //! capacity cap so pathological runs cannot exhaust memory, and supports
 //! simple category filtering for tests and the experiment harness.
+//!
+//! Two record shapes coexist:
+//!
+//! * [`TraceEvent`] — a flat timestamped message in a category; cheap,
+//!   human-oriented, long-standing.
+//! * [`Span`] — a typed, structured record with key/value attributes and
+//!   nested child spans, e.g. a cascade deflation with one child per
+//!   layer. Spans serialize to JSON ([`Span::to_json`]) and parse back
+//!   ([`Span::from_json`]), so harnesses can persist and re-analyze runs.
 
 use std::fmt;
 
-use crate::time::SimTime;
+use crate::json::JsonValue;
+use crate::time::{SimDuration, SimTime};
 
 /// One trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,10 +36,222 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// An attribute value attached to a [`Span`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A number (counts, resource amounts, fractions).
+    Num(f64),
+    /// A string (ids, layer names, outcomes).
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The flag, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(n: f64) -> Self {
+        AttrValue::Num(n)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> Self {
+        AttrValue::Num(n as f64)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(n: usize) -> Self {
+        AttrValue::Num(n as f64)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Num(n) => write!(f, "{n}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A typed structured trace record: what happened, when, for how long,
+/// with arbitrary key/value attributes and nested child spans.
+///
+/// The cascade controller, for example, emits one `cascade.deflate` span
+/// per deflation with a child span per engaged layer carrying that
+/// layer's requested/reclaimed/latency payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Dotted span type, e.g. `cascade.deflate` or `cluster.preempt`.
+    pub kind: String,
+    /// When the spanned operation started.
+    pub at: SimTime,
+    /// How long it took (zero for instantaneous events).
+    pub duration: SimDuration,
+    /// Key/value payload, insertion-ordered.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Nested sub-operations.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Creates an attribute-less instantaneous span.
+    pub fn new(kind: impl Into<String>, at: SimTime) -> Self {
+        Span {
+            kind: kind.into(),
+            at,
+            duration: SimDuration::ZERO,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: sets the duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Builder: appends an attribute.
+    pub fn with_attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
+        self.attrs.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Builder: appends a child span.
+    pub fn with_child(mut self, child: Span) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// First child of the given kind.
+    pub fn child(&self, kind: &str) -> Option<&Span> {
+        self.children.iter().find(|c| c.kind == kind)
+    }
+
+    /// Serializes to a JSON object.
+    ///
+    /// Times are encoded as integer microseconds (`at_us`, `duration_us`)
+    /// so [`from_json`](Self::from_json) round-trips exactly.
+    pub fn to_json(&self) -> JsonValue {
+        let mut attrs = JsonValue::object();
+        for (k, v) in &self.attrs {
+            let jv = match v {
+                AttrValue::Num(n) => JsonValue::Num(*n),
+                AttrValue::Str(s) => JsonValue::Str(s.clone()),
+                AttrValue::Bool(b) => JsonValue::Bool(*b),
+            };
+            attrs.set(k, jv);
+        }
+        JsonValue::object()
+            .with("kind", self.kind.as_str())
+            .with("at_us", self.at.as_micros())
+            .with("duration_us", self.duration.as_micros())
+            .with("attrs", attrs)
+            .with(
+                "children",
+                JsonValue::Arr(self.children.iter().map(Span::to_json).collect()),
+            )
+    }
+
+    /// Parses a span previously produced by [`to_json`](Self::to_json).
+    pub fn from_json(doc: &JsonValue) -> Result<Span, String> {
+        let kind = doc
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("span missing 'kind'")?
+            .to_string();
+        let at_us = doc
+            .get("at_us")
+            .and_then(JsonValue::as_f64)
+            .ok_or("span missing 'at_us'")?;
+        let duration_us = doc
+            .get("duration_us")
+            .and_then(JsonValue::as_f64)
+            .ok_or("span missing 'duration_us'")?;
+        let mut attrs = Vec::new();
+        if let Some(pairs) = doc.get("attrs").and_then(JsonValue::as_object) {
+            for (k, v) in pairs {
+                let av = match v {
+                    JsonValue::Num(n) => AttrValue::Num(*n),
+                    JsonValue::Str(s) => AttrValue::Str(s.clone()),
+                    JsonValue::Bool(b) => AttrValue::Bool(*b),
+                    other => return Err(format!("unsupported attr value {other}")),
+                };
+                attrs.push((k.clone(), av));
+            }
+        }
+        let mut children = Vec::new();
+        if let Some(items) = doc.get("children").and_then(JsonValue::as_array) {
+            for item in items {
+                children.push(Span::from_json(item)?);
+            }
+        }
+        Ok(Span {
+            kind,
+            at: SimTime::from_micros(at_us as u64),
+            duration: SimDuration::from_micros(duration_us as u64),
+            attrs,
+            children,
+        })
+    }
+}
+
 /// A bounded in-memory trace.
 #[derive(Debug)]
 pub struct TraceLog {
     events: Vec<TraceEvent>,
+    spans: Vec<Span>,
     capacity: usize,
     dropped: u64,
 }
@@ -41,19 +263,24 @@ impl Default for TraceLog {
 }
 
 impl TraceLog {
-    /// Creates a log that keeps at most `capacity` events; later events are
-    /// counted but dropped.
+    /// Creates a log that keeps at most `capacity` records (events and
+    /// spans combined); later records are counted but dropped.
     pub fn with_capacity(capacity: usize) -> Self {
         TraceLog {
             events: Vec::new(),
+            spans: Vec::new(),
             capacity,
             dropped: 0,
         }
     }
 
+    fn at_capacity(&self) -> bool {
+        self.events.len() + self.spans.len() >= self.capacity
+    }
+
     /// Appends an event (or counts it as dropped when at capacity).
     pub fn record(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
-        if self.events.len() >= self.capacity {
+        if self.at_capacity() {
             self.dropped += 1;
             return;
         }
@@ -62,6 +289,53 @@ impl TraceLog {
             category,
             message: message.into(),
         });
+    }
+
+    /// Appends a structured span (or counts it as dropped when at
+    /// capacity). Children ride along with their root and do not count
+    /// toward the capacity individually.
+    pub fn record_span(&mut self, span: Span) {
+        if self.at_capacity() {
+            self.dropped += 1;
+            return;
+        }
+        self.spans.push(span);
+    }
+
+    /// All retained root spans in order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Root spans of a given kind.
+    pub fn spans_by_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Number of root spans of a kind.
+    pub fn span_count(&self, kind: &str) -> usize {
+        self.spans_by_kind(kind).count()
+    }
+
+    /// Serializes the whole log (events and spans) to a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let events: Vec<JsonValue> = self
+            .events
+            .iter()
+            .map(|e| {
+                JsonValue::object()
+                    .with("at_us", e.at.as_micros())
+                    .with("category", e.category)
+                    .with("message", e.message.as_str())
+            })
+            .collect();
+        JsonValue::object()
+            .with("events", JsonValue::Arr(events))
+            .with(
+                "spans",
+                JsonValue::Arr(self.spans.iter().map(Span::to_json).collect()),
+            )
+            .with("dropped", self.dropped)
     }
 
     /// All retained events in order.
@@ -84,14 +358,14 @@ impl TraceLog {
         self.dropped
     }
 
-    /// Number of retained events.
+    /// Number of retained records (events plus root spans).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.len() + self.spans.len()
     }
 
     /// Returns `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.spans.is_empty()
     }
 }
 
@@ -130,5 +404,73 @@ mod tests {
             message: "vm-1".into(),
         };
         assert_eq!(format!("{ev}"), "[1.000000s] deflate: vm-1");
+    }
+
+    #[test]
+    fn spans_record_and_filter() {
+        let mut log = TraceLog::default();
+        log.record_span(
+            Span::new("cascade.deflate", SimTime::from_secs(1))
+                .with_attr("vm", "vm-1")
+                .with_child(Span::new("cascade.layer", SimTime::from_secs(1))),
+        );
+        log.record_span(Span::new("cluster.preempt", SimTime::from_secs(2)));
+        assert_eq!(log.span_count("cascade.deflate"), 1);
+        assert_eq!(log.span_count("cluster.preempt"), 1);
+        assert_eq!(log.span_count("missing"), 0);
+        assert_eq!(log.len(), 2);
+        let s = log.spans_by_kind("cascade.deflate").next().unwrap();
+        assert_eq!(s.attr("vm").and_then(AttrValue::as_str), Some("vm-1"));
+        assert!(s.child("cascade.layer").is_some());
+    }
+
+    #[test]
+    fn spans_share_the_capacity_cap() {
+        let mut log = TraceLog::with_capacity(2);
+        log.record(SimTime::ZERO, "x", "e");
+        log.record_span(Span::new("s", SimTime::ZERO));
+        log.record_span(Span::new("s", SimTime::ZERO));
+        log.record(SimTime::ZERO, "x", "e");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn span_json_round_trip() {
+        let span = Span::new("cascade.deflate", SimTime::from_millis(1_500))
+            .with_duration(SimDuration::from_millis(11_100))
+            .with_attr("vm", "vm-7")
+            .with_attr("met_target", true)
+            .with_attr("total_cpu", 2.5)
+            .with_child(
+                Span::new("cascade.layer", SimTime::from_millis(1_500))
+                    .with_duration(SimDuration::from_millis(100))
+                    .with_attr("layer", "app")
+                    .with_attr("reclaimed_cpu", 1.0),
+            );
+        let text = span.to_json().to_string();
+        let parsed = Span::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, span);
+    }
+
+    #[test]
+    fn log_to_json_includes_both_shapes() {
+        let mut log = TraceLog::default();
+        log.record(SimTime::ZERO, "launch", "vm-1");
+        log.record_span(Span::new("cascade.deflate", SimTime::ZERO));
+        let doc = log.to_json();
+        assert_eq!(
+            doc.get("events")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("spans")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(doc.get("dropped").and_then(JsonValue::as_f64), Some(0.0));
     }
 }

@@ -19,7 +19,9 @@ use std::collections::{HashMap, HashSet};
 
 use simkit::{SimDuration, SimRng};
 
-use crate::policy::{choose_mechanism_with_r, ChosenMechanism, DeflationDecision, PolicyInputs, REstimateKind};
+use crate::policy::{
+    choose_mechanism_with_r, ChosenMechanism, DeflationDecision, PolicyInputs, REstimateKind,
+};
 use crate::rdd::{DepKind, RddDag};
 use crate::stage::{build_stages, Stage, StageId};
 
@@ -237,11 +239,9 @@ impl BspSimulator {
     /// Baseline running time on the undeflated pool.
     pub fn baseline(&self) -> SimDuration {
         let fresh = WorkerPool::uniform(self.pool.len(), self.pool.slots[0]);
-        self.stages
-            .iter()
-            .fold(SimDuration::ZERO, |acc, s| {
-                acc + fresh.stage_time(s.tasks, s.task_cost, true)
-            })
+        self.stages.iter().fold(SimDuration::ZERO, |acc, s| {
+            acc + fresh.stage_time(s.tasks, s.task_cost, true)
+        })
     }
 
     /// Records where a completed stage's partitions live: spread
@@ -460,16 +460,13 @@ impl BspSimulator {
             if missing_frac <= 0.0 {
                 continue;
             }
-            recompute_work +=
-                missing_frac * stage.tasks as f64 * stage.task_cost.as_secs_f64();
+            recompute_work += missing_frac * stage.tasks as f64 * stage.task_cost.as_secs_f64();
             for (pid, kind) in &stage.parents {
                 match kind {
                     // A wide read needs *all* parent partitions as soon as
                     // any output partition must be recomputed.
                     DepKind::Wide => needed[pid.0] = 1.0,
-                    DepKind::Narrow => {
-                        needed[pid.0] = (needed[pid.0] + missing_frac).min(1.0)
-                    }
+                    DepKind::Narrow => needed[pid.0] = (needed[pid.0] + missing_frac).min(1.0),
                 }
             }
         }
@@ -529,9 +526,8 @@ impl BspSimulator {
             // deflate promptly.
             if let (Some(ev), false) = (event, deflated) {
                 let progress = elapsed.ratio(baseline);
-                let safe_boundary = !self.stages[idx].is_synchronous()
-                    || deferred
-                    || idx + 1 == self.stages.len();
+                let safe_boundary =
+                    !self.stages[idx].is_synchronous() || deferred || idx + 1 == self.stages.len();
                 if progress >= ev.at_progress && mode != DeflationMode::None && !safe_boundary {
                     deferred = true;
                 }
@@ -561,13 +557,12 @@ impl BspSimulator {
                                         inputs.sync_fraction
                                     }
                                 }
-                                REstimateKind::DagExact => self
-                                    .expected_recompute_fraction(
-                                        &ev.fractions,
-                                        idx,
-                                        elapsed,
-                                        baseline,
-                                    ),
+                                REstimateKind::DagExact => self.expected_recompute_fraction(
+                                    &ev.fractions,
+                                    idx,
+                                    elapsed,
+                                    baseline,
+                                ),
                             };
                             let d = choose_mechanism_with_r(&inputs, r);
                             self.apply_deflation(ev, d.chosen);

@@ -41,10 +41,10 @@ pub mod stage;
 pub mod training;
 pub mod workloads;
 
-pub use exec::{
-    BspSimulator, DeflationEvent, DeflationMode, RunResult, WorkerPool,
+pub use exec::{BspSimulator, DeflationEvent, DeflationMode, RunResult, WorkerPool};
+pub use policy::{
+    choose_mechanism, choose_mechanism_with_r, DeflationDecision, PolicyInputs, REstimateKind,
 };
-pub use policy::{choose_mechanism, choose_mechanism_with_r, DeflationDecision, PolicyInputs, REstimateKind};
 pub use rdd::{DagBuilder, DepKind, Rdd, RddId};
 pub use stage::{build_stages, Stage, StageId};
 pub use training::{TrainingJob, TrainingParams, TrainingRun};

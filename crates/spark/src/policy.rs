@@ -107,11 +107,7 @@ pub fn choose_mechanism(inputs: &PolicyInputs) -> DeflationDecision {
 /// Runs the policy with an explicitly-computed recomputation fraction
 /// (worst-case or DAG-exact estimators supply `r` directly).
 pub fn choose_mechanism_with_r(inputs: &PolicyInputs, r: f64) -> DeflationDecision {
-    let max_d = inputs
-        .fractions
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let max_d = inputs.fractions.iter().copied().fold(0.0f64, f64::max);
     let mean_d = if inputs.fractions.is_empty() {
         0.0
     } else {

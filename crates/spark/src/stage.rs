@@ -68,9 +68,10 @@ pub fn build_stages(dag: &RddDag) -> Vec<Stage> {
     for id in dag.topo_order() {
         let rdd = dag.rdd(id);
         let starts_new = rdd.parents.is_empty()
-            || rdd.parents.iter().any(|(p, k)| {
-                *k == DepKind::Wide || dag.rdd(*p).cached
-            })
+            || rdd
+                .parents
+                .iter()
+                .any(|(p, k)| *k == DepKind::Wide || dag.rdd(*p).cached)
             || rdd.parents.len() > 1;
 
         if starts_new {

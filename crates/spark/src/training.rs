@@ -145,9 +145,8 @@ impl TrainingJob {
         let interval = p.checkpoint_interval_frac.clamp(0.01, 1.0);
         let ckpt = (c / interval).floor() * interval;
         let rerun = (1.0 - ckpt).max(0.0);
-        let total = c
-            + p.restart_overhead_frac * overhead_mult
-            + rerun * self.slowdown_restarted(mean_d);
+        let total =
+            c + p.restart_overhead_frac * overhead_mult + rerun * self.slowdown_restarted(mean_d);
         if taxed {
             total * (1.0 + p.checkpoint_overhead)
         } else {
@@ -307,7 +306,9 @@ mod tests {
         let job = cnn();
         let ev = half_deflation(0.5);
         let vm = job.run(DeflationMode::VmLevel, Some(&ev)).normalized();
-        let sf = job.run(DeflationMode::SelfDeflation, Some(&ev)).normalized();
+        let sf = job
+            .run(DeflationMode::SelfDeflation, Some(&ev))
+            .normalized();
         let pr = job.run(DeflationMode::Preemption, Some(&ev)).normalized();
         assert!(vm < 1.25, "vm {vm}");
         assert!(sf > 1.8, "self {sf}");

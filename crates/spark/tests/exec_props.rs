@@ -36,14 +36,12 @@ fn arb_dag() -> impl Strategy<Value = RddDag> {
 }
 
 fn arb_event() -> impl Strategy<Value = DeflationEvent> {
-    (
-        prop::collection::vec(0.0f64..0.9, 8),
-        0.0f64..1.0,
-    )
-        .prop_map(|(fractions, at)| DeflationEvent {
+    (prop::collection::vec(0.0f64..0.9, 8), 0.0f64..1.0).prop_map(|(fractions, at)| {
+        DeflationEvent {
             at_progress: at,
             fractions,
-        })
+        }
+    })
 }
 
 proptest! {

@@ -32,7 +32,11 @@ fn main() {
             println!(
                 "{:>10.0} {:>12} {:>12} {:>12} {:>12.3} {:>9.0}%",
                 rate,
-                if deflation { "deflation" } else { "preempt-only" },
+                if deflation {
+                    "deflation"
+                } else {
+                    "preempt-only"
+                },
                 r.stats.launched,
                 r.stats.preempted,
                 r.preemption_probability,

@@ -21,7 +21,10 @@ fn main() {
     let mut vm = vm.with_agent(Box::new(agent));
 
     println!("spec:          {spec}");
-    println!("baseline GETs: {:.1} kGETS/s\n", app.throughput_kgets(&vm.view()));
+    println!(
+        "baseline GETs: {:.1} kGETS/s\n",
+        app.throughput_kgets(&vm.view())
+    );
 
     // The cluster manager asks for half of everything back.
     let target = spec.scale(0.5);
@@ -38,10 +41,16 @@ fn main() {
     let view = vm.view();
     println!("effective allocation now: {}", view.effective);
     println!("cache resized to:         {:.0} MiB", app.cache_mb());
-    println!("deflated GETs:            {:.1} kGETS/s", app.throughput_kgets(&view));
+    println!(
+        "deflated GETs:            {:.1} kGETS/s",
+        app.throughput_kgets(&view)
+    );
 
     // Pressure passes: reinflate.
     let back = vm.reinflate(SimTime::from_secs(60), &target);
     println!("\nreinflated:               {back}");
-    println!("recovered GETs:           {:.1} kGETS/s", app.throughput_kgets(&vm.view()));
+    println!(
+        "recovered GETs:           {:.1} kGETS/s",
+        app.throughput_kgets(&vm.view())
+    );
 }

@@ -22,8 +22,12 @@ fn main() {
         let rp = w.run(DeflationMode::Preemption, Some(&ev), 7);
         let chose = rc
             .decision
-            .map(|d| format!("{:?} (T_vm={:.2}, T_self={:.2}, r={:.2})",
-                d.chosen, d.t_vm, d.t_self, d.r))
+            .map(|d| {
+                format!(
+                    "{:?} (T_vm={:.2}, T_self={:.2}, r={:.2})",
+                    d.chosen, d.t_vm, d.t_self, d.r
+                )
+            })
             .unwrap_or_else(|| "-".to_string());
         println!(
             "{:<10} {:>8.2}x {:>8.2}x {:>8.2}x {:>10.2}x   {}",

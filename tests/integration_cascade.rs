@@ -57,11 +57,7 @@ fn full_cascade_conserves_resources_through_cycles() {
 fn layer_contributions_sum_to_total() {
     let mut vm = Vm::new(VmId(1), spec(), VmPriority::Low);
     vm.set_usage(8_192.0, 2.0);
-    let out = vm.deflate(
-        SimTime::ZERO,
-        &spec().scale(0.5),
-        &CascadeConfig::VM_LEVEL,
-    );
+    let out = vm.deflate(SimTime::ZERO, &spec().scale(0.5), &CascadeConfig::VM_LEVEL);
     let sum = out.os.reclaimed + out.hypervisor.reclaimed;
     assert!(sum.approx_eq(&out.total_reclaimed, 1e-9));
     assert_conservation(&vm);

@@ -187,5 +187,8 @@ fn placement_policies_comparable_at_scale() {
         means.push(mean);
     }
     let spread = simkit::stats::max(&means) - simkit::stats::min(&means);
-    assert!(spread < 0.3, "policy overcommitment spread too wide: {means:?}");
+    assert!(
+        spread < 0.3,
+        "policy overcommitment spread too wide: {means:?}"
+    );
 }

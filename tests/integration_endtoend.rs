@@ -179,9 +179,7 @@ fn preemption_only_kills_the_training_cluster() {
     }
     // Four workers are gone.
     assert_eq!(manager.stats().preempted, 4);
-    let survivors = (0..8)
-        .filter(|i| manager.is_running(VmId(*i)))
-        .count();
+    let survivors = (0..8).filter(|i| manager.is_running(VmId(*i))).count();
     assert_eq!(survivors, 4);
 
     // For synchronous training, losing any worker forces a restart from

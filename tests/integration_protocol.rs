@@ -109,8 +109,6 @@ fn reinflation_round_trips_the_wire() {
         app.cache_mb() > shrunk,
         "reinflation over the wire should regrow the cache"
     );
-    let mem_back = vm
-        .effective()
-        .get(ResourceKind::Memory);
+    let mem_back = vm.effective().get(ResourceKind::Memory);
     assert!((mem_back - 16_384.0).abs() < 1e-6);
 }
