@@ -1,0 +1,133 @@
+//! Cluster-simulation timing harness: runs trace-driven simulations at a
+//! fixed configuration, records wall-time and events/sec per run, and
+//! writes the machine-readable `BENCH_cluster.json` used to track the
+//! simulator's performance trajectory across PRs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_cluster -- [OUT.json] [--small]
+//! ```
+//!
+//! * default: the paper-scale configuration (100 servers, 24 h horizon,
+//!   the Fig. 8c default trace) — the number quoted in acceptance gates;
+//! * `--small`: a CI-sized configuration (20 servers, 6 h) that finishes
+//!   in seconds on shared runners while exercising the same hot path.
+//!
+//! Output schema (`BENCH_cluster.json`):
+//!
+//! ```json
+//! {
+//!   "config": {"n_servers": 100, "horizon_hours": 24.0, "arrivals_per_hour": 280.0, "runs": 3},
+//!   "runs": [{"wall_time_s": ..., "events": ..., "events_per_sec": ...}, ...],
+//!   "best": {"wall_time_s": ..., "events": ..., "events_per_sec": ...},
+//!   "stats": {"launched": ..., "rejected": ..., "preempted": ..., "exits": ...}
+//! }
+//! ```
+
+use std::time::Instant;
+
+use cluster::{run_cluster_sim, ClusterManagerConfig, ClusterSimConfig, TraceConfig};
+use simkit::{JsonValue, SimDuration};
+
+struct BenchRun {
+    wall_time_s: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+fn main() {
+    let mut out_path = "BENCH_cluster.json".to_string();
+    let mut small = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--small" {
+            small = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let (n_servers, horizon_hours, rate, runs) = if small {
+        (20usize, 6.0f64, 120.0f64, 2usize)
+    } else {
+        (100, 24.0, 280.0, 3)
+    };
+    let cfg = ClusterSimConfig {
+        manager: ClusterManagerConfig {
+            n_servers,
+            ..ClusterManagerConfig::default()
+        },
+        trace: TraceConfig {
+            arrivals_per_hour: rate,
+            ..TraceConfig::default()
+        },
+        horizon: SimDuration::from_secs((horizon_hours * 3_600.0) as u64),
+    };
+
+    eprintln!(
+        "bench_cluster: {n_servers} servers, {horizon_hours} h horizon, \
+         {rate} arrivals/h, {runs} run(s)"
+    );
+
+    let mut results: Vec<BenchRun> = Vec::new();
+    let mut last = None;
+    for i in 0..runs {
+        let start = Instant::now();
+        let r = run_cluster_sim(&cfg);
+        let wall = start.elapsed().as_secs_f64();
+        let events = r.events;
+        let eps = events as f64 / wall.max(1e-9);
+        eprintln!("  run {i}: {events} events in {wall:.3}s = {eps:.0} events/s");
+        results.push(BenchRun {
+            wall_time_s: wall,
+            events,
+            events_per_sec: eps,
+        });
+        last = Some(r);
+    }
+    let last = last.expect("at least one run");
+
+    let run_json = |r: &BenchRun| {
+        JsonValue::object()
+            .with("wall_time_s", r.wall_time_s)
+            .with("events", r.events as f64)
+            .with("events_per_sec", r.events_per_sec)
+    };
+    let best = results
+        .iter()
+        .min_by(|a, b| {
+            a.wall_time_s
+                .partial_cmp(&b.wall_time_s)
+                .expect("wall times are finite")
+        })
+        .expect("at least one run");
+
+    let runs_json = JsonValue::Arr(results.iter().map(run_json).collect());
+    let doc = JsonValue::object()
+        .with(
+            "config",
+            JsonValue::object()
+                .with("n_servers", n_servers as f64)
+                .with("horizon_hours", horizon_hours)
+                .with("arrivals_per_hour", rate)
+                .with("runs", runs as f64),
+        )
+        .with("runs", runs_json)
+        .with("best", run_json(best))
+        .with(
+            "stats",
+            JsonValue::object()
+                .with("launched", last.stats.launched as f64)
+                .with("rejected", last.stats.rejected as f64)
+                .with("preempted", last.stats.preempted as f64)
+                .with("deflations", last.stats.deflations as f64)
+                .with("reinflations", last.stats.reinflations as f64)
+                .with("mean_utilization", last.mean_utilization)
+                .with("mean_overcommitment", last.mean_overcommitment),
+        );
+    let text = doc.to_pretty();
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{text}");
+    eprintln!("written to {out_path}");
+}

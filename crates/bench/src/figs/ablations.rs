@@ -274,37 +274,43 @@ pub fn heterogeneous_placement_with(n_servers: usize, horizon: simkit::SimDurati
             "mean overcommit",
         ],
     );
-    for skew in [0.0, 0.5] {
-        for policy in cluster::PlacementPolicy::ALL {
-            let cfg = ClusterSimConfig {
-                manager: ClusterManagerConfig {
-                    n_servers,
-                    placement: policy,
-                    capacity_skew: skew,
-                    ..ClusterManagerConfig::default()
-                },
-                trace: TraceConfig {
-                    // ~2x offered load: the pools must reclaim to admit.
-                    arrivals_per_hour: 4.0 * n_servers as f64,
-                    ..TraceConfig::default()
-                },
-                horizon,
-            };
-            let r = run_cluster_sim(&cfg);
-            t.row(vec![
-                if skew == 0.0 {
-                    "homogeneous"
-                } else {
-                    "3:1 mixed"
-                }
-                .to_string(),
-                policy.name().to_string(),
-                r.stats.launched.to_string(),
-                r.stats.rejected.to_string(),
-                f3(r.preemption_probability),
-                pct(r.mean_overcommitment),
-            ]);
-        }
+    // 2 pools × 3 policies = 6 independent simulations; run them all at
+    // once and emit rows in grid order.
+    let grid: Vec<(f64, cluster::PlacementPolicy)> = [0.0, 0.5]
+        .into_iter()
+        .flat_map(|skew| cluster::PlacementPolicy::ALL.map(|policy| (skew, policy)))
+        .collect();
+    let results = crate::sweep::parallel_map(grid.clone(), |(skew, policy)| {
+        let cfg = ClusterSimConfig {
+            manager: ClusterManagerConfig {
+                n_servers,
+                placement: policy,
+                capacity_skew: skew,
+                ..ClusterManagerConfig::default()
+            },
+            trace: TraceConfig {
+                // ~2x offered load: the pools must reclaim to admit.
+                arrivals_per_hour: 4.0 * n_servers as f64,
+                ..TraceConfig::default()
+            },
+            horizon,
+        };
+        run_cluster_sim(&cfg)
+    });
+    for ((skew, policy), r) in grid.into_iter().zip(&results) {
+        t.row(vec![
+            if skew == 0.0 {
+                "homogeneous"
+            } else {
+                "3:1 mixed"
+            }
+            .to_string(),
+            policy.name().to_string(),
+            r.stats.launched.to_string(),
+            r.stats.rejected.to_string(),
+            f3(r.preemption_probability),
+            pct(r.mean_overcommitment),
+        ]);
     }
     t.expect(
         "deflation keeps the policies close even on the mixed pool —          admission and preemption probabilities stay in the same band          across best-fit/first-fit/2-choices — extending Fig. 8d's          homogeneous-pool finding",

@@ -168,10 +168,13 @@ pub fn fig8c_with(cfg: &Fig8cConfig) -> Table {
             "P[preempt] (preempt-only)",
         ],
     );
-    for &rate in &cfg.rates {
-        let mut results = Vec::new();
-        for deflation in [true, false] {
-            let sim_cfg = ClusterSimConfig {
+    // Every (rate, mode) cell is an independent seeded simulation: fan
+    // them all out at once and reassemble rows from the ordered results.
+    let jobs: Vec<ClusterSimConfig> = cfg
+        .rates
+        .iter()
+        .flat_map(|&rate| {
+            [true, false].map(|deflation| ClusterSimConfig {
                 manager: ClusterManagerConfig {
                     n_servers: cfg.n_servers,
                     deflation_enabled: deflation,
@@ -182,15 +185,17 @@ pub fn fig8c_with(cfg: &Fig8cConfig) -> Table {
                     ..TraceConfig::default()
                 },
                 horizon: cfg.horizon,
-            };
-            results.push(run_cluster_sim(&sim_cfg));
-        }
+            })
+        })
+        .collect();
+    let results = crate::sweep::parallel_map(jobs, |c| run_cluster_sim(&c));
+    for pair in results.chunks_exact(2) {
         t.row(vec![
-            pct(results[0].offered_utilization),
-            pct(results[0].mean_overcommitment),
-            pct(results[0].peak_overcommitment),
-            f3(results[0].preemption_probability),
-            f3(results[1].preemption_probability),
+            pct(pair[0].offered_utilization),
+            pct(pair[0].mean_overcommitment),
+            pct(pair[0].peak_overcommitment),
+            f3(pair[0].preemption_probability),
+            f3(pair[1].preemption_probability),
         ]);
     }
     t.expect(
@@ -219,8 +224,9 @@ pub fn fig8d_with(n_servers: usize, horizon: SimDuration, rate: f64) -> Table {
         "Server overcommitment by placement policy (mean / p25 / p50 / p75)",
         vec!["policy", "mean", "p25", "p50", "p75"],
     );
-    for policy in PlacementPolicy::ALL {
-        let cfg = ClusterSimConfig {
+    let jobs: Vec<ClusterSimConfig> = PlacementPolicy::ALL
+        .into_iter()
+        .map(|policy| ClusterSimConfig {
             manager: ClusterManagerConfig {
                 n_servers,
                 placement: policy,
@@ -231,8 +237,10 @@ pub fn fig8d_with(n_servers: usize, horizon: SimDuration, rate: f64) -> Table {
                 ..TraceConfig::default()
             },
             horizon,
-        };
-        let r = run_cluster_sim(&cfg);
+        })
+        .collect();
+    let results = crate::sweep::parallel_map(jobs, |c| run_cluster_sim(&c));
+    for (policy, r) in PlacementPolicy::ALL.into_iter().zip(&results) {
         let xs = &r.server_overcommitment;
         t.row(vec![
             policy.name().to_string(),

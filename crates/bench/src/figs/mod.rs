@@ -11,13 +11,23 @@ pub mod pricing_exp;
 use crate::Table;
 
 /// Runs every experiment, in paper order.
+///
+/// Each figure module is independent (every simulation is seeded), so
+/// the modules run concurrently on the sweep runner; the result is
+/// flattened in paper order regardless of completion order.
 pub fn run_all() -> Vec<Table> {
-    let mut out = vec![fig1::run()];
-    out.extend(fig5::run());
-    out.push(fig6::run());
-    out.extend(fig7::run());
-    out.extend(fig8::run());
-    out.extend(ablations::run());
-    out.push(pricing_exp::run());
-    out
+    type Job = Box<dyn FnOnce() -> Vec<Table> + Send>;
+    let jobs: Vec<Job> = vec![
+        Box::new(|| vec![fig1::run()]),
+        Box::new(fig5::run),
+        Box::new(|| vec![fig6::run()]),
+        Box::new(fig7::run),
+        Box::new(fig8::run),
+        Box::new(ablations::run),
+        Box::new(|| vec![pricing_exp::run()]),
+    ];
+    crate::sweep::parallel_map(jobs, |job| job())
+        .into_iter()
+        .flatten()
+        .collect()
 }

@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 
 pub mod figs;
+pub mod sweep;
 
 /// A printable result table (one per figure/series group).
 #[derive(Debug, Clone)]

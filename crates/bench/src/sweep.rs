@@ -1,0 +1,95 @@
+//! A dependency-free parallel sweep runner for the experiment harness.
+//!
+//! Every figure sweeps an independent parameter grid (arrival rates ×
+//! modes, placement policies, heterogeneity levels), and each cell is a
+//! full trace-driven simulation — embarrassingly parallel and seeded, so
+//! results are deterministic regardless of execution order.
+//! [`parallel_map`] fans the cells out over `std::thread::scope` workers
+//! (one per available core) and reassembles the results **by cell
+//! index**, so the output order — and therefore every downstream table —
+//! is identical to the sequential run's.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on a scoped worker pool and returns the
+/// results in input order.
+///
+/// Workers pull the next unclaimed index from a shared counter, so
+/// uneven cell costs (a 24 h simulation next to a 6 h one) balance
+/// automatically. Falls back to a plain sequential map when there is one
+/// item or one core.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("sweep slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let out = f(item);
+                *results[i].lock().expect("sweep result poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep result poisoned")
+                .expect("every slot was computed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..64).collect(), |i: usize| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<usize> = parallel_map(Vec::<usize>::new(), |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7usize], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_costs_still_ordered() {
+        let out = parallel_map((0..16).collect(), |i: u64| {
+            // Stagger work so late indices finish first.
+            std::thread::sleep(std::time::Duration::from_millis((16 - i) % 4));
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use deflate_core::{CascadeConfig, ResourceKind, ResourceVector, ServerId, VmId};
-use hypervisor::{LocalController, PhysicalServer, Vm, VmPriority};
+use hypervisor::{LocalController, PhysicalServer, ServerAggregates, Vm, VmPriority};
 use simkit::{JsonValue, Observability, SimRng, SimTime, TraceLog};
 
 use crate::placement::{choose_server_with, AvailabilityMode, PlacementPolicy};
@@ -111,6 +111,21 @@ pub enum LaunchOutcome {
     Rejected,
 }
 
+/// Cluster-wide running sums, maintained incrementally.
+///
+/// Every server mutation in [`ClusterManager`] snapshots the touched
+/// server's [`ServerAggregates`] before and after and applies the delta
+/// here, so `utilization()`, `overcommitment()` and the per-priority CPU
+/// metrics are O(1) instead of walking servers × VMs on every arrival
+/// and departure.
+#[derive(Debug, Clone, Copy)]
+struct ClusterTotals {
+    /// Σ physical capacity over all servers (fixed at construction).
+    capacity: ResourceVector,
+    /// Σ per-server aggregates over all servers.
+    agg: ServerAggregates,
+}
+
 /// The deflation-based cluster manager.
 pub struct ClusterManager {
     cfg: ClusterManagerConfig,
@@ -125,13 +140,15 @@ pub struct ClusterManager {
     obs: Observability,
     /// High-priority demand forecaster (proactive headroom).
     predictor: DemandPredictor,
+    /// Incrementally-maintained cluster-wide sums.
+    totals: ClusterTotals,
 }
 
 impl ClusterManager {
     /// Creates a cluster with empty servers.
     pub fn new(cfg: ClusterManagerConfig) -> Self {
         let skew = cfg.capacity_skew.clamp(0.0, 0.9);
-        let servers = (0..cfg.n_servers)
+        let servers: Vec<PhysicalServer> = (0..cfg.n_servers)
             .map(|i| {
                 let factor = if skew == 0.0 {
                     1.0
@@ -145,6 +162,9 @@ impl ClusterManager {
             .collect();
         let controller = LocalController::new(cfg.cascade);
         let rng = SimRng::seed_from_u64(cfg.seed);
+        let capacity = servers
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, s| acc + s.capacity());
         ClusterManager {
             cfg,
             servers,
@@ -154,7 +174,18 @@ impl ClusterManager {
             index: HashMap::new(),
             obs: Observability::new(),
             predictor: DemandPredictor::new(simkit::SimDuration::from_mins(10), 0.3),
+            totals: ClusterTotals {
+                capacity,
+                agg: ServerAggregates::default(),
+            },
         }
+    }
+
+    /// Applies a touched server's aggregate delta to the cluster totals.
+    /// Call with snapshots taken immediately before and after mutating
+    /// that one server; all other servers are untouched by construction.
+    fn apply_delta(&mut self, before: &ServerAggregates, after: &ServerAggregates) {
+        self.totals.agg.shift_by(before, after);
     }
 
     /// The lifecycle trace recorded so far.
@@ -200,20 +231,17 @@ impl ClusterManager {
         self.index.contains_key(&id)
     }
 
-    /// Total physical capacity across all servers.
+    /// Total physical capacity across all servers. O(1): fixed at
+    /// construction.
     pub fn total_capacity(&self) -> ResourceVector {
-        self.servers
-            .iter()
-            .fold(ResourceVector::ZERO, |acc, s| acc + s.capacity())
+        self.totals.capacity
     }
 
     /// Cluster-wide committed fraction of capacity (dominant dimension).
+    /// O(1): reads the incrementally-maintained totals.
     pub fn utilization(&self) -> f64 {
-        let committed = self
-            .servers
-            .iter()
-            .fold(ResourceVector::ZERO, |acc, s| acc + s.committed());
-        let capacity = self.total_capacity();
+        let committed = &self.totals.agg.committed;
+        let capacity = &self.totals.capacity;
         let mut worst: f64 = 0.0;
         for k in ResourceKind::ALL {
             if capacity.get(k) > 0.0 {
@@ -224,12 +252,10 @@ impl ClusterManager {
     }
 
     /// Cluster-wide nominal overcommitment: `Σ specs / capacity − 1` on
-    /// the dominant dimension (≥ 0).
+    /// the dominant dimension (≥ 0). O(1).
     pub fn overcommitment(&self) -> f64 {
-        let specs = self.servers.iter().fold(ResourceVector::ZERO, |acc, s| {
-            s.vms().fold(acc, |a, vm| a + vm.spec())
-        });
-        let capacity = self.total_capacity();
+        let specs = &self.totals.agg.spec_total;
+        let capacity = &self.totals.capacity;
         let mut worst: f64 = 0.0;
         for k in ResourceKind::ALL {
             if capacity.get(k) > 0.0 {
@@ -245,36 +271,57 @@ impl ClusterManager {
     }
 
     /// Aggregate CPU currently allocated to high-priority VMs (their
-    /// full specs — they are never deflated).
+    /// full specs — they are never deflated, so spec equals effective).
+    /// O(1).
     pub fn high_pri_cpu(&self) -> f64 {
-        self.servers
-            .iter()
-            .flat_map(|s| s.vms())
-            .filter(|vm| vm.priority() == VmPriority::High)
-            .map(|vm| vm.spec().get(ResourceKind::Cpu))
-            .sum()
+        let t = &self.totals.agg;
+        (t.spec_total.get(ResourceKind::Cpu) - t.low_spec.get(ResourceKind::Cpu)).max(0.0)
     }
 
     /// Aggregate *nominal* CPU of running low-priority VMs (what flat
-    /// transient billing charges for).
+    /// transient billing charges for). O(1).
     pub fn low_pri_spec_cpu(&self) -> f64 {
-        self.servers
-            .iter()
-            .flat_map(|s| s.vms())
-            .filter(|vm| vm.priority() == VmPriority::Low)
-            .map(|vm| vm.spec().get(ResourceKind::Cpu))
-            .sum()
+        self.totals.agg.low_spec.get(ResourceKind::Cpu)
     }
 
     /// Aggregate *effective* CPU of running low-priority VMs (what
-    /// resource-as-a-service billing charges for).
+    /// resource-as-a-service billing charges for). O(1).
     pub fn low_pri_effective_cpu(&self) -> f64 {
-        self.servers
-            .iter()
-            .flat_map(|s| s.vms())
-            .filter(|vm| vm.priority() == VmPriority::Low)
-            .map(|vm| vm.effective().get(ResourceKind::Cpu))
-            .sum()
+        self.totals.agg.low_effective.get(ResourceKind::Cpu)
+    }
+
+    /// Cross-checks the incrementally-maintained cluster totals against
+    /// a full recomputation, and the VM index against server contents.
+    /// Panics on divergence. Debug builds run this from `update_gauges`
+    /// (i.e. on every launch/exit); release builds only pay for it when
+    /// a harness calls it explicitly.
+    pub fn assert_consistent(&self) {
+        let mut recomputed = ServerAggregates::default();
+        let mut hosted = 0usize;
+        for s in &self.servers {
+            s.assert_aggregates_consistent();
+            let a = s.aggregates();
+            recomputed.shift_by(&ServerAggregates::default(), &a);
+            hosted += s.vm_count();
+        }
+        assert!(
+            self.totals.agg.approx_eq(&recomputed),
+            "cluster totals drifted: cached {:?} vs recomputed {:?}",
+            self.totals.agg,
+            recomputed
+        );
+        assert_eq!(
+            self.index.len(),
+            hosted,
+            "VM index size {} != hosted VM count {hosted}",
+            self.index.len()
+        );
+        for (id, si) in &self.index {
+            assert!(
+                self.servers[*si].vm(*id).is_some(),
+                "index maps {id} to server {si}, which does not host it"
+            );
+        }
     }
 
     /// Handles a VM request: placement, reclamation, admission.
@@ -317,9 +364,43 @@ impl ClusterManager {
             return LaunchOutcome::Rejected;
         };
 
+        let before = self.servers[si].aggregates();
         let report = self
             .controller
             .make_room(now, &mut self.servers[si], &req.spec);
+
+        if !report.satisfied {
+            // Deflation and preemption could not cover the demand (the
+            // server was dominated by high-priority VMs); reject — and
+            // leave the cluster exactly as it was. `make_room` itself
+            // refuses to touch a server it cannot satisfy, so this
+            // rollback is defense-in-depth: undo any partial deflation
+            // by handing the reclaimed resources back.
+            for (id, out) in &report.outcomes {
+                if self.servers[si]
+                    .reinflate_vm(now, *id, &out.total_reclaimed)
+                    .is_some()
+                {
+                    self.obs
+                        .metrics
+                        .incr("cluster.reject_rollback_reinflations");
+                }
+            }
+            debug_assert!(
+                report.preempted.is_empty(),
+                "an unsatisfiable make_room must not preempt"
+            );
+            let after = self.servers[si].aggregates();
+            self.apply_delta(&before, &after);
+            self.stats.rejected += 1;
+            self.obs.metrics.incr("cluster.rejected");
+            self.obs
+                .trace
+                .record(now, "reject", format!("{} (reclaim fell short)", req.id));
+            self.update_gauges(now);
+            return LaunchOutcome::Rejected;
+        }
+
         self.stats.deflations += report.outcomes.len() as u64;
         self.obs
             .metrics
@@ -352,17 +433,6 @@ impl ClusterManager {
                 .record_span(report.to_span(now, ServerId(si as u64)));
         }
 
-        if !report.satisfied {
-            // Deflation and preemption could not cover the demand (the
-            // server was dominated by high-priority VMs); reject.
-            self.stats.rejected += 1;
-            self.obs.metrics.incr("cluster.rejected");
-            self.obs
-                .trace
-                .record(now, "reject", format!("{} (reclaim fell short)", req.id));
-            return LaunchOutcome::Rejected;
-        }
-
         let priority = if req.low_priority {
             VmPriority::Low
         } else {
@@ -382,6 +452,8 @@ impl ClusterManager {
             req.spec.get(ResourceKind::Cpu) * self.cfg.usage_fraction,
         );
         self.servers[si].add_vm(vm);
+        let after = self.servers[si].aggregates();
+        self.apply_delta(&before, &after);
         self.index.insert(req.id, si);
         self.obs.trace.record(
             now,
@@ -408,8 +480,11 @@ impl ClusterManager {
         }
     }
 
-    /// Records the cluster-wide time-weighted gauges at `now`.
+    /// Records the cluster-wide time-weighted gauges at `now`. O(1):
+    /// every value comes from the incrementally-maintained totals.
     fn update_gauges(&mut self, now: SimTime) {
+        #[cfg(debug_assertions)]
+        self.assert_consistent();
         let util = self.utilization();
         let over = self.overcommitment();
         let running = self.running_vms() as f64;
@@ -423,15 +498,26 @@ impl ClusterManager {
     }
 
     /// Handles a VM's natural exit; freed resources reinflate the
-    /// server's deflated VMs. Returns `false` when the VM was already
-    /// gone (preempted earlier).
-    pub fn exit(&mut self, now: SimTime, id: VmId) -> bool {
-        let Some(si) = self.index.remove(&id) else {
-            return false;
-        };
+    /// server's deflated VMs. Returns the server the VM ran on, or
+    /// `None` when the VM was already gone (preempted earlier).
+    ///
+    /// Transactional: the index entry is only dropped once the server
+    /// has actually given up the VM, so a failed removal cannot leave
+    /// the index pointing at nothing (or vice versa).
+    pub fn exit(&mut self, now: SimTime, id: VmId) -> Option<ServerId> {
+        let si = *self.index.get(&id)?;
+        let before = self.servers[si].aggregates();
         let Some(vm) = self.servers[si].remove_vm(id) else {
-            return false;
+            // The index claims server `si` hosts the VM but the server
+            // disagrees — the two structures desynced. Surface it
+            // loudly in debug builds, count it and repair the index in
+            // release builds.
+            debug_assert!(false, "index desync: {id} not on server {si}");
+            self.obs.metrics.incr("cluster.index_desync");
+            self.index.remove(&id);
+            return None;
         };
+        self.index.remove(&id);
         let freed = vm.effective();
         self.obs
             .trace
@@ -447,6 +533,8 @@ impl ClusterManager {
             .metrics
             .add("vm.hotplug.unplug_shortfalls", hp.unplug_shortfalls);
         self.obs.metrics.add("vm.hotplug.plug_ops", hp.plug_ops);
+        let mid = self.servers[si].aggregates();
+        self.apply_delta(&before, &mid);
 
         // Proactive headroom: hold back the forecast high-priority CPU
         // demand from reinflation (cluster-wide free CPU counts toward
@@ -454,11 +542,13 @@ impl ClusterManager {
         let mut to_reinflate = freed;
         if self.cfg.proactive_headroom {
             let predicted = self.predictor.predict(now);
+            // O(1): committed never exceeds per-server capacity, so the
+            // cluster-wide free CPU is the difference of the totals.
             let free_cpu: f64 = self
-                .servers
-                .iter()
-                .map(|s| s.free().get(ResourceKind::Cpu))
-                .sum();
+                .totals
+                .capacity
+                .saturating_sub(&self.totals.agg.committed)
+                .get(ResourceKind::Cpu);
             // `free_cpu` already includes the freed resources.
             let deficit = (predicted - (free_cpu - freed.get(ResourceKind::Cpu))).max(0.0);
             let hold_cpu = deficit.min(freed.get(ResourceKind::Cpu));
@@ -479,8 +569,10 @@ impl ClusterManager {
         self.obs
             .metrics
             .add("cluster.reinflations", applied.len() as u64);
+        let after = self.servers[si].aggregates();
+        self.apply_delta(&mid, &after);
         self.update_gauges(now);
-        true
+        Some(ServerId(si as u64))
     }
 }
 
@@ -587,7 +679,7 @@ mod tests {
         assert!(deflated > 0.0);
 
         // One exits; the others reinflate.
-        assert!(m.exit(SimTime::from_secs(60), VmId(2)));
+        assert!(m.exit(SimTime::from_secs(60), VmId(2)).is_some());
         let still: f64 = m.servers()[0]
             .vms()
             .map(|vm| vm.max_deflation())
@@ -708,6 +800,75 @@ mod tests {
         // Find a preempted id: one of 0..5 is not running.
         let gone: Vec<u64> = (0..5).filter(|i| !m.is_running(VmId(*i))).collect();
         assert!(!gone.is_empty());
-        assert!(!m.exit(SimTime::from_secs(1), VmId(gone[0])));
+        assert!(m.exit(SimTime::from_secs(1), VmId(gone[0])).is_none());
+    }
+
+    #[test]
+    fn exit_reports_hosting_server() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        let out = m.launch(SimTime::ZERO, &req(0, true));
+        let LaunchOutcome::Placed { server, .. } = out else {
+            panic!("empty cluster must place");
+        };
+        assert_eq!(m.exit(SimTime::from_secs(1), VmId(0)), Some(server));
+        // A second exit of the same VM is a no-op.
+        assert_eq!(m.exit(SimTime::from_secs(2), VmId(0)), None);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn rejected_launch_is_state_neutral() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        // Fill the cluster with high-priority VMs (untouchable).
+        for i in 0..4 {
+            let out = m.launch(SimTime::ZERO, &req(i, false));
+            assert!(matches!(out, LaunchOutcome::Placed { .. }));
+        }
+        let util = m.utilization();
+        let over = m.overcommitment();
+        let aggs: Vec<_> = m.servers().iter().map(|s| s.aggregates()).collect();
+
+        let out = m.launch(SimTime::ZERO, &req(4, false));
+        assert_eq!(out, LaunchOutcome::Rejected);
+
+        // The reject left every server — and the cluster totals — as
+        // they were.
+        assert_eq!(m.running_vms(), 4);
+        assert_eq!(m.utilization(), util);
+        assert_eq!(m.overcommitment(), over);
+        for (s, before) in m.servers().iter().zip(&aggs) {
+            assert!(s.aggregates().approx_eq(before));
+        }
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn incremental_metrics_match_recomputation() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        // Mixed workload: highs and lows, with deflation pressure.
+        for i in 0..5 {
+            m.launch(SimTime::ZERO, &req(i, i % 2 == 0));
+        }
+        m.exit(SimTime::from_secs(30), VmId(1));
+        m.launch(SimTime::from_secs(60), &req(5, true));
+        m.assert_consistent();
+
+        // The O(1) per-priority CPU metrics agree with a walk over
+        // every hosted VM.
+        let mut high = 0.0;
+        let mut low_spec = 0.0;
+        let mut low_eff = 0.0;
+        for vm in m.servers().iter().flat_map(|s| s.vms()) {
+            match vm.priority() {
+                VmPriority::High => high += vm.spec().get(ResourceKind::Cpu),
+                VmPriority::Low => {
+                    low_spec += vm.spec().get(ResourceKind::Cpu);
+                    low_eff += vm.effective().get(ResourceKind::Cpu);
+                }
+            }
+        }
+        assert!((m.high_pri_cpu() - high).abs() < 1e-6);
+        assert!((m.low_pri_spec_cpu() - low_spec).abs() < 1e-6);
+        assert!((m.low_pri_effective_cpu() - low_eff).abs() < 1e-6);
     }
 }

@@ -61,6 +61,9 @@ pub struct ClusterSimResult {
     /// Machine-readable observability report for the run (counters,
     /// gauges, histograms, span counts) from the manager's registry.
     pub summary: simkit::JsonValue,
+    /// Simulation events processed (arrivals + departures), for the
+    /// timing harness's events/sec metric.
+    pub events: u64,
 }
 
 enum Ev {
@@ -112,38 +115,48 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
     let mut high_cpu = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
     let mut low_spec_cpu = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
     let mut low_eff_cpu = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
+    let mut events: u64 = 0;
 
     run_until(&mut sched, horizon, |sched, now, ev| {
-        match ev {
+        events += 1;
+        // The server mutated by this event, if any: only its gauge needs
+        // refreshing (time-weighted gauges hold their last value over
+        // elapsed intervals, so untouched servers need no update).
+        let touched: Option<deflate_core::ServerId> = match ev {
             Ev::Arrive(req) => {
-                offered_cpu_hours += req.spec.get(deflate_core::ResourceKind::Cpu)
-                    * req.lifetime.as_secs_f64()
-                    / 3_600.0;
+                // Offered load bills each request only for the part of
+                // its lifetime that falls inside the measured horizon —
+                // a VM arriving near the end must not contribute hours
+                // the run never observes.
+                let billed_end = (req.arrival + req.lifetime).min(horizon);
+                let billed_secs = (billed_end - req.arrival).as_secs_f64();
+                offered_cpu_hours +=
+                    req.spec.get(deflate_core::ResourceKind::Cpu) * billed_secs / 3_600.0;
                 let outcome = manager.launch(now, &req);
-                if matches!(outcome, LaunchOutcome::Placed { .. }) {
+                let touched = if let LaunchOutcome::Placed { server, .. } = &outcome {
                     sched.after(req.lifetime, Ev::Depart(req.id));
-                }
+                    Some(*server)
+                } else {
+                    None
+                };
                 // Schedule the next arrival.
                 if let Some(next) = source.next_request() {
                     if next.arrival <= horizon {
                         sched.at(next.arrival, Ev::Arrive(Box::new(next)));
                     }
                 }
+                touched
             }
-            Ev::Depart(id) => {
-                manager.exit(now, id);
-            }
-        }
+            Ev::Depart(id) => manager.exit(now, id),
+        };
         util_gauge.set(now, manager.utilization());
         over_gauge.set(now, manager.overcommitment());
         high_cpu.set(now, manager.high_pri_cpu());
         low_spec_cpu.set(now, manager.low_pri_spec_cpu());
         low_eff_cpu.set(now, manager.low_pri_effective_cpu());
-        for (g, v) in server_gauges
-            .iter_mut()
-            .zip(manager.server_overcommitments())
-        {
-            g.set(now, v);
+        if let Some(sid) = touched {
+            let si = sid.0 as usize;
+            server_gauges[si].set(now, manager.servers()[si].overcommitment());
         }
     });
 
@@ -155,11 +168,11 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
         stats.preempted as f64 / stats.launched_low as f64
     };
 
-    let capacity_cpu_hours = cfg
-        .manager
-        .server_capacity
+    // Use the pool's actual total capacity: under `capacity_skew` with an
+    // odd server count it differs from `server_capacity × n_servers`.
+    let capacity_cpu_hours = manager
+        .total_capacity()
         .get(deflate_core::ResourceKind::Cpu)
-        * cfg.manager.n_servers as f64
         * cfg.horizon.as_secs_f64()
         / 3_600.0;
     ClusterSimResult {
@@ -180,6 +193,7 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
             * cfg.horizon.as_secs_f64()
             / 3_600.0,
         summary,
+        events,
     }
 }
 

@@ -1,0 +1,113 @@
+//! Property tests of the manager's incremental accounting: for *any*
+//! sequence of launches (mixed priorities and sizes) and exits, the
+//! incrementally-maintained cluster totals must equal a full
+//! recomputation over every server and VM, every rejected launch must be
+//! state-neutral, and the VM index must stay in lockstep with server
+//! contents.
+
+use cluster::{ClusterManager, ClusterManagerConfig, LaunchOutcome, VmRequest};
+use deflate_core::{ResourceKind, ResourceVector, VmId};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimRng, SimTime};
+
+fn small_cluster(n_servers: usize, deflation: bool) -> ClusterManager {
+    ClusterManager::new(ClusterManagerConfig {
+        n_servers,
+        server_capacity: ResourceVector::new(8.0, 32_768.0, 200.0, 400.0),
+        deflation_enabled: deflation,
+        ..ClusterManagerConfig::default()
+    })
+}
+
+fn request(id: u64, scale: f64, low: bool) -> VmRequest {
+    let spec = ResourceVector::new(4.0, 16_384.0, 100.0, 200.0).scale(scale);
+    VmRequest {
+        id: VmId(id),
+        arrival: SimTime::ZERO,
+        lifetime: SimDuration::from_hours(1),
+        spec,
+        type_name: "prop",
+        low_priority: low,
+        min_size: if low {
+            spec.scale(0.3)
+        } else {
+            ResourceVector::ZERO
+        },
+    }
+}
+
+/// The O(1) metric accessors recomputed the slow way.
+fn recompute(m: &ClusterManager) -> (f64, f64, f64) {
+    let mut high = 0.0;
+    let mut low_spec = 0.0;
+    let mut low_eff = 0.0;
+    for vm in m.servers().iter().flat_map(|s| s.vms()) {
+        if vm.priority() == hypervisor::VmPriority::High {
+            high += vm.spec().get(ResourceKind::Cpu);
+        } else {
+            low_spec += vm.spec().get(ResourceKind::Cpu);
+            low_eff += vm.effective().get(ResourceKind::Cpu);
+        }
+    }
+    (high, low_spec, low_eff)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random launch/exit interleavings keep the incremental totals,
+    /// the recomputed totals, and the VM index in agreement — and every
+    /// reject leaves the cluster untouched.
+    #[test]
+    fn incremental_totals_survive_any_op_sequence(
+        seed in any::<u64>(),
+        n_servers in 2usize..5,
+        deflation in any::<bool>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut m = small_cluster(n_servers, deflation);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..60u64 {
+            let now = SimTime::from_secs(step);
+            let launch = live.is_empty() || rng.chance(0.6);
+            if launch {
+                let scale = rng.uniform_range(0.25, 1.5);
+                let low = rng.chance(0.7);
+                let before: Vec<_> =
+                    m.servers().iter().map(|s| s.aggregates()).collect();
+                let running = m.running_vms();
+                let out = m.launch(now, &request(next_id, scale, low));
+                match out {
+                    LaunchOutcome::Placed { .. } => {
+                        live.push(next_id);
+                        live.retain(|id| m.is_running(VmId(*id)));
+                    }
+                    LaunchOutcome::Rejected => {
+                        // A reject must be invisible: no server changed,
+                        // no VM appeared or vanished.
+                        prop_assert_eq!(m.running_vms(), running);
+                        for (s, b) in m.servers().iter().zip(&before) {
+                            prop_assert!(
+                                s.aggregates().approx_eq(b),
+                                "reject mutated server {:?}",
+                                s.id()
+                            );
+                        }
+                    }
+                }
+                next_id += 1;
+            } else {
+                let pick = rng.index(live.len());
+                let id = live.swap_remove(pick);
+                prop_assert!(m.exit(now, VmId(id)).is_some());
+            }
+            // Incremental == recomputed, every step.
+            m.assert_consistent();
+            let (high, low_spec, low_eff) = recompute(&m);
+            prop_assert!((m.high_pri_cpu() - high).abs() < 1e-6);
+            prop_assert!((m.low_pri_spec_cpu() - low_spec).abs() < 1e-6);
+            prop_assert!((m.low_pri_effective_cpu() - low_eff).abs() < 1e-6);
+        }
+    }
+}

@@ -19,11 +19,118 @@ use simkit::{SimDuration, SimTime, Span};
 
 use crate::vm::{Vm, VmPriority};
 
+/// Cached resource aggregates over a set of VMs, maintained
+/// incrementally so `committed`/`free`/`deflatable`/`overcommitment`
+/// queries are O(1) instead of O(VMs).
+///
+/// [`PhysicalServer`] keeps one per server and updates it on every
+/// add/remove/deflate/reinflate; the cluster manager folds per-server
+/// deltas into cluster-wide totals the same way. Debug builds
+/// cross-verify every update against a full recomputation
+/// ([`PhysicalServer::assert_aggregates_consistent`]), which turns the
+/// whole test suite into a correctness oracle for this bookkeeping.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct ServerAggregates {
+    /// Σ effective allocation over all VMs.
+    pub committed: ResourceVector,
+    /// Σ nominal spec over all VMs.
+    pub spec_total: ResourceVector,
+    /// Σ nominal spec over low-priority VMs.
+    pub low_spec: ResourceVector,
+    /// Σ effective allocation over low-priority VMs.
+    pub low_effective: ResourceVector,
+    /// Σ minimum size over low-priority VMs.
+    pub low_min: ResourceVector,
+}
+
+/// Applies `after − before` to a running total, clamping float dust at
+/// zero (totals are sums of non-negative quantities).
+fn shift(total: &mut ResourceVector, before: &ResourceVector, after: &ResourceVector) {
+    *total = total.map(|k, v| (v + after.get(k) - before.get(k)).max(0.0));
+}
+
+/// Per-dimension tolerance for comparing an incrementally-maintained
+/// total against a full recomputation: absolute slack for empty-ish
+/// sums plus a relative term for float drift on large ones.
+fn approx_tol(a: f64, b: f64) -> f64 {
+    1e-6 + 1e-9 * a.abs().max(b.abs())
+}
+
+fn vectors_close(a: &ResourceVector, b: &ResourceVector) -> bool {
+    deflate_core::ResourceKind::ALL
+        .iter()
+        .all(|&k| (a.get(k) - b.get(k)).abs() <= approx_tol(a.get(k), b.get(k)))
+}
+
+impl ServerAggregates {
+    /// Folds one VM into the sums.
+    fn absorb(&mut self, vm: &Vm) {
+        let eff = vm.effective();
+        self.committed += eff;
+        self.spec_total += vm.spec();
+        if vm.priority() == VmPriority::Low {
+            self.low_spec += vm.spec();
+            self.low_effective += eff;
+            self.low_min += vm.min_size();
+        }
+    }
+
+    /// Removes one VM from the sums (clamping float dust at zero).
+    fn release(&mut self, vm: &Vm) {
+        let eff = vm.effective();
+        shift(&mut self.committed, &eff, &ResourceVector::ZERO);
+        shift(&mut self.spec_total, &vm.spec(), &ResourceVector::ZERO);
+        if vm.priority() == VmPriority::Low {
+            shift(&mut self.low_spec, &vm.spec(), &ResourceVector::ZERO);
+            shift(&mut self.low_effective, &eff, &ResourceVector::ZERO);
+            shift(&mut self.low_min, &vm.min_size(), &ResourceVector::ZERO);
+        }
+    }
+
+    /// Records a change of one VM's effective allocation.
+    fn effective_changed(
+        &mut self,
+        priority: VmPriority,
+        before: &ResourceVector,
+        after: &ResourceVector,
+    ) {
+        shift(&mut self.committed, before, after);
+        if priority == VmPriority::Low {
+            shift(&mut self.low_effective, before, after);
+        }
+    }
+
+    /// Folds another aggregate's delta (`after − before`) into `self`;
+    /// used by the cluster manager to keep cluster-wide running sums.
+    pub fn shift_by(&mut self, before: &ServerAggregates, after: &ServerAggregates) {
+        shift(&mut self.committed, &before.committed, &after.committed);
+        shift(&mut self.spec_total, &before.spec_total, &after.spec_total);
+        shift(&mut self.low_spec, &before.low_spec, &after.low_spec);
+        shift(
+            &mut self.low_effective,
+            &before.low_effective,
+            &after.low_effective,
+        );
+        shift(&mut self.low_min, &before.low_min, &after.low_min);
+    }
+
+    /// Approximate equality, with slack for incremental float drift.
+    pub fn approx_eq(&self, other: &ServerAggregates) -> bool {
+        vectors_close(&self.committed, &other.committed)
+            && vectors_close(&self.spec_total, &other.spec_total)
+            && vectors_close(&self.low_spec, &other.low_spec)
+            && vectors_close(&self.low_effective, &other.low_effective)
+            && vectors_close(&self.low_min, &other.low_min)
+    }
+}
+
 /// A physical machine hosting a mix of high- and low-priority VMs.
 pub struct PhysicalServer {
     id: ServerId,
     capacity: ResourceVector,
     vms: BTreeMap<VmId, Vm>,
+    /// Incrementally-maintained resource sums over `vms`.
+    agg: ServerAggregates,
 }
 
 impl std::fmt::Debug for PhysicalServer {
@@ -43,6 +150,7 @@ impl PhysicalServer {
             id,
             capacity,
             vms: BTreeMap::new(),
+            agg: ServerAggregates::default(),
         }
     }
 
@@ -56,23 +164,22 @@ impl PhysicalServer {
         self.capacity
     }
 
-    /// Sum of the *effective* allocations of all hosted VMs.
+    /// Sum of the *effective* allocations of all hosted VMs. O(1): reads
+    /// the incrementally-maintained aggregate.
     pub fn committed(&self) -> ResourceVector {
-        self.vms
-            .values()
-            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.effective())
+        self.agg.committed
     }
 
     /// Free (uncommitted) resources.
     pub fn free(&self) -> ResourceVector {
-        self.capacity.saturating_sub(&self.committed())
+        self.capacity.saturating_sub(&self.agg.committed)
     }
 
     /// Resources still reclaimable from low-priority VMs by deflation.
+    /// O(1); equals the per-VM sum because deflation never pushes a VM
+    /// below its minimum size (debug builds verify both).
     pub fn deflatable(&self) -> ResourceVector {
-        self.vms
-            .values()
-            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.deflatable_amount())
+        self.agg.low_effective.saturating_sub(&self.agg.low_min)
     }
 
     /// The paper's availability vector `A_j = Free_j + Deflatable_j`
@@ -85,10 +192,14 @@ impl PhysicalServer {
     /// (their full effective allocations) — the availability notion of a
     /// preemption-only cluster manager.
     pub fn preemptible(&self) -> ResourceVector {
-        self.vms
-            .values()
-            .filter(|vm| vm.priority() == VmPriority::Low)
-            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.effective())
+        self.agg.low_effective
+    }
+
+    /// Snapshot of the cached aggregates (cheap copy); the cluster
+    /// manager diffs snapshots around mutations to maintain cluster-wide
+    /// running sums.
+    pub fn aggregates(&self) -> ServerAggregates {
+        self.agg
     }
 
     /// Whether a VM of the given spec could run here after deflation.
@@ -97,34 +208,77 @@ impl PhysicalServer {
     }
 
     /// Nominal overcommitment: `max(0, Σ spec / capacity − 1)` on the
-    /// dominant dimension (Fig. 8d's y-axis).
+    /// dominant dimension (Fig. 8d's y-axis). O(1).
     pub fn overcommitment(&self) -> f64 {
-        let total_spec = self
-            .vms
-            .values()
-            .fold(ResourceVector::ZERO, |acc, vm| acc + vm.spec());
-        let ratio = total_spec.fraction_of(&self.capacity.max(&total_spec));
-        // fraction_of clamps to [0,1]; recompute the raw dominant ratio.
         let mut worst: f64 = 0.0;
         for k in deflate_core::ResourceKind::ALL {
             let cap = self.capacity.get(k);
             if cap > 0.0 {
-                worst = worst.max(total_spec.get(k) / cap);
+                worst = worst.max(self.agg.spec_total.get(k) / cap);
             }
         }
-        let _ = ratio;
         (worst - 1.0).max(0.0)
     }
 
     /// Adds a VM. The caller (the cluster manager) is responsible for
     /// having made room first; this only records the VM.
     pub fn add_vm(&mut self, vm: Vm) {
-        self.vms.insert(vm.id(), vm);
+        self.agg.absorb(&vm);
+        let replaced = self.vms.insert(vm.id(), vm);
+        debug_assert!(replaced.is_none(), "duplicate VM id added to server");
+        self.debug_check();
     }
 
     /// Removes and returns a VM (shutdown or preemption).
     pub fn remove_vm(&mut self, id: VmId) -> Option<Vm> {
-        self.vms.remove(&id)
+        let vm = self.vms.remove(&id)?;
+        self.agg.release(&vm);
+        if self.vms.is_empty() {
+            // Exact resync point: an empty server has exactly-zero sums,
+            // killing any accumulated float drift.
+            self.agg = ServerAggregates::default();
+        }
+        self.debug_check();
+        Some(vm)
+    }
+
+    /// Runs cascade deflation against one hosted VM, keeping the cached
+    /// aggregates in sync with the VM's changed effective allocation.
+    /// Returns `None` when the VM is not hosted here.
+    pub fn deflate_vm(
+        &mut self,
+        now: SimTime,
+        id: VmId,
+        target: &ResourceVector,
+        cfg: &CascadeConfig,
+    ) -> Option<CascadeOutcome> {
+        let vm = self.vms.get_mut(&id)?;
+        let priority = vm.priority();
+        let before = vm.effective();
+        let out = vm.deflate(now, target, cfg);
+        let after = vm.effective();
+        self.agg.effective_changed(priority, &before, &after);
+        self.debug_check();
+        Some(out)
+    }
+
+    /// Returns resources to one hosted VM via the reverse cascade,
+    /// keeping the cached aggregates in sync. Returns `None` when the VM
+    /// is not hosted here.
+    pub fn reinflate_vm(
+        &mut self,
+        now: SimTime,
+        id: VmId,
+        amount: &ResourceVector,
+    ) -> Option<ResourceVector> {
+        let vm = self.vms.get_mut(&id)?;
+        let priority = vm.priority();
+        let before = vm.effective();
+        let got = vm.reinflate(now, amount);
+        let after = vm.effective();
+        self.agg.effective_changed(priority, &before, &after);
+        self.debug_check();
+        Some(got)
     }
 
     /// Looks up a VM.
@@ -133,8 +287,57 @@ impl PhysicalServer {
     }
 
     /// Looks up a VM mutably.
+    ///
+    /// Mutations that change the VM's *effective allocation* must go
+    /// through [`deflate_vm`](Self::deflate_vm) /
+    /// [`reinflate_vm`](Self::reinflate_vm) instead, or the cached
+    /// aggregates desync (debug builds catch this on the next mutation).
+    /// Direct access is fine for usage/pinning updates.
     pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
         self.vms.get_mut(&id)
+    }
+
+    /// Recomputes the aggregates from scratch (O(VMs)); the oracle the
+    /// incremental bookkeeping is checked against.
+    fn recompute_aggregates(&self) -> ServerAggregates {
+        let mut agg = ServerAggregates::default();
+        for vm in self.vms.values() {
+            agg.absorb(vm);
+        }
+        agg
+    }
+
+    /// Panics when the incremental aggregates disagree with a full
+    /// recomputation, or when a low-priority VM sits below its minimum
+    /// size (which would break the O(1) `deflatable` derivation).
+    /// Debug builds call this after every mutation; tests may call it
+    /// explicitly in release builds too.
+    pub fn assert_aggregates_consistent(&self) {
+        let fresh = self.recompute_aggregates();
+        assert!(
+            self.agg.approx_eq(&fresh),
+            "server {} aggregate desync:\n  cached   {:?}\n  recomputed {:?}",
+            self.id,
+            self.agg,
+            fresh
+        );
+        for vm in self.vms.values() {
+            if vm.priority() == VmPriority::Low {
+                assert!(
+                    vm.effective().dominates(&vm.min_size()),
+                    "VM {} deflated below its minimum: effective {} < min {}",
+                    vm.id(),
+                    vm.effective(),
+                    vm.min_size()
+                );
+            }
+        }
+    }
+
+    #[inline]
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        self.assert_aggregates_consistent();
     }
 
     /// Iterates over hosted VMs.
@@ -235,6 +438,15 @@ impl LocalController {
             return report;
         }
 
+        // Upfront feasibility: even preempting every low-priority VM can
+        // free at most `free + Σ low effective`. An unsatisfiable demand
+        // must not touch the server — previously it deflated every VM to
+        // its minimum and preempted the rest, then reported failure,
+        // leaving VMs deflated (or dead) with no demand against them.
+        if !(free + server.preemptible()).dominates(demand) {
+            return report;
+        }
+
         // Proportional targets across all low-priority VMs.
         let states: Vec<VmDeflationState> = server
             .vms
@@ -249,11 +461,9 @@ impl LocalController {
             if target.is_zero() {
                 continue;
             }
-            let vm = server
-                .vms
-                .get_mut(id)
+            let out = server
+                .deflate_vm(now, *id, target, &self.cascade)
                 .expect("planned VM exists on this server");
-            let out = vm.deflate(now, target, &self.cascade);
             report.freed += out.total_reclaimed;
             if out.latency > report.latency {
                 report.latency = out.latency;
@@ -318,8 +528,7 @@ impl LocalController {
             if share.is_zero() {
                 continue;
             }
-            let vm = server.vms.get_mut(&id).expect("VM exists");
-            let got = vm.reinflate(now, &share);
+            let got = server.reinflate_vm(now, id, &share).expect("VM exists");
             if !got.is_zero() {
                 applied.push((id, got));
             }
@@ -504,6 +713,84 @@ mod tests {
             .filter(|c| c.kind == "server.preempt")
             .count();
         assert_eq!(preempts, r.preempted.len());
+    }
+
+    #[test]
+    fn unsatisfiable_make_room_is_state_neutral() {
+        // Capacity of two VMs: one high-priority + one low-priority VM
+        // fill the server; a whole-server demand is unsatisfiable (the
+        // high-priority VM is untouchable).
+        let mut s = PhysicalServer::new(ServerId(1), vm_spec().scale(2.0));
+        s.add_vm(Vm::new(VmId(1), vm_spec(), VmPriority::High));
+        s.add_vm(Vm::new(VmId(2), vm_spec(), VmPriority::Low).with_min(vm_spec().scale(0.3)));
+        let before = s.committed();
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec().scale(2.0));
+        assert!(!r.satisfied);
+        // The failed reclaim must leave the server exactly as it was:
+        // nothing deflated, nothing preempted, nothing freed. (It used
+        // to deflate the low-priority VM to its minimum and then preempt
+        // it before reporting failure.)
+        assert!(r.outcomes.is_empty(), "deflated: {:?}", r.outcomes);
+        assert!(r.preempted.is_empty(), "preempted: {:?}", r.preempted);
+        assert!(r.freed.is_zero(), "freed: {}", r.freed);
+        assert_eq!(s.vm_count(), 2);
+        assert_eq!(s.committed(), before);
+        assert!(s.vm(VmId(2)).unwrap().max_deflation() < 1e-9);
+        s.assert_aggregates_consistent();
+    }
+
+    #[test]
+    fn aggregates_track_mutations_incrementally() {
+        let mut s = server_with_low_vms(3);
+        s.add_vm(Vm::new(VmId(10), vm_spec(), VmPriority::High));
+        s.assert_aggregates_consistent();
+        assert_eq!(s.aggregates().spec_total, vm_spec().scale(4.0));
+        assert_eq!(s.aggregates().low_spec, vm_spec().scale(3.0));
+
+        // Deflate one VM through the cache-maintaining path.
+        let out = s
+            .deflate_vm(
+                SimTime::ZERO,
+                VmId(0),
+                &vm_spec().scale(0.5),
+                &CascadeConfig::VM_LEVEL,
+            )
+            .expect("VM 0 hosted");
+        assert!(!out.total_reclaimed.is_zero());
+        s.assert_aggregates_consistent();
+        assert!(s
+            .aggregates()
+            .low_effective
+            .approx_eq(&vm_spec().scale(2.5), 1e-6));
+
+        // Reinflate it back.
+        s.reinflate_vm(SimTime::from_secs(1), VmId(0), &vm_spec().scale(0.5))
+            .expect("VM 0 hosted");
+        s.assert_aggregates_consistent();
+
+        // Remove everything: the sums return to exact zero.
+        for id in [0, 1, 2, 10] {
+            s.remove_vm(VmId(id));
+        }
+        assert_eq!(s.aggregates(), ServerAggregates::default());
+        assert!(s.committed().is_zero());
+    }
+
+    #[test]
+    fn deflate_vm_unknown_id_is_none() {
+        let mut s = server_with_low_vms(1);
+        assert!(s
+            .deflate_vm(
+                SimTime::ZERO,
+                VmId(99),
+                &vm_spec(),
+                &CascadeConfig::VM_LEVEL
+            )
+            .is_none());
+        assert!(s
+            .reinflate_vm(SimTime::ZERO, VmId(99), &vm_spec())
+            .is_none());
     }
 
     #[test]

@@ -134,7 +134,7 @@ fn colocation_story_end_to_end() {
     // Phase 3: the memcached VMs exit; workers reinflate.
     let t_release = SimTime::from_secs(90 * 60);
     for i in 100..104 {
-        assert!(manager.exit(t_release, VmId(i)));
+        assert!(manager.exit(t_release, VmId(i)).is_some());
     }
     let fractions_after: Vec<f64> = (0..8)
         .map(|i| {
