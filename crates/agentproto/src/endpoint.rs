@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use deflate_core::{ApplicationAgent, ResourceVector, VmId};
+use deflate_core::{ApplicationAgent, DeflateError, ResourceVector, VmId};
 use simkit::{SimDuration, SimTime};
 
 use crate::transport::Duplex;
@@ -48,7 +48,10 @@ pub enum RequestOutcome {
 }
 
 /// The controller side: issues requests, matches responses, expires
-/// deadlines.
+/// deadlines. Tracks per-VM liveness: consecutive missed deadlines mark
+/// an agent unresponsive (any timely answer or heartbeat resets the
+/// count), letting the cluster manager pivot the VM to hypervisor-only
+/// deflation instead of burning the deadline on every cascade.
 #[derive(Debug, Default)]
 pub struct ControllerEndpoint {
     next_seq: u64,
@@ -57,6 +60,12 @@ pub struct ControllerEndpoint {
     pub late_responses: u64,
     /// Lines that failed to parse (counted, ignored).
     pub parse_errors: u64,
+    /// Consecutive missed deadlines after which a VM's agent is declared
+    /// unresponsive (0 disables liveness tracking's verdict, counts are
+    /// still kept).
+    pub unresponsive_after: u32,
+    /// Consecutive missed deadlines per VM.
+    missed: HashMap<VmId, u32>,
 }
 
 impl ControllerEndpoint {
@@ -65,9 +74,43 @@ impl ControllerEndpoint {
         ControllerEndpoint::default()
     }
 
+    /// Sets the unresponsiveness threshold (builder style).
+    pub fn with_unresponsive_after(mut self, k: u32) -> Self {
+        self.unresponsive_after = k;
+        self
+    }
+
     /// Number of requests awaiting a response or expiry.
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Consecutive deadlines VM `vm`'s agent has missed.
+    pub fn missed_deadlines(&self, vm: VmId) -> u32 {
+        self.missed.get(&vm).copied().unwrap_or(0)
+    }
+
+    /// Whether `vm`'s agent has missed at least `unresponsive_after`
+    /// consecutive deadlines (always `false` when the threshold is 0).
+    pub fn is_unresponsive(&self, vm: VmId) -> bool {
+        self.unresponsive_after > 0 && self.missed_deadlines(vm) >= self.unresponsive_after
+    }
+
+    /// `Err(AgentUnresponsive)` when the VM's agent is considered dead.
+    pub fn check_agent(&self, vm: VmId) -> Result<(), DeflateError> {
+        if self.is_unresponsive(vm) {
+            Err(DeflateError::AgentUnresponsive {
+                vm,
+                missed_deadlines: self.missed_deadlines(vm),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Forgets liveness state for a departed VM.
+    pub fn forget_vm(&mut self, vm: VmId) {
+        self.missed.remove(&vm);
     }
 
     /// Sends a deflation request over `link`; returns its sequence
@@ -130,11 +173,13 @@ impl ControllerEndpoint {
                         Some(request) if now <= request.deadline_at => {
                             // An agent can never relinquish more than asked.
                             let freed = freed.min(&request.target);
+                            self.missed.insert(request.vm, 0);
                             out.push(RequestOutcome::Answered { request, freed });
                         }
                         Some(request) => {
                             // Too late: the cascade already moved on.
                             self.late_responses += 1;
+                            *self.missed.entry(request.vm).or_insert(0) += 1;
                             out.push(RequestOutcome::TimedOut { request });
                         }
                         None => {
@@ -143,7 +188,11 @@ impl ControllerEndpoint {
                         }
                     }
                 }
-                Ok(Message::Heartbeat { .. }) => {}
+                Ok(Message::Heartbeat { vm, .. }) => {
+                    // A heartbeat proves the agent is alive even if its
+                    // last answer was slow.
+                    self.missed.insert(vm, 0);
+                }
                 Ok(_) => self.parse_errors += 1, // Wrong direction.
                 Err(_) => self.parse_errors += 1,
             }
@@ -159,6 +208,7 @@ impl ControllerEndpoint {
         expired.sort_unstable();
         for seq in expired {
             let request = self.pending.remove(&seq).expect("just found");
+            *self.missed.entry(request.vm).or_insert(0) += 1;
             out.push(RequestOutcome::TimedOut { request });
         }
         out.sort_by_key(|o| match o {
@@ -197,6 +247,7 @@ enum AgentBehavior {
 pub struct AgentEndpoint {
     vm: VmId,
     behavior: AgentBehavior,
+    next_seq: u64,
     /// Reinflation notifications received.
     pub reinflations: Vec<ResourceVector>,
     /// Lines that failed to parse.
@@ -217,6 +268,7 @@ impl AgentEndpoint {
         AgentEndpoint {
             vm,
             behavior: AgentBehavior::Policy(policy),
+            next_seq: 0,
             reinflations: Vec::new(),
             parse_errors: 0,
         }
@@ -227,9 +279,17 @@ impl AgentEndpoint {
         AgentEndpoint {
             vm,
             behavior: AgentBehavior::Delegate(delegate),
+            next_seq: 0,
             reinflations: Vec::new(),
             parse_errors: 0,
         }
+    }
+
+    /// Sends a liveness heartbeat toward the controller.
+    pub fn send_heartbeat(&mut self, now: SimTime, link: &mut Duplex) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        link.send_to_controller(now, wire::encode(&Message::Heartbeat { seq, vm: self.vm }));
     }
 
     /// Drains the link and answers requests.
@@ -433,6 +493,76 @@ mod tests {
         let outcomes = ctl.poll(SimTime::ZERO, &mut link);
         assert!(outcomes.is_empty());
         assert_eq!(ctl.parse_errors, 1);
+    }
+
+    #[test]
+    fn consecutive_misses_mark_agent_unresponsive() {
+        let (mut ctl, mut agent, mut link) = setup(AgentPolicy::Silent, 0);
+        ctl.unresponsive_after = 3;
+        let mut now = SimTime::ZERO;
+        for round in 1..=3u32 {
+            ctl.request_deflation(now, &mut link, VmId(3), target(), SimDuration::from_secs(1));
+            agent.poll(now, &mut link);
+            now += SimDuration::from_secs(2); // Past the deadline.
+            let outcomes = ctl.poll(now, &mut link);
+            assert!(matches!(outcomes[0], RequestOutcome::TimedOut { .. }));
+            assert_eq!(ctl.missed_deadlines(VmId(3)), round);
+            assert_eq!(ctl.is_unresponsive(VmId(3)), round >= 3);
+        }
+        let err = ctl.check_agent(VmId(3)).unwrap_err();
+        assert_eq!(
+            err,
+            DeflateError::AgentUnresponsive {
+                vm: VmId(3),
+                missed_deadlines: 3
+            }
+        );
+        // Other VMs are unaffected; forgetting clears the verdict.
+        assert!(ctl.check_agent(VmId(4)).is_ok());
+        ctl.forget_vm(VmId(3));
+        assert!(ctl.check_agent(VmId(3)).is_ok());
+    }
+
+    #[test]
+    fn timely_answer_or_heartbeat_resets_misses() {
+        let policy = AgentPolicy::Fraction {
+            fraction: 1.0,
+            delay: SimDuration::ZERO,
+        };
+        let (mut ctl, mut agent, mut link) = setup(policy, 0);
+        ctl.unresponsive_after = 2;
+        // One miss (nothing polled on the agent side in time).
+        ctl.request_deflation(
+            SimTime::ZERO,
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_millis(1),
+        );
+        ctl.poll(SimTime::from_secs(1), &mut link);
+        assert_eq!(ctl.missed_deadlines(VmId(3)), 1);
+
+        // A timely round trip resets the count.
+        let t = SimTime::from_secs(2);
+        ctl.request_deflation(t, &mut link, VmId(3), target(), SimDuration::from_secs(1));
+        agent.poll(t, &mut link);
+        ctl.poll(t + SimDuration::from_millis(1), &mut link);
+        assert_eq!(ctl.missed_deadlines(VmId(3)), 0);
+
+        // Misses accumulate again; a heartbeat alone also resets them.
+        ctl.request_deflation(
+            SimTime::from_secs(4),
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_millis(1),
+        );
+        ctl.poll(SimTime::from_secs(5), &mut link);
+        assert_eq!(ctl.missed_deadlines(VmId(3)), 1);
+        agent.send_heartbeat(SimTime::from_secs(6), &mut link);
+        ctl.poll(SimTime::from_secs(6), &mut link);
+        assert_eq!(ctl.missed_deadlines(VmId(3)), 0);
+        assert!(!ctl.is_unresponsive(VmId(3)));
     }
 
     #[test]

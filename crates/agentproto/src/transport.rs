@@ -5,21 +5,97 @@
 //! arrive late (past the controller's deadline) or never (agent died,
 //! packet dropped). [`Duplex`] models exactly that: each direction is a
 //! queue of `(deliver_at, line)` pairs; a configurable delay and a
-//! deterministic drop predicate stand in for the network.
+//! pluggable, deterministic [`LossModel`] stand in for the network.
+//!
+//! Loss and delay-jitter decisions are **per lane**: each direction owns
+//! its own message counter, so the drop/jitter pattern of
+//! controller→agent traffic never shifts when unrelated agent→controller
+//! messages interleave. Seeded models hash `(seed, lane, message index)`
+//! ([`simkit::fault::decide_chance`]), making lossy links reproducible
+//! for a seed regardless of event interleaving.
 
 use std::collections::VecDeque;
 
+use simkit::fault::decide_chance;
 use simkit::{SimDuration, SimTime};
+
+/// Domain salts so a lane's loss and jitter draws are independent.
+const SALT_LOSS: u64 = 0x6c61_6e65_5f6c_6f73; // "lane_los"
+const SALT_JITTER: u64 = 0x6c61_6e65_5f6a_6974; // "lane_jit"
+
+/// When (if ever) a lane drops a message. Every model is deterministic:
+/// replaying the same sends yields the same drops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Lossless.
+    None,
+    /// Drop every `n`th message on the lane (the classic fixed pattern).
+    DropEveryNth(u64),
+    /// Drop each message independently with probability `p`, decided by
+    /// a stateless hash of `(seed, lane, message index)` — reproducible
+    /// for a seed, independent of the reverse direction's traffic.
+    Random {
+        /// Per-message drop probability in `[0, 1]`.
+        p: f64,
+        /// Seed for the hash.
+        seed: u64,
+    },
+}
+
+/// Probabilistic extra one-way latency (a queueing burst), decided per
+/// message with the same stateless-hash discipline as [`LossModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterModel {
+    /// Probability a message suffers the spike.
+    pub p: f64,
+    /// The extra latency added when it does.
+    pub extra: SimDuration,
+    /// Seed for the hash.
+    pub seed: u64,
+}
 
 /// One direction of a duplex link.
 #[derive(Debug, Default)]
 struct Lane {
     queue: VecDeque<(SimTime, String)>,
+    /// Messages offered to this lane (including dropped ones); doubles
+    /// as the per-lane index for loss/jitter decisions.
+    offered: u64,
     sent: u64,
     dropped: u64,
+    /// Distinguishes the two lanes in the stateless hash.
+    salt: u64,
 }
 
 impl Lane {
+    fn new(salt: u64) -> Lane {
+        Lane {
+            salt,
+            ..Lane::default()
+        }
+    }
+
+    /// Applies the loss model to the next message on *this* lane.
+    fn drops_next(&mut self, loss: &LossModel) -> bool {
+        self.offered += 1;
+        match *loss {
+            LossModel::None => false,
+            LossModel::DropEveryNth(0) => false,
+            LossModel::DropEveryNth(n) => self.offered % n == 0,
+            LossModel::Random { p, seed } => {
+                decide_chance(seed, SALT_LOSS, self.salt, self.offered, p)
+            }
+        }
+    }
+
+    /// Extra delay for the message just offered, if the jitter fires.
+    fn jitter_next(&self, jitter: &Option<JitterModel>) -> SimDuration {
+        match jitter {
+            Some(j) if decide_chance(j.seed, SALT_JITTER, self.salt, self.offered, j.p) => j.extra,
+            _ => SimDuration::ZERO,
+        }
+    }
+
     fn send(&mut self, deliver_at: SimTime, line: String) {
         // Preserve FIFO per deliver time: queues are appended in send
         // order and drained by deliver_at.
@@ -48,54 +124,77 @@ pub struct Duplex {
     to_controller: Lane,
     /// One-way delivery delay.
     pub delay: SimDuration,
-    /// Drop every Nth message (0 = lossless); deterministic so tests and
-    /// simulations replay exactly.
-    pub drop_every: u64,
-    counter: u64,
+    /// Loss model applied independently per lane.
+    pub loss: LossModel,
+    /// Optional delay spikes, applied independently per lane.
+    pub jitter: Option<JitterModel>,
 }
 
 impl Duplex {
     /// Creates a lossless link with the given one-way delay.
     pub fn new(delay: SimDuration) -> Self {
         Duplex {
-            to_agent: Lane::default(),
-            to_controller: Lane::default(),
+            to_agent: Lane::new(0),
+            to_controller: Lane::new(1),
             delay,
-            drop_every: 0,
-            counter: 0,
+            loss: LossModel::None,
+            jitter: None,
         }
     }
 
-    /// Makes the link drop every `n`th message.
-    pub fn with_drop_every(mut self, n: u64) -> Self {
-        self.drop_every = n;
+    /// Makes the link drop every `n`th message (per lane; 0 = lossless).
+    pub fn with_drop_every(self, n: u64) -> Self {
+        self.with_loss(LossModel::DropEveryNth(n))
+    }
+
+    /// Replaces the loss model.
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
         self
     }
 
-    fn should_drop(&mut self) -> bool {
-        if self.drop_every == 0 {
-            return false;
+    /// Adds seeded delay spikes: each message independently suffers
+    /// `extra` additional latency with probability `p`.
+    pub fn with_jitter(mut self, p: f64, extra: SimDuration, seed: u64) -> Self {
+        self.jitter = Some(JitterModel { p, extra, seed });
+        self
+    }
+
+    fn send_on(
+        lane: &mut Lane,
+        loss: &LossModel,
+        jitter: &Option<JitterModel>,
+        at: SimTime,
+        line: String,
+    ) {
+        if lane.drops_next(loss) {
+            lane.dropped += 1;
+            return;
         }
-        self.counter += 1;
-        self.counter % self.drop_every == 0
+        let at = at + lane.jitter_next(jitter);
+        lane.send(at, line);
     }
 
     /// Controller → agent.
     pub fn send_to_agent(&mut self, now: SimTime, line: String) {
-        if self.should_drop() {
-            self.to_agent.dropped += 1;
-            return;
-        }
-        self.to_agent.send(now + self.delay, line);
+        Duplex::send_on(
+            &mut self.to_agent,
+            &self.loss,
+            &self.jitter,
+            now + self.delay,
+            line,
+        );
     }
 
     /// Agent → controller.
     pub fn send_to_controller(&mut self, now: SimTime, line: String) {
-        if self.should_drop() {
-            self.to_controller.dropped += 1;
-            return;
-        }
-        self.to_controller.send(now + self.delay, line);
+        Duplex::send_on(
+            &mut self.to_controller,
+            &self.loss,
+            &self.jitter,
+            now + self.delay,
+            line,
+        );
     }
 
     /// Lines deliverable to the agent at `now`.
@@ -157,5 +256,68 @@ mod tests {
         assert!(!got.contains(&"m2".to_string()));
         assert!(!got.contains(&"m5".to_string()));
         assert!(!got.contains(&"m8".to_string()));
+    }
+
+    /// Regression (the shared-counter bug): the drop pattern of one lane
+    /// must not change when reverse-direction traffic interleaves.
+    #[test]
+    fn drop_pattern_is_per_lane() {
+        let run = |chatter: bool| -> Vec<String> {
+            let mut d = Duplex::new(SimDuration::ZERO).with_drop_every(3);
+            for i in 0..9 {
+                d.send_to_agent(SimTime::ZERO, format!("m{i}"));
+                if chatter {
+                    // Unrelated reverse-direction messages between sends.
+                    d.send_to_controller(SimTime::ZERO, format!("r{i}"));
+                    d.send_to_controller(SimTime::ZERO, format!("s{i}"));
+                }
+            }
+            d.recv_at_agent(SimTime::ZERO)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn random_loss_is_seed_reproducible_and_lane_local() {
+        let run = |chatter: bool| -> Vec<String> {
+            let mut d =
+                Duplex::new(SimDuration::ZERO).with_loss(LossModel::Random { p: 0.3, seed: 11 });
+            for i in 0..40 {
+                d.send_to_agent(SimTime::ZERO, format!("m{i}"));
+                if chatter {
+                    d.send_to_controller(SimTime::ZERO, format!("r{i}"));
+                }
+            }
+            d.recv_at_agent(SimTime::ZERO)
+        };
+        let quiet = run(false);
+        assert_eq!(quiet, run(true), "reverse chatter changed the drops");
+        assert!(quiet.len() < 40, "30% loss should drop something");
+        assert!(!quiet.is_empty());
+
+        // A different seed gives a different pattern.
+        let mut other =
+            Duplex::new(SimDuration::ZERO).with_loss(LossModel::Random { p: 0.3, seed: 12 });
+        for i in 0..40 {
+            other.send_to_agent(SimTime::ZERO, format!("m{i}"));
+        }
+        assert_ne!(quiet, other.recv_at_agent(SimTime::ZERO));
+    }
+
+    #[test]
+    fn jitter_delays_some_messages() {
+        let mut d = Duplex::new(SimDuration::from_millis(10)).with_jitter(
+            0.5,
+            SimDuration::from_secs(1),
+            3,
+        );
+        for i in 0..20 {
+            d.send_to_agent(SimTime::ZERO, format!("m{i}"));
+        }
+        let on_time = d.recv_at_agent(SimTime::from_millis(10)).len();
+        // Jitter holds the delayed head back; everything arrives by +1 s.
+        let late = d.recv_at_agent(SimTime::from_millis(10) + SimDuration::from_secs(1));
+        assert!(on_time < 20, "some messages must be delayed");
+        assert_eq!(on_time + late.len(), 20, "nothing is lost by jitter");
     }
 }

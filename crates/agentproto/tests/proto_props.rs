@@ -1,0 +1,141 @@
+//! Property test of the control-plane protocol under a faulty link: for
+//! any seeded loss/jitter plan, every `request_deflation` resolves
+//! exactly once as `Answered` xor `TimedOut`, `pending()` drains back to
+//! zero, and late or duplicate responses only ever increment counters —
+//! they never resurrect or double-resolve a request.
+
+use std::collections::HashMap;
+
+use agentproto::{
+    AgentEndpoint, AgentPolicy, ControllerEndpoint, Duplex, LossModel, RequestOutcome,
+};
+use deflate_core::{ResourceVector, VmId};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimRng, SimTime};
+
+fn target() -> ResourceVector {
+    ResourceVector::new(2.0, 8_192.0, 50.0, 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random loss probability, delay jitter, agent slowness, and request
+    /// schedule — the request ledger must always balance.
+    #[test]
+    fn every_request_resolves_exactly_once(
+        seed in any::<u64>(),
+        loss_pct in 0u32..60,
+        jitter_pct in 0u32..50,
+        agent_delay_ms in 0u64..400,
+        n_requests in 1usize..30,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut ctl = ControllerEndpoint::new().with_unresponsive_after(3);
+        let policy = AgentPolicy::Fraction {
+            fraction: 0.8,
+            delay: SimDuration::from_millis(agent_delay_ms),
+        };
+        let mut agent = AgentEndpoint::new(VmId(3), policy);
+        let mut link = Duplex::new(SimDuration::from_millis(10))
+            .with_loss(LossModel::Random { p: loss_pct as f64 / 100.0, seed })
+            .with_jitter(jitter_pct as f64 / 100.0, SimDuration::from_millis(700), seed ^ 1);
+
+        let deadline = SimDuration::from_millis(250);
+        let mut issued: Vec<u64> = Vec::new();
+        let mut resolved: HashMap<u64, &'static str> = HashMap::new();
+
+        // Issue requests at random times over ~3 s, polling both ends on
+        // a fine grid so answers and expiries interleave arbitrarily.
+        let mut send_at: Vec<u64> = (0..n_requests)
+            .map(|_| rng.index(3_000) as u64)
+            .collect();
+        send_at.sort_unstable();
+        let mut next_send = 0usize;
+        // Run long past the last deadline + max jitter so nothing is in
+        // flight at the end.
+        let horizon_ms = 3_000 + 2_000;
+        for ms in 0..=horizon_ms {
+            let now = SimTime::from_millis(ms);
+            while next_send < send_at.len() && send_at[next_send] <= ms {
+                issued.push(ctl.request_deflation(now, &mut link, VmId(3), target(), deadline));
+                next_send += 1;
+            }
+            agent.poll(now, &mut link);
+            for outcome in ctl.poll(now, &mut link) {
+                let (seq, kind) = match outcome {
+                    RequestOutcome::Answered { request, freed } => {
+                        // Answers are clamped to the request target.
+                        prop_assert!(target().dominates(&freed));
+                        (request.seq, "answered")
+                    }
+                    RequestOutcome::TimedOut { request } => (request.seq, "timed-out"),
+                };
+                let prev = resolved.insert(seq, kind);
+                prop_assert!(
+                    prev.is_none(),
+                    "seq {seq} resolved twice: {prev:?} then {kind}"
+                );
+            }
+        }
+
+        // Exactly once, exactly the issued set.
+        prop_assert_eq!(ctl.pending(), 0, "pending must drain to zero");
+        prop_assert_eq!(resolved.len(), issued.len());
+        for seq in &issued {
+            prop_assert!(resolved.contains_key(seq), "seq {} never resolved", seq);
+        }
+
+        // Liveness bookkeeping stays within the issued volume.
+        prop_assert!(ctl.missed_deadlines(VmId(3)) as usize <= issued.len());
+    }
+
+    /// Forged duplicate and unknown-seq responses only bump counters:
+    /// they resolve nothing and leave no pending state behind.
+    #[test]
+    fn duplicates_and_strays_only_increment_counters(
+        seed in any::<u64>(),
+        n_dups in 1usize..6,
+    ) {
+        let mut ctl = ControllerEndpoint::new();
+        let policy = AgentPolicy::Fraction {
+            fraction: 1.0,
+            delay: SimDuration::ZERO,
+        };
+        let mut agent = AgentEndpoint::new(VmId(3), policy);
+        let mut link = Duplex::new(SimDuration::ZERO);
+
+        let seq = ctl.request_deflation(
+            SimTime::ZERO,
+            &mut link,
+            VmId(3),
+            target(),
+            SimDuration::from_secs(1),
+        );
+        agent.poll(SimTime::ZERO, &mut link);
+        let outcomes = ctl.poll(SimTime::ZERO, &mut link);
+        prop_assert_eq!(outcomes.len(), 1);
+        prop_assert_eq!(ctl.pending(), 0);
+
+        // Replay the same response several times, plus unknown seqs.
+        use agentproto::Message;
+        for i in 0..n_dups {
+            let dup = Message::Relinquish { seq, vm: VmId(3), freed: target() };
+            link.send_to_controller(SimTime::from_millis(i as u64), wire_encode(&dup));
+            let stray = Message::Relinquish {
+                seq: 10_000 + seed % 100 + i as u64,
+                vm: VmId(3),
+                freed: target(),
+            };
+            link.send_to_controller(SimTime::from_millis(i as u64), wire_encode(&stray));
+        }
+        let outcomes = ctl.poll(SimTime::from_secs(1), &mut link);
+        prop_assert!(outcomes.is_empty(), "strays resolved something: {outcomes:?}");
+        prop_assert_eq!(ctl.late_responses, 2 * n_dups as u64);
+        prop_assert_eq!(ctl.pending(), 0);
+    }
+}
+
+fn wire_encode(msg: &agentproto::Message) -> String {
+    agentproto::wire::encode(msg)
+}

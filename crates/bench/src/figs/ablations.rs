@@ -295,7 +295,9 @@ pub fn heterogeneous_placement_with(n_servers: usize, horizon: simkit::SimDurati
             },
             horizon,
         };
-        run_cluster_sim(&cfg)
+        let r = run_cluster_sim(&cfg);
+        crate::record_sim_summary(&r.summary);
+        r
     });
     for ((skew, policy), r) in grid.into_iter().zip(&results) {
         t.row(vec![

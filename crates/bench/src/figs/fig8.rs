@@ -189,6 +189,9 @@ pub fn fig8c_with(cfg: &Fig8cConfig) -> Table {
         })
         .collect();
     let results = crate::sweep::parallel_map(jobs, |c| run_cluster_sim(&c));
+    for r in &results {
+        crate::record_sim_summary(&r.summary);
+    }
     for pair in results.chunks_exact(2) {
         t.row(vec![
             pct(pair[0].offered_utilization),
@@ -241,6 +244,7 @@ pub fn fig8d_with(n_servers: usize, horizon: SimDuration, rate: f64) -> Table {
         .collect();
     let results = crate::sweep::parallel_map(jobs, |c| run_cluster_sim(&c));
     for (policy, r) in PlacementPolicy::ALL.into_iter().zip(&results) {
+        crate::record_sim_summary(&r.summary);
         let xs = &r.server_overcommitment;
         t.row(vec![
             policy.name().to_string(),

@@ -53,7 +53,9 @@ pub fn run_with(n_servers: usize, horizon: SimDuration) -> Table {
                 },
                 horizon,
             };
-            results.push(run_cluster_sim(&cfg));
+            let r = run_cluster_sim(&cfg);
+            crate::record_sim_summary(&r.summary);
+            results.push(r);
         }
         let pre_flat = revenue(&results[0], &rates, TransientPricing::FlatDiscount).total();
         let defl_flat = revenue(&results[1], &rates, TransientPricing::FlatDiscount).total();

@@ -6,10 +6,43 @@
 //! `src/bin/all_experiments` runs the full suite (the data behind
 //! `EXPERIMENTS.md`).
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 pub mod figs;
 pub mod sweep;
+
+/// Resilience counters every figure binary reports even when the run
+/// injected no faults (they print as zero). `fault.injected.*` keys join
+/// these dynamically as simulations record them.
+pub const FAULT_COUNTER_KEYS: [&str; 3] = [
+    "cluster.server_crashes",
+    "cluster.unresponsive_vms",
+    "cascade.retries",
+];
+
+/// Process-wide accumulator of fault-related counters scraped from
+/// cluster-simulation run summaries; printed by [`run_summary`].
+static SIM_FAULT_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// Folds the fault/resilience counters (`fault.injected.*`, server
+/// crashes, unresponsive agents, cascade retries) of one cluster-sim run
+/// summary into the accumulator behind every fig binary's run summary.
+/// Figures that run `run_cluster_sim` call this once per result so fault
+/// activity is visible without each figure printing its own columns.
+pub fn record_sim_summary(doc: &simkit::JsonValue) {
+    let Some(counters) = doc.get("counters").and_then(|c| c.as_object()) else {
+        return;
+    };
+    let mut acc = SIM_FAULT_COUNTERS.lock().expect("fault accumulator");
+    for (k, v) in counters {
+        let relevant = k.starts_with("fault.") || FAULT_COUNTER_KEYS.contains(&k.as_str());
+        if let (true, Some(n)) = (relevant, v.as_f64()) {
+            *acc.entry(k.clone()).or_insert(0.0) += n;
+        }
+    }
+}
 
 /// A printable result table (one per figure/series group).
 #[derive(Debug, Clone)]
@@ -136,6 +169,14 @@ pub fn run_summary(run: &str, tables: &[Table], wall_time_s: f64) -> simkit::Jso
         );
     }
     doc.set("tables", tables_json);
+    let mut faults = simkit::JsonValue::object();
+    for key in FAULT_COUNTER_KEYS {
+        faults.set(key, 0.0);
+    }
+    for (k, v) in SIM_FAULT_COUNTERS.lock().expect("fault accumulator").iter() {
+        faults.set(k, *v);
+    }
+    doc.set("faults", faults);
     doc
 }
 
@@ -233,6 +274,37 @@ mod tests {
         let t = parsed.get("tables").and_then(|t| t.get("figX")).unwrap();
         assert_eq!(t.get("rows").and_then(|v| v.as_f64()), Some(2.0));
         assert_eq!(t.get("checked").and_then(|v| v.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn run_summary_reports_fault_counters() {
+        // The resilience counters are always present (zero by default)…
+        let doc = run_summary("figY", &[sample()], 0.1);
+        let faults = doc.get("faults").expect("faults section");
+        for key in FAULT_COUNTER_KEYS {
+            assert!(
+                faults.get(key).and_then(|v| v.as_f64()).is_some(),
+                "{key} missing"
+            );
+        }
+        // …and fold in whatever the simulations recorded. (The
+        // accumulator is process-wide, so assert lower bounds: other
+        // tests may run simulations concurrently.)
+        let sim = simkit::JsonValue::object().with(
+            "counters",
+            simkit::JsonValue::object()
+                .with("cluster.server_crashes", 2.0)
+                .with("fault.injected.agent_down", 5.0)
+                .with("cluster.launched", 100.0),
+        );
+        record_sim_summary(&sim);
+        let doc = run_summary("figY", &[sample()], 0.1);
+        let faults = doc.get("faults").expect("faults section");
+        let get = |k: &str| faults.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        assert!(get("cluster.server_crashes") >= 2.0);
+        assert!(get("fault.injected.agent_down") >= 5.0);
+        // Non-fault counters are not hoisted into the faults section.
+        assert!(faults.get("cluster.launched").is_none());
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod pricing;
 pub mod simulate;
 pub mod traces;
 
-pub use manager::{ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome};
+pub use manager::{
+    ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome, ServerFailure,
+};
 pub use placement::{AvailabilityMode, PlacementPolicy};
 pub use predictor::{DemandPredictor, Ewma};
 pub use pricing::{revenue, Rates, Revenue, TransientPricing};

@@ -5,15 +5,24 @@
 //! controller to make room (proportional cascade deflation, preemption
 //! fallback), and reinflates deflated VMs when resources free up.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use deflate_core::{CascadeConfig, ResourceKind, ResourceVector, ServerId, VmId};
-use hypervisor::{LocalController, PhysicalServer, ServerAggregates, Vm, VmPriority};
-use simkit::{JsonValue, Observability, SimRng, SimTime, TraceLog};
+use deflate_core::{CascadeConfig, DeflateError, ResourceKind, ResourceVector, ServerId, VmId};
+use hypervisor::{
+    LocalController, PhysicalServer, ReclaimReport, ServerAggregates, Vm, VmFaults, VmPriority,
+};
+use simkit::{
+    FaultInjector, FaultPlan, JsonValue, Observability, SimDuration, SimRng, SimTime, Span,
+    TraceLog,
+};
 
 use crate::placement::{choose_server_with, AvailabilityMode, PlacementPolicy};
 use crate::predictor::DemandPredictor;
 use crate::traces::VmRequest;
+
+/// How long a cascade waits on a dead or unreachable agent when the
+/// cascade config carries no explicit deadline.
+const DEFAULT_AGENT_WAIT: SimDuration = SimDuration::from_secs(30);
 
 /// Cluster manager configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +56,14 @@ pub struct ClusterManagerConfig {
     pub capacity_skew: f64,
     /// RNG seed (placement randomization).
     pub seed: u64,
+    /// Fault plan driving deterministic fault injection. The default
+    /// ([`FaultPlan::none`]) injects nothing and keeps the manager
+    /// byte-identical to a build without fault plumbing.
+    pub faults: FaultPlan,
+    /// A low-priority VM whose agent misses this many *consecutive*
+    /// cascade deadlines is declared unresponsive and pivoted to
+    /// hypervisor-only deflation. 0 disables the escalation.
+    pub unresponsive_after: u32,
 }
 
 impl Default for ClusterManagerConfig {
@@ -61,6 +78,8 @@ impl Default for ClusterManagerConfig {
             proactive_headroom: false,
             capacity_skew: 0.0,
             seed: 1,
+            faults: FaultPlan::none(),
+            unresponsive_after: 3,
         }
     }
 }
@@ -84,6 +103,10 @@ pub struct ClusterStats {
     pub highpri_alloc_latency_secs: f64,
     /// High-priority VMs launched.
     pub highpri_launches: u64,
+    /// VMs declared unresponsive (pivoted to hypervisor-only deflation).
+    pub unresponsive_vms: u64,
+    /// Whole-server crashes injected.
+    pub server_crashes: u64,
 }
 
 impl ClusterStats {
@@ -126,6 +149,18 @@ struct ClusterTotals {
     agg: ServerAggregates,
 }
 
+/// What one server crash took down, so the simulator can relaunch
+/// high-priority VMs and account preempted low-priority ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerFailure {
+    /// The crashed server.
+    pub server: ServerId,
+    /// High-priority VMs lost (candidates for relaunch elsewhere).
+    pub lost_high: Vec<VmId>,
+    /// Low-priority VMs lost (counted as preempted).
+    pub lost_low: Vec<VmId>,
+}
+
 /// The deflation-based cluster manager.
 pub struct ClusterManager {
     cfg: ClusterManagerConfig,
@@ -135,6 +170,13 @@ pub struct ClusterManager {
     stats: ClusterStats,
     /// VM → server index.
     index: HashMap<VmId, usize>,
+    /// Fault injector; `None` under the empty plan so the fault-free path
+    /// stays byte-identical.
+    fault: Option<FaultInjector>,
+    /// Consecutive missed cascade deadlines per low-priority VM.
+    missed: HashMap<VmId, u32>,
+    /// VMs declared unresponsive (hypervisor-only deflation from now on).
+    unresponsive: HashSet<VmId>,
     /// Unified observability: metrics registry plus lifecycle trace
     /// (launches, deflations, preemptions, reinflations, spans).
     obs: Observability,
@@ -165,6 +207,11 @@ impl ClusterManager {
         let capacity = servers
             .iter()
             .fold(ResourceVector::ZERO, |acc, s| acc + s.capacity());
+        let fault = if cfg.faults.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(cfg.faults.clone()))
+        };
         ClusterManager {
             cfg,
             servers,
@@ -172,6 +219,9 @@ impl ClusterManager {
             rng,
             stats: ClusterStats::default(),
             index: HashMap::new(),
+            fault,
+            missed: HashMap::new(),
+            unresponsive: HashSet::new(),
             obs: Observability::new(),
             predictor: DemandPredictor::new(simkit::SimDuration::from_mins(10), 0.3),
             totals: ClusterTotals {
@@ -324,6 +374,190 @@ impl ClusterManager {
         }
     }
 
+    /// Computes the per-VM fault conditions one reclamation round on
+    /// server `si` must work around: VMs already declared unresponsive
+    /// pivot to hypervisor-only deflation; the injector decides which
+    /// agents are down, which control messages are lost, and which guest
+    /// hotplug paths stall. Empty (and draws nothing) under the empty
+    /// fault plan.
+    fn plan_vm_faults(
+        &mut self,
+        now: SimTime,
+        si: usize,
+        demand: &ResourceVector,
+    ) -> HashMap<VmId, VmFaults> {
+        let mut map = HashMap::new();
+        if self.fault.is_none() && self.unresponsive.is_empty() {
+            return map;
+        }
+        // Faults only matter when the launch actually triggers a
+        // reclamation round (make_room returns early otherwise).
+        if demand.saturating_sub(&self.servers[si].free()).is_zero() {
+            return map;
+        }
+        let burn = self.cfg.cascade.deadline.unwrap_or(DEFAULT_AGENT_WAIT);
+        for id in self.servers[si].low_priority_ids() {
+            let mut f = VmFaults::default();
+            if self.unresponsive.contains(&id) {
+                f.hypervisor_only = true;
+            } else if let Some(inj) = self.fault.as_mut() {
+                if self.cfg.cascade.use_app {
+                    let down = inj.agent_down(id.0, now);
+                    let lost = !down && inj.msg_lost(id.0, now);
+                    if down {
+                        self.obs.metrics.incr("fault.injected.agent_down");
+                    }
+                    if lost {
+                        self.obs.metrics.incr("fault.injected.msg_loss");
+                    }
+                    if down || lost {
+                        f.agent_timeout = Some(burn);
+                    }
+                }
+                if self.cfg.cascade.use_os {
+                    if let Some(stall) = inj.hotplug_stall(id.0, now) {
+                        self.obs.metrics.incr("fault.injected.hotplug_stall");
+                        f.hotplug_stall = Some(stall);
+                    }
+                }
+            }
+            if f != VmFaults::default() {
+                map.insert(id, f);
+            }
+        }
+        map
+    }
+
+    /// Folds one reclamation round's outcomes into retry counters and
+    /// agent-liveness tracking: a VM whose agent missed this cascade's
+    /// deadline accrues a consecutive miss (escalating to unresponsive at
+    /// the configured threshold); an agent that answered resets its count.
+    fn note_cascade_outcomes(
+        &mut self,
+        now: SimTime,
+        faults: &HashMap<VmId, VmFaults>,
+        report: &ReclaimReport,
+    ) {
+        let retries: u64 = report
+            .outcomes
+            .iter()
+            .map(|(_, o)| u64::from(o.retries))
+            .sum();
+        if retries > 0 {
+            self.obs.metrics.add("cascade.retries", retries);
+        }
+        if self.fault.is_none() {
+            return;
+        }
+        for (id, out) in &report.outcomes {
+            let f = faults.get(id).copied().unwrap_or_default();
+            if f.hypervisor_only {
+                continue; // Already escalated; liveness no longer tracked.
+            }
+            if f.agent_timeout.is_some() {
+                let m = {
+                    let m = self.missed.entry(*id).or_insert(0);
+                    *m += 1;
+                    *m
+                };
+                if self.cfg.unresponsive_after > 0
+                    && m >= self.cfg.unresponsive_after
+                    && self.unresponsive.insert(*id)
+                {
+                    self.stats.unresponsive_vms += 1;
+                    self.obs.metrics.incr("cluster.unresponsive_vms");
+                    let err = DeflateError::AgentUnresponsive {
+                        vm: *id,
+                        missed_deadlines: m,
+                    };
+                    self.obs.trace.record(now, "unresponsive", err.to_string());
+                    self.obs.trace.record_span(
+                        Span::new("cluster.agent_unresponsive", now)
+                            .with_attr("vm", id.to_string())
+                            .with_attr("missed_deadlines", u64::from(m)),
+                    );
+                }
+            } else if self.cfg.cascade.use_app && out.app.engaged() {
+                self.missed.insert(*id, 0);
+            }
+        }
+    }
+
+    /// Crashes a server: every hosted VM is lost, the server leaves the
+    /// placement pool until [`recover_server`](Self::recover_server), and
+    /// the incremental aggregates stay exact (the removal path is the
+    /// same delta-applied one `exit` uses). Lost low-priority VMs count
+    /// as preempted; lost high-priority VMs are returned so the caller
+    /// can relaunch them through normal placement. Returns `None` when
+    /// the server is unknown or already down.
+    pub fn fail_server(&mut self, now: SimTime, sid: ServerId) -> Option<ServerFailure> {
+        let si = sid.0 as usize;
+        if si >= self.servers.len() || !self.servers[si].is_up() {
+            return None;
+        }
+        let before = self.servers[si].aggregates();
+        let ids: Vec<VmId> = self.servers[si].vms().map(|vm| vm.id()).collect();
+        let mut lost_high = Vec::new();
+        let mut lost_low = Vec::new();
+        for id in ids {
+            let vm = self.servers[si].remove_vm(id).expect("listed VM is hosted");
+            self.index.remove(&id);
+            self.missed.remove(&id);
+            self.unresponsive.remove(&id);
+            match vm.priority() {
+                VmPriority::High => lost_high.push(id),
+                VmPriority::Low => lost_low.push(id),
+            }
+        }
+        self.servers[si].set_up(false);
+        let after = self.servers[si].aggregates();
+        self.apply_delta(&before, &after);
+        self.stats.server_crashes += 1;
+        self.stats.preempted += lost_low.len() as u64;
+        self.obs.metrics.incr("cluster.server_crashes");
+        self.obs.metrics.incr("fault.injected.server_crash");
+        self.obs
+            .metrics
+            .add("cluster.preempted", lost_low.len() as u64);
+        self.obs.trace.record(
+            now,
+            "server_crash",
+            format!(
+                "{sid} lost {} high-pri / {} low-pri VMs",
+                lost_high.len(),
+                lost_low.len()
+            ),
+        );
+        self.obs.trace.record_span(
+            Span::new("cluster.server_crash", now)
+                .with_attr("server", sid.0)
+                .with_attr("lost_high", lost_high.len())
+                .with_attr("lost_low", lost_low.len()),
+        );
+        self.update_gauges(now);
+        Some(ServerFailure {
+            server: sid,
+            lost_high,
+            lost_low,
+        })
+    }
+
+    /// Returns a crashed server to the placement pool. Returns `false`
+    /// when the server is unknown or already up.
+    pub fn recover_server(&mut self, now: SimTime, sid: ServerId) -> bool {
+        let si = sid.0 as usize;
+        if si >= self.servers.len() || self.servers[si].is_up() {
+            return false;
+        }
+        self.servers[si].set_up(true);
+        self.obs.metrics.incr("cluster.server_recoveries");
+        self.obs
+            .trace
+            .record(now, "server_up", format!("{sid} rejoined placement"));
+        self.update_gauges(now);
+        true
+    }
+
     /// Handles a VM request: placement, reclamation, admission.
     pub fn launch(&mut self, now: SimTime, req: &VmRequest) -> LaunchOutcome {
         if !req.low_priority {
@@ -365,9 +599,10 @@ impl ClusterManager {
         };
 
         let before = self.servers[si].aggregates();
-        let report = self
-            .controller
-            .make_room(now, &mut self.servers[si], &req.spec);
+        let vm_faults = self.plan_vm_faults(now, si, &req.spec);
+        let report =
+            self.controller
+                .make_room_with(now, &mut self.servers[si], &req.spec, &vm_faults);
 
         if !report.satisfied {
             // Deflation and preemption could not cover the demand (the
@@ -401,6 +636,7 @@ impl ClusterManager {
             return LaunchOutcome::Rejected;
         }
 
+        self.note_cascade_outcomes(now, &vm_faults, &report);
         self.stats.deflations += report.outcomes.len() as u64;
         self.obs
             .metrics
@@ -417,6 +653,8 @@ impl ClusterManager {
         }
         for id in &report.preempted {
             self.index.remove(id);
+            self.missed.remove(id);
+            self.unresponsive.remove(id);
             self.obs
                 .trace
                 .record(now, "preempt", format!("{id} for {}", req.id));
@@ -518,6 +756,8 @@ impl ClusterManager {
             return None;
         };
         self.index.remove(&id);
+        self.missed.remove(&id);
+        self.unresponsive.remove(&id);
         let freed = vm.effective();
         self.obs
             .trace
@@ -840,6 +1080,115 @@ mod tests {
             assert!(s.aggregates().approx_eq(before));
         }
         m.assert_consistent();
+    }
+
+    #[test]
+    fn server_crash_is_exact_and_recoverable() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        for i in 0..4 {
+            m.launch(SimTime::ZERO, &req(i, i % 2 == 0));
+        }
+        let running_before = m.running_vms();
+        let f = m
+            .fail_server(SimTime::from_secs(10), ServerId(0))
+            .expect("server 0 is up");
+        assert_eq!(f.server, ServerId(0));
+        let lost = f.lost_high.len() + f.lost_low.len();
+        assert!(lost > 0, "server 0 hosted something");
+        assert_eq!(m.running_vms(), running_before - lost);
+        assert!(!m.servers()[0].is_up());
+        assert_eq!(m.servers()[0].vm_count(), 0);
+        for id in f.lost_high.iter().chain(&f.lost_low) {
+            assert!(!m.is_running(*id));
+        }
+        assert_eq!(m.stats().server_crashes, 1);
+        assert_eq!(m.stats().preempted, f.lost_low.len() as u64);
+        m.assert_consistent();
+
+        // Crashing a down server is a no-op.
+        assert!(m.fail_server(SimTime::from_secs(11), ServerId(0)).is_none());
+
+        // While down, the server takes no placements.
+        let out = m.launch(SimTime::from_secs(12), &req(90, true));
+        if let LaunchOutcome::Placed { server, .. } = out {
+            assert_ne!(server, ServerId(0), "down server must not place");
+        }
+
+        assert!(m.recover_server(SimTime::from_secs(20), ServerId(0)));
+        assert!(!m.recover_server(SimTime::from_secs(21), ServerId(0)));
+        assert!(m.servers()[0].is_up());
+        m.assert_consistent();
+        // Recovered server hosts again.
+        let out = m.launch(SimTime::from_secs(30), &req(91, true));
+        assert!(matches!(out, LaunchOutcome::Placed { .. }));
+    }
+
+    #[test]
+    fn dead_agents_escalate_to_hypervisor_only() {
+        use simkit::SimDuration;
+        let mut cfg = ClusterManagerConfig {
+            n_servers: 1,
+            server_capacity: ResourceVector::new(8.0, 32_768.0, 200.0, 400.0),
+            cascade: CascadeConfig::FULL.with_deadline(SimDuration::from_secs(5)),
+            unresponsive_after: 3,
+            ..ClusterManagerConfig::default()
+        };
+        // Agents crash fast and never come back within the run.
+        cfg.faults = FaultPlan {
+            seed: 11,
+            agent_crash_rate_per_hour: 1_000.0,
+            agent_restart: SimDuration::from_hours(1_000),
+            ..FaultPlan::none()
+        };
+        let mut m = ClusterManager::new(cfg);
+        // Two low-priority VMs fill the server.
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+
+        // Each high-priority launch forces a cascade round against both
+        // agents; each exit reinflates so the next round deflates again.
+        for round in 0..5u64 {
+            let t = SimTime::from_secs(1_000 * (round + 1));
+            let out = m.launch(t, &req(100 + round, false));
+            assert!(matches!(out, LaunchOutcome::Placed { .. }), "round {round}");
+            m.exit(t + SimDuration::from_secs(10), VmId(100 + round));
+            m.assert_consistent();
+        }
+
+        let stats = m.stats();
+        assert_eq!(
+            stats.unresponsive_vms, 2,
+            "both dead agents escalate exactly once"
+        );
+        let obs = m.observability();
+        assert_eq!(obs.metrics.count("cluster.unresponsive_vms"), 2);
+        assert!(obs.metrics.count("fault.injected.agent_down") >= 6);
+        assert!(obs.trace.count("unresponsive") == 2);
+        // The escalation is visible as a structured span.
+        assert_eq!(
+            obs.trace
+                .spans_by_kind("cluster.agent_unresponsive")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn fault_free_run_registers_no_fault_keys() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        for i in 0..5 {
+            m.launch(SimTime::ZERO, &req(i, true));
+        }
+        m.exit(SimTime::from_secs(60), VmId(0));
+        let doc = m.run_summary(SimTime::from_secs(100), "unit");
+        let text = doc.to_string();
+        assert!(
+            !text.contains("fault."),
+            "fault path must be opt-in: {text}"
+        );
+        assert!(!text.contains("cluster.unresponsive_vms"));
+        assert!(!text.contains("cluster.server_crashes"));
+        assert!(!text.contains("cascade.retries"));
     }
 
     #[test]

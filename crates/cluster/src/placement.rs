@@ -29,7 +29,7 @@ fn availability(server: &PhysicalServer, mode: AvailabilityMode) -> ResourceVect
 }
 
 fn fits(server: &PhysicalServer, demand: &ResourceVector, mode: AvailabilityMode) -> bool {
-    availability(server, mode).dominates(demand)
+    server.is_up() && availability(server, mode).dominates(demand)
 }
 
 /// A VM placement policy.
@@ -120,7 +120,7 @@ fn pick(
     rng: &mut SimRng,
     avail: &dyn Fn(&PhysicalServer) -> ResourceVector,
 ) -> Option<usize> {
-    let fits = |s: &PhysicalServer| avail(s).dominates(demand);
+    let fits = |s: &PhysicalServer| s.is_up() && avail(s).dominates(demand);
     let score = |s: &PhysicalServer| {
         let a = avail(s);
         (a.cosine_similarity(demand), a.norm())

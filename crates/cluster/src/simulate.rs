@@ -7,8 +7,12 @@
 //! 1.6× cluster utilization and that deflatable VMs mask placement-policy
 //! differences.
 
-use deflate_core::VmId;
-use simkit::{metrics::TimeWeightedGauge, run_until, Scheduler, SimDuration, SimTime};
+use std::collections::HashMap;
+
+use deflate_core::{ServerId, VmId};
+use simkit::{
+    metrics::TimeWeightedGauge, run_until, FaultInjector, Scheduler, SimDuration, SimTime,
+};
 
 use crate::manager::{ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome};
 use crate::traces::{TraceConfig, TraceGenerator, VmRequest};
@@ -69,6 +73,25 @@ pub struct ClusterSimResult {
 enum Ev {
     Arrive(Box<VmRequest>),
     Depart(VmId),
+    /// A whole server crashes (victim chosen among up servers at fire
+    /// time). The payload is the crash ordinal, which seeds the victim
+    /// pick.
+    ServerCrash(u64),
+    /// A crashed server rejoins placement.
+    ServerUp(ServerId),
+    /// A high-priority VM lost to a server crash re-enters placement
+    /// after its boot delay. `arrival` holds the crash instant so the
+    /// restart latency (crash → running again) can be observed.
+    Relaunch(Box<VmRequest>),
+}
+
+/// Lifetime bookkeeping for a running VM, kept only under a fault plan:
+/// a crash needs the original request (to relaunch high-priority VMs)
+/// and the scheduled departure (to compute the remaining lifetime and to
+/// ignore the stale `Depart` of the pre-crash incarnation).
+struct LiveVm {
+    req: VmRequest,
+    depart_at: SimTime,
 }
 
 /// Runs one trace-driven simulation with a synthetic generator.
@@ -106,6 +129,23 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
         sched.at(first.arrival, Ev::Arrive(Box::new(first)));
     }
 
+    // Fault plumbing: the run's server-crash instants are a pure function
+    // of the plan, so they are scheduled up front; `live` tracks running
+    // VMs so a crash can relaunch its high-priority losses. All of this
+    // is absent under the empty plan — the fault-free event stream is
+    // byte-identical to one without fault plumbing.
+    let injector = if cfg.manager.faults.is_none() {
+        None
+    } else {
+        Some(FaultInjector::new(cfg.manager.faults.clone()))
+    };
+    let mut live: HashMap<VmId, LiveVm> = HashMap::new();
+    if let Some(inj) = &injector {
+        for (k, t) in inj.server_crash_times(horizon).into_iter().enumerate() {
+            sched.at(t, Ev::ServerCrash(k as u64));
+        }
+    }
+
     let mut offered_cpu_hours = 0.0f64;
     let mut util_gauge = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
     let mut over_gauge = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
@@ -135,6 +175,15 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 let outcome = manager.launch(now, &req);
                 let touched = if let LaunchOutcome::Placed { server, .. } = &outcome {
                     sched.after(req.lifetime, Ev::Depart(req.id));
+                    if injector.is_some() {
+                        live.insert(
+                            req.id,
+                            LiveVm {
+                                req: (*req).clone(),
+                                depart_at: now + req.lifetime,
+                            },
+                        );
+                    }
                     Some(*server)
                 } else {
                     None
@@ -147,7 +196,89 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 }
                 touched
             }
-            Ev::Depart(id) => manager.exit(now, id),
+            Ev::Depart(id) => {
+                if injector.is_some() {
+                    match live.get(&id) {
+                        // A relaunch pushed the departure later: this is
+                        // the stale Depart of the pre-crash incarnation.
+                        Some(lv) if lv.depart_at > now => None,
+                        _ => {
+                            live.remove(&id);
+                            manager.exit(now, id)
+                        }
+                    }
+                } else {
+                    manager.exit(now, id)
+                }
+            }
+            Ev::ServerCrash(k) => {
+                let inj = injector
+                    .as_ref()
+                    .expect("crash events only exist under a fault plan");
+                let ups: Vec<usize> = manager
+                    .servers()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_up())
+                    .map(|(i, _)| i)
+                    .collect();
+                if ups.is_empty() {
+                    None
+                } else {
+                    let sid = ServerId(ups[inj.crash_victim(k, ups.len())] as u64);
+                    let failure = manager.fail_server(now, sid).expect("victim is up");
+                    let plan = inj.plan();
+                    for id in &failure.lost_low {
+                        live.remove(id);
+                    }
+                    // High-priority VMs with lifetime left re-enter
+                    // placement through a normal launch once rebooted.
+                    for id in &failure.lost_high {
+                        if let Some(lv) = live.remove(id) {
+                            let restart_at = now + plan.vm_restart;
+                            if lv.depart_at > restart_at {
+                                let mut req = lv.req;
+                                req.arrival = now; // crash instant, for latency accounting
+                                req.lifetime = lv.depart_at - restart_at;
+                                sched.at(restart_at, Ev::Relaunch(Box::new(req)));
+                            }
+                        }
+                    }
+                    sched.at(now + plan.server_restart, Ev::ServerUp(sid));
+                    Some(sid)
+                }
+            }
+            Ev::ServerUp(sid) => {
+                manager.recover_server(now, sid);
+                Some(sid)
+            }
+            Ev::Relaunch(req) => {
+                let crash_at = req.arrival;
+                let outcome = manager.launch(now, &req);
+                if let LaunchOutcome::Placed { server, .. } = &outcome {
+                    sched.after(req.lifetime, Ev::Depart(req.id));
+                    live.insert(
+                        req.id,
+                        LiveVm {
+                            req: (*req).clone(),
+                            depart_at: now + req.lifetime,
+                        },
+                    );
+                    // Crash → running-again latency: boot delay plus any
+                    // reclamation the new placement had to wait for.
+                    manager
+                        .observability_mut()
+                        .metrics
+                        .observe("fault.restart_latency_s", (now - crash_at).as_secs_f64());
+                    Some(*server)
+                } else {
+                    manager
+                        .observability_mut()
+                        .metrics
+                        .incr("fault.relaunch_rejected");
+                    None
+                }
+            }
         };
         util_gauge.set(now, manager.utilization());
         over_gauge.set(now, manager.overcommitment());

@@ -1,0 +1,244 @@
+//! Chaos tests: the PR-2 accounting invariants must hold at every event
+//! under arbitrary fault plans — agent crashes, message loss, hotplug
+//! stalls, retries, unresponsive-agent escalation, and whole-server
+//! crashes. Debug builds re-verify the incremental totals on every
+//! `update_gauges` (i.e. on every launch/exit/crash/recovery), so a full
+//! trace-driven run under chaos is itself a per-event invariant check.
+//!
+//! The fixed-seed matrix reads `CHAOS_SEED` so CI can fan the same test
+//! out over several seed offsets.
+
+use cluster::{
+    run_cluster_sim, ClusterManager, ClusterManagerConfig, ClusterSimConfig, LaunchOutcome,
+    TraceConfig, VmRequest,
+};
+use deflate_core::{CascadeConfig, ResourceVector, RetryPolicy, ServerId, VmId};
+use proptest::prelude::*;
+use simkit::{FaultPlan, SimDuration, SimRng, SimTime};
+
+fn request(id: u64, scale: f64, low: bool) -> VmRequest {
+    let spec = ResourceVector::new(4.0, 16_384.0, 100.0, 200.0).scale(scale);
+    VmRequest {
+        id: VmId(id),
+        arrival: SimTime::ZERO,
+        lifetime: SimDuration::from_hours(1),
+        spec,
+        type_name: "chaos",
+        low_priority: low,
+        min_size: if low {
+            spec.scale(0.3)
+        } else {
+            ResourceVector::ZERO
+        },
+    }
+}
+
+/// A fault plan with every mechanism armed, at the given intensities.
+fn plan(seed: u64, agent_rate: f64, loss: f64, stall: f64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        agent_crash_rate_per_hour: agent_rate,
+        msg_loss_prob: loss,
+        hotplug_stall_prob: stall,
+        delay_spike_prob: loss,
+        server_crash_rate_per_hour: 0.0, // driven explicitly in the op mix
+        ..FaultPlan::none()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random launch/exit/crash/recover interleavings under a random
+    /// fault plan keep the incremental totals exact, the index in sync,
+    /// and rejects state-neutral — the same invariants the fault-free
+    /// property test enforces.
+    #[test]
+    fn invariants_survive_chaos(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        agent_rate in 0.0f64..60.0,
+        loss in 0.0f64..0.4,
+        stall in 0.0f64..0.4,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut m = ClusterManager::new(ClusterManagerConfig {
+            n_servers: 3,
+            server_capacity: ResourceVector::new(8.0, 32_768.0, 200.0, 400.0),
+            cascade: CascadeConfig::FULL
+                .with_deadline(SimDuration::from_secs(5))
+                .with_retry(RetryPolicy::attempts(2, SimDuration::from_millis(100))),
+            unresponsive_after: 2,
+            faults: plan(fault_seed, agent_rate, loss, stall),
+            ..ClusterManagerConfig::default()
+        });
+
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..80u64 {
+            let now = SimTime::from_secs(step * 60);
+            match rng.index(10) {
+                // Crash a random server (possibly already down: no-op).
+                0 => {
+                    let sid = ServerId(rng.index(3) as u64);
+                    let running = m.running_vms();
+                    if let Some(f) = m.fail_server(now, sid) {
+                        let lost = f.lost_high.len() + f.lost_low.len();
+                        prop_assert_eq!(m.running_vms(), running - lost);
+                        prop_assert!(!m.servers()[sid.0 as usize].is_up());
+                        live.retain(|id| m.is_running(VmId(*id)));
+                    }
+                }
+                // Recover a random server.
+                1 => {
+                    let sid = ServerId(rng.index(3) as u64);
+                    m.recover_server(now, sid);
+                }
+                // Exit a random live VM.
+                2 | 3 if !live.is_empty() => {
+                    let pick = rng.index(live.len());
+                    let id = live.swap_remove(pick);
+                    prop_assert!(m.exit(now, VmId(id)).is_some());
+                }
+                // Launch.
+                _ => {
+                    let scale = rng.uniform_range(0.25, 1.5);
+                    let low = rng.chance(0.7);
+                    let before: Vec<_> =
+                        m.servers().iter().map(|s| s.aggregates()).collect();
+                    let running = m.running_vms();
+                    match m.launch(now, &request(next_id, scale, low)) {
+                        LaunchOutcome::Placed { server, .. } => {
+                            prop_assert!(
+                                m.servers()[server.0 as usize].is_up(),
+                                "placed on a down server"
+                            );
+                            live.push(next_id);
+                            live.retain(|id| m.is_running(VmId(*id)));
+                        }
+                        LaunchOutcome::Rejected => {
+                            prop_assert_eq!(m.running_vms(), running);
+                            for (s, b) in m.servers().iter().zip(&before) {
+                                prop_assert!(
+                                    s.aggregates().approx_eq(b),
+                                    "reject mutated server {:?}",
+                                    s.id()
+                                );
+                            }
+                        }
+                    }
+                    next_id += 1;
+                }
+            }
+            // The PR-2 oracle, at every step, under chaos.
+            m.assert_consistent();
+        }
+    }
+}
+
+/// One representative chaos configuration for the seed matrix: every
+/// fault type armed, plus a scripted crash so each seed sees at least one
+/// whole-server failure.
+fn chaos_sim(seed: u64) -> ClusterSimConfig {
+    let mut faults = FaultPlan::chaos(seed);
+    faults.agent_crash_rate_per_hour = 2.0;
+    faults.msg_loss_prob = 0.05;
+    faults.hotplug_stall_prob = 0.05;
+    faults.server_crash_rate_per_hour = 0.5;
+    faults
+        .scheduled_server_crashes
+        .push(SimTime::from_secs(3_600));
+    ClusterSimConfig {
+        manager: ClusterManagerConfig {
+            n_servers: 10,
+            cascade: CascadeConfig::FULL
+                .with_deadline(SimDuration::from_secs(10))
+                .with_retry(RetryPolicy::attempts(2, SimDuration::from_millis(250))),
+            unresponsive_after: 3,
+            faults,
+            ..ClusterManagerConfig::default()
+        },
+        trace: TraceConfig {
+            arrivals_per_hour: 60.0,
+            seed,
+            ..TraceConfig::default()
+        },
+        horizon: SimDuration::from_hours(6),
+    }
+}
+
+/// Runs the full trace-driven simulation under chaos for four seeds
+/// (offset by `CHAOS_SEED` in CI). Debug builds assert the incremental
+/// accounting on every event inside the run; here we additionally check
+/// that every fault type actually fired and is visible in the summary.
+#[test]
+fn chaos_seed_matrix_runs_clean() {
+    let base: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    for k in 0..4u64 {
+        let seed = base * 4 + k + 1;
+        let r = run_cluster_sim(&chaos_sim(seed));
+        assert!(r.stats.launched > 50, "seed {seed}: {:?}", r.stats);
+        assert!(
+            r.stats.server_crashes >= 1,
+            "seed {seed}: the scripted crash must fire"
+        );
+        let counters = r.summary.get("counters").expect("summary has counters");
+        for key in [
+            "cluster.server_crashes",
+            "fault.injected.server_crash",
+            "fault.injected.agent_down",
+        ] {
+            assert!(
+                counters.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0) >= 1.0,
+                "seed {seed}: counter {key} missing or zero\n{}",
+                r.summary.to_pretty()
+            );
+        }
+        // Determinism: the same seed reproduces the same run.
+        let again = run_cluster_sim(&chaos_sim(seed));
+        assert_eq!(
+            r.summary.to_string(),
+            again.summary.to_string(),
+            "seed {seed}: chaos run must be reproducible"
+        );
+    }
+}
+
+/// The fault path is strictly opt-in: a zero-fault plan (whatever its
+/// seed or thresholds) produces byte-identical figure outputs to the
+/// default configuration.
+#[test]
+fn zero_fault_plan_is_byte_identical() {
+    let cfg = ClusterSimConfig {
+        manager: ClusterManagerConfig {
+            n_servers: 10,
+            ..ClusterManagerConfig::default()
+        },
+        trace: TraceConfig {
+            arrivals_per_hour: 60.0,
+            ..TraceConfig::default()
+        },
+        horizon: SimDuration::from_hours(6),
+    };
+    let baseline = run_cluster_sim(&cfg);
+
+    let mut wired = cfg.clone();
+    wired.manager.faults = FaultPlan {
+        seed: 0xDEAD_BEEF, // seed must not leak into a zero-fault run
+        ..FaultPlan::none()
+    };
+    wired.manager.unresponsive_after = 7;
+    let with_plumbing = run_cluster_sim(&wired);
+
+    assert_eq!(baseline.stats.launched, with_plumbing.stats.launched);
+    assert_eq!(baseline.stats.preempted, with_plumbing.stats.preempted);
+    assert_eq!(baseline.stats.server_crashes, 0);
+    assert_eq!(
+        baseline.summary.to_string(),
+        with_plumbing.summary.to_string(),
+        "zero-fault run must be byte-identical"
+    );
+}

@@ -17,6 +17,57 @@ use simkit::{SimDuration, SimTime, Span};
 use crate::layers::{ApplicationAgent, GuestOs, HypervisorControl};
 use crate::resources::{ResourceKind, ResourceVector};
 
+/// How a layer that falls short of its request is retried.
+///
+/// A layer's first call always runs; while it has reclaimed less than it
+/// was asked for and attempts remain, the cascade waits `backoff` (then
+/// `backoff × multiplier`, then `backoff × multiplier²`, …) and asks the
+/// layer again for the *remainder*. Waits and retries are charged against
+/// the cascade deadline: a retry whose backoff would not fit the
+/// remaining budget is skipped and the shortfall falls through to the
+/// next layer, exactly like a timeout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per layer (first try included). 1 = no retries.
+    pub max_attempts: u32,
+    /// Wait before the first retry.
+    pub backoff: SimDuration,
+    /// Growth factor applied to the wait between successive retries.
+    pub multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: each layer is asked exactly once (the pre-fault-model
+    /// behaviour; the default everywhere).
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        backoff: SimDuration::ZERO,
+        multiplier: 2.0,
+    };
+
+    /// `n` total attempts with the given initial backoff, doubling.
+    pub const fn attempts(n: u32, backoff: SimDuration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: n,
+            backoff,
+            multiplier: 2.0,
+        }
+    }
+
+    /// The wait before the retry following `completed` attempts:
+    /// `backoff × multiplier^(completed − 1)`.
+    fn wait_after(&self, completed: u32) -> SimDuration {
+        self.backoff
+            .mul_f64(self.multiplier.powi(completed.saturating_sub(1) as i32))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::NONE
+    }
+}
+
 /// Which layers participate in a deflation, and the optional deadline.
 ///
 /// The paper evaluates hypervisor-only, OS-only, hypervisor+OS, and the
@@ -33,6 +84,9 @@ pub struct CascadeConfig {
     /// ahead (paper §5: "If a deflation operation times out, we proceed to
     /// the next level").
     pub deadline: Option<SimDuration>,
+    /// Per-layer retry with exponential backoff under the remaining
+    /// deadline budget.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CascadeConfig {
@@ -48,6 +102,7 @@ impl CascadeConfig {
         use_os: true,
         use_hypervisor: true,
         deadline: None,
+        retry: RetryPolicy::NONE,
     };
 
     /// Hypervisor-level overcommitment only (black-box VM overcommitment,
@@ -57,6 +112,7 @@ impl CascadeConfig {
         use_os: false,
         use_hypervisor: true,
         deadline: None,
+        retry: RetryPolicy::NONE,
     };
 
     /// Guest-OS hot-unplug only (no fall-through; may miss the target).
@@ -65,6 +121,7 @@ impl CascadeConfig {
         use_os: true,
         use_hypervisor: false,
         deadline: None,
+        retry: RetryPolicy::NONE,
     };
 
     /// Hypervisor + OS ("VM-level deflation" in the paper's terminology,
@@ -74,11 +131,18 @@ impl CascadeConfig {
         use_os: true,
         use_hypervisor: true,
         deadline: None,
+        retry: RetryPolicy::NONE,
     };
 
     /// Returns this configuration with a deadline attached.
     pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns this configuration with a retry policy attached.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -90,8 +154,11 @@ pub struct LayerReport {
     pub requested: ResourceVector,
     /// What the layer reclaimed.
     pub reclaimed: ResourceVector,
-    /// Time the layer's mechanism took.
+    /// Time the layer's mechanism took (including retry backoff waits).
     pub latency: SimDuration,
+    /// How many times the layer was asked (0 = never engaged, 1 = no
+    /// retries).
+    pub attempts: u32,
 }
 
 /// The result of one cascade deflation.
@@ -110,6 +177,12 @@ pub struct CascadeOutcome {
     pub latency: SimDuration,
     /// Target minus total reclaimed (zero when the target was met).
     pub shortfall: ResourceVector,
+    /// Total retries across layers (Σ per-layer `attempts − 1`).
+    pub retries: u32,
+    /// Upper layers (app, OS) that engaged but still fell short of their
+    /// request after all retries, forcing the cascade to escalate to a
+    /// lower layer.
+    pub escalations: u32,
 }
 
 /// Appends one attribute per resource kind: `<prefix>.cpu`,
@@ -133,7 +206,8 @@ impl LayerReport {
     pub fn to_span(&self, layer: &str, at: SimTime) -> Span {
         let span = Span::new("cascade.layer", at)
             .with_duration(self.latency)
-            .with_attr("layer", layer);
+            .with_attr("layer", layer)
+            .with_attr("attempts", u64::from(self.attempts));
         let span = vector_attrs(span, "requested", &self.requested);
         vector_attrs(span, "reclaimed", &self.reclaimed)
     }
@@ -152,7 +226,9 @@ impl CascadeOutcome {
     pub fn to_span(&self, at: SimTime) -> Span {
         let mut span = Span::new("cascade.deflate", at)
             .with_duration(self.latency)
-            .with_attr("met_target", self.met_target());
+            .with_attr("met_target", self.met_target())
+            .with_attr("retries", u64::from(self.retries))
+            .with_attr("escalations", u64::from(self.escalations));
         span = vector_attrs(span, "total_reclaimed", &self.total_reclaimed);
         span = vector_attrs(span, "shortfall", &self.shortfall);
         let mut t = at;
@@ -172,6 +248,46 @@ impl CascadeOutcome {
 
 fn remaining_budget(deadline: Option<SimDuration>, spent: SimDuration) -> Option<SimDuration> {
     deadline.map(|d| d.saturating_since_zero(spent))
+}
+
+/// Retries a layer that fell short of `requested` until it converges, the
+/// attempt budget runs out, or the next backoff would blow the remaining
+/// deadline. Each retry asks only for the remainder; backoff waits count
+/// toward both the layer's latency and the cascade's spent time.
+fn run_retries(
+    now: SimTime,
+    requested: &ResourceVector,
+    report: &mut LayerReport,
+    spent: &mut SimDuration,
+    deadline: Option<SimDuration>,
+    retry: &RetryPolicy,
+    attempt: &mut dyn FnMut(
+        SimTime,
+        &ResourceVector,
+        Option<SimDuration>,
+    ) -> crate::layers::ReclaimResult,
+) {
+    loop {
+        let remainder = requested.saturating_sub(&report.reclaimed);
+        if remainder.is_zero() || report.attempts >= retry.max_attempts {
+            return;
+        }
+        let wait = retry.wait_after(report.attempts);
+        if let Some(d) = deadline {
+            // A retry only runs if the backoff leaves budget to act in.
+            if *spent + wait >= d {
+                return;
+            }
+        }
+        *spent += wait;
+        report.latency += wait;
+        let budget = remaining_budget(deadline, *spent);
+        let res = attempt(now.saturating_add(*spent), &remainder, budget);
+        report.attempts += 1;
+        report.latency += res.latency;
+        *spent += res.latency;
+        report.reclaimed += res.reclaimed.min(&remainder);
+    }
 }
 
 // Small extension trait to keep the budget arithmetic readable.
@@ -238,14 +354,24 @@ pub fn deflate_vm(
     if cfg.use_app {
         if let Some(agent) = app {
             let res = agent.self_deflate(now, target);
-            // An agent cannot relinquish more than asked.
-            app_r = res.reclaimed.min(target);
             outcome.app = LayerReport {
                 requested: *target,
-                reclaimed: app_r,
+                // An agent cannot relinquish more than asked.
+                reclaimed: res.reclaimed.min(target),
                 latency: res.latency,
+                attempts: 1,
             };
             spent += res.latency;
+            run_retries(
+                now,
+                target,
+                &mut outcome.app,
+                &mut spent,
+                cfg.deadline,
+                &cfg.retry,
+                &mut |at, remainder, _budget| agent.self_deflate(at, remainder),
+            );
+            app_r = outcome.app.reclaimed;
         }
     }
 
@@ -261,13 +387,23 @@ pub fn deflate_vm(
             let unplug_target = app_r.max(&os.unpluggable()).min(target);
             if !unplug_target.is_zero() {
                 let res = os.try_unplug(now, &unplug_target, budget);
-                unplug_r = res.reclaimed.min(&unplug_target);
                 outcome.os = LayerReport {
                     requested: unplug_target,
-                    reclaimed: unplug_r,
+                    reclaimed: res.reclaimed.min(&unplug_target),
                     latency: res.latency,
+                    attempts: 1,
                 };
                 spent += res.latency;
+                run_retries(
+                    now,
+                    &unplug_target,
+                    &mut outcome.os,
+                    &mut spent,
+                    cfg.deadline,
+                    &cfg.retry,
+                    &mut |at, remainder, budget| os.try_unplug(at, remainder, budget),
+                );
+                unplug_r = outcome.os.reclaimed;
             }
         }
     }
@@ -291,19 +427,39 @@ pub fn deflate_vm(
         if !remainder.is_zero() {
             let budget = remaining_budget(cfg.deadline, spent);
             let res = hv.overcommit(now, &remainder, budget);
-            hv_r = res.reclaimed.min(&remainder);
             outcome.hypervisor = LayerReport {
                 requested: remainder,
-                reclaimed: hv_r,
+                reclaimed: res.reclaimed.min(&remainder),
                 latency: res.latency,
+                attempts: 1,
             };
             spent += res.latency;
+            run_retries(
+                now,
+                &remainder,
+                &mut outcome.hypervisor,
+                &mut spent,
+                cfg.deadline,
+                &cfg.retry,
+                &mut |at, rem, budget| hv.overcommit(at, rem, budget),
+            );
+            hv_r = outcome.hypervisor.reclaimed;
         }
     }
 
     outcome.total_reclaimed = credited + hv_r;
     outcome.latency = spent;
     outcome.shortfall = target.saturating_sub(&outcome.total_reclaimed);
+    outcome.retries = outcome.app.attempts.saturating_sub(1)
+        + outcome.os.attempts.saturating_sub(1)
+        + outcome.hypervisor.attempts.saturating_sub(1);
+    // An upper layer that engaged and still fell short of its own request
+    // pushed work down the cascade.
+    for r in [outcome.app, outcome.os] {
+        if r.engaged() && !r.reclaimed.dominates(&r.requested) {
+            outcome.escalations += 1;
+        }
+    }
     outcome
 }
 
@@ -594,6 +750,7 @@ mod tests {
             use_os: false,
             use_hypervisor: true,
             deadline: None,
+            retry: RetryPolicy::NONE,
         };
         let mut os = FakeOs::new(target());
         let mut hv = FakeHv::new();
@@ -751,6 +908,59 @@ mod tests {
             span.children[0].attr("layer").and_then(|v| v.as_str()),
             Some("hypervisor")
         );
+    }
+
+    #[test]
+    fn retries_converge_on_flaky_layer() {
+        let mut os = FakeOs::new(target());
+        os.success_fraction = 0.5; // Every attempt unplugs half the remainder.
+        let mut hv = FakeHv::new();
+        let cfg = CascadeConfig::OS_ONLY
+            .with_retry(RetryPolicy::attempts(3, SimDuration::from_millis(10)));
+        let out = deflate_vm(SimTime::ZERO, &target(), None, &mut os, &mut hv, &cfg);
+        assert_eq!(out.os.attempts, 3);
+        assert_eq!(out.retries, 2);
+        // 1/2 + 1/4 + 1/8 of the target across the three attempts.
+        assert!(out.total_reclaimed.approx_eq(&target().scale(0.875), 1e-9));
+        // Three 1 s unplugs plus the 10 ms and 20 ms backoff waits.
+        assert_eq!(
+            out.latency,
+            SimDuration::from_secs(3) + SimDuration::from_millis(30)
+        );
+        assert_eq!(out.escalations, 1);
+        assert!(!out.met_target());
+    }
+
+    #[test]
+    fn retry_stops_once_target_met() {
+        let mut os = FakeOs::new(target());
+        let mut hv = FakeHv::new();
+        let cfg =
+            CascadeConfig::VM_LEVEL.with_retry(RetryPolicy::attempts(5, SimDuration::from_secs(1)));
+        let out = deflate_vm(SimTime::ZERO, &target(), None, &mut os, &mut hv, &cfg);
+        // The OS reclaimed everything on the first try: no retries burned.
+        assert_eq!(out.os.attempts, 1);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.escalations, 0);
+        assert!(out.met_target());
+    }
+
+    #[test]
+    fn retry_backoff_respects_deadline_budget() {
+        let mut os = FakeOs::new(target());
+        os.success_fraction = 0.5;
+        os.latency = SimDuration::from_secs(2);
+        let mut hv = FakeHv::new();
+        // 3 s deadline: the first unplug spends 2 s, so a 2 s backoff can
+        // never fit — the cascade escalates to the hypervisor instead of
+        // burning the deadline on retries.
+        let cfg = CascadeConfig::VM_LEVEL
+            .with_deadline(SimDuration::from_secs(3))
+            .with_retry(RetryPolicy::attempts(5, SimDuration::from_secs(2)));
+        let out = deflate_vm(SimTime::ZERO, &target(), None, &mut os, &mut hv, &cfg);
+        assert_eq!(out.os.attempts, 1, "backoff would blow the deadline");
+        assert!(out.met_target(), "hypervisor picks up the slack");
+        assert_eq!(out.escalations, 1);
     }
 
     #[test]

@@ -18,6 +18,25 @@ pub enum DeflateError {
     UnknownVm(crate::ids::VmId),
     /// A server referenced by a policy decision does not exist.
     UnknownServer(crate::ids::ServerId),
+    /// A VM's deflation agent has missed so many consecutive deadlines
+    /// that the controller considers it dead; the cluster manager pivots
+    /// the VM to hypervisor-only deflation instead of burning the
+    /// deadline on every cascade.
+    AgentUnresponsive {
+        /// The VM whose agent went silent.
+        vm: crate::ids::VmId,
+        /// Consecutive deadlines missed when the VM was declared
+        /// unresponsive.
+        missed_deadlines: u32,
+    },
+    /// A cascade layer exhausted its retry budget without meeting its
+    /// request.
+    LayerFailed {
+        /// The layer that failed ("app", "os", or "hypervisor").
+        layer: &'static str,
+        /// How many times the layer was asked before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for DeflateError {
@@ -28,6 +47,16 @@ impl fmt::Display for DeflateError {
             }
             DeflateError::UnknownVm(id) => write!(f, "unknown VM {id}"),
             DeflateError::UnknownServer(id) => write!(f, "unknown server {id}"),
+            DeflateError::AgentUnresponsive {
+                vm,
+                missed_deadlines,
+            } => write!(
+                f,
+                "agent on {vm} unresponsive after {missed_deadlines} missed deadlines"
+            ),
+            DeflateError::LayerFailed { layer, attempts } => {
+                write!(f, "cascade layer {layer} failed after {attempts} attempts")
+            }
         }
     }
 }
@@ -51,5 +80,32 @@ mod tests {
         assert!(DeflateError::UnknownServer(ServerId(2))
             .to_string()
             .contains("server-2"));
+    }
+
+    #[test]
+    fn failure_variants_carry_context() {
+        let e = DeflateError::AgentUnresponsive {
+            vm: VmId(7),
+            missed_deadlines: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("vm-7"), "{msg}");
+        assert!(msg.contains("3 missed deadlines"), "{msg}");
+
+        let e = DeflateError::LayerFailed {
+            layer: "os",
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("layer os"), "{msg}");
+        assert!(msg.contains("4 attempts"), "{msg}");
+        // The variants are comparable for tests and dedup.
+        assert_eq!(
+            e,
+            DeflateError::LayerFailed {
+                layer: "os",
+                attempts: 4
+            }
+        );
     }
 }

@@ -43,7 +43,9 @@ pub mod layers;
 pub mod policy;
 pub mod resources;
 
-pub use cascade::{deflate_vm, reinflate_vm, CascadeConfig, CascadeOutcome, LayerReport};
+pub use cascade::{
+    deflate_vm, reinflate_vm, CascadeConfig, CascadeOutcome, LayerReport, RetryPolicy,
+};
 pub use error::DeflateError;
 pub use ids::{ServerId, VmId};
 pub use layers::{ApplicationAgent, GuestOs, HypervisorControl, ReclaimResult};

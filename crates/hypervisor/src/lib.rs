@@ -36,5 +36,5 @@ pub use backend::HvBackend;
 pub use burstable::{BurstableParams, CreditModel};
 pub use guest::{GuestModel, MemoryMechanism};
 pub use latency::LatencyModel;
-pub use server::{LocalController, PhysicalServer, ReclaimReport, ServerAggregates};
+pub use server::{LocalController, PhysicalServer, ReclaimReport, ServerAggregates, VmFaults};
 pub use vm::{Vm, VmPriority, VmResourceView};

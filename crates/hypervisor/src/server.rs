@@ -9,7 +9,7 @@
 //! across VMs, not the sum — and preempts VMs only when deflation to
 //! minimum sizes still cannot cover the demand.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use deflate_core::{
     proportional_reinflation, proportional_targets, CascadeConfig, CascadeOutcome, ResourceVector,
@@ -131,6 +131,9 @@ pub struct PhysicalServer {
     vms: BTreeMap<VmId, Vm>,
     /// Incrementally-maintained resource sums over `vms`.
     agg: ServerAggregates,
+    /// Whether the machine is powered on. A crashed server holds no VMs
+    /// and accepts no placements until it recovers.
+    up: bool,
 }
 
 impl std::fmt::Debug for PhysicalServer {
@@ -151,7 +154,20 @@ impl PhysicalServer {
             capacity,
             vms: BTreeMap::new(),
             agg: ServerAggregates::default(),
+            up: true,
         }
+    }
+
+    /// Whether the machine is powered on (placement skips down servers).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Marks the server crashed (`false`) or recovered (`true`). The
+    /// caller is responsible for evacuating VMs first; this only flips
+    /// the flag.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
     }
 
     /// The server's identifier.
@@ -204,7 +220,7 @@ impl PhysicalServer {
 
     /// Whether a VM of the given spec could run here after deflation.
     pub fn fits(&self, spec: &ResourceVector) -> bool {
-        self.availability().dominates(spec)
+        self.up && self.availability().dominates(spec)
     }
 
     /// Nominal overcommitment: `max(0, Σ spec / capacity − 1)` on the
@@ -400,6 +416,24 @@ impl ReclaimReport {
     }
 }
 
+/// Per-VM fault conditions the local controller must work around during
+/// one reclamation round; computed by the cluster manager from its fault
+/// injector and agent-liveness tracking. The default (no faults) leaves
+/// the cascade untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VmFaults {
+    /// The VM's deflation agent is down or its link is eating messages:
+    /// asking it would burn this long and reclaim nothing. The controller
+    /// skips the agent and charges the burn as app-layer latency.
+    pub agent_timeout: Option<SimDuration>,
+    /// Guest hot-(un)plug is stalled: an engaged OS layer takes this much
+    /// longer.
+    pub hotplug_stall: Option<SimDuration>,
+    /// The VM was declared unresponsive: pivot to hypervisor-only
+    /// deflation (the cgroup clamp needs no guest cooperation).
+    pub hypervisor_only: bool,
+}
+
 /// Per-server deflation controller (paper Fig. 2, §5).
 #[derive(Debug, Clone, Copy)]
 pub struct LocalController {
@@ -430,7 +464,72 @@ impl LocalController {
         server: &mut PhysicalServer,
         demand: &ResourceVector,
     ) -> ReclaimReport {
+        self.make_room_with(now, server, demand, &HashMap::new())
+    }
+
+    /// The cascade configuration used for one VM under its current fault
+    /// conditions: unresponsive VMs pivot to hypervisor-only (keeping the
+    /// deadline and retry policy); a dead agent skips the app layer.
+    fn vm_cascade(&self, faults: &VmFaults) -> CascadeConfig {
+        let mut cfg = self.cascade;
+        if faults.hypervisor_only {
+            cfg.use_app = false;
+            cfg.use_os = false;
+            cfg.use_hypervisor = true;
+        } else if faults.agent_timeout.is_some() {
+            cfg.use_app = false;
+        }
+        cfg
+    }
+
+    /// Charges fault-induced time against a cascade outcome: the deadline
+    /// burnt waiting on a dead agent (app layer engaged, zero yield) and
+    /// hot-plug stalls on the OS layer. Pure latency accounting — the
+    /// reclaimed amounts are already exact.
+    fn apply_vm_faults(
+        &self,
+        out: &mut CascadeOutcome,
+        faults: &VmFaults,
+        target: &ResourceVector,
+    ) {
+        if faults.hypervisor_only {
+            // Neither the agent nor the guest was consulted.
+            return;
+        }
+        if let Some(burn) = faults.agent_timeout {
+            if self.cascade.use_app {
+                out.app = deflate_core::LayerReport {
+                    requested: *target,
+                    reclaimed: ResourceVector::ZERO,
+                    latency: burn,
+                    attempts: 1,
+                };
+                out.latency += burn;
+                out.escalations += 1;
+            }
+        }
+        if let Some(stall) = faults.hotplug_stall {
+            if out.os.engaged() {
+                out.os.latency += stall;
+                out.latency += stall;
+            }
+        }
+    }
+
+    /// [`make_room`](Self::make_room) under per-VM fault conditions.
+    /// With an empty fault map this is byte-identical to the fault-free
+    /// path.
+    pub fn make_room_with(
+        &self,
+        now: SimTime,
+        server: &mut PhysicalServer,
+        demand: &ResourceVector,
+        faults: &HashMap<VmId, VmFaults>,
+    ) -> ReclaimReport {
         let mut report = ReclaimReport::default();
+        if !server.is_up() {
+            return report;
+        }
         let free = server.free();
         let need = demand.saturating_sub(&free);
         if need.is_zero() {
@@ -461,9 +560,12 @@ impl LocalController {
             if target.is_zero() {
                 continue;
             }
-            let out = server
-                .deflate_vm(now, *id, target, &self.cascade)
+            let vm_faults = faults.get(id).copied().unwrap_or_default();
+            let cfg = self.vm_cascade(&vm_faults);
+            let mut out = server
+                .deflate_vm(now, *id, target, &cfg)
                 .expect("planned VM exists on this server");
+            self.apply_vm_faults(&mut out, &vm_faults, target);
             report.freed += out.total_reclaimed;
             if out.latency > report.latency {
                 report.latency = out.latency;
@@ -791,6 +893,98 @@ mod tests {
         assert!(s
             .reinflate_vm(SimTime::ZERO, VmId(99), &vm_spec())
             .is_none());
+    }
+
+    #[test]
+    fn down_server_never_fits_and_make_room_refuses() {
+        let mut s = server_with_low_vms(1);
+        assert!(s.fits(&vm_spec()));
+        s.set_up(false);
+        assert!(!s.is_up());
+        assert!(!s.fits(&vm_spec()));
+        let ctl = LocalController::default();
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        assert!(!r.satisfied);
+        assert!(r.freed.is_zero());
+        s.set_up(true);
+        assert!(s.fits(&vm_spec()));
+    }
+
+    #[test]
+    fn unresponsive_vm_pivots_to_hypervisor_only() {
+        let mut s = server_with_low_vms(4);
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
+        let mut faults = HashMap::new();
+        for id in s.low_priority_ids() {
+            faults.insert(
+                id,
+                VmFaults {
+                    hypervisor_only: true,
+                    ..VmFaults::default()
+                },
+            );
+        }
+        let r = ctl.make_room_with(SimTime::ZERO, &mut s, &vm_spec(), &faults);
+        assert!(r.satisfied);
+        for (_, out) in &r.outcomes {
+            // Only the hypervisor layer engaged: cgroup clamp, no guest.
+            assert!(out.os.reclaimed.is_zero());
+            assert!(!out.hypervisor.reclaimed.is_zero());
+        }
+    }
+
+    #[test]
+    fn agent_timeout_burn_and_hotplug_stall_charge_latency() {
+        let mut s = server_with_low_vms(4);
+        let ctl = LocalController::new(CascadeConfig::FULL);
+        let baseline = ctl
+            .make_room(SimTime::ZERO, &mut s, &vm_spec())
+            .outcomes
+            .first()
+            .map(|(_, o)| o.latency)
+            .expect("deflated something");
+
+        let mut s = server_with_low_vms(4);
+        let burn = SimDuration::from_secs(2);
+        let stall = SimDuration::from_secs(5);
+        let mut faults = HashMap::new();
+        for id in s.low_priority_ids() {
+            faults.insert(
+                id,
+                VmFaults {
+                    agent_timeout: Some(burn),
+                    hotplug_stall: Some(stall),
+                    hypervisor_only: false,
+                },
+            );
+        }
+        let r = ctl.make_room_with(SimTime::ZERO, &mut s, &vm_spec(), &faults);
+        assert!(r.satisfied);
+        let (_, out) = r.outcomes.first().expect("deflated something");
+        // App layer records the deadline burn with zero yield ...
+        assert_eq!(out.app.latency, burn);
+        assert!(out.app.reclaimed.is_zero());
+        assert_eq!(out.app.attempts, 1);
+        assert!(out.escalations >= 1);
+        // ... and the stalled OS layer is slower than the fault-free run.
+        assert!(
+            out.latency >= baseline + burn + stall,
+            "latency {:?}",
+            out.latency
+        );
+    }
+
+    #[test]
+    fn empty_fault_map_matches_fault_free_path() {
+        let mut a = server_with_low_vms(4);
+        let mut b = server_with_low_vms(4);
+        let ctl = LocalController::new(CascadeConfig::FULL);
+        let ra = ctl.make_room(SimTime::ZERO, &mut a, &vm_spec());
+        let rb = ctl.make_room_with(SimTime::ZERO, &mut b, &vm_spec(), &HashMap::new());
+        assert_eq!(ra.freed, rb.freed);
+        assert_eq!(ra.latency, rb.latency);
+        assert_eq!(ra.outcomes, rb.outcomes);
+        assert_eq!(a.committed(), b.committed());
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes *which* faults a simulation should suffer —
+//! agent crash/restart windows, message loss and delay spikes on the
+//! control link, transient hotplug/balloon stalls, and whole-server
+//! crashes — and a [`FaultInjector`] turns the plan into concrete,
+//! seed-reproducible decisions.
+//!
+//! Two determinism disciplines are used, chosen per fault type:
+//!
+//! * **Per-entity timelines** (agent crashes): each VM's up/down windows
+//!   are generated from an RNG seeded by `(plan.seed, vm)`, so the
+//!   timeline of VM 7 is identical no matter how many other VMs exist or
+//!   in what order they are queried.
+//! * **Stateless hashing** (message loss, delay spikes, hotplug stalls):
+//!   the decision for `(vm, now)` is a pure function of
+//!   `(seed, salt, vm, now)`, so it is independent of query order and of
+//!   every other decision. This is what makes lossy links reproducible
+//!   under different event interleavings.
+//!
+//! The zero plan ([`FaultPlan::none`]) injects nothing and draws no
+//! random numbers; simulations built on it are byte-identical to runs
+//! without any fault plumbing at all.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Domain-separation salts for the stateless fault hash: two fault types
+/// querying the same `(vm, now)` must reach independent decisions.
+const SALT_MSG_LOSS: u64 = 0x6d73_675f_6c6f_7373; // "msg_loss"
+const SALT_DELAY_SPIKE: u64 = 0x6465_6c61_795f_7370; // "delay_sp"
+const SALT_HOTPLUG: u64 = 0x686f_7470_6c75_6721; // "hotplug!"
+const SALT_VICTIM: u64 = 0x7669_6374_696d_2121; // "victim!!"
+const SALT_AGENT: u64 = 0x6167_656e_745f_7570; // "agent_up"
+
+/// splitmix64 finalizer — the same mixer `SimRng` seeds through — used as
+/// a stateless hash so fault decisions are order-independent.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash of a fault-decision coordinate to a uniform `u64`.
+///
+/// Public so other layers (e.g. the transport's random loss model) can
+/// make their own order-independent seeded decisions with the same
+/// discipline.
+pub fn decide(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    let mut h = mix(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = mix(h ^ a.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    h = mix(h ^ b.wrapping_mul(0x94D0_49BB_1331_11EB));
+    h
+}
+
+/// `true` with probability `p`, as a pure function of the coordinate.
+pub fn decide_chance(seed: u64, salt: u64, a: u64, b: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    // Compare against p · 2⁶⁴ without overflowing at p = 1.
+    (decide(seed, salt, a, b) as f64) < p * (u64::MAX as f64)
+}
+
+/// A declarative description of the faults to inject into a simulation.
+///
+/// All rates are per *simulated* hour; probabilities are per decision
+/// point (per message, per cascade, per hotplug operation). The default
+/// plan is [`FaultPlan::none`]: nothing fails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault decision. Independent of the workload seed so
+    /// the same trace can be replayed under different fault draws.
+    pub seed: u64,
+    /// Rate at which each VM's in-guest agent crashes (per hour of VM
+    /// uptime). While crashed the agent answers nothing.
+    pub agent_crash_rate_per_hour: f64,
+    /// How long a crashed agent stays down before its supervisor restarts
+    /// it.
+    pub agent_restart: SimDuration,
+    /// Probability that any given controller↔agent message is lost.
+    pub msg_loss_prob: f64,
+    /// Probability that a message suffers a delay spike (queueing burst).
+    pub delay_spike_prob: f64,
+    /// Extra one-way latency added by a delay spike.
+    pub delay_spike: SimDuration,
+    /// Probability that a guest hot-unplug/balloon operation stalls.
+    pub hotplug_stall_prob: f64,
+    /// Extra latency added by a hotplug stall.
+    pub hotplug_stall: SimDuration,
+    /// Rate of whole-server crashes across the cluster (per hour).
+    pub server_crash_rate_per_hour: f64,
+    /// Deterministic, scripted server-crash instants (merged with the
+    /// Poisson stream). Lets tests guarantee "at least one crash".
+    pub scheduled_server_crashes: Vec<SimTime>,
+    /// How long a crashed server stays down before rejoining placement.
+    pub server_restart: SimDuration,
+    /// Boot latency of a high-priority VM relaunched after a server
+    /// crash (feeds the allocation-latency histograms).
+    pub vm_restart: SimDuration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, draws nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            agent_crash_rate_per_hour: 0.0,
+            agent_restart: SimDuration::from_secs(30),
+            msg_loss_prob: 0.0,
+            delay_spike_prob: 0.0,
+            delay_spike: SimDuration::from_millis(500),
+            hotplug_stall_prob: 0.0,
+            hotplug_stall: SimDuration::from_secs(5),
+            server_crash_rate_per_hour: 0.0,
+            scheduled_server_crashes: Vec::new(),
+            server_restart: SimDuration::from_mins(10),
+            vm_restart: SimDuration::from_secs(40),
+        }
+    }
+
+    /// A representative "noisy datacenter" plan used by the `fig_faults`
+    /// experiment: occasional agent crashes, a few percent message loss,
+    /// rare hotplug stalls, and roughly one server crash per simulated
+    /// day per hundred servers.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            agent_crash_rate_per_hour: 0.05,
+            msg_loss_prob: 0.02,
+            delay_spike_prob: 0.05,
+            hotplug_stall_prob: 0.02,
+            server_crash_rate_per_hour: 0.04,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// `true` when the plan can never inject a fault. The control plane
+    /// uses this to skip fault plumbing entirely, keeping the no-fault
+    /// path byte-identical to a build without fault injection.
+    pub fn is_none(&self) -> bool {
+        self.agent_crash_rate_per_hour <= 0.0
+            && self.msg_loss_prob <= 0.0
+            && self.delay_spike_prob <= 0.0
+            && self.hotplug_stall_prob <= 0.0
+            && self.server_crash_rate_per_hour <= 0.0
+            && self.scheduled_server_crashes.is_empty()
+    }
+
+    /// Scales every probabilistic knob by `k` (durations and scripted
+    /// crashes are untouched). `scaled(0.0)` has no probabilistic faults;
+    /// `scaled(2.0)` doubles every rate. Used for fault-rate sweeps.
+    pub fn scaled(&self, k: f64) -> FaultPlan {
+        FaultPlan {
+            agent_crash_rate_per_hour: self.agent_crash_rate_per_hour * k,
+            msg_loss_prob: (self.msg_loss_prob * k).min(1.0),
+            delay_spike_prob: (self.delay_spike_prob * k).min(1.0),
+            hotplug_stall_prob: (self.hotplug_stall_prob * k).min(1.0),
+            server_crash_rate_per_hour: self.server_crash_rate_per_hour * k,
+            ..self.clone()
+        }
+    }
+}
+
+/// An alternating up/down timeline for one VM's agent, generated lazily
+/// from a per-VM RNG so each VM's fate is independent of every other.
+#[derive(Debug)]
+struct AgentTimeline {
+    rng: SimRng,
+    /// State-change instants: `[crash₀, restore₀, crash₁, restore₁, …]`.
+    /// Before `boundaries[0]` the agent is up; between an even and the
+    /// following odd boundary it is down.
+    boundaries: Vec<SimTime>,
+}
+
+impl AgentTimeline {
+    fn new(plan_seed: u64, vm: u64) -> AgentTimeline {
+        AgentTimeline {
+            rng: SimRng::seed_from_u64(decide(plan_seed, SALT_AGENT, vm, 0)),
+            boundaries: Vec::new(),
+        }
+    }
+
+    /// Extends the timeline past `now` and reports whether the agent is
+    /// down at `now`.
+    fn down_at(&mut self, now: SimTime, crash_rate_per_sec: f64, restart: SimDuration) -> bool {
+        let mut last = self.boundaries.last().copied().unwrap_or(SimTime::ZERO);
+        while last <= now {
+            let next = if self.boundaries.len() % 2 == 0 {
+                // Up → next crash after an exponential uptime.
+                last.saturating_add(self.rng.poisson_interarrival(crash_rate_per_sec))
+            } else {
+                // Down → restored after the restart delay (at least 1 µs
+                // so the timeline always advances).
+                last.saturating_add(restart.max(SimDuration::from_micros(1)))
+            };
+            self.boundaries.push(next);
+            last = next;
+        }
+        // The agent is down iff `now` falls past an odd number of
+        // boundaries (inside a [crash, restore) window).
+        let crossed = self.boundaries.partition_point(|b| *b <= now);
+        crossed % 2 == 1
+    }
+}
+
+/// Turns a [`FaultPlan`] into concrete, reproducible fault decisions.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    agents: HashMap<u64, AgentTimeline>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for the plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            agents: HashMap::new(),
+        }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// `true` when the injector can never fire.
+    pub fn is_none(&self) -> bool {
+        self.plan.is_none()
+    }
+
+    /// Is VM `vm`'s in-guest agent crashed at `now`?
+    ///
+    /// Timelines are per-VM and self-seeded: the answer for a given
+    /// `(vm, now)` does not depend on which other VMs were queried.
+    pub fn agent_down(&mut self, vm: u64, now: SimTime) -> bool {
+        if self.plan.agent_crash_rate_per_hour <= 0.0 {
+            return false;
+        }
+        let rate_per_sec = self.plan.agent_crash_rate_per_hour / 3_600.0;
+        let restart = self.plan.agent_restart;
+        let seed = self.plan.seed;
+        self.agents
+            .entry(vm)
+            .or_insert_with(|| AgentTimeline::new(seed, vm))
+            .down_at(now, rate_per_sec, restart)
+    }
+
+    /// Is the control message for VM `vm` issued at `now` lost?
+    /// Stateless: a pure function of `(seed, vm, now)`.
+    pub fn msg_lost(&self, vm: u64, now: SimTime) -> bool {
+        decide_chance(
+            self.plan.seed,
+            SALT_MSG_LOSS,
+            vm,
+            now.as_micros(),
+            self.plan.msg_loss_prob,
+        )
+    }
+
+    /// Extra latency from a delay spike on VM `vm`'s link at `now`, if
+    /// one fires. Stateless.
+    pub fn delay_spike(&self, vm: u64, now: SimTime) -> Option<SimDuration> {
+        if decide_chance(
+            self.plan.seed,
+            SALT_DELAY_SPIKE,
+            vm,
+            now.as_micros(),
+            self.plan.delay_spike_prob,
+        ) {
+            Some(self.plan.delay_spike)
+        } else {
+            None
+        }
+    }
+
+    /// Extra latency from a hotplug/balloon stall in VM `vm`'s guest at
+    /// `now`, if one fires. Stateless.
+    pub fn hotplug_stall(&self, vm: u64, now: SimTime) -> Option<SimDuration> {
+        if decide_chance(
+            self.plan.seed,
+            SALT_HOTPLUG,
+            vm,
+            now.as_micros(),
+            self.plan.hotplug_stall_prob,
+        ) {
+            Some(self.plan.hotplug_stall)
+        } else {
+            None
+        }
+    }
+
+    /// All server-crash instants within `[0, horizon)`: the Poisson
+    /// stream at `server_crash_rate_per_hour` merged with the scripted
+    /// crashes, sorted ascending.
+    pub fn server_crash_times(&self, horizon: SimTime) -> Vec<SimTime> {
+        let mut times: Vec<SimTime> = self
+            .plan
+            .scheduled_server_crashes
+            .iter()
+            .copied()
+            .filter(|t| *t < horizon)
+            .collect();
+        if self.plan.server_crash_rate_per_hour > 0.0 {
+            let rate_per_sec = self.plan.server_crash_rate_per_hour / 3_600.0;
+            let mut rng = SimRng::seed_from_u64(decide(self.plan.seed, SALT_VICTIM, 0, 0));
+            let mut t = SimTime::ZERO;
+            loop {
+                t = t.saturating_add(rng.poisson_interarrival(rate_per_sec));
+                if t >= horizon {
+                    break;
+                }
+                times.push(t);
+            }
+        }
+        times.sort_unstable();
+        times
+    }
+
+    /// Picks the crash victim for the `k`-th server crash among `n_up`
+    /// candidate servers. Stateless in `(seed, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_up == 0`.
+    pub fn crash_victim(&self, k: u64, n_up: usize) -> usize {
+        assert!(n_up > 0, "crash_victim requires a live server");
+        (decide(self.plan.seed, SALT_VICTIM, k.wrapping_add(1), 0) % n_up as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            agent_crash_rate_per_hour: 2.0,
+            agent_restart: SimDuration::from_secs(20),
+            msg_loss_prob: 0.1,
+            delay_spike_prob: 0.1,
+            hotplug_stall_prob: 0.1,
+            server_crash_rate_per_hour: 1.0,
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn none_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        assert!(inj.is_none());
+        for s in 0..1000 {
+            let t = SimTime::from_secs(s);
+            assert!(!inj.agent_down(1, t));
+            assert!(!inj.msg_lost(1, t));
+            assert!(inj.delay_spike(1, t).is_none());
+            assert!(inj.hotplug_stall(1, t).is_none());
+        }
+        assert!(inj
+            .server_crash_times(SimTime::from_secs(1_000_000))
+            .is_empty());
+    }
+
+    #[test]
+    fn stateless_decisions_are_order_independent() {
+        let a = FaultInjector::new(plan());
+        let b = FaultInjector::new(plan());
+        // Query b in reverse order; answers must match a exactly.
+        let coords: Vec<(u64, SimTime)> =
+            (0..200).map(|i| (i % 7, SimTime::from_secs(i))).collect();
+        let fw: Vec<bool> = coords.iter().map(|(v, t)| a.msg_lost(*v, *t)).collect();
+        let bw: Vec<bool> = coords
+            .iter()
+            .rev()
+            .map(|(v, t)| b.msg_lost(*v, *t))
+            .collect();
+        let bw: Vec<bool> = bw.into_iter().rev().collect();
+        assert_eq!(fw, bw);
+        assert!(fw.iter().any(|x| *x), "10% loss should fire in 200 draws");
+        assert!(!fw.iter().all(|x| *x));
+    }
+
+    #[test]
+    fn agent_timeline_is_per_vm_deterministic() {
+        let mut a = FaultInjector::new(plan());
+        let mut b = FaultInjector::new(plan());
+        // Touch extra VMs in `b` first; VM 3's timeline must not move.
+        for vm in 0..10 {
+            b.agent_down(vm, SimTime::from_secs(123));
+        }
+        let mut downs = 0;
+        for s in (0..36_000).step_by(5) {
+            let t = SimTime::from_secs(s);
+            let da = a.agent_down(3, t);
+            assert_eq!(da, b.agent_down(3, t), "diverged at {t}");
+            downs += da as u32;
+        }
+        // ~2 crashes/hour × 10 h × 20 s outage ⇒ some but not all samples.
+        assert!(downs > 0, "expected at least one observed outage");
+    }
+
+    #[test]
+    fn agent_eventually_restarts() {
+        let mut inj = FaultInjector::new(plan());
+        // Find a down sample, then confirm it is up again within the
+        // restart window.
+        let mut saw_recovery = false;
+        for s in 0..72_000u64 {
+            let t = SimTime::from_secs(s);
+            if inj.agent_down(9, t) {
+                let later = t + SimDuration::from_secs(21);
+                if !inj.agent_down(9, later) {
+                    saw_recovery = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_recovery, "agent never recovered");
+    }
+
+    #[test]
+    fn server_crashes_merge_scheduled_and_poisson() {
+        let late = SimTime::from_secs(100 * 3_600);
+        let mut p = plan();
+        p.scheduled_server_crashes = vec![SimTime::from_secs(50), late];
+        let inj = FaultInjector::new(p);
+        let horizon = SimTime::ZERO + SimDuration::from_hours(10);
+        let times = inj.server_crash_times(horizon);
+        assert!(
+            times.contains(&SimTime::from_secs(50)),
+            "scheduled crash kept"
+        );
+        assert!(!times.contains(&late), "past-horizon dropped");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        // ~1/hour over 10 h: expect at least one Poisson crash beyond the scripted one.
+        assert!(times.len() >= 2, "times: {times:?}");
+        for k in 0..5 {
+            let v = inj.crash_victim(k, 7);
+            assert!(v < 7);
+            assert_eq!(v, inj.crash_victim(k, 7), "victim pick is stable");
+        }
+    }
+
+    #[test]
+    fn scaled_plan_moves_every_rate() {
+        let p = plan().scaled(2.0);
+        assert!((p.agent_crash_rate_per_hour - 4.0).abs() < 1e-12);
+        assert!((p.msg_loss_prob - 0.2).abs() < 1e-12);
+        assert!((p.server_crash_rate_per_hour - 2.0).abs() < 1e-12);
+        assert!(plan().scaled(0.0).scheduled_server_crashes.is_empty());
+        let mut with_sched = plan();
+        with_sched
+            .scheduled_server_crashes
+            .push(SimTime::from_secs(1));
+        assert!(
+            !with_sched.scaled(0.0).is_none(),
+            "scripted crashes survive scaling"
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        assert!(!decide_chance(1, 2, 3, 4, 0.0));
+        assert!(decide_chance(1, 2, 3, 4, 1.0));
+    }
+}

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod observe;
@@ -50,6 +51,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{run, run_until, EventQueue, Scheduler};
+pub use fault::{FaultInjector, FaultPlan};
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram, MetricSet, MetricsRegistry, TimeSeries, TimeWeightedGauge};
 pub use observe::Observability;
