@@ -1,32 +1,62 @@
-//! Cluster-simulation timing harness: runs trace-driven simulations at a
-//! fixed configuration, records wall-time and events/sec per run, and
-//! writes the machine-readable `BENCH_cluster.json` used to track the
-//! simulator's performance trajectory across PRs.
+//! Cluster-simulation timing harness: runs trace-driven simulations with
+//! the placement index (`indexed`) and with the pre-index naive-scan
+//! baseline (`naive`, `PlacementEngine::BaselineScan` — the two-pass
+//! `&dyn Fn` implementation this PR's index replaced), records wall-time
+//! and events/sec per run, and writes the machine-readable
+//! `BENCH_cluster.json` (schema v2) used to track the simulator's
+//! performance trajectory across PRs.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_cluster -- [OUT.json] [--small]
+//! cargo run --release -p bench --bin bench_cluster -- [OUT.json] [--small | --scale | --scale-smoke]
 //! ```
 //!
-//! * default: the paper-scale configuration (100 servers, 24 h horizon,
-//!   the Fig. 8c default trace) — the number quoted in acceptance gates;
-//! * `--small`: a CI-sized configuration (20 servers, 6 h) that finishes
-//!   in seconds on shared runners while exercising the same hot path.
+//! * default: the paper-scale primary configuration (100 servers, 24 h
+//!   horizon, the Fig. 8c default trace) — the number quoted in
+//!   acceptance gates — plus a cloud-scale sweep (100 / 1k / 5k / 10k
+//!   servers, arrivals scaled proportionally, shorter horizons at the
+//!   largest sizes so the naive column stays tractable);
+//! * `--small`: a CI-sized primary (20 servers, 6 h), no sweep;
+//! * `--scale`: the sweep only (skips the primary's repeat runs);
+//! * `--scale-smoke`: a single 1000-server, 2 h sweep cell for CI.
 //!
-//! Output schema (`BENCH_cluster.json`):
+//! Output schema v2 (`BENCH_cluster.json`):
 //!
 //! ```json
 //! {
-//!   "config": {"n_servers": 100, "horizon_hours": 24.0, "arrivals_per_hour": 280.0, "runs": 3},
-//!   "runs": [{"wall_time_s": ..., "events": ..., "events_per_sec": ...}, ...],
-//!   "best": {"wall_time_s": ..., "events": ..., "events_per_sec": ...},
-//!   "stats": {"launched": ..., "rejected": ..., "preempted": ..., "exits": ...}
+//!   "schema_version": 2,
+//!   "config": {"n_servers": ..., "horizon_hours": ..., "arrivals_per_hour": ..., "runs": ...},
+//!   "runs": [{"wall_time_s": ..., "events": ..., "events_per_sec": ...}, ...],   // indexed
+//!   "best": {...},                                  // fastest indexed run
+//!   "naive": {"runs": [...], "best": {...}},        // naive-scan oracle column
+//!   "speedup": ...,                                 // indexed / naive best events/s
+//!   "stats": {"launched": ..., "rejected": ..., ...},
+//!   "scale_sweep": [
+//!     {"n_servers": ..., "horizon_hours": ..., "arrivals_per_hour": ...,
+//!      "naive": {...}, "indexed": {...}, "speedup": ...}, ...
+//!   ]
 //! }
 //! ```
+//!
+//! Both columns run the identical simulation (the index is
+//! equivalence-tested to pick the same servers), so the speedup isolates
+//! the placement data structure.
 
 use std::time::Instant;
 
-use cluster::{run_cluster_sim, ClusterManagerConfig, ClusterSimConfig, TraceConfig};
+use cluster::{
+    run_cluster_sim, ClusterManagerConfig, ClusterSimConfig, PlacementEngine, TraceConfig,
+};
 use simkit::{JsonValue, SimDuration};
+
+/// Offered load for the scale-sweep cells, in arrivals per server-hour.
+/// Chosen in the saturated/overload regime (mean utilization ≈ 0.985 at
+/// 1000 servers over 24 h, with sustained rejections) where nearly every
+/// arrival falls through the free tier into the availability tier — the
+/// naive scan's worst case (two full O(servers) passes per query) and
+/// exactly the pressure the placement index exists to absorb. At light
+/// load most queries stop in the free tier after a handful of probes and
+/// placement is not the bottleneck in either engine.
+const SWEEP_RATE_PER_SERVER_HOUR: f64 = 10.0;
 
 struct BenchRun {
     wall_time_s: f64,
@@ -34,25 +64,20 @@ struct BenchRun {
     events_per_sec: f64,
 }
 
-fn main() {
-    let mut out_path = "BENCH_cluster.json".to_string();
-    let mut small = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--small" {
-            small = true;
-        } else {
-            out_path = arg;
-        }
-    }
-
-    let (n_servers, horizon_hours, rate, runs) = if small {
-        (20usize, 6.0f64, 120.0f64, 2usize)
-    } else {
-        (100, 24.0, 280.0, 3)
-    };
-    let cfg = ClusterSimConfig {
+fn sim_cfg(
+    n_servers: usize,
+    horizon_hours: f64,
+    rate: f64,
+    engine: PlacementEngine,
+) -> ClusterSimConfig {
+    ClusterSimConfig {
         manager: ClusterManagerConfig {
             n_servers,
+            engine,
+            // Per-event trace strings cost more than the placement work
+            // being measured; off for BOTH columns so the comparison is
+            // placement-dominated rather than formatting-dominated.
+            lifecycle_trace: false,
             ..ClusterManagerConfig::default()
         },
         trace: TraceConfig {
@@ -60,22 +85,23 @@ fn main() {
             ..TraceConfig::default()
         },
         horizon: SimDuration::from_secs((horizon_hours * 3_600.0) as u64),
-    };
+    }
+}
 
-    eprintln!(
-        "bench_cluster: {n_servers} servers, {horizon_hours} h horizon, \
-         {rate} arrivals/h, {runs} run(s)"
-    );
-
-    let mut results: Vec<BenchRun> = Vec::new();
+fn time_runs(
+    cfg: &ClusterSimConfig,
+    runs: usize,
+    label: &str,
+) -> (Vec<BenchRun>, cluster::ClusterSimResult) {
+    let mut results = Vec::new();
     let mut last = None;
     for i in 0..runs {
         let start = Instant::now();
-        let r = run_cluster_sim(&cfg);
+        let r = run_cluster_sim(cfg);
         let wall = start.elapsed().as_secs_f64();
         let events = r.events;
         let eps = events as f64 / wall.max(1e-9);
-        eprintln!("  run {i}: {events} events in {wall:.3}s = {eps:.0} events/s");
+        eprintln!("  {label} run {i}: {events} events in {wall:.3}s = {eps:.0} events/s");
         results.push(BenchRun {
             wall_time_s: wall,
             events,
@@ -83,25 +109,136 @@ fn main() {
         });
         last = Some(r);
     }
-    let last = last.expect("at least one run");
+    (results, last.expect("at least one run"))
+}
 
-    let run_json = |r: &BenchRun| {
-        JsonValue::object()
-            .with("wall_time_s", r.wall_time_s)
-            .with("events", r.events as f64)
-            .with("events_per_sec", r.events_per_sec)
-    };
-    let best = results
+fn run_json(r: &BenchRun) -> JsonValue {
+    JsonValue::object()
+        .with("wall_time_s", r.wall_time_s)
+        .with("events", r.events as f64)
+        .with("events_per_sec", r.events_per_sec)
+}
+
+fn best(results: &[BenchRun]) -> &BenchRun {
+    results
         .iter()
-        .min_by(|a, b| {
-            a.wall_time_s
-                .partial_cmp(&b.wall_time_s)
-                .expect("wall times are finite")
-        })
-        .expect("at least one run");
+        .min_by(|a, b| a.wall_time_s.total_cmp(&b.wall_time_s))
+        .expect("at least one run")
+}
 
-    let runs_json = JsonValue::Arr(results.iter().map(run_json).collect());
+fn main() {
+    let mut out_path = "BENCH_cluster.json".to_string();
+    let mut mode = "default";
+    let mut args = std::env::args().skip(1);
+    let mut cell: Option<(usize, f64, f64)> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--small" => mode = "small",
+            "--scale" => mode = "scale",
+            "--scale-smoke" => mode = "scale-smoke",
+            // Manual probe: time one cell (both columns) and exit.
+            // Usage: --cell <n_servers> <horizon_hours> <arrivals_per_hour>
+            "--cell" => {
+                let mut num = || {
+                    args.next()
+                        .and_then(|a| a.parse::<f64>().ok())
+                        .expect("--cell takes <n_servers> <hours> <arrivals/h>")
+                };
+                cell = Some((num() as usize, num(), num()));
+            }
+            _ => out_path = arg,
+        }
+    }
+    if let Some((n, hours, rate)) = cell {
+        eprintln!("bench_cluster [cell]: {n} servers, {hours} h, {rate} arrivals/h");
+        let (idx, r) = time_runs(
+            &sim_cfg(n, hours, rate, PlacementEngine::Indexed),
+            1,
+            "indexed",
+        );
+        let (nai, _) = time_runs(
+            &sim_cfg(n, hours, rate, PlacementEngine::BaselineScan),
+            1,
+            "naive",
+        );
+        let speedup = idx[0].events_per_sec / nai[0].events_per_sec.max(1e-9);
+        eprintln!(
+            "  speedup {speedup:.2}x  util={:.3} launched={} rejected={}",
+            r.mean_utilization, r.stats.launched, r.stats.rejected
+        );
+        return;
+    }
+
+    // Primary cell: repeated runs of both columns at one configuration.
+    let (n_servers, horizon_hours, rate, runs) = match mode {
+        "small" => (20usize, 6.0f64, 120.0f64, 2usize),
+        // The smoke's real payload is its 1000-server sweep cell; keep
+        // the primary CI-sized.
+        "scale-smoke" => (20, 6.0, 120.0, 1),
+        // "scale" keeps the paper-scale primary but runs each column once.
+        "scale" => (100, 24.0, 280.0, 1),
+        _ => (100, 24.0, 280.0, 3),
+    };
+    eprintln!(
+        "bench_cluster [{mode}]: {n_servers} servers, {horizon_hours} h horizon, \
+         {rate} arrivals/h, {runs} run(s) per column"
+    );
+    let (indexed_runs, last) = time_runs(
+        &sim_cfg(n_servers, horizon_hours, rate, PlacementEngine::Indexed),
+        runs,
+        "indexed",
+    );
+    let (naive_runs, _) = time_runs(
+        &sim_cfg(
+            n_servers,
+            horizon_hours,
+            rate,
+            PlacementEngine::BaselineScan,
+        ),
+        runs,
+        "naive",
+    );
+    let primary_speedup =
+        best(&indexed_runs).events_per_sec / best(&naive_runs).events_per_sec.max(1e-9);
+    eprintln!("  primary speedup (indexed/naive, best events/s): {primary_speedup:.2}x");
+
+    // Scale sweep: arrivals scale with fleet size (see
+    // SWEEP_RATE_PER_SERVER_HOUR), horizons shrink at the largest sizes
+    // so the naive O(servers) column stays tractable.
+    let sweep_cells: &[(usize, f64)] = match mode {
+        "small" => &[],
+        "scale-smoke" => &[(1000, 2.0)],
+        _ => &[(100, 24.0), (1000, 24.0), (5000, 6.0), (10_000, 3.0)],
+    };
+    let mut sweep_json = Vec::new();
+    for &(n, hours) in sweep_cells {
+        let cell_rate = SWEEP_RATE_PER_SERVER_HOUR * n as f64;
+        eprintln!("scale sweep: {n} servers, {hours} h, {cell_rate} arrivals/h");
+        let (idx, _) = time_runs(
+            &sim_cfg(n, hours, cell_rate, PlacementEngine::Indexed),
+            1,
+            "indexed",
+        );
+        let (nai, _) = time_runs(
+            &sim_cfg(n, hours, cell_rate, PlacementEngine::BaselineScan),
+            1,
+            "naive",
+        );
+        let speedup = idx[0].events_per_sec / nai[0].events_per_sec.max(1e-9);
+        eprintln!("  {n} servers: {speedup:.2}x");
+        sweep_json.push(
+            JsonValue::object()
+                .with("n_servers", n as f64)
+                .with("horizon_hours", hours)
+                .with("arrivals_per_hour", cell_rate)
+                .with("naive", run_json(&nai[0]))
+                .with("indexed", run_json(&idx[0]))
+                .with("speedup", speedup),
+        );
+    }
+
     let doc = JsonValue::object()
+        .with("schema_version", 2.0)
         .with(
             "config",
             JsonValue::object()
@@ -110,8 +247,21 @@ fn main() {
                 .with("arrivals_per_hour", rate)
                 .with("runs", runs as f64),
         )
-        .with("runs", runs_json)
-        .with("best", run_json(best))
+        .with(
+            "runs",
+            JsonValue::Arr(indexed_runs.iter().map(run_json).collect()),
+        )
+        .with("best", run_json(best(&indexed_runs)))
+        .with(
+            "naive",
+            JsonValue::object()
+                .with(
+                    "runs",
+                    JsonValue::Arr(naive_runs.iter().map(run_json).collect()),
+                )
+                .with("best", run_json(best(&naive_runs))),
+        )
+        .with("speedup", primary_speedup)
         .with(
             "stats",
             JsonValue::object()
@@ -122,7 +272,8 @@ fn main() {
                 .with("reinflations", last.stats.reinflations as f64)
                 .with("mean_utilization", last.mean_utilization)
                 .with("mean_overcommitment", last.mean_overcommitment),
-        );
+        )
+        .with("scale_sweep", JsonValue::Arr(sweep_json));
     let text = doc.to_pretty();
     if let Err(e) = std::fs::write(&out_path, &text) {
         eprintln!("cannot write {out_path}: {e}");

@@ -21,6 +21,7 @@
 
 pub mod manager;
 pub mod placement;
+pub mod placement_index;
 pub mod predictor;
 pub mod pricing;
 pub mod simulate;
@@ -29,7 +30,8 @@ pub mod traces;
 pub use manager::{
     ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome, ServerFailure,
 };
-pub use placement::{AvailabilityMode, PlacementPolicy};
+pub use placement::{AvailabilityMode, PlacementEngine, PlacementPolicy};
+pub use placement_index::PlacementIndex;
 pub use predictor::{DemandPredictor, Ewma};
 pub use pricing::{revenue, Rates, Revenue, TransientPricing};
 pub use simulate::{run_cluster_replay, run_cluster_sim, ClusterSimConfig, ClusterSimResult};

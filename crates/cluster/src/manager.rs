@@ -12,11 +12,15 @@ use hypervisor::{
     LocalController, PhysicalServer, ReclaimReport, ServerAggregates, Vm, VmFaults, VmPriority,
 };
 use simkit::{
-    FaultInjector, FaultPlan, JsonValue, Observability, SimDuration, SimRng, SimTime, Span,
-    TraceLog,
+    FaultInjector, FaultPlan, JsonValue, Observability, SeqHash, SimDuration, SimRng, SimTime,
+    Span, TraceLog,
 };
 
-use crate::placement::{choose_server_with, AvailabilityMode, PlacementPolicy};
+use crate::placement::{
+    choose_server_baseline, choose_server_with, AvailabilityMode, PlacementEngine, PlacementPolicy,
+};
+
+use crate::placement_index::PlacementIndex;
 use crate::predictor::DemandPredictor;
 use crate::traces::VmRequest;
 
@@ -64,6 +68,19 @@ pub struct ClusterManagerConfig {
     /// cascade deadlines is declared unresponsive and pivoted to
     /// hypervisor-only deflation. 0 disables the escalation.
     pub unresponsive_after: u32,
+    /// Which implementation answers placement queries: the
+    /// incrementally-maintained [`PlacementIndex`] (default), the fused
+    /// naive scan (the equivalence oracle), or the preserved pre-index
+    /// two-pass scan (the benchmark baseline). All three pick the *same*
+    /// server on the same RNG stream; the index is only maintained when
+    /// it is the active engine, so the scan engines pay no index cost.
+    pub engine: PlacementEngine,
+    /// Record the per-event lifecycle trace (launch/exit/deflate/
+    /// reinflate/preempt records and `make_room` spans). On by default;
+    /// timing harnesses turn it off because the per-event string
+    /// formatting costs more than the simulation work being measured.
+    /// Metrics counters/gauges/histograms are recorded either way.
+    pub lifecycle_trace: bool,
 }
 
 impl Default for ClusterManagerConfig {
@@ -80,6 +97,8 @@ impl Default for ClusterManagerConfig {
             seed: 1,
             faults: FaultPlan::none(),
             unresponsive_after: 3,
+            engine: PlacementEngine::Indexed,
+            lifecycle_trace: true,
         }
     }
 }
@@ -168,15 +187,17 @@ pub struct ClusterManager {
     controller: LocalController,
     rng: SimRng,
     stats: ClusterStats,
-    /// VM → server index.
-    index: HashMap<VmId, usize>,
+    /// VM → server index. Touched on every launch and exit, so it (and
+    /// the two liveness maps below) uses the fast deterministic
+    /// [`SeqHash`] instead of SipHash.
+    index: HashMap<VmId, usize, SeqHash>,
     /// Fault injector; `None` under the empty plan so the fault-free path
     /// stays byte-identical.
     fault: Option<FaultInjector>,
     /// Consecutive missed cascade deadlines per low-priority VM.
-    missed: HashMap<VmId, u32>,
+    missed: HashMap<VmId, u32, SeqHash>,
     /// VMs declared unresponsive (hypervisor-only deflation from now on).
-    unresponsive: HashSet<VmId>,
+    unresponsive: HashSet<VmId, SeqHash>,
     /// Unified observability: metrics registry plus lifecycle trace
     /// (launches, deflations, preemptions, reinflations, spans).
     obs: Observability,
@@ -184,6 +205,9 @@ pub struct ClusterManager {
     predictor: DemandPredictor,
     /// Incrementally-maintained cluster-wide sums.
     totals: ClusterTotals,
+    /// Incrementally-maintained placement index (refreshed after every
+    /// server mutation while `cfg.engine` is [`PlacementEngine::Indexed`]).
+    pindex: PlacementIndex,
 }
 
 impl ClusterManager {
@@ -212,22 +236,82 @@ impl ClusterManager {
         } else {
             Some(FaultInjector::new(cfg.faults.clone()))
         };
+        let pindex = PlacementIndex::new(&servers);
         ClusterManager {
             cfg,
             servers,
             controller,
             rng,
             stats: ClusterStats::default(),
-            index: HashMap::new(),
+            index: HashMap::default(),
             fault,
-            missed: HashMap::new(),
-            unresponsive: HashSet::new(),
+            missed: HashMap::default(),
+            unresponsive: HashSet::default(),
             obs: Observability::new(),
             predictor: DemandPredictor::new(simkit::SimDuration::from_mins(10), 0.3),
             totals: ClusterTotals {
                 capacity,
                 agg: ServerAggregates::default(),
             },
+            pindex,
+        }
+    }
+
+    /// One placement query, answered by the configured engine. The
+    /// engines are equivalence-tested to pick the same server, so this
+    /// is purely a performance switch; debug builds additionally
+    /// cross-check every indexed answer against the naive oracle (on a
+    /// cloned RNG, so both consume the identical stream).
+    fn place(&mut self, demand: &ResourceVector, mode: AvailabilityMode) -> Option<usize> {
+        match self.cfg.engine {
+            PlacementEngine::Indexed => {
+                #[cfg(debug_assertions)]
+                let mut oracle_rng = self.rng.clone();
+                let choice = self.pindex.choose(
+                    self.cfg.placement,
+                    &self.servers,
+                    demand,
+                    mode,
+                    &mut self.rng,
+                );
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    choice,
+                    choose_server_with(
+                        self.cfg.placement,
+                        &self.servers,
+                        demand,
+                        mode,
+                        &mut oracle_rng
+                    ),
+                    "placement index diverged from the naive scan"
+                );
+                choice
+            }
+            PlacementEngine::NaiveScan => choose_server_with(
+                self.cfg.placement,
+                &self.servers,
+                demand,
+                mode,
+                &mut self.rng,
+            ),
+            PlacementEngine::BaselineScan => choose_server_baseline(
+                self.cfg.placement,
+                &self.servers,
+                demand,
+                mode,
+                &mut self.rng,
+            ),
+        }
+    }
+
+    /// Re-derives the placement index's cached entry for one server;
+    /// call after any mutation of that server. No-op when the server's
+    /// mutation counter is unchanged, and skipped entirely when a scan
+    /// engine is active (the scans read live server state).
+    fn refresh_index(&mut self, si: usize) {
+        if self.cfg.engine == PlacementEngine::Indexed {
+            self.pindex.refresh(si, &self.servers[si]);
         }
     }
 
@@ -372,6 +456,9 @@ impl ClusterManager {
                 "index maps {id} to server {si}, which does not host it"
             );
         }
+        if self.cfg.engine == PlacementEngine::Indexed {
+            self.pindex.assert_consistent(&self.servers);
+        }
     }
 
     /// Computes the per-VM fault conditions one reclamation round on
@@ -512,6 +599,7 @@ impl ClusterManager {
         self.servers[si].set_up(false);
         let after = self.servers[si].aggregates();
         self.apply_delta(&before, &after);
+        self.refresh_index(si);
         self.stats.server_crashes += 1;
         self.stats.preempted += lost_low.len() as u64;
         self.obs.metrics.incr("cluster.server_crashes");
@@ -550,6 +638,7 @@ impl ClusterManager {
             return false;
         }
         self.servers[si].set_up(true);
+        self.refresh_index(si);
         self.obs.metrics.incr("cluster.server_recoveries");
         self.obs
             .trace
@@ -573,28 +662,18 @@ impl ClusterManager {
         } else {
             AvailabilityMode::PreemptionOnly
         };
-        let mut chosen = choose_server_with(
-            self.cfg.placement,
-            &self.servers,
-            &req.spec,
-            first_try,
-            &mut self.rng,
-        );
+        let mut chosen = self.place(&req.spec, first_try);
         if chosen.is_none() && !req.low_priority {
-            chosen = choose_server_with(
-                self.cfg.placement,
-                &self.servers,
-                &req.spec,
-                AvailabilityMode::PreemptionOnly,
-                &mut self.rng,
-            );
+            chosen = self.place(&req.spec, AvailabilityMode::PreemptionOnly);
         }
         let Some(si) = chosen else {
             self.stats.rejected += 1;
             self.obs.metrics.incr("cluster.rejected");
-            self.obs
-                .trace
-                .record(now, "reject", format!("{} (no server fits)", req.id));
+            if self.cfg.lifecycle_trace {
+                self.obs
+                    .trace
+                    .record(now, "reject", format!("{} (no server fits)", req.id));
+            }
             return LaunchOutcome::Rejected;
         };
 
@@ -627,11 +706,14 @@ impl ClusterManager {
             );
             let after = self.servers[si].aggregates();
             self.apply_delta(&before, &after);
+            self.refresh_index(si);
             self.stats.rejected += 1;
             self.obs.metrics.incr("cluster.rejected");
-            self.obs
-                .trace
-                .record(now, "reject", format!("{} (reclaim fell short)", req.id));
+            if self.cfg.lifecycle_trace {
+                self.obs
+                    .trace
+                    .record(now, "reject", format!("{} (reclaim fell short)", req.id));
+            }
             self.update_gauges(now);
             return LaunchOutcome::Rejected;
         }
@@ -642,11 +724,13 @@ impl ClusterManager {
             .metrics
             .add("cluster.deflations", report.outcomes.len() as u64);
         for (id, out) in &report.outcomes {
-            self.obs.trace.record(
-                now,
-                "deflate",
-                format!("{id} by {} for {}", out.total_reclaimed, req.id),
-            );
+            if self.cfg.lifecycle_trace {
+                self.obs.trace.record(
+                    now,
+                    "deflate",
+                    format!("{id} by {} for {}", out.total_reclaimed, req.id),
+                );
+            }
             self.obs
                 .metrics
                 .observe("cascade.latency_s", out.latency.as_secs_f64());
@@ -655,15 +739,18 @@ impl ClusterManager {
             self.index.remove(id);
             self.missed.remove(id);
             self.unresponsive.remove(id);
-            self.obs
-                .trace
-                .record(now, "preempt", format!("{id} for {}", req.id));
+            if self.cfg.lifecycle_trace {
+                self.obs
+                    .trace
+                    .record(now, "preempt", format!("{id} for {}", req.id));
+            }
         }
         self.stats.preempted += report.preempted.len() as u64;
         self.obs
             .metrics
             .add("cluster.preempted", report.preempted.len() as u64);
-        if !report.outcomes.is_empty() || !report.preempted.is_empty() {
+        if self.cfg.lifecycle_trace && (!report.outcomes.is_empty() || !report.preempted.is_empty())
+        {
             // Structured span: the full make_room payload, with one
             // cascade.deflate child (per-layer LayerReports) per VM.
             self.obs
@@ -692,12 +779,15 @@ impl ClusterManager {
         self.servers[si].add_vm(vm);
         let after = self.servers[si].aggregates();
         self.apply_delta(&before, &after);
+        self.refresh_index(si);
         self.index.insert(req.id, si);
-        self.obs.trace.record(
-            now,
-            "launch",
-            format!("{} on {} ({})", req.id, ServerId(si as u64), req.type_name),
-        );
+        if self.cfg.lifecycle_trace {
+            self.obs.trace.record(
+                now,
+                "launch",
+                format!("{} on {} ({})", req.id, ServerId(si as u64), req.type_name),
+            );
+        }
         self.stats.launched += 1;
         self.obs.metrics.incr("cluster.launched");
         if req.low_priority {
@@ -759,9 +849,11 @@ impl ClusterManager {
         self.missed.remove(&id);
         self.unresponsive.remove(&id);
         let freed = vm.effective();
-        self.obs
-            .trace
-            .record(now, "exit", format!("{id} freeing {freed}"));
+        if self.cfg.lifecycle_trace {
+            self.obs
+                .trace
+                .record(now, "exit", format!("{id} freeing {freed}"));
+        }
         self.obs.metrics.incr("cluster.exits");
         // Fold the guest's hotplug counters into the registry so run
         // summaries report cluster-wide unplug activity.
@@ -800,10 +892,12 @@ impl ClusterManager {
         let applied = self
             .controller
             .reinflate(now, &mut self.servers[si], &to_reinflate);
-        for (rid, got) in &applied {
-            self.obs
-                .trace
-                .record(now, "reinflate", format!("{rid} by {got}"));
+        if self.cfg.lifecycle_trace {
+            for (rid, got) in &applied {
+                self.obs
+                    .trace
+                    .record(now, "reinflate", format!("{rid} by {got}"));
+            }
         }
         self.stats.reinflations += applied.len() as u64;
         self.obs
@@ -811,6 +905,7 @@ impl ClusterManager {
             .add("cluster.reinflations", applied.len() as u64);
         let after = self.servers[si].aggregates();
         self.apply_delta(&mid, &after);
+        self.refresh_index(si);
         self.update_gauges(now);
         Some(ServerId(si as u64))
     }

@@ -6,6 +6,22 @@
 //! and the availability vector. Three policies are implemented, as in the
 //! paper's Fig. 8d: best-fit (highest fitness), first-fit (first server
 //! that fits), and 2-choices (two random candidates, keep the fitter).
+//!
+//! Selection is two-tier: servers whose *free* resources already cover
+//! the demand are strictly preferred (placing there disrupts nobody);
+//! only when none exists does the reclaimable availability of the given
+//! [`AvailabilityMode`] come into play. Both tiers run in a single fused
+//! scan — each server's free vector is computed once and reused to derive
+//! its availability, instead of the former two full passes through a
+//! `&dyn Fn` availability closure.
+//!
+//! [`choose_server_with`] is the naive O(servers) oracle; the
+//! [`PlacementIndex`](crate::PlacementIndex) answers the same queries
+//! sublinearly and is equivalence-checked against this implementation
+//! (same tie-breaking, same RNG draws, same chosen server). The
+//! pre-index two-pass implementation survives as
+//! [`choose_server_baseline`], the baseline `bench_cluster` measures
+//! speedups against; [`PlacementEngine`] selects between the three.
 
 use deflate_core::ResourceVector;
 use hypervisor::PhysicalServer;
@@ -22,14 +38,80 @@ pub enum AvailabilityMode {
 }
 
 fn availability(server: &PhysicalServer, mode: AvailabilityMode) -> ResourceVector {
+    avail_from_free(server, &server.free(), mode)
+}
+
+/// The mode's availability vector, derived from an already-computed free
+/// vector so the free tier and the availability tier of one scan share a
+/// single per-server `free()` evaluation.
+#[inline]
+pub(crate) fn avail_from_free(
+    server: &PhysicalServer,
+    free: &ResourceVector,
+    mode: AvailabilityMode,
+) -> ResourceVector {
     match mode {
-        AvailabilityMode::Deflation => server.availability(),
-        AvailabilityMode::PreemptionOnly => server.free() + server.preemptible(),
+        AvailabilityMode::Deflation => *free + server.deflatable(),
+        AvailabilityMode::PreemptionOnly => *free + server.preemptible(),
     }
 }
 
-fn fits(server: &PhysicalServer, demand: &ResourceVector, mode: AvailabilityMode) -> bool {
-    server.is_up() && availability(server, mode).dominates(demand)
+/// BestFit's ranking key for a candidate vector: (cosine fitness,
+/// availability magnitude).
+#[inline]
+pub(crate) fn score(avail: &ResourceVector, demand: &ResourceVector) -> (f64, f64) {
+    (avail.cosine_similarity(demand), avail.norm())
+}
+
+/// BestFit's exact comparison: cosine values within float fuzz are ties,
+/// broken by availability magnitude. Not a total order (the fuzz makes it
+/// intransitive), so the winner depends on scan order — every placement
+/// path must evaluate candidates in ascending server index to agree.
+#[inline]
+pub(crate) fn better(new: (f64, f64), best: (f64, f64)) -> bool {
+    if (new.0 - best.0).abs() < 1e-9 {
+        new.1 > best.1 + 1e-9
+    } else {
+        new.0 > best.0
+    }
+}
+
+/// Draws the 2-choices candidate pair: two *distinct* indices when
+/// `n >= 2` (sampling the same server twice would silently degenerate to
+/// one choice), the single index twice when `n == 1`. Always consumes
+/// exactly two RNG draws for `n >= 2` so naive and indexed placement stay
+/// on identical RNG streams.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub(crate) fn draw_pair(rng: &mut SimRng, n: usize) -> (usize, usize) {
+    let a = rng.index(n);
+    if n < 2 {
+        return (a, a);
+    }
+    // Sample b uniformly from the n-1 indices != a.
+    let mut b = rng.index(n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a, b)
+}
+
+/// Which implementation answers the manager's placement queries. All
+/// three are equivalence-tested to pick the *same server* on the same
+/// RNG stream; they differ only in how much work a query costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementEngine {
+    /// The incrementally-maintained sublinear
+    /// [`PlacementIndex`](crate::PlacementIndex) (the default).
+    Indexed,
+    /// [`choose_server_with`]: one fused O(servers) scan, no dyn
+    /// dispatch. Kept behind this config knob as the equivalence oracle.
+    NaiveScan,
+    /// [`choose_server_baseline`]: the pre-index implementation (two
+    /// full passes through a `&dyn Fn` availability closure, fitness
+    /// recomputed per candidate), preserved as the benchmark baseline.
+    BaselineScan,
 }
 
 /// A VM placement policy.
@@ -73,10 +155,11 @@ pub fn fitness_with(
     demand: &ResourceVector,
     mode: AvailabilityMode,
 ) -> f64 {
-    if !fits(server, demand, mode) {
+    let avail = availability(server, mode);
+    if !(server.is_up() && avail.dominates(demand)) {
         return 0.0;
     }
-    availability(server, mode).cosine_similarity(demand)
+    avail.cosine_similarity(demand)
 }
 
 /// Picks a server for `demand` under `policy`; returns its index, or
@@ -90,12 +173,14 @@ pub fn choose_server(
     choose_server_with(policy, servers, demand, AvailabilityMode::Deflation, rng)
 }
 
-/// [`choose_server`] under an explicit availability mode.
+/// [`choose_server`] under an explicit availability mode: the naive
+/// full-scan oracle.
 ///
-/// Selection runs in two passes: servers whose *free* resources already
-/// cover the demand are preferred (placing there disrupts nobody); only
-/// when none exists does the reclaimable availability of the given mode
-/// come into play.
+/// One fused pass evaluates both tiers. Per candidate the free vector is
+/// computed once; the mode availability is derived from it only while the
+/// free tier is still empty (a free-tier hit makes the availability tier
+/// unreachable, so the work is skipped). Availability dispatch is static —
+/// no per-candidate `dyn Fn`.
 pub fn choose_server_with(
     policy: PlacementPolicy,
     servers: &[PhysicalServer],
@@ -103,25 +188,142 @@ pub fn choose_server_with(
     mode: AvailabilityMode,
     rng: &mut SimRng,
 ) -> Option<usize> {
-    let free_pass = pick(policy, servers, demand, rng, &|s: &PhysicalServer| s.free());
+    match policy {
+        PlacementPolicy::FirstFit => {
+            let mut fallback = None;
+            for (i, s) in servers.iter().enumerate() {
+                if !s.is_up() {
+                    continue;
+                }
+                let free = s.free();
+                if free.dominates(demand) {
+                    return Some(i);
+                }
+                if fallback.is_none() && avail_from_free(s, &free, mode).dominates(demand) {
+                    fallback = Some(i);
+                }
+            }
+            fallback
+        }
+        PlacementPolicy::BestFit => {
+            let mut best_free: Option<(usize, (f64, f64))> = None;
+            let mut best_avail: Option<(usize, (f64, f64))> = None;
+            for (i, s) in servers.iter().enumerate() {
+                if !s.is_up() {
+                    continue;
+                }
+                let free = s.free();
+                if free.dominates(demand) {
+                    let sc = score(&free, demand);
+                    if best_free.map_or(true, |(_, bs)| better(sc, bs)) {
+                        best_free = Some((i, sc));
+                    }
+                } else if best_free.is_none() {
+                    // The availability tier only matters while no server
+                    // free-fits; once one does, stop deriving it.
+                    let avail = avail_from_free(s, &free, mode);
+                    if avail.dominates(demand) {
+                        let sc = score(&avail, demand);
+                        if best_avail.map_or(true, |(_, bs)| better(sc, bs)) {
+                            best_avail = Some((i, sc));
+                        }
+                    }
+                }
+            }
+            best_free.or(best_avail).map(|(i, _)| i)
+        }
+        PlacementPolicy::TwoChoices => {
+            if servers.is_empty() {
+                return None;
+            }
+            let (a, b) = draw_pair(rng, servers.len());
+            let free_of = |i: usize| servers[i].free();
+            let free_fits = |i: usize| servers[i].is_up() && free_of(i).dominates(demand);
+            match (free_fits(a), free_fits(b)) {
+                (true, true) => Some(
+                    if score(&free_of(a), demand) >= score(&free_of(b), demand) {
+                        a
+                    } else {
+                        b
+                    },
+                ),
+                (true, false) => Some(a),
+                (false, true) => Some(b),
+                (false, false) => {
+                    // Neither sampled candidate places without disruption.
+                    // Keep the two-tier guarantee: any free-fitting server
+                    // beats reclaiming from the sampled pair, and any
+                    // availability-fitting server beats rejecting.
+                    if let Some(i) = servers
+                        .iter()
+                        .position(|s| s.is_up() && s.free().dominates(demand))
+                    {
+                        return Some(i);
+                    }
+                    let avail_of = |i: usize| avail_from_free(&servers[i], &free_of(i), mode);
+                    let avail_fits = |i: usize| servers[i].is_up() && avail_of(i).dominates(demand);
+                    match (avail_fits(a), avail_fits(b)) {
+                        (true, true) => Some(
+                            if score(&avail_of(a), demand) >= score(&avail_of(b), demand) {
+                                a
+                            } else {
+                                b
+                            },
+                        ),
+                        (true, false) => Some(a),
+                        (false, true) => Some(b),
+                        (false, false) => servers.iter().position(|s| {
+                            s.is_up() && avail_from_free(s, &s.free(), mode).dominates(demand)
+                        }),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The placement implementation this PR's index replaced, preserved as
+/// the benchmark baseline (and a second equivalence oracle): every query
+/// runs up to two full O(servers) passes — a free pass, then an
+/// availability pass — through a `&dyn Fn` availability closure, with
+/// the availability vector rebuilt and the cosine fitness recomputed per
+/// candidate. `bench_cluster`'s `naive` column runs this engine, so the
+/// recorded speedups measure the index against the code it replaced.
+///
+/// The one departure from the pre-index code is the `TwoChoices`
+/// distinct-pair bugfix, a semantics fix that must hold across every
+/// engine for all three to stay choice-identical on one RNG stream;
+/// `TwoChoices` therefore shares the fused implementation (its common
+/// case was never a full scan, so nothing baseline-relevant is lost).
+pub fn choose_server_baseline(
+    policy: PlacementPolicy,
+    servers: &[PhysicalServer],
+    demand: &ResourceVector,
+    mode: AvailabilityMode,
+    rng: &mut SimRng,
+) -> Option<usize> {
+    if policy == PlacementPolicy::TwoChoices {
+        return choose_server_with(policy, servers, demand, mode, rng);
+    }
+    let free_pass = baseline_pick(policy, servers, demand, &|s: &PhysicalServer| s.free());
     if free_pass.is_some() {
         return free_pass;
     }
-    pick(policy, servers, demand, rng, &|s: &PhysicalServer| {
+    baseline_pick(policy, servers, demand, &|s: &PhysicalServer| {
         availability(s, mode)
     })
 }
 
-/// One selection pass over an availability notion.
-fn pick(
+/// One full selection pass of the baseline scan: dyn-dispatched
+/// availability, rebuilt once to test fit and again to score.
+fn baseline_pick(
     policy: PlacementPolicy,
     servers: &[PhysicalServer],
     demand: &ResourceVector,
-    rng: &mut SimRng,
     avail: &dyn Fn(&PhysicalServer) -> ResourceVector,
 ) -> Option<usize> {
     let fits = |s: &PhysicalServer| s.is_up() && avail(s).dominates(demand);
-    let score = |s: &PhysicalServer| {
+    let sc = |s: &PhysicalServer| {
         let a = avail(s);
         (a.cosine_similarity(demand), a.norm())
     };
@@ -133,48 +335,14 @@ fn pick(
                 if !fits(s) {
                     continue;
                 }
-                let sc = score(s);
-                let better = match &best {
-                    None => true,
-                    Some((_, bs)) => {
-                        // Cosine values within float fuzz are ties; break
-                        // them by availability magnitude.
-                        if (sc.0 - bs.0).abs() < 1e-9 {
-                            sc.1 > bs.1 + 1e-9
-                        } else {
-                            sc.0 > bs.0
-                        }
-                    }
-                };
-                if better {
-                    best = Some((i, sc));
+                let cand = sc(s);
+                if best.map_or(true, |(_, bs)| better(cand, bs)) {
+                    best = Some((i, cand));
                 }
             }
             best.map(|(i, _)| i)
         }
-        PlacementPolicy::TwoChoices => {
-            if servers.is_empty() {
-                return None;
-            }
-            let a = rng.index(servers.len());
-            let b = rng.index(servers.len());
-            let ok_a = fits(&servers[a]);
-            let ok_b = fits(&servers[b]);
-            match (ok_a, ok_b) {
-                (true, true) => {
-                    if score(&servers[a]) >= score(&servers[b]) {
-                        Some(a)
-                    } else {
-                        Some(b)
-                    }
-                }
-                (true, false) => Some(a),
-                (false, true) => Some(b),
-                // Both random picks failed; fall back to any fitting
-                // server so admission does not depend on luck alone.
-                (false, false) => servers.iter().position(fits),
-            }
-        }
+        PlacementPolicy::TwoChoices => unreachable!("TwoChoices shares the fused scan"),
     }
 }
 
@@ -267,6 +435,47 @@ mod tests {
             let pick = choose_server(PlacementPolicy::TwoChoices, &ss, &vm_spec(), &mut rng);
             assert_eq!(pick, Some(3));
         }
+    }
+
+    /// Regression: `TwoChoices` used to draw both candidates from the
+    /// same range, so it could sample one server twice and silently
+    /// degenerate to a single choice. With two servers — one strictly
+    /// better — a genuine pair must compare both and take the better one
+    /// on every draw.
+    #[test]
+    fn two_choices_samples_distinct_servers() {
+        let mut ss = servers(2);
+        // Server 0 is tight for a CPU-heavy demand; server 1 is empty and
+        // scores strictly higher. A degenerate (0, 0) pair would return 0.
+        ss[0].add_vm(Vm::new(
+            VmId(1),
+            ResourceVector::new(11.0, 1_024.0, 0.0, 0.0),
+            VmPriority::High,
+        ));
+        let demand = ResourceVector::new(5.0, 4_096.0, 10.0, 10.0);
+        assert!(ss[0].free().dominates(&demand), "both must free-fit");
+        for seed in 0..100 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let pick = choose_server(PlacementPolicy::TwoChoices, &ss, &demand, &mut rng);
+            assert_eq!(pick, Some(1), "seed {seed} degenerated to one choice");
+        }
+    }
+
+    #[test]
+    fn draw_pair_is_distinct_and_uniform_enough() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut seen = [0usize; 5];
+        for _ in 0..1000 {
+            let (a, b) = draw_pair(&mut rng, 5);
+            assert_ne!(a, b);
+            seen[a] += 1;
+            seen[b] += 1;
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 250, "index {i} drawn only {count}/2000 slots");
+        }
+        // n == 1 degenerates to the only index, twice.
+        assert_eq!(draw_pair(&mut rng, 1), (0, 0));
     }
 
     #[test]

@@ -362,6 +362,59 @@ mod tests {
         assert_eq!(a.summary.to_string(), b.summary.to_string());
     }
 
+    /// Every placement engine must be *byte-identical* to the others:
+    /// same servers chosen at every decision, hence the same run
+    /// summary — for the default fig8c configuration (100 servers, 24 h,
+    /// default trace seed) and, at reduced horizon, for every policy ×
+    /// availability-mode combination.
+    #[test]
+    fn indexed_placement_is_byte_identical_to_naive_scan() {
+        use crate::placement::PlacementEngine;
+        let run_with = |mut cfg: ClusterSimConfig, engine: PlacementEngine| {
+            cfg.manager.engine = engine;
+            run_cluster_sim(&cfg)
+        };
+        // The default fig8c cell, full scale.
+        let base = ClusterSimConfig::default();
+        let naive = run_with(base.clone(), PlacementEngine::NaiveScan);
+        let baseline = run_with(base.clone(), PlacementEngine::BaselineScan);
+        let fast = run_with(base, PlacementEngine::Indexed);
+        assert!(naive.stats.launched > 1000, "run must be non-trivial");
+        assert_eq!(
+            fast.summary.to_string(),
+            naive.summary.to_string(),
+            "default fig8c config diverged (indexed vs naive)"
+        );
+        assert_eq!(
+            baseline.summary.to_string(),
+            naive.summary.to_string(),
+            "default fig8c config diverged (baseline vs naive)"
+        );
+        // Every policy × mode, smaller but still loaded.
+        for policy in PlacementPolicy::ALL {
+            for deflation in [true, false] {
+                let mut cfg = test_cfg(deflation, 150.0);
+                cfg.manager.placement = policy;
+                cfg.horizon = SimDuration::from_hours(6);
+                let naive = run_with(cfg.clone(), PlacementEngine::NaiveScan);
+                let baseline = run_with(cfg.clone(), PlacementEngine::BaselineScan);
+                let fast = run_with(cfg, PlacementEngine::Indexed);
+                assert_eq!(
+                    fast.summary.to_string(),
+                    naive.summary.to_string(),
+                    "{} deflation={deflation} diverged (indexed vs naive)",
+                    policy.name()
+                );
+                assert_eq!(
+                    baseline.summary.to_string(),
+                    naive.summary.to_string(),
+                    "{} deflation={deflation} diverged (baseline vs naive)",
+                    policy.name()
+                );
+            }
+        }
+    }
+
     #[test]
     fn sim_result_carries_run_summary() {
         let r = run_cluster_sim(&test_cfg(true, 150.0));

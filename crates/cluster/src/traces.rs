@@ -359,7 +359,7 @@ mod tests {
     fn lifetimes_heavy_tailed() {
         let reqs = TraceGenerator::new(config()).generate_until(SimTime::from_secs(3_600 * 100));
         let mut lifetimes: Vec<f64> = reqs.iter().map(|r| r.lifetime.as_secs_f64()).collect();
-        lifetimes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        lifetimes.sort_unstable_by(f64::total_cmp);
         let median = lifetimes[lifetimes.len() / 2];
         let p95 = lifetimes[lifetimes.len() * 95 / 100];
         // Median near 90 min; the tail is several times longer.

@@ -1,0 +1,158 @@
+//! Property tests of the placement index: for *any* interleaving of the
+//! mutation choke points — launch (`add_vm`), exit (`remove_vm`),
+//! `deflate_vm`, `reinflate_vm`, crash (evacuate + `set_up(false)`) and
+//! recover (`set_up(true)`) — the index must stay bit-consistent with
+//! live server state and answer every placement query with the *same
+//! server* as the naive full-scan oracle — and as the preserved
+//! pre-index baseline scan — under all three policies and both
+//! availability modes.
+
+use cluster::placement::{choose_server_baseline, choose_server_with};
+use cluster::{AvailabilityMode, PlacementIndex, PlacementPolicy};
+use deflate_core::{CascadeConfig, ResourceVector, ServerId, VmId};
+use hypervisor::{PhysicalServer, Vm, VmPriority};
+use proptest::prelude::*;
+use simkit::{SimRng, SimTime};
+
+fn capacity() -> ResourceVector {
+    ResourceVector::new(8.0, 32_768.0, 200.0, 400.0)
+}
+
+fn spec(scale: f64) -> ResourceVector {
+    ResourceVector::new(4.0, 16_384.0, 100.0, 200.0).scale(scale)
+}
+
+/// Every policy × availability-mode query must agree with the oracle.
+/// Twin RNGs seeded identically keep the random policies on the same
+/// stream for both paths.
+fn assert_queries_agree(
+    index: &PlacementIndex,
+    servers: &[PhysicalServer],
+    demand: &ResourceVector,
+    seed: u64,
+) {
+    for policy in PlacementPolicy::ALL {
+        for mode in [
+            AvailabilityMode::Deflation,
+            AvailabilityMode::PreemptionOnly,
+        ] {
+            let mut naive_rng = SimRng::seed_from_u64(seed);
+            let mut base_rng = SimRng::seed_from_u64(seed);
+            let mut index_rng = SimRng::seed_from_u64(seed);
+            let naive = choose_server_with(policy, servers, demand, mode, &mut naive_rng);
+            let baseline = choose_server_baseline(policy, servers, demand, mode, &mut base_rng);
+            let indexed = index.choose(policy, servers, demand, mode, &mut index_rng);
+            prop_assert_eq!(
+                indexed,
+                naive,
+                "policy {} diverged (indexed vs naive) for demand {:?}",
+                policy.name(),
+                demand
+            );
+            prop_assert_eq!(
+                baseline,
+                naive,
+                "policy {} diverged (baseline vs naive) for demand {:?}",
+                policy.name(),
+                demand
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mutation interleavings keep the index consistent and its
+    /// answers identical to the naive scan's.
+    #[test]
+    fn index_matches_naive_scan_under_any_interleaving(
+        seed in any::<u64>(),
+        n_servers in 1usize..7,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut servers: Vec<PhysicalServer> = (0..n_servers)
+            .map(|i| PhysicalServer::new(ServerId(i as u64), capacity()))
+            .collect();
+        let mut index = PlacementIndex::new(&servers);
+        index.assert_consistent(&servers);
+        let cascade = CascadeConfig::VM_LEVEL;
+        // Live VMs as (server index, vm id).
+        let mut hosted: Vec<(usize, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..80u64 {
+            let now = SimTime::from_secs(step);
+            let si = rng.index(n_servers);
+            match rng.index(6) {
+                // Launch: place a VM directly (placement-independent so
+                // down servers and overcommit states get exercised too).
+                0 | 1 => {
+                    let scale = rng.uniform_range(0.2, 1.2);
+                    let low = rng.chance(0.6);
+                    let pri = if low { VmPriority::Low } else { VmPriority::High };
+                    let s = spec(scale);
+                    let min = if low { s.scale(0.3) } else { ResourceVector::ZERO };
+                    servers[si].add_vm(Vm::new(VmId(next_id), s, pri).with_min(min));
+                    hosted.push((si, next_id));
+                    next_id += 1;
+                }
+                // Exit: remove a random live VM.
+                2 => {
+                    if !hosted.is_empty() {
+                        let k = rng.index(hosted.len());
+                        let (owner, id) = hosted.swap_remove(k);
+                        prop_assert!(servers[owner].remove_vm(VmId(id)).is_some());
+                        index.refresh(owner, &servers[owner]);
+                    }
+                }
+                // Deflate a random live VM toward a smaller target.
+                3 => {
+                    if !hosted.is_empty() {
+                        let k = rng.index(hosted.len());
+                        let (owner, id) = hosted[k];
+                        let target = spec(rng.uniform_range(0.05, 0.8));
+                        servers[owner].deflate_vm(now, VmId(id), &target, &cascade);
+                        index.refresh(owner, &servers[owner]);
+                    }
+                }
+                // Reinflate a random live VM.
+                4 => {
+                    if !hosted.is_empty() {
+                        let k = rng.index(hosted.len());
+                        let (owner, id) = hosted[k];
+                        let amount = spec(rng.uniform_range(0.05, 0.5));
+                        servers[owner].reinflate_vm(now, VmId(id), &amount);
+                        index.refresh(owner, &servers[owner]);
+                    }
+                }
+                // Crash (evacuate then down) or recover.
+                _ => {
+                    if servers[si].is_up() {
+                        let ids: Vec<VmId> =
+                            servers[si].vms().map(|vm| vm.id()).collect();
+                        for id in ids {
+                            servers[si].remove_vm(id);
+                        }
+                        hosted.retain(|(owner, _)| *owner != si);
+                        servers[si].set_up(false);
+                    } else {
+                        servers[si].set_up(true);
+                    }
+                }
+            }
+            index.refresh(si, &servers[si]);
+            index.assert_consistent(&servers);
+            // Queries agree for a spread of demand shapes: tiny,
+            // typical, near-capacity, unsatisfiable, and skewed.
+            let skew = ResourceVector::new(
+                rng.uniform_range(0.1, 8.0),
+                rng.uniform_range(64.0, 32_768.0),
+                rng.uniform_range(1.0, 200.0),
+                rng.uniform_range(1.0, 400.0),
+            );
+            for demand in [spec(0.1), spec(rng.uniform_range(0.2, 1.0)), spec(1.9), spec(10.0), skew] {
+                assert_queries_agree(&index, &servers, &demand, seed ^ step);
+            }
+        }
+    }
+}

@@ -7,13 +7,29 @@
 //! calibrated wall-clock loop (median-free); results print one line per
 //! benchmark. Good enough to compare orders of magnitude, not a
 //! statistical harness.
+//!
+//! Like real criterion, `cargo bench -- --test` (or setting
+//! `CRITERION_CHECK=1`) runs every benchmark body exactly once in
+//! check-only mode — no calibration, no measurement window — so CI can
+//! verify benches still compile and run without paying bench time.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 /// Target measurement time per benchmark.
 const TARGET: Duration = Duration::from_millis(200);
+
+/// Whether the process runs in check-only mode (`-- --test` on the
+/// command line, as real criterion accepts, or `CRITERION_CHECK` in the
+/// environment).
+fn check_only() -> bool {
+    static CHECK: OnceLock<bool> = OnceLock::new();
+    *CHECK.get_or_init(|| {
+        std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_CHECK").is_some()
+    })
+}
 
 /// One benchmark's measurement context.
 pub struct Bencher {
@@ -23,8 +39,14 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`, choosing an iteration count that fills the target
-    /// measurement window.
+    /// measurement window. In check-only mode, runs `f` exactly once.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if check_only() {
+            let start = Instant::now();
+            black_box(f());
+            self.result = Some((1, start.elapsed()));
+            return;
+        }
         // Calibrate: run once to estimate per-iteration cost.
         let start = Instant::now();
         black_box(f());
@@ -44,7 +66,8 @@ impl Bencher {
 pub struct Criterion {}
 
 impl Criterion {
-    /// Runs one named benchmark and prints its per-iteration time.
+    /// Runs one named benchmark and prints its per-iteration time (or a
+    /// check-only marker when measurement is disabled).
     pub fn bench_function(
         &mut self,
         name: impl AsRef<str>,
@@ -53,6 +76,9 @@ impl Criterion {
         let mut b = Bencher { result: None };
         f(&mut b);
         match b.result {
+            Some(_) if check_only() => {
+                println!("bench {:<40} ok (check-only)", name.as_ref());
+            }
             Some((iters, elapsed)) => {
                 let per_iter = elapsed.as_nanos() as f64 / iters as f64;
                 println!(

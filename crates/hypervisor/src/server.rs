@@ -134,6 +134,12 @@ pub struct PhysicalServer {
     /// Whether the machine is powered on. A crashed server holds no VMs
     /// and accepts no placements until it recovers.
     up: bool,
+    /// Mutation counter, bumped by every operation that can change the
+    /// server's free/availability vectors or its up flag (`add_vm`,
+    /// `remove_vm`, `deflate_vm`, `reinflate_vm`, `set_up`). Caches such
+    /// as the cluster placement index compare this against their stored
+    /// value to skip refreshing untouched servers.
+    version: u64,
 }
 
 impl std::fmt::Debug for PhysicalServer {
@@ -155,6 +161,7 @@ impl PhysicalServer {
             vms: BTreeMap::new(),
             agg: ServerAggregates::default(),
             up: true,
+            version: 0,
         }
     }
 
@@ -167,7 +174,16 @@ impl PhysicalServer {
     /// caller is responsible for evacuating VMs first; this only flips
     /// the flag.
     pub fn set_up(&mut self, up: bool) {
+        if self.up != up {
+            self.version += 1;
+        }
         self.up = up;
+    }
+
+    /// The server's mutation counter (see the `version` field). Strictly
+    /// monotone: unchanged version ⇒ unchanged placement-relevant state.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The server's identifier.
@@ -239,6 +255,7 @@ impl PhysicalServer {
     /// Adds a VM. The caller (the cluster manager) is responsible for
     /// having made room first; this only records the VM.
     pub fn add_vm(&mut self, vm: Vm) {
+        self.version += 1;
         self.agg.absorb(&vm);
         let replaced = self.vms.insert(vm.id(), vm);
         debug_assert!(replaced.is_none(), "duplicate VM id added to server");
@@ -248,6 +265,7 @@ impl PhysicalServer {
     /// Removes and returns a VM (shutdown or preemption).
     pub fn remove_vm(&mut self, id: VmId) -> Option<Vm> {
         let vm = self.vms.remove(&id)?;
+        self.version += 1;
         self.agg.release(&vm);
         if self.vms.is_empty() {
             // Exact resync point: an empty server has exactly-zero sums,
@@ -269,6 +287,7 @@ impl PhysicalServer {
         cfg: &CascadeConfig,
     ) -> Option<CascadeOutcome> {
         let vm = self.vms.get_mut(&id)?;
+        self.version += 1;
         let priority = vm.priority();
         let before = vm.effective();
         let out = vm.deflate(now, target, cfg);
@@ -288,6 +307,7 @@ impl PhysicalServer {
         amount: &ResourceVector,
     ) -> Option<ResourceVector> {
         let vm = self.vms.get_mut(&id)?;
+        self.version += 1;
         let priority = vm.priority();
         let before = vm.effective();
         let got = vm.reinflate(now, amount);

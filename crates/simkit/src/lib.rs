@@ -42,6 +42,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod observe;
@@ -52,6 +53,7 @@ pub mod trace;
 
 pub use event::{run, run_until, EventQueue, Scheduler};
 pub use fault::{FaultInjector, FaultPlan};
+pub use hash::SeqHash;
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram, MetricSet, MetricsRegistry, TimeSeries, TimeWeightedGauge};
 pub use observe::Observability;

@@ -242,8 +242,8 @@ impl Histogram {
     /// Interpolated quantile `q` in `[0, 1]` (0 if empty).
     pub fn quantile(&mut self, q: f64) -> f64 {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("histogram samples must not be NaN"));
+            // total_cmp: a stray NaN observation must not panic a sweep.
+            self.samples.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
         stats::percentile_sorted(&self.samples, q)
@@ -329,9 +329,23 @@ impl MetricsRegistry {
         self.add(key, 1);
     }
 
-    /// Adds `n` to the named counter (created at zero on first use).
+    /// Adds `n` to the named counter (created on first *nonzero*
+    /// contribution — a zero add is a no-op, so per-event sites can call
+    /// this unconditionally without registering keys for activity that
+    /// never happened).
+    ///
+    /// Hot path: instrumentation sites call this per simulation event, so
+    /// the existing-key case must not allocate — `entry` would clone the
+    /// key on every call just to (usually) throw it away.
     pub fn add(&mut self, key: &str, n: u64) {
-        self.counters.entry(key.to_string()).or_default().add(n);
+        if n == 0 {
+            return;
+        }
+        if let Some(c) = self.counters.get_mut(key) {
+            c.add(n);
+        } else {
+            self.counters.entry(key.to_string()).or_default().add(n);
+        }
     }
 
     /// Current value of a counter (zero when never touched).
@@ -346,18 +360,24 @@ impl MetricsRegistry {
     /// safe — an earlier `now` contributes a zero-length interval (the
     /// gauge clock never runs backwards).
     pub fn gauge_set(&mut self, key: &str, now: SimTime, value: f64) {
-        self.gauges
-            .entry(key.to_string())
-            .or_insert_with(|| TimeWeightedGauge::new(now, value))
-            .set(now, value);
+        // Allocation-free on the (hot) existing-key path; see `add`.
+        if let Some(g) = self.gauges.get_mut(key) {
+            g.set(now, value);
+        } else {
+            self.gauges
+                .insert(key.to_string(), TimeWeightedGauge::new(now, value));
+        }
     }
 
     /// Adds `delta` to the named gauge at `now` (created at `delta`).
     pub fn gauge_add(&mut self, key: &str, now: SimTime, delta: f64) {
-        self.gauges
-            .entry(key.to_string())
-            .or_insert_with(|| TimeWeightedGauge::new(now, 0.0))
-            .add(now, delta);
+        if let Some(g) = self.gauges.get_mut(key) {
+            g.add(now, delta);
+        } else {
+            let mut g = TimeWeightedGauge::new(now, 0.0);
+            g.add(now, delta);
+            self.gauges.insert(key.to_string(), g);
+        }
     }
 
     /// Looks up a gauge.
@@ -367,10 +387,15 @@ impl MetricsRegistry {
 
     /// Records a sample into the named histogram (created on first use).
     pub fn observe(&mut self, key: &str, v: f64) {
-        self.histograms
-            .entry(key.to_string())
-            .or_default()
-            .record(v);
+        // Allocation-free on the (hot) existing-key path; see `add`.
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.record(v);
+        } else {
+            self.histograms
+                .entry(key.to_string())
+                .or_default()
+                .record(v);
+        }
     }
 
     /// Looks up a histogram.

@@ -47,8 +47,10 @@ impl Xoshiro256pp {
     }
 }
 
-/// A deterministic, seedable simulation RNG.
-#[derive(Debug)]
+/// A deterministic, seedable simulation RNG. `Clone` duplicates the
+/// exact stream position (debug cross-checks run two placement engines
+/// over identical draws).
+#[derive(Debug, Clone)]
 pub struct SimRng {
     inner: Xoshiro256pp,
     /// Cached second sample from the last Box–Muller transform.

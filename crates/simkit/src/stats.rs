@@ -20,16 +20,17 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// Linear-interpolated percentile (`q` in `[0, 1]`) of *unsorted* data;
-/// 0 for an empty slice.
+/// 0 for an empty slice. NaN-tolerant (`total_cmp` order) and
+/// allocation-free when the caller already sorted the input.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
+    if xs.windows(2).all(|w| w[0] <= w[1]) {
+        return percentile_sorted(xs, q);
+    }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| {
-        a.partial_cmp(b)
-            .expect("percentile input must not contain NaN")
-    });
+    sorted.sort_unstable_by(f64::total_cmp);
     percentile_sorted(&sorted, q)
 }
 
@@ -103,6 +104,24 @@ mod tests {
         let xs = [1.0, 2.0, 3.0];
         assert_eq!(percentile(&xs, -1.0), 1.0);
         assert_eq!(percentile(&xs, 2.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_takes_sorted_fast_path() {
+        // Already-sorted input (the common caller pattern) must agree
+        // with the sort-then-interpolate path.
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.5), percentile_sorted(&sorted, 0.5));
+        assert_eq!(percentile(&sorted, 0.25), 1.75);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan() {
+        // A stray NaN must not panic a whole sweep; total_cmp sorts NaN
+        // to the end, so finite quantiles stay meaningful.
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0 / 3.0), 2.0);
     }
 
     #[test]
