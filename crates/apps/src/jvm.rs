@@ -144,15 +144,24 @@ impl JvmApp {
         p.base_response_us * (1.0 + gc) * (1.0 + swap) * lhp / cpu_factor
     }
 
-    /// Normalized performance (base response time over current).
+    /// Normalized performance (base response time over current). A
+    /// degenerate configuration (zero base response time) yields 0.0
+    /// rather than NaN.
     pub fn normalized_perf(&self, view: &VmResourceView) -> f64 {
         let base = self.params.base_response_us * (1.0 + self.gc_overhead(self.params.max_heap_mb));
         let rt = self.response_time_us(view);
-        if rt.is_finite() {
-            (base / rt).min(1.0)
-        } else {
+        if base <= 0.0 || !rt.is_finite() || rt <= 0.0 {
             0.0
+        } else {
+            (base / rt).min(1.0)
         }
+    }
+
+    /// Working-set floor hint for distress-aware deflation: the smallest
+    /// memory footprint (MiB) at which the JVM still runs without
+    /// swapping — minimum heap plus non-heap overhead.
+    pub fn distress_floor_mb(&self) -> f64 {
+        self.min_heap_mb() + self.params.overhead_mb
     }
 }
 
@@ -350,6 +359,24 @@ mod tests {
         let r = agent.self_deflate(SimTime::ZERO, &ResourceVector::memory(1_638.0));
         assert!(r.reclaimed.is_zero());
         assert_eq!(app.heap_mb(), 12_288.0);
+    }
+
+    #[test]
+    fn zero_base_response_is_zero_perf_not_nan() {
+        let app = JvmApp::new(JvmParams {
+            base_response_us: 0.0,
+            ..JvmParams::default()
+        });
+        let vm = plain_vm(&app);
+        let perf = app.normalized_perf(&vm.view());
+        assert!(!perf.is_nan());
+        assert_eq!(perf, 0.0);
+    }
+
+    #[test]
+    fn distress_floor_covers_min_heap_and_overhead() {
+        let app = JvmApp::new(JvmParams::default());
+        assert!((app.distress_floor_mb() - (app.min_heap_mb() + 1_024.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -73,9 +73,24 @@ impl KcompileApp {
         let cpu_deflation = view.deflation.get(ResourceKind::Cpu);
         let base = self.params.curve.eval(cpu_deflation);
         let lhp = lhp_penalty(view.cpu_overcommit_ratio);
-        // Memory pressure stalls the compiler on swapped pages.
-        let swap_penalty = 1.0 + 4.0 * (view.swapped_mb / self.params.memory_mb).clamp(0.0, 1.0);
+        // Memory pressure stalls the compiler on swapped pages. A zero
+        // working set would make the ratio NaN; treat any swap against it
+        // as fully stalled.
+        let swapped_frac = if self.params.memory_mb > 0.0 {
+            (view.swapped_mb / self.params.memory_mb).clamp(0.0, 1.0)
+        } else if view.swapped_mb > 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        let swap_penalty = 1.0 + 4.0 * swapped_frac;
         base / (lhp * swap_penalty)
+    }
+
+    /// Working-set floor hint for distress-aware deflation: the build's
+    /// resident working set (MiB).
+    pub fn distress_floor_mb(&self) -> f64 {
+        self.params.memory_mb
     }
 
     /// Wall-clock build time under the view.
@@ -170,6 +185,21 @@ mod tests {
         let t = app.build_time(&vm.view());
         assert!(t > SimDuration::from_mins(30));
         assert!(t < SimDuration::from_mins(60));
+    }
+
+    #[test]
+    fn zero_working_set_is_never_nan() {
+        let app = KcompileApp::new(KcompileParams {
+            memory_mb: 0.0,
+            ..KcompileParams::default()
+        });
+        let vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
+        vm.state().borrow_mut().overcommitted = ResourceVector::memory(14_000.0);
+        vm.state().borrow_mut().usage.memory_mb = 2_000.0;
+        vm.state().borrow_mut().recompute_swap();
+        let perf = app.normalized_perf(&vm.view());
+        assert!(!perf.is_nan());
+        assert!(perf >= 0.0);
     }
 
     #[test]

@@ -227,6 +227,13 @@ impl MemcachedApp {
             self.throughput_kgets(view) / base
         }
     }
+
+    /// Working-set floor hint for distress-aware deflation: the smallest
+    /// memory footprint (MiB) the server can be squeezed to — minimum
+    /// cache plus process overhead.
+    pub fn distress_floor_mb(&self) -> f64 {
+        self.params.min_cache_mb + self.params.overhead_mb
+    }
 }
 
 /// The deflation agent for memcached: shrinks the cache with LRU eviction
@@ -335,6 +342,35 @@ mod tests {
         let hit = app.hit_rate(app.params().base_cache_mb);
         assert!((t - 140.0 * hit).abs() < 10.0);
         assert!(app.normalized_perf(&vm.view()) > 0.99);
+    }
+
+    #[test]
+    fn zero_baseline_is_zero_perf_not_nan() {
+        // A zero peak throughput (or an all-miss cache) makes the
+        // normalization baseline zero; the guard must return 0.0, not NaN.
+        let app = MemcachedApp::new(MemcachedParams {
+            base_kgets: 0.0,
+            ..MemcachedParams::default()
+        });
+        let vm = setup(&app);
+        let perf = app.normalized_perf(&vm.view());
+        assert!(!perf.is_nan());
+        assert_eq!(perf, 0.0);
+
+        let app = MemcachedApp::new(MemcachedParams {
+            offered_kgets: Some(0.0),
+            ..MemcachedParams::default()
+        });
+        let vm = setup(&app);
+        let perf = app.normalized_perf(&vm.view());
+        assert!(!perf.is_nan());
+        assert_eq!(perf, 0.0);
+    }
+
+    #[test]
+    fn distress_floor_covers_min_cache_and_overhead() {
+        let app = MemcachedApp::new(MemcachedParams::default());
+        assert!((app.distress_floor_mb() - (512.0 + 1_024.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -92,9 +92,23 @@ impl MpiApp {
         let cpu_frac =
             (worst.effective.get(ResourceKind::Cpu) / f64::from(p.ranks_per_vm)).clamp(1e-3, 1.0);
         let lhp = lhp_penalty(worst.cpu_overcommit_ratio);
-        // Swapped pages stall the stencil sweep badly.
-        let swap = 1.0 + 6.0 * (worst.swapped_mb / p.memory_mb).clamp(0.0, 1.0);
+        // Swapped pages stall the stencil sweep badly. Guard the ratio
+        // against a zero resident set (would be NaN).
+        let swapped_frac = if p.memory_mb > 0.0 {
+            (worst.swapped_mb / p.memory_mb).clamp(0.0, 1.0)
+        } else if worst.swapped_mb > 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        let swap = 1.0 + 6.0 * swapped_frac;
         (1.0 - p.compute_frac) + p.compute_frac * lhp * swap / cpu_frac
+    }
+
+    /// Working-set floor hint for distress-aware deflation: the stencil's
+    /// resident set (MiB) — an inelastic job cannot shrink it at all.
+    pub fn distress_floor_mb(&self) -> f64 {
+        self.params.memory_mb
     }
 
     /// Wall-clock running time on deflatable VMs: the job survives and
@@ -197,6 +211,21 @@ mod tests {
         );
         // Spinlock-heavy MPI suffers more under vCPU multiplexing.
         assert!(app.slowdown(&vm_hv.view()) > app2.slowdown(&vm_os.view()));
+    }
+
+    #[test]
+    fn zero_resident_set_is_never_nan() {
+        let app = MpiApp::new(MpiParams {
+            memory_mb: 0.0,
+            ..MpiParams::default()
+        });
+        let vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
+        vm.state().borrow_mut().usage.memory_mb = 2_000.0;
+        vm.state().borrow_mut().overcommitted = ResourceVector::memory(15_000.0);
+        vm.state().borrow_mut().recompute_swap();
+        let s = app.slowdown(&vm.view());
+        assert!(!s.is_nan());
+        assert!(s >= 1.0);
     }
 
     #[test]

@@ -110,6 +110,25 @@ impl WebServerApp {
         let effective_threads = threads.min(eff_cpu * p.threads_per_vcpu);
         effective_threads * p.kreq_per_thread / lhp_penalty(view.cpu_overcommit_ratio)
     }
+
+    /// Normalized performance (1.0 = undeflated). A zero-capacity
+    /// configuration (no threads, or zero per-thread rate) yields 0.0
+    /// rather than NaN.
+    pub fn normalized_perf(&self, view: &VmResourceView) -> f64 {
+        let p = &self.params;
+        let base = f64::from(p.max_threads) * p.kreq_per_thread;
+        if base <= 0.0 {
+            0.0
+        } else {
+            (self.throughput_kreq(view) / base).min(1.0)
+        }
+    }
+
+    /// Working-set floor hint for distress-aware deflation: the minimum
+    /// pool plus process overhead (MiB).
+    pub fn distress_floor_mb(&self) -> f64 {
+        self.params.overhead_mb + f64::from(self.params.min_threads) * self.params.thread_memory_mb
+    }
 }
 
 /// The deflation agent for web servers: shrinks the worker pool to match
@@ -240,6 +259,19 @@ mod tests {
         assert_eq!(app.threads(), 32);
         vm.reinflate(SimTime::from_secs(10), &ResourceVector::cpu(2.0));
         assert_eq!(app.threads(), 64);
+    }
+
+    #[test]
+    fn zero_capacity_is_zero_perf_not_nan() {
+        let app = WebServerApp::new(WebServerParams {
+            kreq_per_thread: 0.0,
+            ..WebServerParams::default()
+        });
+        let vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
+        app.init_usage(&vm.state());
+        let perf = app.normalized_perf(&vm.view());
+        assert!(!perf.is_nan());
+        assert_eq!(perf, 0.0);
     }
 
     #[test]

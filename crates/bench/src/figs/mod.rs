@@ -6,6 +6,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig_distress;
 pub mod fig_faults;
 pub mod pricing_exp;
 
@@ -26,6 +27,7 @@ pub fn run_all() -> Vec<Table> {
         Box::new(fig8::run),
         Box::new(ablations::run),
         Box::new(fig_faults::run),
+        Box::new(fig_distress::run),
         Box::new(|| vec![pricing_exp::run()]),
     ];
     crate::sweep::parallel_map(jobs, |job| job())

@@ -22,24 +22,43 @@ pub const FAULT_COUNTER_KEYS: [&str; 3] = [
     "cascade.retries",
 ];
 
+/// Guest-distress counters every figure binary reports even when the
+/// distress loop never ran (they print as zero). `distress.*` keys join
+/// these dynamically as simulations record them.
+pub const DISTRESS_COUNTER_KEYS: [&str; 4] = [
+    "cluster.oom_kills",
+    "cluster.emergency_reinflations",
+    "cluster.breaker_open_vms",
+    "cluster.distress_seconds",
+];
+
 /// Process-wide accumulator of fault-related counters scraped from
 /// cluster-simulation run summaries; printed by [`run_summary`].
 static SIM_FAULT_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
 
+/// Same, for the guest-distress counters.
+static SIM_DISTRESS_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
 /// Folds the fault/resilience counters (`fault.injected.*`, server
-/// crashes, unresponsive agents, cascade retries) of one cluster-sim run
-/// summary into the accumulator behind every fig binary's run summary.
-/// Figures that run `run_cluster_sim` call this once per result so fault
-/// activity is visible without each figure printing its own columns.
+/// crashes, unresponsive agents, cascade retries) and the guest-distress
+/// counters (`distress.*`, OOM kills, emergency reinflations, breaker
+/// trips) of one cluster-sim run summary into the accumulators behind
+/// every fig binary's run summary. Figures that run `run_cluster_sim`
+/// call this once per result so fault and distress activity is visible
+/// without each figure printing its own columns.
 pub fn record_sim_summary(doc: &simkit::JsonValue) {
     let Some(counters) = doc.get("counters").and_then(|c| c.as_object()) else {
         return;
     };
-    let mut acc = SIM_FAULT_COUNTERS.lock().expect("fault accumulator");
+    let mut faults = SIM_FAULT_COUNTERS.lock().expect("fault accumulator");
+    let mut distress = SIM_DISTRESS_COUNTERS.lock().expect("distress accumulator");
     for (k, v) in counters {
-        let relevant = k.starts_with("fault.") || FAULT_COUNTER_KEYS.contains(&k.as_str());
-        if let (true, Some(n)) = (relevant, v.as_f64()) {
-            *acc.entry(k.clone()).or_insert(0.0) += n;
+        let Some(n) = v.as_f64() else { continue };
+        if k.starts_with("fault.") || FAULT_COUNTER_KEYS.contains(&k.as_str()) {
+            *faults.entry(k.clone()).or_insert(0.0) += n;
+        }
+        if k.starts_with("distress.") || DISTRESS_COUNTER_KEYS.contains(&k.as_str()) {
+            *distress.entry(k.clone()).or_insert(0.0) += n;
         }
     }
 }
@@ -177,6 +196,18 @@ pub fn run_summary(run: &str, tables: &[Table], wall_time_s: f64) -> simkit::Jso
         faults.set(k, *v);
     }
     doc.set("faults", faults);
+    let mut distress = simkit::JsonValue::object();
+    for key in DISTRESS_COUNTER_KEYS {
+        distress.set(key, 0.0);
+    }
+    for (k, v) in SIM_DISTRESS_COUNTERS
+        .lock()
+        .expect("distress accumulator")
+        .iter()
+    {
+        distress.set(k, *v);
+    }
+    doc.set("distress", distress);
     doc
 }
 
@@ -305,6 +336,36 @@ mod tests {
         assert!(get("fault.injected.agent_down") >= 5.0);
         // Non-fault counters are not hoisted into the faults section.
         assert!(faults.get("cluster.launched").is_none());
+    }
+
+    #[test]
+    fn run_summary_reports_distress_counters() {
+        // The distress counters are always present (zero by default)…
+        let doc = run_summary("figZ", &[sample()], 0.1);
+        let distress = doc.get("distress").expect("distress section");
+        for key in DISTRESS_COUNTER_KEYS {
+            assert!(
+                distress.get(key).and_then(|v| v.as_f64()).is_some(),
+                "{key} missing"
+            );
+        }
+        // …and fold in whatever the simulations recorded (lower bounds:
+        // the accumulator is process-wide).
+        let sim = simkit::JsonValue::object().with(
+            "counters",
+            simkit::JsonValue::object()
+                .with("cluster.oom_kills", 3.0)
+                .with("distress.hard_samples", 9.0)
+                .with("cluster.launched", 100.0),
+        );
+        record_sim_summary(&sim);
+        let doc = run_summary("figZ", &[sample()], 0.1);
+        let distress = doc.get("distress").expect("distress section");
+        let get = |k: &str| distress.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        assert!(get("cluster.oom_kills") >= 3.0);
+        assert!(get("distress.hard_samples") >= 9.0);
+        // Non-distress counters are not hoisted into the section.
+        assert!(distress.get("cluster.launched").is_none());
     }
 
     #[test]

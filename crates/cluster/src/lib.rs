@@ -19,6 +19,7 @@
 //! probabilities and server overcommitment under increasing load —
 //! reproducing Figs. 8c and 8d.
 
+pub mod distress;
 pub mod manager;
 pub mod placement;
 pub mod placement_index;
@@ -27,6 +28,7 @@ pub mod pricing;
 pub mod simulate;
 pub mod traces;
 
+pub use distress::{DistressConfig, DistressEvent};
 pub use manager::{
     ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome, ServerFailure,
 };

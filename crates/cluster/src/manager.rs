@@ -9,13 +9,15 @@ use std::collections::{HashMap, HashSet};
 
 use deflate_core::{CascadeConfig, DeflateError, ResourceKind, ResourceVector, ServerId, VmId};
 use hypervisor::{
-    LocalController, PhysicalServer, ReclaimReport, ServerAggregates, Vm, VmFaults, VmPriority,
+    GuestConfig, LatencyModel, LocalController, PhysicalServer, ReclaimReport, ServerAggregates,
+    Vm, VmFaults, VmPriority,
 };
 use simkit::{
     FaultInjector, FaultPlan, JsonValue, Observability, SeqHash, SimDuration, SimRng, SimTime,
     Span, TraceLog,
 };
 
+use crate::distress::{DistressConfig, DistressEvent};
 use crate::placement::{
     choose_server_baseline, choose_server_with, AvailabilityMode, PlacementEngine, PlacementPolicy,
 };
@@ -81,6 +83,11 @@ pub struct ClusterManagerConfig {
     /// formatting costs more than the simulation work being measured.
     /// Metrics counters/gauges/histograms are recorded either way.
     pub lifecycle_trace: bool,
+    /// Guest-distress loop: OOM/thrash consequences, emergency
+    /// reinflation and the per-VM deflation circuit breaker. Disabled by
+    /// default ([`DistressConfig::none`]), which keeps the manager
+    /// byte-identical to a build without distress plumbing.
+    pub distress: DistressConfig,
 }
 
 impl Default for ClusterManagerConfig {
@@ -99,6 +106,7 @@ impl Default for ClusterManagerConfig {
             unresponsive_after: 3,
             engine: PlacementEngine::Indexed,
             lifecycle_trace: true,
+            distress: DistressConfig::none(),
         }
     }
 }
@@ -126,6 +134,10 @@ pub struct ClusterStats {
     pub unresponsive_vms: u64,
     /// Whole-server crashes injected.
     pub server_crashes: u64,
+    /// Guest OOM kills (sustained hard distress past the grace window).
+    pub oom_kills: u64,
+    /// Emergency reinflation rounds run for distressed VMs.
+    pub emergency_reinflations: u64,
 }
 
 impl ClusterStats {
@@ -180,11 +192,33 @@ pub struct ServerFailure {
     pub lost_low: Vec<VmId>,
 }
 
+/// Per-VM distress tracking: the grace-window clock, the breaker's
+/// consecutive-sample counters, and its exponential hold-off state.
+#[derive(Debug, Default, Clone, Copy)]
+struct VmDistress {
+    /// When the current uninterrupted hard-distress episode began.
+    hard_since: Option<SimTime>,
+    /// Consecutive distressed (hard or soft) samples.
+    consecutive: u32,
+    /// Consecutive healthy samples while the breaker is open.
+    healthy_streak: u32,
+    /// Times the breaker has tripped (drives the exponential hold-off).
+    trips: u32,
+    /// Healthy samples required to close the breaker this time.
+    hold: u32,
+    /// Whether the breaker is open (VM exempt from memory deflation).
+    open: bool,
+}
+
 /// The deflation-based cluster manager.
 pub struct ClusterManager {
     cfg: ClusterManagerConfig,
     servers: Vec<PhysicalServer>,
     controller: LocalController,
+    /// The cascade local controllers run with — `cfg.cascade`, plus the
+    /// working-set-floor flag when the distress loop asks for it. Also
+    /// used for emergency donor deflation.
+    cascade: CascadeConfig,
     rng: SimRng,
     stats: ClusterStats,
     /// VM → server index. Touched on every launch and exit, so it (and
@@ -196,6 +230,9 @@ pub struct ClusterManager {
     fault: Option<FaultInjector>,
     /// Consecutive missed cascade deadlines per low-priority VM.
     missed: HashMap<VmId, u32, SeqHash>,
+    /// Per-VM distress state; empty (and never touched) while the
+    /// distress loop is disabled.
+    distress: HashMap<VmId, VmDistress, SeqHash>,
     /// VMs declared unresponsive (hypervisor-only deflation from now on).
     unresponsive: HashSet<VmId, SeqHash>,
     /// Unified observability: metrics registry plus lifecycle trace
@@ -226,7 +263,12 @@ impl ClusterManager {
                 PhysicalServer::new(ServerId(i as u64), cfg.server_capacity.scale(factor))
             })
             .collect();
-        let controller = LocalController::new(cfg.cascade);
+        let cascade = if !cfg.distress.is_none() && cfg.distress.working_set_floor {
+            cfg.cascade.with_working_set_floor(true)
+        } else {
+            cfg.cascade
+        };
+        let controller = LocalController::new(cascade);
         let rng = SimRng::seed_from_u64(cfg.seed);
         let capacity = servers
             .iter()
@@ -241,11 +283,13 @@ impl ClusterManager {
             cfg,
             servers,
             controller,
+            cascade,
             rng,
             stats: ClusterStats::default(),
             index: HashMap::default(),
             fault,
             missed: HashMap::default(),
+            distress: HashMap::default(),
             unresponsive: HashSet::default(),
             obs: Observability::new(),
             predictor: DemandPredictor::new(simkit::SimDuration::from_mins(10), 0.3),
@@ -591,6 +635,7 @@ impl ClusterManager {
             self.index.remove(&id);
             self.missed.remove(&id);
             self.unresponsive.remove(&id);
+            self.distress.remove(&id);
             match vm.priority() {
                 VmPriority::High => lost_high.push(id),
                 VmPriority::Low => lost_low.push(id),
@@ -679,9 +724,26 @@ impl ClusterManager {
 
         let before = self.servers[si].aggregates();
         let vm_faults = self.plan_vm_faults(now, si, &req.spec);
-        let report =
+        let report = if self.cfg.distress.is_none() {
             self.controller
-                .make_room_with(now, &mut self.servers[si], &req.spec, &vm_faults);
+                .make_room_with(now, &mut self.servers[si], &req.spec, &vm_faults)
+        } else {
+            // Breaker-open VMs are shielded from further memory
+            // deflation; the proportional planner routes their share to
+            // healthy donors (they can still be preempted).
+            let shielded: HashSet<VmId> = self.servers[si]
+                .low_priority_ids()
+                .into_iter()
+                .filter(|id| self.distress.get(id).is_some_and(|s| s.open))
+                .collect();
+            self.controller.make_room_shielded(
+                now,
+                &mut self.servers[si],
+                &req.spec,
+                &vm_faults,
+                &shielded,
+            )
+        };
 
         if !report.satisfied {
             // Deflation and preemption could not cover the demand (the
@@ -739,6 +801,7 @@ impl ClusterManager {
             self.index.remove(id);
             self.missed.remove(id);
             self.unresponsive.remove(id);
+            self.distress.remove(id);
             if self.cfg.lifecycle_trace {
                 self.obs
                     .trace
@@ -771,7 +834,27 @@ impl ClusterManager {
         } else {
             ResourceVector::ZERO
         };
-        let vm = Vm::new(req.id, req.spec, priority).with_min(min);
+        let vm = if self.cfg.distress.is_none() {
+            Vm::new(req.id, req.spec, priority).with_min(min)
+        } else {
+            // Under the distress loop guests get force-unplug semantics
+            // (hard distress is reachable) and low-priority VMs carry a
+            // working-set floor derived from their resident set.
+            let guest = GuestConfig {
+                force_unplug: self.cfg.distress.force_unplug,
+                ..GuestConfig::default()
+            };
+            let mut vm =
+                Vm::with_models(req.id, req.spec, priority, guest, LatencyModel::default())
+                    .with_min(min);
+            if req.low_priority && self.cfg.distress.floor_fraction > 0.0 {
+                let floor = req.spec.get(ResourceKind::Memory)
+                    * self.cfg.usage_fraction
+                    * self.cfg.distress.floor_fraction;
+                vm = vm.with_memory_floor(floor);
+            }
+            vm
+        };
         vm.set_usage(
             req.spec.get(ResourceKind::Memory) * self.cfg.usage_fraction,
             req.spec.get(ResourceKind::Cpu) * self.cfg.usage_fraction,
@@ -848,6 +931,7 @@ impl ClusterManager {
         self.index.remove(&id);
         self.missed.remove(&id);
         self.unresponsive.remove(&id);
+        self.distress.remove(&id);
         let freed = vm.effective();
         if self.cfg.lifecycle_trace {
             self.obs
@@ -908,6 +992,260 @@ impl ClusterManager {
         self.refresh_index(si);
         self.update_gauges(now);
         Some(ServerId(si as u64))
+    }
+
+    /// Whether a VM's deflation circuit breaker is currently open.
+    pub fn breaker_open(&self, id: VmId) -> bool {
+        self.distress.get(&id).is_some_and(|s| s.open)
+    }
+
+    /// One distress-sampling round over every low-priority VM: classify
+    /// each guest as healthy / soft (thrashing) / hard (OOM), run
+    /// emergency reinflation for distressed guests, fire the OOM killer
+    /// on hard distress that outlived the grace window, and advance the
+    /// per-VM circuit breakers. Returns the kills and slowdowns for the
+    /// simulator to act on. A no-op unless the distress loop is enabled.
+    pub fn sample_distress(&mut self, now: SimTime) -> Vec<DistressEvent> {
+        let d = self.cfg.distress;
+        if d.is_none() {
+            return Vec::new();
+        }
+        let interval_secs = d.sample_interval.as_secs_f64();
+        let mut events = Vec::new();
+        // Deterministic sample order regardless of hash-map iteration.
+        let mut vms: Vec<(u64, usize)> = self
+            .index
+            .iter()
+            .filter(|(id, si)| {
+                self.servers[**si]
+                    .vm(**id)
+                    .is_some_and(|v| v.priority() == VmPriority::Low)
+            })
+            .map(|(id, si)| (id.0, *si))
+            .collect();
+        vms.sort_unstable();
+        let mut sampled = 0u64;
+        let mut distressed = 0u64;
+        for (raw, si) in vms {
+            let id = VmId(raw);
+            sampled += 1;
+            let classify = |server: &PhysicalServer| {
+                let vm = server.vm(id).expect("sampled VM is hosted");
+                let state = vm.state();
+                let st = state.borrow();
+                let frac = if st.usage.memory_mb > 0.0 {
+                    ((st.swapped_mb + st.blind_swapped_mb) / st.usage.memory_mb).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                (st.is_oom(), frac)
+            };
+            let (mut hard, mut frac) = classify(&self.servers[si]);
+            let mut soft = !hard && frac > d.thrash_threshold;
+            let mut st = self.distress.get(&id).copied().unwrap_or_default();
+
+            // Mitigation first: emergency reinflation may clear the
+            // distress this very sample, before consequences apply.
+            if (hard || soft) && d.emergency_reinflate {
+                self.emergency_reinflate(now, si, id);
+                (hard, frac) = classify(&self.servers[si]);
+                soft = !hard && frac > d.thrash_threshold;
+            }
+
+            if hard || soft {
+                distressed += 1;
+                st.consecutive += 1;
+                st.healthy_streak = 0;
+                if !st.open && d.breaker_after > 0 && st.consecutive >= d.breaker_after {
+                    st.open = true;
+                    st.trips += 1;
+                    st.hold = d
+                        .breaker_cooldown
+                        .saturating_mul(1u32 << (st.trips - 1).min(6));
+                    self.obs.metrics.incr("cluster.breaker_open_vms");
+                    self.obs.trace.record_span(
+                        Span::new("cluster.breaker_open", now)
+                            .with_attr("vm", id.to_string())
+                            .with_attr("trips", u64::from(st.trips))
+                            .with_attr("hold_samples", u64::from(st.hold)),
+                    );
+                }
+            } else {
+                st.consecutive = 0;
+                st.hard_since = None;
+                if st.open {
+                    st.healthy_streak += 1;
+                    if st.healthy_streak >= st.hold {
+                        st.open = false;
+                        st.healthy_streak = 0;
+                        self.obs.metrics.incr("distress.breaker_closed");
+                    }
+                }
+            }
+
+            if hard {
+                self.obs.metrics.incr("distress.hard_samples");
+                let since = *st.hard_since.get_or_insert(now);
+                if now >= since + d.grace_window {
+                    // Grace expired without rescue: the guest OOM killer
+                    // fires and the VM dies.
+                    self.distress.remove(&id);
+                    let server = self.oom_kill(now, id);
+                    events.push(DistressEvent::OomKill { vm: id, server });
+                    continue;
+                }
+            } else if soft {
+                self.obs.metrics.incr("distress.soft_samples");
+                st.hard_since = None;
+                events.push(DistressEvent::Slowdown {
+                    vm: id,
+                    perf: d.thrash_perf(frac),
+                });
+            }
+            self.distress.insert(id, st);
+        }
+        if sampled > 0 {
+            self.obs.metrics.add(
+                "distress.lowpri_sample_seconds",
+                (sampled as f64 * interval_secs) as u64,
+            );
+        }
+        if distressed > 0 {
+            self.obs.metrics.add(
+                "cluster.distress_seconds",
+                (distressed as f64 * interval_secs) as u64,
+            );
+        }
+        self.update_gauges(now);
+        events
+    }
+
+    /// Emergency reinflation for one distressed VM: grant it the memory
+    /// gap between its resident set and its effective allocation, taking
+    /// first from the server's free pool and then from healthy
+    /// co-located low-priority donors (largest headroom first, never
+    /// below a donor's own resident set or minimum size, never from a
+    /// breaker-open VM).
+    fn emergency_reinflate(&mut self, now: SimTime, si: usize, victim: VmId) {
+        use ResourceKind::Memory;
+        let Some(vm) = self.servers[si].vm(victim) else {
+            return;
+        };
+        let usage = vm.state().borrow().usage.memory_mb;
+        let eff = vm.effective().get(Memory);
+        let spec = vm.spec().get(Memory);
+        let needed = (usage - eff).max(0.0).min((spec - eff).max(0.0));
+        if needed <= 1.0 {
+            return;
+        }
+        let before = self.servers[si].aggregates();
+        let free = self.servers[si].free().get(Memory);
+        let mut shortfall = (needed - free).max(0.0);
+        if shortfall > 0.0 {
+            let mut donors: Vec<(f64, VmId)> = self.servers[si]
+                .vms()
+                .filter(|dv| {
+                    dv.id() != victim && dv.priority() == VmPriority::Low && dv.deflatable()
+                })
+                .filter(|dv| !self.distress.get(&dv.id()).is_some_and(|s| s.open))
+                .filter_map(|dv| {
+                    let state = dv.state();
+                    let st = state.borrow();
+                    if st.is_oom() {
+                        return None;
+                    }
+                    let eff = dv.effective().get(Memory);
+                    // Donations stop at the donor's own resident set and
+                    // at its contractual minimum.
+                    let give = (eff - st.usage.memory_mb)
+                        .min(eff - dv.min_size().get(Memory))
+                        .min(shortfall);
+                    (give > 1.0).then(|| (give, dv.id()))
+                })
+                .collect();
+            donors.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1 .0.cmp(&b.1 .0)));
+            for (give, did) in donors {
+                if shortfall <= 0.0 {
+                    break;
+                }
+                let ask = ResourceVector::memory(give.min(shortfall));
+                if let Some(out) = self.servers[si].deflate_vm(now, did, &ask, &self.cascade) {
+                    shortfall -= out.total_reclaimed.get(Memory);
+                }
+            }
+        }
+        let grant = needed.min(self.servers[si].free().get(Memory));
+        if grant > 0.0 {
+            self.servers[si].reinflate_vm(now, victim, &ResourceVector::memory(grant));
+            self.stats.emergency_reinflations += 1;
+            self.obs.metrics.incr("cluster.emergency_reinflations");
+            if self.cfg.lifecycle_trace {
+                self.obs.trace.record(
+                    now,
+                    "emergency_reinflate",
+                    format!("{victim} granted {grant:.0} MiB of {needed:.0} needed"),
+                );
+            }
+            self.obs.trace.record_span(
+                Span::new("cluster.emergency_reinflate", now)
+                    .with_attr("vm", victim.to_string())
+                    .with_attr("server", si as u64)
+                    .with_attr("needed_mb", needed as u64)
+                    .with_attr("granted_mb", grant as u64),
+            );
+        }
+        let after = self.servers[si].aggregates();
+        self.apply_delta(&before, &after);
+        self.refresh_index(si);
+    }
+
+    /// The guest OOM killer fires: the VM dies, its resources reinflate
+    /// the survivors, and the caller relaunches it through the crash
+    /// path. Mirrors [`exit`](Self::exit) with kill accounting.
+    fn oom_kill(&mut self, now: SimTime, id: VmId) -> ServerId {
+        let si = *self.index.get(&id).expect("sampled VM is indexed");
+        let before = self.servers[si].aggregates();
+        let vm = self.servers[si]
+            .remove_vm(id)
+            .expect("indexed VM is hosted");
+        self.index.remove(&id);
+        self.missed.remove(&id);
+        self.unresponsive.remove(&id);
+        let freed = vm.effective();
+        self.stats.oom_kills += 1;
+        self.obs.metrics.incr("cluster.oom_kills");
+        if self.cfg.lifecycle_trace {
+            self.obs
+                .trace
+                .record(now, "oom_kill", format!("{id} freeing {freed}"));
+        }
+        self.obs.trace.record_span(
+            Span::new("cluster.guest_oom_kill", now)
+                .with_attr("vm", id.to_string())
+                .with_attr("server", si as u64),
+        );
+        let hp = vm.hotplug_stats();
+        self.obs
+            .metrics
+            .add("vm.hotplug.unplug_attempts", hp.unplug_attempts);
+        self.obs
+            .metrics
+            .add("vm.hotplug.unplug_shortfalls", hp.unplug_shortfalls);
+        self.obs.metrics.add("vm.hotplug.plug_ops", hp.plug_ops);
+        let mid = self.servers[si].aggregates();
+        self.apply_delta(&before, &mid);
+        let applied = self
+            .controller
+            .reinflate(now, &mut self.servers[si], &freed);
+        self.stats.reinflations += applied.len() as u64;
+        self.obs
+            .metrics
+            .add("cluster.reinflations", applied.len() as u64);
+        let after = self.servers[si].aggregates();
+        self.apply_delta(&mid, &after);
+        self.refresh_index(si);
+        self.update_gauges(now);
+        ServerId(si as u64)
     }
 }
 
@@ -1284,6 +1622,227 @@ mod tests {
         assert!(!text.contains("cluster.unresponsive_vms"));
         assert!(!text.contains("cluster.server_crashes"));
         assert!(!text.contains("cascade.retries"));
+    }
+
+    #[test]
+    fn distress_disabled_run_registers_no_distress_keys() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        for i in 0..5 {
+            m.launch(SimTime::ZERO, &req(i, true));
+        }
+        // Sampling a disabled loop is a no-op and draws nothing.
+        assert!(m.sample_distress(SimTime::from_secs(60)).is_empty());
+        m.exit(SimTime::from_secs(120), VmId(0));
+        let doc = m.run_summary(SimTime::from_secs(200), "unit");
+        let text = doc.to_string();
+        assert!(
+            !text.contains("distress."),
+            "distress path must be opt-in: {text}"
+        );
+        assert!(!text.contains("cluster.oom_kills"));
+        assert!(!text.contains("cluster.emergency_reinflations"));
+        assert!(!text.contains("cluster.breaker_open_vms"));
+        assert!(!text.contains("cluster.distress_seconds"));
+    }
+
+    /// Drives one low-priority VM into hard distress (OOM) by deflating
+    /// it below its resident set through the manager's own bookkeeping.
+    fn force_oom(m: &mut ClusterManager, id: VmId, mem: f64) {
+        let before = m.servers[0].aggregates();
+        let cascade = m.cascade;
+        m.servers[0]
+            .deflate_vm(SimTime::ZERO, id, &ResourceVector::memory(mem), &cascade)
+            .expect("VM is hosted");
+        let after = m.servers[0].aggregates();
+        m.apply_delta(&before, &after);
+        m.refresh_index(0);
+    }
+
+    fn distress_cfg(d: crate::distress::DistressConfig) -> ClusterManagerConfig {
+        ClusterManagerConfig {
+            n_servers: 1,
+            server_capacity: ResourceVector::new(8.0, 32_768.0, 200.0, 400.0),
+            distress: d,
+            ..ClusterManagerConfig::default()
+        }
+    }
+
+    #[test]
+    fn sustained_hard_distress_fires_the_oom_killer() {
+        let mut d = crate::distress::DistressConfig::unguarded();
+        d.floor_fraction = 0.0; // no floor: deflation may cut freely
+        let mut m = ClusterManager::new(distress_cfg(d));
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+        // Cut VM 0 well below its 8192 MiB resident set.
+        force_oom(&mut m, VmId(0), 9_000.0);
+        assert!(m.servers()[0]
+            .vm(VmId(0))
+            .unwrap()
+            .state()
+            .borrow()
+            .is_oom());
+
+        // The grace clock starts at the first sample (60 s); the 180 s
+        // window expires at the 240 s sample.
+        for s in 1..=4u64 {
+            let evs = m.sample_distress(SimTime::from_secs(60 * s));
+            if s < 4 {
+                assert!(evs.is_empty(), "sample {s} must not kill yet");
+                assert!(m.is_running(VmId(0)));
+            } else {
+                assert_eq!(evs.len(), 1);
+                assert!(matches!(
+                    evs[0],
+                    DistressEvent::OomKill {
+                        vm: VmId(0),
+                        server: ServerId(0)
+                    }
+                ));
+            }
+        }
+        assert!(!m.is_running(VmId(0)));
+        assert_eq!(m.stats().oom_kills, 1);
+        let obs = m.observability();
+        assert_eq!(obs.metrics.count("cluster.oom_kills"), 1);
+        assert!(obs.metrics.count("cluster.distress_seconds") >= 180);
+        assert!(obs.metrics.count("distress.lowpri_sample_seconds") > 0);
+        assert_eq!(obs.trace.spans_by_kind("cluster.guest_oom_kill").count(), 1);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn emergency_reinflation_rescues_before_the_grace_window() {
+        let d = crate::distress::DistressConfig::guarded();
+        let mut m = ClusterManager::new(distress_cfg(d));
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+        force_oom(&mut m, VmId(0), 9_000.0);
+        // Soak up the freed memory so the rescue must tap donor VM 1.
+        let spec = ResourceVector::new(0.0, 9_000.0, 0.0, 0.0);
+        let hi = VmRequest {
+            id: VmId(9),
+            arrival: SimTime::ZERO,
+            lifetime: SimDuration::from_hours(1),
+            spec,
+            type_name: "hog",
+            low_priority: false,
+            min_size: ResourceVector::ZERO,
+        };
+        assert!(matches!(
+            m.launch(SimTime::ZERO, &hi),
+            LaunchOutcome::Placed { .. }
+        ));
+        assert!(m.servers()[0]
+            .vm(VmId(0))
+            .unwrap()
+            .state()
+            .borrow()
+            .is_oom());
+
+        // One guarded sample rescues: no kill, OOM cleared, donor intact.
+        let evs = m.sample_distress(SimTime::from_secs(60));
+        assert!(evs.is_empty(), "rescued, not killed or slowed: {evs:?}");
+        let vm0 = m.servers()[0].vm(VmId(0)).unwrap();
+        assert!(!vm0.state().borrow().is_oom());
+        let vm1 = m.servers()[0].vm(VmId(1)).unwrap();
+        let donor_eff = vm1.effective().get(ResourceKind::Memory);
+        let donor_usage = vm1.state().borrow().usage.memory_mb;
+        assert!(
+            donor_eff >= donor_usage - 1.0,
+            "donor squeezed below its own resident set: {donor_eff} < {donor_usage}"
+        );
+        assert!(m.stats().emergency_reinflations >= 1);
+        assert!(
+            m.observability()
+                .metrics
+                .count("cluster.emergency_reinflations")
+                >= 1
+        );
+        // Survive every later sample: nothing ever dies.
+        for s in 2..=6u64 {
+            assert!(m.sample_distress(SimTime::from_secs(60 * s)).is_empty());
+        }
+        assert_eq!(m.stats().oom_kills, 0);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_distress_and_shields_memory() {
+        let mut d = crate::distress::DistressConfig::unguarded();
+        d.breaker_after = 2;
+        d.breaker_cooldown = 2;
+        d.grace_window = SimDuration::from_hours(10); // never kill here
+        d.floor_fraction = 0.0;
+        let mut m = ClusterManager::new(distress_cfg(d));
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+        force_oom(&mut m, VmId(0), 9_000.0);
+
+        m.sample_distress(SimTime::from_secs(60));
+        assert!(!m.breaker_open(VmId(0)), "one sample is not enough");
+        m.sample_distress(SimTime::from_secs(120));
+        assert!(m.breaker_open(VmId(0)), "two consecutive samples trip it");
+        assert_eq!(
+            m.observability().metrics.count("cluster.breaker_open_vms"),
+            1
+        );
+
+        // A reclamation round must not squeeze the breaker-open VM: the
+        // demand routes to VM 1 (9000 MiB are free, the rest comes from
+        // the donor).
+        let eff0_before = m.servers()[0]
+            .vm(VmId(0))
+            .unwrap()
+            .effective()
+            .get(ResourceKind::Memory);
+        let hi = VmRequest {
+            id: VmId(9),
+            arrival: SimTime::ZERO,
+            lifetime: SimDuration::from_hours(1),
+            spec: ResourceVector::new(0.0, 12_000.0, 0.0, 0.0),
+            type_name: "hog",
+            low_priority: false,
+            min_size: ResourceVector::ZERO,
+        };
+        assert!(matches!(
+            m.launch(SimTime::from_secs(130), &hi),
+            LaunchOutcome::Placed { preempted, .. } if preempted.is_empty()
+        ));
+        let eff0_after = m.servers()[0]
+            .vm(VmId(0))
+            .unwrap()
+            .effective()
+            .get(ResourceKind::Memory);
+        assert!(
+            eff0_after >= eff0_before - 1e-6,
+            "breaker-open VM was deflated further: {eff0_before} -> {eff0_after}"
+        );
+
+        // Restore health; after the cool-down the breaker closes.
+        let before = m.servers[0].aggregates();
+        m.servers[0].reinflate_vm(
+            SimTime::from_secs(140),
+            VmId(0),
+            &ResourceVector::memory(900.0),
+        );
+        let after = m.servers[0].aggregates();
+        m.apply_delta(&before, &after);
+        m.refresh_index(0);
+        assert!(!m.servers()[0]
+            .vm(VmId(0))
+            .unwrap()
+            .state()
+            .borrow()
+            .is_oom());
+        m.sample_distress(SimTime::from_secs(180));
+        assert!(m.breaker_open(VmId(0)), "one healthy sample of two");
+        m.sample_distress(SimTime::from_secs(240));
+        assert!(
+            !m.breaker_open(VmId(0)),
+            "cool-down reached; breaker closes"
+        );
+        m.assert_consistent();
     }
 
     #[test]

@@ -79,16 +79,26 @@ enum Ev {
     ServerCrash(u64),
     /// A crashed server rejoins placement.
     ServerUp(ServerId),
-    /// A high-priority VM lost to a server crash re-enters placement
-    /// after its boot delay. `arrival` holds the crash instant so the
-    /// restart latency (crash → running again) can be observed.
-    Relaunch(Box<VmRequest>),
+    /// A VM lost to a server crash or a guest OOM kill re-enters
+    /// placement after its boot delay. `arrival` holds the loss instant
+    /// so the restart latency (loss → running again) can be observed;
+    /// `oom` distinguishes a distress kill from a crash so each path
+    /// bills its own metric keys.
+    Relaunch {
+        req: Box<VmRequest>,
+        oom: bool,
+    },
+    /// Periodic guest-distress sampling round (only scheduled when the
+    /// distress loop is enabled).
+    DistressSample,
 }
 
-/// Lifetime bookkeeping for a running VM, kept only under a fault plan:
-/// a crash needs the original request (to relaunch high-priority VMs)
-/// and the scheduled departure (to compute the remaining lifetime and to
-/// ignore the stale `Depart` of the pre-crash incarnation).
+/// Lifetime bookkeeping for a running VM, kept under a fault plan or the
+/// distress loop: a crash or OOM kill needs the original request (to
+/// relaunch the VM) and the scheduled departure (to compute the
+/// remaining lifetime and to ignore the stale `Depart` of a superseded
+/// incarnation — whether replaced by a relaunch or stretched by a
+/// thrash slowdown).
 struct LiveVm {
     req: VmRequest,
     depart_at: SimTime,
@@ -145,6 +155,17 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
             sched.at(t, Ev::ServerCrash(k as u64));
         }
     }
+    // Distress plumbing: a periodic sampling event drives the guest
+    // OOM/thrash loop. Absent when disabled — the event stream (and the
+    // run summary) is byte-identical to a build without it.
+    let distress = cfg.manager.distress;
+    let track_live = injector.is_some() || !distress.is_none();
+    if !distress.is_none() {
+        let first = SimTime::ZERO + distress.sample_interval;
+        if first <= horizon {
+            sched.at(first, Ev::DistressSample);
+        }
+    }
 
     let mut offered_cpu_hours = 0.0f64;
     let mut util_gauge = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
@@ -175,7 +196,7 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 let outcome = manager.launch(now, &req);
                 let touched = if let LaunchOutcome::Placed { server, .. } = &outcome {
                     sched.after(req.lifetime, Ev::Depart(req.id));
-                    if injector.is_some() {
+                    if track_live {
                         live.insert(
                             req.id,
                             LiveVm {
@@ -197,10 +218,10 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 touched
             }
             Ev::Depart(id) => {
-                if injector.is_some() {
+                if track_live {
                     match live.get(&id) {
-                        // A relaunch pushed the departure later: this is
-                        // the stale Depart of the pre-crash incarnation.
+                        // A relaunch or a thrash slowdown pushed the
+                        // departure later: this Depart is stale.
                         Some(lv) if lv.depart_at > now => None,
                         _ => {
                             live.remove(&id);
@@ -240,7 +261,13 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                                 let mut req = lv.req;
                                 req.arrival = now; // crash instant, for latency accounting
                                 req.lifetime = lv.depart_at - restart_at;
-                                sched.at(restart_at, Ev::Relaunch(Box::new(req)));
+                                sched.at(
+                                    restart_at,
+                                    Ev::Relaunch {
+                                        req: Box::new(req),
+                                        oom: false,
+                                    },
+                                );
                             }
                         }
                     }
@@ -252,8 +279,8 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 manager.recover_server(now, sid);
                 Some(sid)
             }
-            Ev::Relaunch(req) => {
-                let crash_at = req.arrival;
+            Ev::Relaunch { req, oom } => {
+                let lost_at = req.arrival;
                 let outcome = manager.launch(now, &req);
                 if let LaunchOutcome::Placed { server, .. } = &outcome {
                     sched.after(req.lifetime, Ev::Depart(req.id));
@@ -264,20 +291,74 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                             depart_at: now + req.lifetime,
                         },
                     );
-                    // Crash → running-again latency: boot delay plus any
+                    // Loss → running-again latency: boot delay plus any
                     // reclamation the new placement had to wait for.
+                    let key = if oom {
+                        "distress.restart_latency_s"
+                    } else {
+                        "fault.restart_latency_s"
+                    };
                     manager
                         .observability_mut()
                         .metrics
-                        .observe("fault.restart_latency_s", (now - crash_at).as_secs_f64());
+                        .observe(key, (now - lost_at).as_secs_f64());
                     Some(*server)
                 } else {
-                    manager
-                        .observability_mut()
-                        .metrics
-                        .incr("fault.relaunch_rejected");
+                    let key = if oom {
+                        "distress.relaunch_rejected"
+                    } else {
+                        "fault.relaunch_rejected"
+                    };
+                    manager.observability_mut().metrics.incr(key);
                     None
                 }
+            }
+            Ev::DistressSample => {
+                for dev in manager.sample_distress(now) {
+                    match dev {
+                        crate::distress::DistressEvent::OomKill { vm, .. } => {
+                            // The manager already removed the VM; it
+                            // relaunches through the crash path after the
+                            // reboot delay, with its remaining lifetime.
+                            if let Some(lv) = live.remove(&vm) {
+                                let restart_at = now + distress.restart_delay;
+                                if lv.depart_at > restart_at {
+                                    let mut req = lv.req;
+                                    req.arrival = now;
+                                    req.lifetime = lv.depart_at - restart_at;
+                                    sched.at(
+                                        restart_at,
+                                        Ev::Relaunch {
+                                            req: Box::new(req),
+                                            oom: true,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        crate::distress::DistressEvent::Slowdown { vm, perf } => {
+                            // The guest completed only `perf` of an
+                            // interval's work: stretch its remaining
+                            // lifetime and supersede the old Depart.
+                            if let Some(lv) = live.get_mut(&vm) {
+                                let stretch =
+                                    distress.sample_interval.mul_f64(1.0 / perf.max(0.05) - 1.0);
+                                lv.depart_at += stretch;
+                                sched.at(lv.depart_at, Ev::Depart(vm));
+                            }
+                        }
+                    }
+                }
+                // Distress handling may touch many servers (emergency
+                // donor rounds, kills): refresh every per-server gauge.
+                for (i, s) in manager.servers().iter().enumerate() {
+                    server_gauges[i].set(now, s.overcommitment());
+                }
+                let next = now + distress.sample_interval;
+                if next <= horizon {
+                    sched.at(next, Ev::DistressSample);
+                }
+                None
             }
         };
         util_gauge.set(now, manager.utilization());
@@ -537,6 +618,114 @@ mod tests {
             proactive.stats.launched as f64 > plain.stats.launched as f64 * 0.9,
             "headroom should not tank admissions"
         );
+    }
+
+    #[test]
+    fn disabled_distress_knobs_change_nothing() {
+        use crate::distress::DistressConfig;
+        // A disabled DistressConfig must be inert no matter how its
+        // knobs are set: the run summary is byte-identical to the
+        // default's and registers no distress keys.
+        let mut cfg = test_cfg(true, 150.0);
+        cfg.horizon = SimDuration::from_hours(6);
+        let base = run_cluster_sim(&cfg);
+        let mut twisted = cfg.clone();
+        twisted.manager.distress = DistressConfig {
+            enabled: false,
+            sample_interval: SimDuration::from_secs(13),
+            grace_window: SimDuration::from_secs(31),
+            thrash_threshold: 0.5,
+            breaker_after: 7,
+            floor_fraction: 0.2,
+            swap_coef: 99.0,
+            ..DistressConfig::none()
+        };
+        let b = run_cluster_sim(&twisted);
+        assert_eq!(base.summary.to_string(), b.summary.to_string());
+        let text = base.summary.to_string();
+        assert!(!text.contains("distress."));
+        assert!(!text.contains("cluster.oom_kills"));
+        assert!(!text.contains("cluster.distress_seconds"));
+    }
+
+    /// A configuration where memory binds together with CPU (the VM
+    /// mem:cpu ratio matches the server's), so reclamation rounds deflate
+    /// memory and guest distress is reachable at all. The default mix is
+    /// CPU-bound: servers run out of CPU long before memory, deflation
+    /// only ever touches CPU, and no guest can OOM.
+    fn memory_bound_cfg(arrivals_per_hour: f64) -> ClusterSimConfig {
+        let mut cfg = test_cfg(true, arrivals_per_hour);
+        cfg.manager.server_capacity =
+            deflate_core::ResourceVector::new(16.0, 32_768.0, 400.0, 800.0);
+        cfg.horizon = SimDuration::from_hours(6);
+        cfg
+    }
+
+    #[test]
+    fn unguarded_distress_kills_deterministically() {
+        use crate::distress::DistressConfig;
+        let mut cfg = memory_bound_cfg(150.0);
+        cfg.manager.distress = DistressConfig::unguarded();
+        let a = run_cluster_sim(&cfg);
+        let b = run_cluster_sim(&cfg);
+        assert_eq!(
+            a.summary.to_string(),
+            b.summary.to_string(),
+            "distress runs must be deterministic"
+        );
+        assert!(
+            a.stats.oom_kills > 0,
+            "a loaded unguarded run must see guest OOM kills"
+        );
+        let counters = a.summary.get("counters").expect("counters");
+        assert!(counters.get("cluster.oom_kills").is_some());
+        assert!(counters.get("cluster.distress_seconds").is_some());
+        assert!(counters.get("distress.lowpri_sample_seconds").is_some());
+    }
+
+    #[test]
+    fn guarded_distress_reduces_kills() {
+        use crate::distress::DistressConfig;
+        let mut unguarded = memory_bound_cfg(150.0);
+        unguarded.manager.distress = DistressConfig::unguarded();
+        let mut guarded = unguarded.clone();
+        guarded.manager.distress = DistressConfig::guarded();
+        let u = run_cluster_sim(&unguarded);
+        let g = run_cluster_sim(&guarded);
+        assert!(
+            u.stats.oom_kills > 0,
+            "unguarded arm must see kills for the comparison to mean anything"
+        );
+        assert!(
+            g.stats.oom_kills < u.stats.oom_kills,
+            "guard loop must reduce kills: guarded {} vs unguarded {}",
+            g.stats.oom_kills,
+            u.stats.oom_kills
+        );
+    }
+
+    #[test]
+    fn soft_distress_slows_instead_of_killing() {
+        use crate::distress::DistressConfig;
+        // Without force-unplug the OS layer cannot cut below the resident
+        // set, so reclamation lands on hypervisor overcommit: guests
+        // swap and thrash (soft distress) but never OOM.
+        let mut cfg = memory_bound_cfg(150.0);
+        cfg.manager.distress = DistressConfig {
+            force_unplug: false,
+            ..DistressConfig::unguarded()
+        };
+        let a = run_cluster_sim(&cfg);
+        let b = run_cluster_sim(&cfg);
+        assert_eq!(a.summary.to_string(), b.summary.to_string());
+        assert_eq!(a.stats.oom_kills, 0, "no OOM without force-unplug");
+        let counters = a.summary.get("counters").expect("counters");
+        let soft = counters
+            .get("distress.soft_samples")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        assert!(soft > 0.0, "swap pressure must register as soft distress");
+        assert!(counters.get("cluster.distress_seconds").is_some());
     }
 
     #[test]

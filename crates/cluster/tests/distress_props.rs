@@ -1,0 +1,275 @@
+//! Property tests for the distress loop: under random launch / exit /
+//! usage-shock / distress-sample interleavings the PR-2 incremental
+//! accounting stays exact at every step, the sampler's events agree with
+//! the cluster stats, and a breaker-open VM's memory is never deflated
+//! further — not by placement-driven reclamation and not by emergency
+//! donation.
+//!
+//! The walk drives distress through the public API only: `set_usage`
+//! shocks a guest's resident set past its visible memory (hard distress)
+//! or back down (recovery), and `sample_distress` runs the
+//! consequence/mitigation/guardrail loop the simulator runs on a timer.
+
+use cluster::{
+    ClusterManager, ClusterManagerConfig, DistressConfig, DistressEvent, LaunchOutcome, VmRequest,
+};
+use deflate_core::{CascadeConfig, ResourceKind::Memory, ResourceVector, VmId};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimRng, SimTime};
+
+/// Memory-balanced server so deflation actually contends on memory
+/// (the default mix is CPU-bound and never produces memory distress).
+fn capacity() -> ResourceVector {
+    ResourceVector::new(16.0, 32_768.0, 400.0, 800.0)
+}
+
+fn request(id: u64, scale: f64, low: bool) -> VmRequest {
+    let spec = ResourceVector::new(4.0, 16_384.0, 100.0, 200.0).scale(scale);
+    VmRequest {
+        id: VmId(id),
+        arrival: SimTime::ZERO,
+        lifetime: SimDuration::from_hours(2),
+        spec,
+        type_name: "distress",
+        low_priority: low,
+        min_size: if low {
+            spec.scale(0.15)
+        } else {
+            ResourceVector::ZERO
+        },
+    }
+}
+
+/// Effective memory of a running VM, wherever it lives.
+fn eff_mem(m: &ClusterManager, id: VmId) -> Option<f64> {
+    m.servers()
+        .iter()
+        .find_map(|s| s.vm(id).map(|v| v.effective().get(Memory)))
+}
+
+/// One randomized walk. Panics on any invariant violation; returns the
+/// final run summary so determinism tests can compare whole runs.
+fn walk(seed: u64, emergency: bool, floor: bool, long_grace: bool) -> String {
+    let distress = DistressConfig {
+        enabled: true,
+        emergency_reinflate: emergency,
+        breaker_after: 2,
+        breaker_cooldown: 2,
+        working_set_floor: floor,
+        floor_fraction: if floor { 0.9 } else { 0.0 },
+        grace_window: if long_grace {
+            SimDuration::from_hours(10)
+        } else {
+            SimDuration::from_secs(180)
+        },
+        ..DistressConfig::default()
+    };
+    let mut m = ClusterManager::new(ClusterManagerConfig {
+        n_servers: 3,
+        server_capacity: capacity(),
+        cascade: CascadeConfig::FULL,
+        distress,
+        ..ClusterManagerConfig::default()
+    });
+
+    let mut rng = SimRng::seed_from_u64(seed);
+    // (id, spec memory, low-priority)
+    let mut live: Vec<(u64, f64, bool)> = Vec::new();
+    let mut next_id = 0u64;
+    let mut end = SimTime::ZERO;
+
+    for step in 0..70u64 {
+        let now = SimTime::from_secs(step * 90);
+        end = now;
+
+        // Snapshot every breaker-open VM's memory before the operation:
+        // whatever happens next, a still-running open VM must not lose
+        // memory.
+        let shielded: Vec<(VmId, f64)> = live
+            .iter()
+            .filter(|(id, _, _)| m.breaker_open(VmId(*id)))
+            .filter_map(|(id, _, _)| eff_mem(&m, VmId(*id)).map(|mem| (VmId(*id), mem)))
+            .collect();
+
+        match rng.index(10) {
+            // Launch (the main source of deflation pressure).
+            0..=4 => {
+                let scale = rng.uniform_range(0.25, 1.0);
+                let low = rng.chance(0.8);
+                if let LaunchOutcome::Placed { .. } = m.launch(now, &request(next_id, scale, low)) {
+                    let spec_mem = 16_384.0 * scale;
+                    live.push((next_id, spec_mem, low));
+                }
+                next_id += 1;
+            }
+            // Exit (the main source of reinflation).
+            5 | 6 if !live.is_empty() => {
+                let pick = rng.index(live.len());
+                let (id, _, _) = live.swap_remove(pick);
+                assert!(m.exit(now, VmId(id)).is_some());
+            }
+            // Usage shock: move a low-priority guest's resident set
+            // anywhere in [0.3, 1.3] × spec — past 1.0 the guest is OOM.
+            7 => {
+                let lows: Vec<(u64, f64)> = live
+                    .iter()
+                    .filter(|(_, _, low)| *low)
+                    .map(|(id, mem, _)| (*id, *mem))
+                    .collect();
+                if !lows.is_empty() {
+                    let (id, spec_mem) = lows[rng.index(lows.len())];
+                    let frac = rng.uniform_range(0.3, 1.3);
+                    for s in m.servers() {
+                        if let Some(vm) = s.vm(VmId(id)) {
+                            vm.set_usage(spec_mem * frac, 1.0);
+                        }
+                    }
+                }
+            }
+            // Distress sample: the events must agree with the stats, and
+            // each event must describe a real state transition.
+            _ => {
+                let kills_before = m.stats().oom_kills;
+                let events = m.sample_distress(now);
+                let mut kills = 0u64;
+                for ev in &events {
+                    match *ev {
+                        DistressEvent::OomKill { vm, .. } => {
+                            kills += 1;
+                            assert!(!m.is_running(vm), "{vm:?} still running after OOM kill");
+                        }
+                        DistressEvent::Slowdown { vm, perf } => {
+                            assert!(m.is_running(vm), "{vm:?} slowed but not running");
+                            assert!(
+                                perf > 0.0 && perf < 1.0,
+                                "slowdown perf {perf} out of (0, 1)"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(
+                    m.stats().oom_kills,
+                    kills_before + kills,
+                    "stats.oom_kills out of sync with OomKill events"
+                );
+            }
+        }
+
+        // Launches preempt and samples kill: drop whatever is gone.
+        live.retain(|(id, _, _)| m.is_running(VmId(*id)));
+
+        // The breaker shield: an open VM that survived the step kept all
+        // of its memory.
+        for (id, before) in &shielded {
+            if m.is_running(*id) {
+                let after = eff_mem(&m, *id).expect("running VM has a server");
+                assert!(
+                    after >= before - 1e-6,
+                    "breaker-open {id:?} lost memory: {before} -> {after}"
+                );
+            }
+        }
+
+        // The PR-2 oracle, at every step.
+        m.assert_consistent();
+    }
+
+    m.run_summary(end, "distress_walk").to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random interleavings under every guardrail combination keep the
+    /// incremental totals exact and the breaker shield airtight.
+    #[test]
+    fn invariants_survive_distress_interleavings(
+        seed in any::<u64>(),
+        mode in 0u8..8,
+    ) {
+        walk(seed, mode & 1 != 0, mode & 2 != 0, mode & 4 != 0);
+    }
+}
+
+/// The walk is a deterministic function of its seed: same seed, same
+/// summary, byte for byte.
+#[test]
+fn distress_walk_is_deterministic() {
+    for seed in [1u64, 7, 42] {
+        let a = walk(seed, true, true, false);
+        let b = walk(seed, true, true, false);
+        assert_eq!(a, b, "seed {seed}: walk must be reproducible");
+    }
+}
+
+/// Deterministic regression: the breaker actually opens through the
+/// public API, and once open it shields the VM from placement-driven
+/// deflation — the property the random walk asserts opportunistically.
+#[test]
+fn breaker_shields_distressed_vm_from_placement_pressure() {
+    let distress = DistressConfig {
+        enabled: true,
+        breaker_after: 2,
+        breaker_cooldown: 2,
+        grace_window: SimDuration::from_hours(10),
+        floor_fraction: 0.0,
+        ..DistressConfig::default()
+    };
+    let mut m = ClusterManager::new(ClusterManagerConfig {
+        n_servers: 1,
+        server_capacity: capacity(),
+        cascade: CascadeConfig::FULL,
+        distress,
+        ..ClusterManagerConfig::default()
+    });
+    let (a, b) = (VmId(0), VmId(1));
+    assert!(matches!(
+        m.launch(SimTime::ZERO, &request(0, 1.0, true)),
+        LaunchOutcome::Placed { .. }
+    ));
+    assert!(matches!(
+        m.launch(SimTime::ZERO, &request(1, 1.0, true)),
+        LaunchOutcome::Placed { .. }
+    ));
+
+    // Shock VM 0 past its visible memory: hard distress, and after two
+    // consecutive samples the breaker opens.
+    m.servers()[0].vm(a).unwrap().set_usage(17_000.0, 1.0);
+    m.sample_distress(SimTime::from_secs(60));
+    m.sample_distress(SimTime::from_secs(120));
+    assert!(
+        m.breaker_open(a),
+        "two distressed samples must open the breaker"
+    );
+    assert!(!m.breaker_open(b));
+
+    // A high-priority arrival now needs 8 GB carved out of a full
+    // server. All of it must come from VM 1: VM 0 is shielded.
+    let before_a = eff_mem(&m, a).unwrap();
+    let before_b = eff_mem(&m, b).unwrap();
+    let hog = VmRequest {
+        id: VmId(2),
+        arrival: SimTime::from_secs(150),
+        lifetime: SimDuration::from_hours(1),
+        spec: ResourceVector::new(2.0, 8_000.0, 0.0, 0.0),
+        type_name: "hog",
+        low_priority: false,
+        min_size: ResourceVector::ZERO,
+    };
+    assert!(matches!(
+        m.launch(SimTime::from_secs(150), &hog),
+        LaunchOutcome::Placed { .. }
+    ));
+    assert!(m.is_running(a), "shielded VM must not be preempted");
+    let after_a = eff_mem(&m, a).unwrap();
+    let after_b = eff_mem(&m, b).unwrap();
+    assert!(
+        (after_a - before_a).abs() < 1e-6,
+        "breaker-open VM deflated: {before_a} -> {after_a}"
+    );
+    assert!(
+        after_b < before_b - 1.0,
+        "the unshielded donor must supply the memory: {before_b} -> {after_b}"
+    );
+    m.assert_consistent();
+}

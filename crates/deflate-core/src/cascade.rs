@@ -87,6 +87,11 @@ pub struct CascadeConfig {
     /// Per-layer retry with exponential backoff under the remaining
     /// deadline budget.
     pub retry: RetryPolicy,
+    /// Honor each VM's working-set floor: policy-driven deflation refuses
+    /// to cut memory below the application's reported minimum footprint
+    /// (`Vm::memory_floor_mb` in the `hypervisor` crate). Off by default —
+    /// the floor only binds where a distress-aware control loop sets it.
+    pub working_set_floor: bool,
 }
 
 impl Default for CascadeConfig {
@@ -103,6 +108,7 @@ impl CascadeConfig {
         use_hypervisor: true,
         deadline: None,
         retry: RetryPolicy::NONE,
+        working_set_floor: false,
     };
 
     /// Hypervisor-level overcommitment only (black-box VM overcommitment,
@@ -113,6 +119,7 @@ impl CascadeConfig {
         use_hypervisor: true,
         deadline: None,
         retry: RetryPolicy::NONE,
+        working_set_floor: false,
     };
 
     /// Guest-OS hot-unplug only (no fall-through; may miss the target).
@@ -122,6 +129,7 @@ impl CascadeConfig {
         use_hypervisor: false,
         deadline: None,
         retry: RetryPolicy::NONE,
+        working_set_floor: false,
     };
 
     /// Hypervisor + OS ("VM-level deflation" in the paper's terminology,
@@ -132,6 +140,7 @@ impl CascadeConfig {
         use_hypervisor: true,
         deadline: None,
         retry: RetryPolicy::NONE,
+        working_set_floor: false,
     };
 
     /// Returns this configuration with a deadline attached.
@@ -143,6 +152,12 @@ impl CascadeConfig {
     /// Returns this configuration with a retry policy attached.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Returns this configuration with working-set floors honored.
+    pub fn with_working_set_floor(mut self, on: bool) -> Self {
+        self.working_set_floor = on;
         self
     }
 }
@@ -751,6 +766,7 @@ mod tests {
             use_hypervisor: true,
             deadline: None,
             retry: RetryPolicy::NONE,
+            working_set_floor: false,
         };
         let mut os = FakeOs::new(target());
         let mut hv = FakeHv::new();

@@ -34,7 +34,7 @@ pub mod vm;
 
 pub use backend::HvBackend;
 pub use burstable::{BurstableParams, CreditModel};
-pub use guest::{GuestModel, MemoryMechanism};
+pub use guest::{GuestConfig, GuestModel, MemoryMechanism};
 pub use latency::LatencyModel;
 pub use server::{LocalController, PhysicalServer, ReclaimReport, ServerAggregates, VmFaults};
 pub use vm::{Vm, VmPriority, VmResourceView};

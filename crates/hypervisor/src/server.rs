@@ -9,7 +9,7 @@
 //! across VMs, not the sum — and preempts VMs only when deflation to
 //! minimum sizes still cannot cover the demand.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use deflate_core::{
     proportional_reinflation, proportional_targets, CascadeConfig, CascadeOutcome, ResourceVector,
@@ -546,6 +546,25 @@ impl LocalController {
         demand: &ResourceVector,
         faults: &HashMap<VmId, VmFaults>,
     ) -> ReclaimReport {
+        self.make_room_shielded(now, server, demand, faults, &HashSet::new())
+    }
+
+    /// [`make_room_with`](Self::make_room_with) that additionally shields
+    /// a set of VMs from *memory* deflation: a shielded VM's planning
+    /// minimum is raised to its current memory allocation, so the
+    /// proportional planner routes the memory demand to the remaining
+    /// donors. Used by the distress circuit breaker; shielding does not
+    /// protect against the preemption fallback (a breaker-open VM can
+    /// still be preempted, just not squeezed further). With an empty set
+    /// this is byte-identical to `make_room_with`.
+    pub fn make_room_shielded(
+        &self,
+        now: SimTime,
+        server: &mut PhysicalServer,
+        demand: &ResourceVector,
+        faults: &HashMap<VmId, VmFaults>,
+        shielded: &HashSet<VmId>,
+    ) -> ReclaimReport {
         let mut report = ReclaimReport::default();
         if !server.is_up() {
             return report;
@@ -566,12 +585,30 @@ impl LocalController {
             return report;
         }
 
-        // Proportional targets across all low-priority VMs.
+        // Proportional targets across all low-priority VMs. Working-set
+        // floors (when the cascade honors them) and breaker shields raise
+        // the planning minimum so the demand is routed to VMs that can
+        // actually give memory up; `Vm::deflate` enforces the floor again
+        // as defense in depth.
+        use deflate_core::ResourceKind::Memory;
         let states: Vec<VmDeflationState> = server
             .vms
             .values()
             .filter(|vm| vm.deflatable())
-            .map(|vm| VmDeflationState::with_min(vm.id(), vm.effective(), vm.min_size()))
+            .map(|vm| {
+                let eff = vm.effective();
+                let mut min = vm.min_size();
+                if self.cascade.working_set_floor && vm.memory_floor_mb() > 0.0 {
+                    let floor = vm.memory_floor_mb().min(eff.get(Memory));
+                    if floor > min.get(Memory) {
+                        min.set(Memory, floor);
+                    }
+                }
+                if shielded.contains(&vm.id()) {
+                    min.set(Memory, eff.get(Memory));
+                }
+                VmDeflationState::with_min(vm.id(), eff, min)
+            })
             .collect();
         let plan = proportional_targets(&need, &states);
 
@@ -991,6 +1028,52 @@ mod tests {
             out.latency >= baseline + burn + stall,
             "latency {:?}",
             out.latency
+        );
+    }
+
+    #[test]
+    fn shielded_vm_gives_no_memory_and_donors_cover_it() {
+        use deflate_core::ResourceKind::Memory;
+        let mut s = server_with_low_vms(4);
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
+        let shielded: HashSet<VmId> = [VmId(0)].into_iter().collect();
+        let r = ctl.make_room_shielded(
+            SimTime::ZERO,
+            &mut s,
+            &vm_spec(),
+            &HashMap::new(),
+            &shielded,
+        );
+        assert!(r.satisfied);
+        assert!(r.preempted.is_empty());
+        // The shielded VM kept its full memory; the others covered the
+        // whole memory demand between them.
+        let kept = s.vm(VmId(0)).unwrap().effective().get(Memory);
+        assert!((kept - vm_spec().get(Memory)).abs() < 1e-6, "kept {kept}");
+        for (id, out) in &r.outcomes {
+            if *id == VmId(0) {
+                assert!(out.total_reclaimed.get(Memory) < 1e-9);
+            }
+        }
+        assert!(r.freed.get(Memory) >= vm_spec().get(Memory) - 1e-6);
+    }
+
+    #[test]
+    fn working_set_floor_routes_memory_to_unfloored_donors() {
+        use deflate_core::ResourceKind::Memory;
+        let mut s = PhysicalServer::new(ServerId(1), server_capacity());
+        // VM 0 reports a working-set floor at 90 % of spec; VM 1 has none.
+        s.add_vm(low_vm(0).with_memory_floor(vm_spec().get(Memory) * 0.9));
+        s.add_vm(low_vm(1));
+        let ctl = LocalController::new(CascadeConfig::VM_LEVEL.with_working_set_floor(true));
+        let demand = s.free() + ResourceVector::memory(vm_spec().get(Memory));
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &demand);
+        assert!(r.satisfied, "freed {}", r.freed);
+        assert!(r.preempted.is_empty());
+        let floored = s.vm(VmId(0)).unwrap().effective().get(Memory);
+        assert!(
+            floored >= vm_spec().get(Memory) * 0.9 - 1e-6,
+            "floor violated: {floored}"
         );
     }
 

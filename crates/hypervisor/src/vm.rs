@@ -49,6 +49,10 @@ pub struct Vm {
     id: VmId,
     priority: VmPriority,
     min: ResourceVector,
+    /// Application-reported working-set floor (MiB). Honored only when a
+    /// cascade runs with `CascadeConfig::working_set_floor`; unlike `min`
+    /// it is advisory, so it never feeds preemption decisions.
+    memory_floor_mb: f64,
     state: SharedVmState,
     guest: GuestModel,
     backend: HvBackend,
@@ -93,6 +97,7 @@ impl Vm {
             id,
             priority,
             min: ResourceVector::ZERO,
+            memory_floor_mb: 0.0,
             state,
             guest,
             backend,
@@ -114,6 +119,14 @@ impl Vm {
         self
     }
 
+    /// Sets the application's working-set floor (MiB): the memory footprint
+    /// below which the app thrashes or OOMs. Only cascades configured with
+    /// `working_set_floor` refuse to cut below it.
+    pub fn with_memory_floor(mut self, floor_mb: f64) -> Self {
+        self.memory_floor_mb = floor_mb.max(0.0);
+        self
+    }
+
     /// The VM's identifier.
     pub fn id(&self) -> VmId {
         self.id
@@ -127,6 +140,11 @@ impl Vm {
     /// The VM's minimum size.
     pub fn min_size(&self) -> ResourceVector {
         self.min
+    }
+
+    /// The application's working-set floor (MiB; zero when unset).
+    pub fn memory_floor_mb(&self) -> f64 {
+        self.memory_floor_mb
     }
 
     /// The VM's nominal allocation.
@@ -196,7 +214,17 @@ impl Vm {
             };
         }
         // Never deflate below the minimum size.
-        let cap = self.deflatable_amount();
+        let mut cap = self.deflatable_amount();
+        // Under a working-set-floor cascade, also refuse to cut memory
+        // below the application's reported minimum footprint.
+        if cfg.working_set_floor && self.memory_floor_mb > 0.0 {
+            use deflate_core::ResourceKind::Memory;
+            let eff_mem = self.effective().get(Memory);
+            let mem_cap = (eff_mem - self.memory_floor_mb).max(0.0);
+            if mem_cap < cap.get(Memory) {
+                cap.set(Memory, mem_cap);
+            }
+        }
         let target = target.min(&cap);
         cascade::deflate_vm(
             now,
@@ -279,6 +307,30 @@ mod tests {
         // Only 25 % of spec was deflatable.
         assert!(out.total_reclaimed.approx_eq(&spec().scale(0.25), 1e-6));
         assert!(vm.effective().dominates(&min));
+    }
+
+    #[test]
+    fn working_set_floor_caps_memory_deflation() {
+        // Floor at 12 GiB: only 4 GiB of the 8 GiB memory target is
+        // reclaimable under a floor-honoring cascade.
+        let cfg = CascadeConfig::VM_LEVEL.with_working_set_floor(true);
+        let mut vm = Vm::new(VmId(1), spec(), VmPriority::Low).with_memory_floor(12_288.0);
+        let out = vm.deflate(SimTime::ZERO, &ResourceVector::memory(8_192.0), &cfg);
+        assert!(
+            vm.effective().get(ResourceKind::Memory) >= 12_288.0 - 1e-6,
+            "floor violated: {}",
+            vm.effective()
+        );
+        assert!(out.total_reclaimed.get(ResourceKind::Memory) <= 4_096.0 + 1e-6);
+
+        // Without the flag the floor is advisory and ignored.
+        let mut vm = Vm::new(VmId(2), spec(), VmPriority::Low).with_memory_floor(12_288.0);
+        vm.deflate(
+            SimTime::ZERO,
+            &ResourceVector::memory(8_192.0),
+            &CascadeConfig::VM_LEVEL,
+        );
+        assert!(vm.effective().get(ResourceKind::Memory) <= 8_192.0 + 1e-6);
     }
 
     #[test]
