@@ -285,7 +285,7 @@ mod tests {
         let mut vm = plain_vm(&app);
         let base = app.response_time_us(&vm.view());
         // Deflate memory by 50 %: heap stays, pages swap.
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::memory(8_192.0),
             &CascadeConfig::VM_LEVEL,
@@ -301,12 +301,12 @@ mod tests {
 
         let unmod = JvmApp::new(JvmParams::default());
         let mut vm_u = plain_vm(&unmod);
-        vm_u.deflate(SimTime::ZERO, &deflation, &CascadeConfig::VM_LEVEL);
+        let _ = vm_u.deflate(SimTime::ZERO, &deflation, &CascadeConfig::VM_LEVEL);
         let rt_u = unmod.response_time_us(&vm_u.view());
 
         let aware = JvmApp::new(JvmParams::default());
         let mut vm_a = aware_vm(&aware);
-        vm_a.deflate(SimTime::ZERO, &deflation, &CascadeConfig::FULL);
+        let _ = vm_a.deflate(SimTime::ZERO, &deflation, &CascadeConfig::FULL);
         let rt_a = aware.response_time_us(&vm_a.view());
 
         assert!(

@@ -133,7 +133,7 @@ mod tests {
     fn unplug_beats_shares_at_high_deflation() {
         // OS-level unplug of 3 of 4 vCPUs (75 % CPU deflation).
         let (app, mut vm_os) = setup();
-        vm_os.deflate(
+        let _ = vm_os.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(3.0),
             &CascadeConfig::OS_ONLY,
@@ -142,7 +142,7 @@ mod tests {
 
         // Hypervisor-only throttling to the same effective CPU.
         let (app2, mut vm_hv) = setup();
-        vm_hv.deflate(
+        let _ = vm_hv.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(3.0),
             &CascadeConfig::HYPERVISOR_ONLY,
@@ -163,7 +163,7 @@ mod tests {
         // 50 % deflation = 2 whole CPUs: VM-level should unplug both and
         // pay no LHP penalty.
         let (app, mut vm) = setup();
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::VM_LEVEL,
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn build_time_inverts_perf() {
         let (app, mut vm) = setup();
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::OS_ONLY,

@@ -379,7 +379,7 @@ mod tests {
         let mut vm = setup(&app);
         let base = app.throughput_kgets(&vm.view());
         // Hypervisor-only 50 % memory deflation: cache partly swaps.
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::memory(8_192.0),
             &CascadeConfig::HYPERVISOR_ONLY,
@@ -396,12 +396,12 @@ mod tests {
 
         let unmodified = MemcachedApp::new(MemcachedParams::default());
         let mut vm_u = setup(&unmodified);
-        vm_u.deflate(SimTime::ZERO, &deflation, &CascadeConfig::VM_LEVEL);
+        let _ = vm_u.deflate(SimTime::ZERO, &deflation, &CascadeConfig::VM_LEVEL);
         let t_u = unmodified.throughput_kgets(&vm_u.view());
 
         let aware = MemcachedApp::new(MemcachedParams::default());
         let mut vm_a = setup_with_agent(&aware);
-        vm_a.deflate(SimTime::ZERO, &deflation, &CascadeConfig::FULL);
+        let _ = vm_a.deflate(SimTime::ZERO, &deflation, &CascadeConfig::FULL);
         let t_a = aware.throughput_kgets(&vm_a.view());
 
         assert!(
@@ -475,7 +475,7 @@ mod tests {
         let app = MemcachedApp::new(MemcachedParams::default());
         let mut vm = setup(&app);
         let base = app.throughput_kgets(&vm.view());
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(3.0),
             &CascadeConfig::HYPERVISOR_ONLY,

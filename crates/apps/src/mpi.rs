@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn deflation_slows_but_never_kills() {
         let (app, mut vm) = setup();
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &vm_spec().scale(0.5),
             &CascadeConfig::VM_LEVEL,
@@ -186,7 +186,7 @@ mod tests {
         // A 50 %-CPU-deflated run is far cheaper than restarting through
         // 3-hour revocations (memory is left alone — the cluster manager
         // reclaims CPU from compute-bound jobs first).
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::VM_LEVEL,
@@ -198,13 +198,13 @@ mod tests {
     #[test]
     fn hypervisor_only_cpu_deflation_pays_lhp() {
         let (app, mut vm_hv) = setup();
-        vm_hv.deflate(
+        let _ = vm_hv.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::HYPERVISOR_ONLY,
         );
         let (app2, mut vm_os) = setup();
-        vm_os.deflate(
+        let _ = vm_os.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::OS_ONLY,

@@ -120,7 +120,7 @@ mod tests {
             let agent = app.agent(vm.state());
             let mut vm = vm.with_agent(Box::new(agent));
             if i == 0 && fraction > 0.0 {
-                vm.deflate(
+                let _ = vm.deflate(
                     SimTime::ZERO,
                     &vm_spec().scale(fraction),
                     &CascadeConfig::FULL,

@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn reinflate_regrows_pool() {
         let (app, mut vm) = setup_aware();
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::FULL,
@@ -280,7 +280,7 @@ mod tests {
         let app = WebServerApp::new(WebServerParams::default());
         let mut vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
         app.init_usage(&vm.state());
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::HYPERVISOR_ONLY,
@@ -288,7 +288,7 @@ mod tests {
         let t_hv = app.throughput_kreq(&vm.view());
 
         let (app2, mut vm2) = setup_aware();
-        vm2.deflate(
+        let _ = vm2.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::FULL,

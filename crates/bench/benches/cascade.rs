@@ -43,7 +43,7 @@ fn bench_cascade(c: &mut Criterion) {
             let mut vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
             vm.set_usage(4_096.0, 1.0);
             let target = vm_spec().scale(0.4);
-            vm.deflate(SimTime::ZERO, &target, &CascadeConfig::VM_LEVEL);
+            let _ = vm.deflate(SimTime::ZERO, &target, &CascadeConfig::VM_LEVEL);
             black_box(vm.reinflate(SimTime::from_secs(1), &target))
         })
     });

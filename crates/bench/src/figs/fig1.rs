@@ -36,7 +36,7 @@ fn deflated_vm(f: f64, agent_app: Option<&MemcachedApp>, jvm: Option<&JvmApp>) -
         _ => vm,
     };
     let target = vm_spec().scale(f.min(0.99));
-    vm.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+    let _ = vm.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
     vm
 }
 
@@ -68,7 +68,7 @@ pub fn run() -> Table {
             let vm = Vm::new(VmId(1), vm_spec(), VmPriority::Low);
             kc.init_usage(&vm.state());
             let mut vm = vm;
-            vm.deflate(
+            let _ = vm.deflate(
                 SimTime::ZERO,
                 &vm_spec().scale(f.min(0.99)),
                 &CascadeConfig::VM_LEVEL,

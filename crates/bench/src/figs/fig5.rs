@@ -74,7 +74,7 @@ pub fn fig5a() -> Table {
             let mut vm = fresh_vm(force);
             app.init_usage(&vm.state());
             let base = app.throughput_kgets(&vm.view());
-            vm.deflate(SimTime::ZERO, &ResourceVector::memory(16_384.0 * f), cfg);
+            let _ = vm.deflate(SimTime::ZERO, &ResourceVector::memory(16_384.0 * f), cfg);
             let now = app.throughput_kgets(&vm.view());
             cells.push(f3(now / base));
         }
@@ -112,7 +112,7 @@ pub fn fig5b() -> Table {
             let app = KcompileApp::new(KcompileParams::default());
             let mut vm = fresh_vm(false);
             app.init_usage(&vm.state());
-            vm.deflate(SimTime::ZERO, &ResourceVector::cpu(4.0 * f), cfg);
+            let _ = vm.deflate(SimTime::ZERO, &ResourceVector::cpu(4.0 * f), cfg);
             cells.push(f3(app.normalized_perf(&vm.view())));
         }
         t.row(cells);
@@ -139,7 +139,7 @@ pub fn fig5c() -> Table {
         let unmod = MemcachedApp::new(MemcachedParams::default());
         let mut vm_u = fresh_vm(false);
         unmod.init_usage(&vm_u.state());
-        vm_u.deflate(SimTime::ZERO, &target, &CascadeConfig::VM_LEVEL);
+        let _ = vm_u.deflate(SimTime::ZERO, &target, &CascadeConfig::VM_LEVEL);
         let t_u = unmod.throughput_kgets(&vm_u.view());
 
         let aware = MemcachedApp::new(MemcachedParams::default());
@@ -147,7 +147,7 @@ pub fn fig5c() -> Table {
         aware.init_usage(&vm_a.state());
         let agent = aware.agent(vm_a.state());
         let mut vm_a = vm_a.with_agent(Box::new(agent));
-        vm_a.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+        let _ = vm_a.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
         let t_a = aware.throughput_kgets(&vm_a.view());
 
         t.row(vec![pct(f), f1(t_u), f1(t_a)]);
@@ -171,7 +171,7 @@ pub fn fig5d() -> Table {
         let unmod = JvmApp::new(JvmParams::default());
         let mut vm_u = fresh_vm(false);
         unmod.init_usage(&vm_u.state());
-        vm_u.deflate(SimTime::ZERO, &target, &CascadeConfig::VM_LEVEL);
+        let _ = vm_u.deflate(SimTime::ZERO, &target, &CascadeConfig::VM_LEVEL);
         let rt_u = unmod.response_time_us(&vm_u.view());
 
         let aware = JvmApp::new(JvmParams::default());
@@ -179,7 +179,7 @@ pub fn fig5d() -> Table {
         aware.init_usage(&vm_a.state());
         let agent = aware.agent(vm_a.state());
         let mut vm_a = vm_a.with_agent(Box::new(agent));
-        vm_a.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+        let _ = vm_a.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
         let rt_a = aware.response_time_us(&vm_a.view());
 
         t.row(vec![pct(f), f1(rt_u), f1(rt_a)]);

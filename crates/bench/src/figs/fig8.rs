@@ -45,7 +45,9 @@ pub fn fig8a() -> Table {
 
     // Minute 30: four high-priority memcached VMs need half the server.
     let mc_demand = worker_spec.scale(4.0);
-    let report = controller.make_room(SimTime::from_secs(30 * 60), &mut server, &mc_demand);
+    let report = controller
+        .make_room(SimTime::from_secs(30 * 60), &mut server, &mc_demand)
+        .commit();
     assert!(report.satisfied, "memcached must fit after deflation");
     let spark_deflation: Vec<f64> = (0..8)
         .map(|i| server.vm(VmId(i)).expect("spark vm").max_deflation())

@@ -9,8 +9,8 @@ use std::collections::{HashMap, HashSet};
 
 use deflate_core::{CascadeConfig, DeflateError, ResourceKind, ResourceVector, ServerId, VmId};
 use hypervisor::{
-    GuestConfig, LatencyModel, LocalController, PhysicalServer, ReclaimReport, ServerAggregates,
-    Vm, VmFaults, VmPriority,
+    GuestConfig, LatencyModel, LocalController, PhysicalServer, ReclaimReport, ReclaimSession,
+    ServerAggregates, Vm, VmFaults, VmPriority,
 };
 use simkit::{
     FaultInjector, FaultPlan, JsonValue, Observability, SeqHash, SimDuration, SimRng, SimTime,
@@ -242,6 +242,11 @@ pub struct ClusterManager {
     predictor: DemandPredictor,
     /// Incrementally-maintained cluster-wide sums.
     totals: ClusterTotals,
+    /// Thread-local leaked-session count already folded into the
+    /// `cluster.session_leaked` counter; `update_gauges` polls the
+    /// delta. Stays at zero (and registers no key) unless a
+    /// [`ReclaimSession`] is ever dropped unconsumed.
+    leaked_seen: u64,
     /// Incrementally-maintained placement index (refreshed after every
     /// server mutation while `cfg.engine` is [`PlacementEngine::Indexed`]).
     pindex: PlacementIndex,
@@ -297,6 +302,7 @@ impl ClusterManager {
                 capacity,
                 agg: ServerAggregates::default(),
             },
+            leaked_seen: hypervisor::leaked_sessions(),
             pindex,
         }
     }
@@ -364,6 +370,19 @@ impl ClusterManager {
     /// that one server; all other servers are untouched by construction.
     fn apply_delta(&mut self, before: &ServerAggregates, after: &ServerAggregates) {
         self.totals.agg.shift_by(before, after);
+    }
+
+    /// Settles one server's mutations into the cluster bookkeeping:
+    /// applies the aggregate delta since `before` and refreshes the
+    /// placement index. Every reclamation path calls this once per
+    /// consumed [`ReclaimSession`] (or mutation phase) instead of
+    /// hand-rolling the snapshot/delta/refresh triple. Returns the new
+    /// snapshot so multi-phase paths can chain.
+    fn settle(&mut self, si: usize, before: &ServerAggregates) -> ServerAggregates {
+        let after = self.servers[si].aggregates();
+        self.apply_delta(before, &after);
+        self.refresh_index(si);
+        after
     }
 
     /// The lifecycle trace recorded so far.
@@ -498,6 +517,29 @@ impl ClusterManager {
             assert!(
                 self.servers[*si].vm(*id).is_some(),
                 "index maps {id} to server {si}, which does not host it"
+            );
+        }
+        // Lifecycle-map invariant: the liveness/distress side tables may
+        // only reference hosted VMs. A VM that exits, is preempted,
+        // crashes, or is OOM-killed must leave all three maps, or a
+        // relaunch under the same id inherits stale breaker/liveness
+        // state (and the maps leak for VMs never relaunched).
+        for id in self.missed.keys() {
+            assert!(
+                self.index.contains_key(id),
+                "missed-deadline entry for {id}, which is not hosted"
+            );
+        }
+        for id in &self.unresponsive {
+            assert!(
+                self.index.contains_key(id),
+                "unresponsive entry for {id}, which is not hosted"
+            );
+        }
+        for id in self.distress.keys() {
+            assert!(
+                self.index.contains_key(id),
+                "distress entry for {id}, which is not hosted"
             );
         }
         if self.cfg.engine == PlacementEngine::Indexed {
@@ -724,9 +766,9 @@ impl ClusterManager {
 
         let before = self.servers[si].aggregates();
         let vm_faults = self.plan_vm_faults(now, si, &req.spec);
-        let report = if self.cfg.distress.is_none() {
-            self.controller
-                .make_room_with(now, &mut self.servers[si], &req.spec, &vm_faults)
+        let controller = self.controller;
+        let session = if self.cfg.distress.is_none() {
+            controller.make_room_with(now, &mut self.servers[si], &req.spec, &vm_faults)
         } else {
             // Breaker-open VMs are shielded from further memory
             // deflation; the proportional planner routes their share to
@@ -736,7 +778,7 @@ impl ClusterManager {
                 .into_iter()
                 .filter(|id| self.distress.get(id).is_some_and(|s| s.open))
                 .collect();
-            self.controller.make_room_shielded(
+            controller.make_room_shielded(
                 now,
                 &mut self.servers[si],
                 &req.spec,
@@ -745,30 +787,24 @@ impl ClusterManager {
             )
         };
 
-        if !report.satisfied {
+        if !session.satisfied() {
             // Deflation and preemption could not cover the demand (the
             // server was dominated by high-priority VMs); reject — and
             // leave the cluster exactly as it was. `make_room` itself
             // refuses to touch a server it cannot satisfy, so this
             // rollback is defense-in-depth: undo any partial deflation
             // by handing the reclaimed resources back.
-            for (id, out) in &report.outcomes {
-                if self.servers[si]
-                    .reinflate_vm(now, *id, &out.total_reclaimed)
-                    .is_some()
-                {
-                    self.obs
-                        .metrics
-                        .incr("cluster.reject_rollback_reinflations");
-                }
-            }
+            let rb = session.rollback();
             debug_assert!(
-                report.preempted.is_empty(),
+                rb.restored_vms == 0,
                 "an unsatisfiable make_room must not preempt"
             );
-            let after = self.servers[si].aggregates();
-            self.apply_delta(&before, &after);
-            self.refresh_index(si);
+            if rb.reinflated_vms > 0 {
+                self.obs
+                    .metrics
+                    .add("cluster.reject_rollback_reinflations", rb.reinflated_vms);
+            }
+            self.settle(si, &before);
             self.stats.rejected += 1;
             self.obs.metrics.incr("cluster.rejected");
             if self.cfg.lifecycle_trace {
@@ -780,6 +816,7 @@ impl ClusterManager {
             return LaunchOutcome::Rejected;
         }
 
+        let report = session.commit();
         self.note_cascade_outcomes(now, &vm_faults, &report);
         self.stats.deflations += report.outcomes.len() as u64;
         self.obs
@@ -860,9 +897,7 @@ impl ClusterManager {
             req.spec.get(ResourceKind::Cpu) * self.cfg.usage_fraction,
         );
         self.servers[si].add_vm(vm);
-        let after = self.servers[si].aggregates();
-        self.apply_delta(&before, &after);
-        self.refresh_index(si);
+        self.settle(si, &before);
         self.index.insert(req.id, si);
         if self.cfg.lifecycle_trace {
             self.obs.trace.record(
@@ -896,6 +931,15 @@ impl ClusterManager {
     fn update_gauges(&mut self, now: SimTime) {
         #[cfg(debug_assertions)]
         self.assert_consistent();
+        // Fold any sessions leaked since the last poll into the
+        // release-build counter (debug builds panic at the leak site).
+        let leaked = hypervisor::leaked_sessions();
+        if leaked > self.leaked_seen {
+            self.obs
+                .metrics
+                .add("cluster.session_leaked", leaked - self.leaked_seen);
+            self.leaked_seen = leaked;
+        }
         let util = self.utilization();
         let over = self.overcommitment();
         let running = self.running_vms() as f64;
@@ -949,8 +993,7 @@ impl ClusterManager {
             .metrics
             .add("vm.hotplug.unplug_shortfalls", hp.unplug_shortfalls);
         self.obs.metrics.add("vm.hotplug.plug_ops", hp.plug_ops);
-        let mid = self.servers[si].aggregates();
-        self.apply_delta(&before, &mid);
+        let mid = self.settle(si, &before);
 
         // Proactive headroom: hold back the forecast high-priority CPU
         // demand from reinflation (cluster-wide free CPU counts toward
@@ -973,9 +1016,10 @@ impl ClusterManager {
                 to_reinflate = freed.scale(1.0 - hold_frac);
             }
         }
-        let applied = self
-            .controller
-            .reinflate(now, &mut self.servers[si], &to_reinflate);
+        let controller = self.controller;
+        let mut session = ReclaimSession::begin(now, &mut self.servers[si]);
+        controller.reinflate(&mut session, &to_reinflate);
+        let applied = session.commit().reinflated;
         if self.cfg.lifecycle_trace {
             for (rid, got) in &applied {
                 self.obs
@@ -987,9 +1031,7 @@ impl ClusterManager {
         self.obs
             .metrics
             .add("cluster.reinflations", applied.len() as u64);
-        let after = self.servers[si].aggregates();
-        self.apply_delta(&mid, &after);
-        self.refresh_index(si);
+        self.settle(si, &mid);
         self.update_gauges(now);
         Some(ServerId(si as u64))
     }
@@ -1089,7 +1131,6 @@ impl ClusterManager {
                 if now >= since + d.grace_window {
                     // Grace expired without rescue: the guest OOM killer
                     // fires and the VM dies.
-                    self.distress.remove(&id);
                     let server = self.oom_kill(now, id);
                     events.push(DistressEvent::OomKill { vm: id, server });
                     continue;
@@ -1139,10 +1180,12 @@ impl ClusterManager {
             return;
         }
         let before = self.servers[si].aggregates();
-        let free = self.servers[si].free().get(Memory);
+        let mut session = ReclaimSession::begin(now, &mut self.servers[si]);
+        let free = session.server().free().get(Memory);
         let mut shortfall = (needed - free).max(0.0);
         if shortfall > 0.0 {
-            let mut donors: Vec<(f64, VmId)> = self.servers[si]
+            let mut donors: Vec<(f64, VmId)> = session
+                .server()
                 .vms()
                 .filter(|dv| {
                     dv.id() != victim && dv.priority() == VmPriority::Low && dv.deflatable()
@@ -1155,28 +1198,32 @@ impl ClusterManager {
                         return None;
                     }
                     let eff = dv.effective().get(Memory);
-                    // Donations stop at the donor's own resident set and
-                    // at its contractual minimum.
+                    // Donations stop at the donor's own resident set, at
+                    // its contractual minimum, and at its advisory
+                    // working-set floor — harvesting below the floor
+                    // would push the donor into the same distress the
+                    // grant is rescuing the victim from.
                     let give = (eff - st.usage.memory_mb)
                         .min(eff - dv.min_size().get(Memory))
+                        .min(eff - dv.memory_floor_mb())
                         .min(shortfall);
                     (give > 1.0).then(|| (give, dv.id()))
                 })
                 .collect();
-            donors.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1 .0.cmp(&b.1 .0)));
+            donors.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1 .0.cmp(&b.1 .0)));
             for (give, did) in donors {
                 if shortfall <= 0.0 {
                     break;
                 }
                 let ask = ResourceVector::memory(give.min(shortfall));
-                if let Some(out) = self.servers[si].deflate_vm(now, did, &ask, &self.cascade) {
+                if let Some(out) = session.deflate(did, &ask, &self.cascade) {
                     shortfall -= out.total_reclaimed.get(Memory);
                 }
             }
         }
-        let grant = needed.min(self.servers[si].free().get(Memory));
+        let grant = needed.min(session.server().free().get(Memory));
         if grant > 0.0 {
-            self.servers[si].reinflate_vm(now, victim, &ResourceVector::memory(grant));
+            session.reinflate(victim, &ResourceVector::memory(grant));
             self.stats.emergency_reinflations += 1;
             self.obs.metrics.incr("cluster.emergency_reinflations");
             if self.cfg.lifecycle_trace {
@@ -1194,9 +1241,11 @@ impl ClusterManager {
                     .with_attr("granted_mb", grant as u64),
             );
         }
-        let after = self.servers[si].aggregates();
-        self.apply_delta(&before, &after);
-        self.refresh_index(si);
+        // Emergency harvesting is best-effort, never transactional: every
+        // donation already made stands even when the grant came up short,
+        // so the session always commits.
+        session.commit();
+        self.settle(si, &before);
     }
 
     /// The guest OOM killer fires: the VM dies, its resources reinflate
@@ -1211,6 +1260,11 @@ impl ClusterManager {
         self.index.remove(&id);
         self.missed.remove(&id);
         self.unresponsive.remove(&id);
+        // The kill ends the VM's lifecycle, so its breaker/distress state
+        // dies with it — otherwise a later VM reusing the id would
+        // inherit a tripped breaker, and the map would leak an entry for
+        // every killed VM that never comes back.
+        self.distress.remove(&id);
         let freed = vm.effective();
         self.stats.oom_kills += 1;
         self.obs.metrics.incr("cluster.oom_kills");
@@ -1232,18 +1286,16 @@ impl ClusterManager {
             .metrics
             .add("vm.hotplug.unplug_shortfalls", hp.unplug_shortfalls);
         self.obs.metrics.add("vm.hotplug.plug_ops", hp.plug_ops);
-        let mid = self.servers[si].aggregates();
-        self.apply_delta(&before, &mid);
-        let applied = self
-            .controller
-            .reinflate(now, &mut self.servers[si], &freed);
+        let mid = self.settle(si, &before);
+        let controller = self.controller;
+        let mut session = ReclaimSession::begin(now, &mut self.servers[si]);
+        controller.reinflate(&mut session, &freed);
+        let applied = session.commit().reinflated;
         self.stats.reinflations += applied.len() as u64;
         self.obs
             .metrics
             .add("cluster.reinflations", applied.len() as u64);
-        let after = self.servers[si].aggregates();
-        self.apply_delta(&mid, &after);
-        self.refresh_index(si);
+        self.settle(si, &mid);
         self.update_gauges(now);
         ServerId(si as u64)
     }
@@ -1650,12 +1702,10 @@ mod tests {
     fn force_oom(m: &mut ClusterManager, id: VmId, mem: f64) {
         let before = m.servers[0].aggregates();
         let cascade = m.cascade;
-        m.servers[0]
+        let _ = m.servers[0]
             .deflate_vm(SimTime::ZERO, id, &ResourceVector::memory(mem), &cascade)
             .expect("VM is hosted");
-        let after = m.servers[0].aggregates();
-        m.apply_delta(&before, &after);
-        m.refresh_index(0);
+        m.settle(0, &before);
     }
 
     fn distress_cfg(d: crate::distress::DistressConfig) -> ClusterManagerConfig {
@@ -1826,9 +1876,7 @@ mod tests {
             VmId(0),
             &ResourceVector::memory(900.0),
         );
-        let after = m.servers[0].aggregates();
-        m.apply_delta(&before, &after);
-        m.refresh_index(0);
+        m.settle(0, &before);
         assert!(!m.servers()[0]
             .vm(VmId(0))
             .unwrap()
@@ -1841,6 +1889,77 @@ mod tests {
         assert!(
             !m.breaker_open(VmId(0)),
             "cool-down reached; breaker closes"
+        );
+        m.assert_consistent();
+    }
+
+    /// Regression: the OOM-kill path must clear the killed VM's
+    /// distress/breaker entry. Before the fix only `sample_distress`
+    /// removed it, so a direct kill leaked the entry — and a later VM
+    /// reusing the id inherited a tripped breaker.
+    #[test]
+    fn oom_kill_clears_distress_state() {
+        let d = crate::distress::DistressConfig::unguarded();
+        let mut m = ClusterManager::new(distress_cfg(d));
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+        // Accumulated breaker/liveness state from earlier samples.
+        m.distress.insert(VmId(0), Default::default());
+        let server = m.oom_kill(SimTime::ZERO, VmId(0));
+        assert_eq!(server.0, 0);
+        assert!(
+            !m.distress.contains_key(&VmId(0)),
+            "OOM kill left stale distress/breaker state for a dead VM"
+        );
+        m.assert_consistent();
+    }
+
+    /// Regression: emergency donor harvesting must honor a donor's
+    /// advisory working-set floor even when the cascade itself does not
+    /// enforce floors (`working_set_floor: false`). Before the fix the
+    /// give was capped at the contractual minimum only, so a rescue
+    /// could push a healthy donor straight into the same distress.
+    #[test]
+    fn emergency_reinflate_honors_donor_floor() {
+        let mut d = crate::distress::DistressConfig::unguarded();
+        d.emergency_reinflate = true;
+        d.working_set_floor = false;
+        d.floor_fraction = 1.0; // floor == resident set at launch
+        let mut m = ClusterManager::new(distress_cfg(d));
+        m.launch(SimTime::ZERO, &req(0, true)); // victim
+        m.launch(SimTime::ZERO, &req(1, true)); // donor
+        let floor = 16_384.0 * m.cfg.usage_fraction; // 8192 MiB
+                                                     // The donor's resident set shrinks well below its floor: lots of
+                                                     // donatable headroom by the usage rule, little by the floor.
+        m.servers()[0].vm(VmId(1)).unwrap().set_usage(1_000.0, 1.0);
+        // The victim's resident set fills its spec; cutting it 9000 MiB
+        // drives it deep into hard distress.
+        m.servers()[0].vm(VmId(0)).unwrap().set_usage(16_384.0, 2.0);
+        force_oom(&mut m, VmId(0), 9_000.0);
+        // Soak up most of the freed pool so the rescue must harvest.
+        let soak = VmRequest {
+            id: VmId(2),
+            arrival: SimTime::ZERO,
+            lifetime: SimDuration::from_hours(1),
+            spec: ResourceVector::new(0.0, 8_500.0, 0.0, 0.0),
+            type_name: "soak",
+            low_priority: true,
+            min_size: ResourceVector::new(0.0, 2_550.0, 0.0, 0.0),
+        };
+        assert!(matches!(
+            m.launch(SimTime::ZERO, &soak),
+            LaunchOutcome::Placed { .. }
+        ));
+        m.emergency_reinflate(SimTime::ZERO, 0, VmId(0));
+        assert_eq!(m.stats().emergency_reinflations, 1, "rescue must run");
+        let donor_eff = m.servers()[0]
+            .vm(VmId(1))
+            .unwrap()
+            .effective()
+            .get(ResourceKind::Memory);
+        assert!(
+            donor_eff >= floor - 1e-6,
+            "donor harvested below its working-set floor: {donor_eff} < {floor}"
         );
         m.assert_consistent();
     }

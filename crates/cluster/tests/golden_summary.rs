@@ -1,0 +1,93 @@
+//! Byte-identity pins for the reclamation paths.
+//!
+//! Three small deterministic runs — plain, chaos (server crashes +
+//! agent faults), and guarded distress (emergency reinflation + OOM
+//! kills) — have their full run summaries committed under
+//! `tests/golden/`. Any refactor of the reclamation machinery (the
+//! `ReclaimSession` commit/rollback paths, the cascade, placement) must
+//! reproduce these summaries byte for byte; a behavioural change that
+//! is *supposed* to move numbers regenerates them explicitly with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p cluster --test golden_summary
+//! ```
+//!
+//! and the diff is reviewed like any other code change.
+
+use cluster::distress::DistressConfig;
+use cluster::manager::ClusterManagerConfig;
+use cluster::simulate::{run_cluster_sim, ClusterSimConfig};
+use cluster::traces::TraceConfig;
+use deflate_core::ResourceVector;
+use simkit::{FaultPlan, SimDuration};
+
+fn base_cfg() -> ClusterSimConfig {
+    ClusterSimConfig {
+        manager: ClusterManagerConfig {
+            n_servers: 20,
+            ..ClusterManagerConfig::default()
+        },
+        trace: TraceConfig {
+            arrivals_per_hour: 150.0,
+            lifetime_median_mins: 120.0,
+            ..TraceConfig::default()
+        },
+        horizon: SimDuration::from_hours(6),
+    }
+}
+
+/// Loaded enough that launches deflate, reject, and preempt.
+fn plain_cfg() -> ClusterSimConfig {
+    base_cfg()
+}
+
+/// Server crashes, dead agents, message loss and hotplug stalls: the
+/// fault-recovery reclamation paths.
+fn chaos_cfg() -> ClusterSimConfig {
+    let mut cfg = base_cfg();
+    cfg.manager.faults = FaultPlan::chaos(7).scaled(2.0);
+    cfg
+}
+
+/// Memory-bound guarded distress: emergency donor harvesting, guest OOM
+/// kills with survivor reinflation, breakers and working-set floors.
+fn distress_cfg() -> ClusterSimConfig {
+    let mut cfg = base_cfg();
+    cfg.manager.server_capacity = ResourceVector::new(16.0, 32_768.0, 400.0, 800.0);
+    cfg.manager.distress = DistressConfig::guarded();
+    cfg
+}
+
+fn check(name: &str, cfg: &ClusterSimConfig, golden: &str) {
+    let got = run_cluster_sim(cfg).summary.to_pretty();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = format!("{}/tests/golden/{name}.json", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        got.trim(),
+        golden.trim(),
+        "{name}: run summary diverged from tests/golden/{name}.json — \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn plain_summary_matches_golden() {
+    check("plain", &plain_cfg(), include_str!("golden/plain.json"));
+}
+
+#[test]
+fn chaos_summary_matches_golden() {
+    check("chaos", &chaos_cfg(), include_str!("golden/chaos.json"));
+}
+
+#[test]
+fn distress_summary_matches_golden() {
+    check(
+        "distress",
+        &distress_cfg(),
+        include_str!("golden/distress.json"),
+    );
+}

@@ -1,0 +1,140 @@
+//! Lifecycle property tests for the PR-6 reclamation sessions: random
+//! launch/reject/exit/crash walks under a memory-starved guarded
+//! distress loop — so emergency donor harvesting, guest OOM kills with
+//! survivor reinflation, and circuit breakers all fire — must keep the
+//! lifecycle side tables (missed / unresponsive / distress) pointing
+//! only at hosted VMs, keep the incremental totals exact, and keep
+//! rejected launches state-neutral (a rejected `ReclaimSession` rolls
+//! back every deflation it made).
+//!
+//! `assert_consistent` is the oracle: debug builds additionally run it
+//! on every `update_gauges` inside the manager, so each walk is a
+//! per-event invariant check, not just an end-state one.
+
+use cluster::distress::{DistressConfig, DistressEvent};
+use cluster::{ClusterManager, ClusterManagerConfig, LaunchOutcome, VmRequest};
+use deflate_core::{ResourceVector, ServerId, VmId};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimRng, SimTime};
+
+fn request(id: u64, scale: f64, low: bool) -> VmRequest {
+    let spec = ResourceVector::new(4.0, 16_384.0, 100.0, 200.0).scale(scale);
+    VmRequest {
+        id: VmId(id),
+        arrival: SimTime::ZERO,
+        lifetime: SimDuration::from_hours(1),
+        spec,
+        type_name: "lifecycle",
+        low_priority: low,
+        min_size: if low {
+            spec.scale(0.3)
+        } else {
+            ResourceVector::ZERO
+        },
+    }
+}
+
+/// Memory binds long before CPU (two full-scale VMs fill a server's
+/// memory while CPU would fit four), so launches deflate guests below
+/// their resident sets and the distress machinery genuinely engages.
+fn starved_cfg(grace_secs: u64) -> ClusterManagerConfig {
+    ClusterManagerConfig {
+        n_servers: 3,
+        server_capacity: ResourceVector::new(16.0, 32_768.0, 400.0, 800.0),
+        distress: DistressConfig {
+            grace_window: SimDuration::from_secs(grace_secs),
+            ..DistressConfig::guarded()
+        },
+        ..ClusterManagerConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random interleavings of launch, exit, server crash/recovery and
+    /// distress sampling (OOM kills + emergency reinflation + breaker
+    /// trips). At every step: the lifecycle maps reference only hosted
+    /// VMs, OOM-killed VMs are gone, and a rejected launch leaves every
+    /// server's aggregates untouched.
+    #[test]
+    fn lifecycle_maps_survive_random_walks(
+        seed in any::<u64>(),
+        grace_secs in 60u64..240,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut m = ClusterManager::new(starved_cfg(grace_secs));
+
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..60u64 {
+            let now = SimTime::from_secs(step * 60);
+            match rng.index(10) {
+                // Crash a random server (possibly already down: no-op).
+                0 => {
+                    let sid = ServerId(rng.index(3) as u64);
+                    if m.fail_server(now, sid).is_some() {
+                        live.retain(|id| m.is_running(VmId(*id)));
+                    }
+                }
+                // Recover a random server.
+                1 => {
+                    let sid = ServerId(rng.index(3) as u64);
+                    m.recover_server(now, sid);
+                }
+                // Exit a random live VM.
+                2 | 3 if !live.is_empty() => {
+                    let pick = rng.index(live.len());
+                    let id = live.swap_remove(pick);
+                    prop_assert!(m.exit(now, VmId(id)).is_some());
+                }
+                // Launch; a reject must be state-neutral — the session
+                // rollback hands back everything it deflated.
+                _ => {
+                    let scale = rng.uniform_range(0.5, 1.25);
+                    let low = rng.chance(0.7);
+                    let before: Vec<_> =
+                        m.servers().iter().map(|s| s.aggregates()).collect();
+                    let running = m.running_vms();
+                    match m.launch(now, &request(next_id, scale, low)) {
+                        LaunchOutcome::Placed { .. } => {
+                            live.push(next_id);
+                            live.retain(|id| m.is_running(VmId(*id)));
+                        }
+                        LaunchOutcome::Rejected => {
+                            prop_assert_eq!(m.running_vms(), running);
+                            for (s, b) in m.servers().iter().zip(&before) {
+                                prop_assert!(
+                                    s.aggregates().approx_eq(b),
+                                    "reject mutated server {:?}",
+                                    s.id()
+                                );
+                            }
+                        }
+                    }
+                    next_id += 1;
+                }
+            }
+
+            // Every step samples distress: emergency reinflation rescues
+            // what it can, grace-expired hard distress OOM-kills.
+            for ev in m.sample_distress(now) {
+                if let DistressEvent::OomKill { vm, .. } = ev {
+                    prop_assert!(!m.is_running(vm), "killed VM still hosted");
+                    prop_assert!(
+                        !m.breaker_open(vm),
+                        "killed VM left a live breaker entry"
+                    );
+                    live.retain(|id| VmId(*id) != vm);
+                }
+            }
+
+            // The oracle: totals exact, index in sync, and the
+            // missed/unresponsive/distress maps ⊆ hosted VMs.
+            m.assert_consistent();
+        }
+        // The walk must actually exercise the machinery it claims to:
+        // memory starvation guarantees deflation pressure.
+        prop_assert!(m.stats().deflations > 0 || m.stats().rejected > 0);
+    }
+}

@@ -178,6 +178,7 @@ pub struct LayerReport {
 
 /// The result of one cascade deflation.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[must_use = "a CascadeOutcome carries the reclaimed amount the caller must account for"]
 pub struct CascadeOutcome {
     /// Application-layer contribution (voluntarily relinquished).
     pub app: LayerReport,

@@ -24,12 +24,18 @@
 //!   [`server::LocalController`] — the per-server deflation controller that
 //!   turns a resource demand into concurrent per-VM cascade deflations
 //!   (proportional policy + preemption fallback).
+//! * [`session::ReclaimSession`] — the linear-typestate wrapper every
+//!   multi-VM reclamation flows through: each deflation/preemption/
+//!   reinflation is a typed step, and the session must be consumed by
+//!   exactly one of `commit()` / `rollback()` (a leak rolls back and is
+//!   counted; debug builds panic).
 
 pub mod backend;
 pub mod burstable;
 pub mod guest;
 pub mod latency;
 pub mod server;
+pub mod session;
 pub mod vm;
 
 pub use backend::HvBackend;
@@ -37,4 +43,5 @@ pub use burstable::{BurstableParams, CreditModel};
 pub use guest::{GuestConfig, GuestModel, MemoryMechanism};
 pub use latency::LatencyModel;
 pub use server::{LocalController, PhysicalServer, ReclaimReport, ServerAggregates, VmFaults};
+pub use session::{leaked_sessions, ReclaimSession, ReclaimStep, RollbackReport};
 pub use vm::{Vm, VmPriority, VmResourceView};

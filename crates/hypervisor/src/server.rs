@@ -17,6 +17,7 @@ use deflate_core::{
 };
 use simkit::{SimDuration, SimTime, Span};
 
+use crate::session::ReclaimSession;
 use crate::vm::{Vm, VmPriority};
 
 /// Cached resource aggregates over a set of VMs, maintained
@@ -408,6 +409,8 @@ pub struct ReclaimReport {
     pub outcomes: Vec<(VmId, CascadeOutcome)>,
     /// VMs preempted because deflation could not cover the demand.
     pub preempted: Vec<VmId>,
+    /// Nonzero reinflation grants handed out during the session.
+    pub reinflated: Vec<(VmId, ResourceVector)>,
     /// Whether the demand is now satisfiable from free resources.
     pub satisfied: bool,
 }
@@ -478,12 +481,17 @@ impl LocalController {
     /// Makes room for `demand` on `server`: deflates all low-priority VMs
     /// proportionally, and preempts the VMs farthest from their deflation
     /// targets if deflation alone is insufficient.
-    pub fn make_room(
+    ///
+    /// Returns an open [`ReclaimSession`]: the mutations have been
+    /// applied but the caller decides their fate — `commit()` to keep
+    /// them (yielding the [`ReclaimReport`]) or `rollback()` to undo
+    /// every deflation and preemption.
+    pub fn make_room<'s>(
         &self,
         now: SimTime,
-        server: &mut PhysicalServer,
+        server: &'s mut PhysicalServer,
         demand: &ResourceVector,
-    ) -> ReclaimReport {
+    ) -> ReclaimSession<'s> {
         self.make_room_with(now, server, demand, &HashMap::new())
     }
 
@@ -539,13 +547,13 @@ impl LocalController {
     /// [`make_room`](Self::make_room) under per-VM fault conditions.
     /// With an empty fault map this is byte-identical to the fault-free
     /// path.
-    pub fn make_room_with(
+    pub fn make_room_with<'s>(
         &self,
         now: SimTime,
-        server: &mut PhysicalServer,
+        server: &'s mut PhysicalServer,
         demand: &ResourceVector,
         faults: &HashMap<VmId, VmFaults>,
-    ) -> ReclaimReport {
+    ) -> ReclaimSession<'s> {
         self.make_room_shielded(now, server, demand, faults, &HashSet::new())
     }
 
@@ -557,23 +565,23 @@ impl LocalController {
     /// protect against the preemption fallback (a breaker-open VM can
     /// still be preempted, just not squeezed further). With an empty set
     /// this is byte-identical to `make_room_with`.
-    pub fn make_room_shielded(
+    pub fn make_room_shielded<'s>(
         &self,
         now: SimTime,
-        server: &mut PhysicalServer,
+        server: &'s mut PhysicalServer,
         demand: &ResourceVector,
         faults: &HashMap<VmId, VmFaults>,
         shielded: &HashSet<VmId>,
-    ) -> ReclaimReport {
-        let mut report = ReclaimReport::default();
-        if !server.is_up() {
-            return report;
+    ) -> ReclaimSession<'s> {
+        let mut session = ReclaimSession::begin(now, server);
+        if !session.server().is_up() {
+            return session;
         }
-        let free = server.free();
+        let free = session.server().free();
         let need = demand.saturating_sub(&free);
         if need.is_zero() {
-            report.satisfied = true;
-            return report;
+            session.set_satisfied(true);
+            return session;
         }
 
         // Upfront feasibility: even preempting every low-priority VM can
@@ -581,8 +589,8 @@ impl LocalController {
         // must not touch the server — previously it deflated every VM to
         // its minimum and preempted the rest, then reported failure,
         // leaving VMs deflated (or dead) with no demand against them.
-        if !(free + server.preemptible()).dominates(demand) {
-            return report;
+        if !(free + session.server().preemptible()).dominates(demand) {
+            return session;
         }
 
         // Proportional targets across all low-priority VMs. Working-set
@@ -591,9 +599,9 @@ impl LocalController {
         // actually give memory up; `Vm::deflate` enforces the floor again
         // as defense in depth.
         use deflate_core::ResourceKind::Memory;
-        let states: Vec<VmDeflationState> = server
-            .vms
-            .values()
+        let states: Vec<VmDeflationState> = session
+            .server()
+            .vms()
             .filter(|vm| vm.deflatable())
             .map(|vm| {
                 let eff = vm.effective();
@@ -619,80 +627,62 @@ impl LocalController {
             }
             let vm_faults = faults.get(id).copied().unwrap_or_default();
             let cfg = self.vm_cascade(&vm_faults);
-            let mut out = server
-                .deflate_vm(now, *id, target, &cfg)
+            let out = session
+                .deflate(*id, target, &cfg)
                 .expect("planned VM exists on this server");
-            self.apply_vm_faults(&mut out, &vm_faults, target);
-            report.freed += out.total_reclaimed;
-            if out.latency > report.latency {
-                report.latency = out.latency;
-            }
-            report.outcomes.push((*id, out));
+            self.apply_vm_faults(out, &vm_faults, target);
         }
 
         // Preemption fallback: deflation hit minimum sizes and the demand
         // is still not covered. Preempt the VMs farthest from their
         // deflation target (largest cascade shortfall) until it is.
-        let mut still_needed = demand.saturating_sub(&server.free());
+        let mut still_needed = demand.saturating_sub(&session.server().free());
         if !still_needed.is_zero() {
-            let mut candidates: Vec<(f64, VmId)> = report
-                .outcomes
+            let mut candidates: Vec<(f64, VmId)> = session
+                .outcomes()
                 .iter()
                 .map(|(id, out)| (out.shortfall.total(), *id))
                 .collect();
             // Also consider deflatable VMs that received no target.
-            for id in server.low_priority_ids() {
+            for id in session.server().low_priority_ids() {
                 if !candidates.iter().any(|(_, c)| *c == id) {
                     candidates.push((0.0, id));
                 }
             }
-            candidates.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0)
-                    .expect("shortfalls are finite")
-                    .then_with(|| a.1.cmp(&b.1))
-            });
+            candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
             for (_, id) in candidates {
                 if still_needed.is_zero() {
                     break;
                 }
-                if let Some(vm) = server.remove_vm(id) {
-                    report.freed += vm.effective();
-                    report.preempted.push(id);
-                    still_needed = demand.saturating_sub(&server.free());
+                if session.preempt(id).is_some() {
+                    still_needed = demand.saturating_sub(&session.server().free());
                 }
             }
         }
 
-        report.satisfied = server.free().dominates(demand);
-        report
+        let satisfied = session.server().free().dominates(demand);
+        session.set_satisfied(satisfied);
+        session
     }
 
     /// Returns freed resources to deflated VMs, proportionally to their
-    /// deficits (paper §5, reinflation).
-    pub fn reinflate(
-        &self,
-        now: SimTime,
-        server: &mut PhysicalServer,
-        freed: &ResourceVector,
-    ) -> Vec<(VmId, ResourceVector)> {
-        let vms: Vec<(VmId, ResourceVector, ResourceVector)> = server
-            .vms
-            .values()
+    /// deficits (paper §5, reinflation). Grants are recorded in the
+    /// session (and show up in the committed report's `reinflated`
+    /// list), so a rollback takes them back.
+    pub fn reinflate(&self, session: &mut ReclaimSession<'_>, freed: &ResourceVector) {
+        let vms: Vec<(VmId, ResourceVector, ResourceVector)> = session
+            .server()
+            .vms()
             .filter(|vm| vm.deflatable())
             .map(|vm| (vm.id(), vm.effective(), vm.spec()))
             .collect();
         let shares = proportional_reinflation(freed, &vms);
-        let mut applied = Vec::new();
         for (id, share) in shares {
             if share.is_zero() {
                 continue;
             }
-            let got = server.reinflate_vm(now, id, &share).expect("VM exists");
-            if !got.is_zero() {
-                applied.push((id, got));
-            }
+            session.reinflate(id, &share).expect("VM exists");
         }
-        applied
     }
 }
 
@@ -735,7 +725,7 @@ mod tests {
     fn make_room_with_free_resources_is_noop() {
         let mut s = server_with_low_vms(1);
         let ctl = LocalController::default();
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec()).commit();
         assert!(r.satisfied);
         assert!(r.freed.is_zero());
         assert!(r.outcomes.is_empty());
@@ -748,7 +738,7 @@ mod tests {
         assert!(s.free().is_zero());
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
         let demand = vm_spec(); // One more VM's worth.
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &demand);
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &demand).commit();
         assert!(r.satisfied, "freed {}", r.freed);
         assert!(r.preempted.is_empty());
         assert_eq!(r.outcomes.len(), 4);
@@ -766,7 +756,7 @@ mod tests {
             s.vm_mut(id).unwrap().set_usage(12_000.0, 2.0);
         }
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec()).commit();
         let max_vm = r
             .outcomes
             .iter()
@@ -791,7 +781,7 @@ mod tests {
             s.add_vm(vm);
         }
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec()).commit();
         assert!(r.satisfied);
         assert!(!r.preempted.is_empty());
         assert!(s.vm_count() < 2);
@@ -803,7 +793,7 @@ mod tests {
         s.add_vm(Vm::new(VmId(1), vm_spec(), VmPriority::High));
         s.add_vm(Vm::new(VmId(2), vm_spec(), VmPriority::Low));
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec()).commit();
         assert!(r.satisfied);
         // Only the low-priority VM was deflated or preempted.
         assert!(s.vm(VmId(1)).is_some());
@@ -819,12 +809,15 @@ mod tests {
         // Deflate both VMs by half a VM's worth.
         let extra = vm_spec();
         let before_free = s.free();
-        ctl.make_room(SimTime::ZERO, &mut s, &(before_free + extra));
+        ctl.make_room(SimTime::ZERO, &mut s, &(before_free + extra))
+            .commit();
         let deflated: Vec<f64> = s.vms().map(|vm| vm.max_deflation()).collect();
         assert!(deflated.iter().all(|d| *d > 0.0));
 
-        // Resources free up again; reinflate.
-        let applied = ctl.reinflate(SimTime::from_secs(60), &mut s, &extra);
+        // Resources free up again; reinflate through a session.
+        let mut sess = ReclaimSession::begin(SimTime::from_secs(60), &mut s);
+        ctl.reinflate(&mut sess, &extra);
+        let applied = sess.commit().reinflated;
         assert_eq!(applied.len(), 2);
         for vm in s.vms() {
             assert!(vm.max_deflation() < 1e-6, "still deflated: {vm:?}");
@@ -835,7 +828,7 @@ mod tests {
     fn make_room_report_converts_to_span() {
         let mut s = server_with_low_vms(4);
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec()).commit();
         let span = r.to_span(SimTime::from_secs(5), ServerId(1));
         assert_eq!(span.kind, "server.make_room");
         assert_eq!(span.attr("server").and_then(|a| a.as_f64()), Some(1.0));
@@ -863,7 +856,7 @@ mod tests {
             s.add_vm(Vm::new(VmId(i), vm_spec(), VmPriority::Low).with_min(vm_spec().scale(0.9)));
         }
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec()).commit();
         assert!(!r.preempted.is_empty());
         let span = r.to_span(SimTime::ZERO, ServerId(7));
         let preempts = span
@@ -884,7 +877,9 @@ mod tests {
         s.add_vm(Vm::new(VmId(2), vm_spec(), VmPriority::Low).with_min(vm_spec().scale(0.3)));
         let before = s.committed();
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec().scale(2.0));
+        let r = ctl
+            .make_room(SimTime::ZERO, &mut s, &vm_spec().scale(2.0))
+            .commit();
         assert!(!r.satisfied);
         // The failed reclaim must leave the server exactly as it was:
         // nothing deflated, nothing preempted, nothing freed. (It used
@@ -960,7 +955,7 @@ mod tests {
         assert!(!s.is_up());
         assert!(!s.fits(&vm_spec()));
         let ctl = LocalController::default();
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec());
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &vm_spec()).commit();
         assert!(!r.satisfied);
         assert!(r.freed.is_zero());
         s.set_up(true);
@@ -981,7 +976,9 @@ mod tests {
                 },
             );
         }
-        let r = ctl.make_room_with(SimTime::ZERO, &mut s, &vm_spec(), &faults);
+        let r = ctl
+            .make_room_with(SimTime::ZERO, &mut s, &vm_spec(), &faults)
+            .commit();
         assert!(r.satisfied);
         for (_, out) in &r.outcomes {
             // Only the hypervisor layer engaged: cgroup clamp, no guest.
@@ -996,6 +993,7 @@ mod tests {
         let ctl = LocalController::new(CascadeConfig::FULL);
         let baseline = ctl
             .make_room(SimTime::ZERO, &mut s, &vm_spec())
+            .commit()
             .outcomes
             .first()
             .map(|(_, o)| o.latency)
@@ -1015,7 +1013,9 @@ mod tests {
                 },
             );
         }
-        let r = ctl.make_room_with(SimTime::ZERO, &mut s, &vm_spec(), &faults);
+        let r = ctl
+            .make_room_with(SimTime::ZERO, &mut s, &vm_spec(), &faults)
+            .commit();
         assert!(r.satisfied);
         let (_, out) = r.outcomes.first().expect("deflated something");
         // App layer records the deadline burn with zero yield ...
@@ -1037,13 +1037,15 @@ mod tests {
         let mut s = server_with_low_vms(4);
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL);
         let shielded: HashSet<VmId> = [VmId(0)].into_iter().collect();
-        let r = ctl.make_room_shielded(
-            SimTime::ZERO,
-            &mut s,
-            &vm_spec(),
-            &HashMap::new(),
-            &shielded,
-        );
+        let r = ctl
+            .make_room_shielded(
+                SimTime::ZERO,
+                &mut s,
+                &vm_spec(),
+                &HashMap::new(),
+                &shielded,
+            )
+            .commit();
         assert!(r.satisfied);
         assert!(r.preempted.is_empty());
         // The shielded VM kept its full memory; the others covered the
@@ -1067,7 +1069,7 @@ mod tests {
         s.add_vm(low_vm(1));
         let ctl = LocalController::new(CascadeConfig::VM_LEVEL.with_working_set_floor(true));
         let demand = s.free() + ResourceVector::memory(vm_spec().get(Memory));
-        let r = ctl.make_room(SimTime::ZERO, &mut s, &demand);
+        let r = ctl.make_room(SimTime::ZERO, &mut s, &demand).commit();
         assert!(r.satisfied, "freed {}", r.freed);
         assert!(r.preempted.is_empty());
         let floored = s.vm(VmId(0)).unwrap().effective().get(Memory);
@@ -1082,8 +1084,10 @@ mod tests {
         let mut a = server_with_low_vms(4);
         let mut b = server_with_low_vms(4);
         let ctl = LocalController::new(CascadeConfig::FULL);
-        let ra = ctl.make_room(SimTime::ZERO, &mut a, &vm_spec());
-        let rb = ctl.make_room_with(SimTime::ZERO, &mut b, &vm_spec(), &HashMap::new());
+        let ra = ctl.make_room(SimTime::ZERO, &mut a, &vm_spec()).commit();
+        let rb = ctl
+            .make_room_with(SimTime::ZERO, &mut b, &vm_spec(), &HashMap::new())
+            .commit();
         assert_eq!(ra.freed, rb.freed);
         assert_eq!(ra.latency, rb.latency);
         assert_eq!(ra.outcomes, rb.outcomes);

@@ -325,7 +325,7 @@ mod tests {
 
         // Without the flag the floor is advisory and ignored.
         let mut vm = Vm::new(VmId(2), spec(), VmPriority::Low).with_memory_floor(12_288.0);
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::memory(8_192.0),
             &CascadeConfig::VM_LEVEL,
@@ -338,7 +338,7 @@ mod tests {
         let mut vm = Vm::new(VmId(1), spec(), VmPriority::Low);
         vm.set_usage(2_048.0, 0.5);
         let target = spec().scale(0.4);
-        vm.deflate(SimTime::ZERO, &target, &CascadeConfig::VM_LEVEL);
+        let _ = vm.deflate(SimTime::ZERO, &target, &CascadeConfig::VM_LEVEL);
         let before = vm.effective();
         let got = vm.reinflate(SimTime::from_secs(60), &target);
         assert!(got.approx_eq(&target, 1e-6), "got {got}");
@@ -351,7 +351,7 @@ mod tests {
     fn view_reports_overcommit_ratio() {
         let mut vm = Vm::new(VmId(1), spec(), VmPriority::Low);
         // Hypervisor-only CPU deflation: vCPUs stay online.
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::HYPERVISOR_ONLY,
@@ -365,7 +365,7 @@ mod tests {
     #[test]
     fn os_level_unplug_reduces_visible() {
         let mut vm = Vm::new(VmId(1), spec(), VmPriority::Low);
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(2.0),
             &CascadeConfig::OS_ONLY,

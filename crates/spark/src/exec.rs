@@ -330,8 +330,7 @@ impl BspSimulator {
         let mut order: Vec<usize> = (0..self.pool.len()).collect();
         order.sort_by(|a, b| {
             ev.fractions[*b]
-                .partial_cmp(&ev.fractions[*a])
-                .expect("fractions are finite")
+                .total_cmp(&ev.fractions[*a])
                 .then_with(|| a.cmp(b))
         });
         for &w in order.iter().take(k.min(self.pool.len().saturating_sub(1))) {

@@ -43,8 +43,8 @@ fn main() {
     let step_amount = ResourceVector::memory(2_048.0);
     for step in 1..=4 {
         let t = SimTime::from_secs(step * 60);
-        vm_aware.deflate(t, &step_amount, &CascadeConfig::FULL);
-        vm_plain.deflate(t, &step_amount, &CascadeConfig::VM_LEVEL);
+        let _ = vm_aware.deflate(t, &step_amount, &CascadeConfig::FULL);
+        let _ = vm_plain.deflate(t, &step_amount, &CascadeConfig::VM_LEVEL);
         println!(
             "{:>6} {:>11.0}% {:>10.0} {:>14.1} {:>12.0} {:>12.1}",
             step,

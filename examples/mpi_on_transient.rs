@@ -33,7 +33,7 @@ fn main() {
     for frac in [0.25, 0.5] {
         let mut vm2 = Vm::new(VmId(2), spec, VmPriority::Low);
         mpi.init_usage(&vm2.state());
-        vm2.deflate(
+        let _ = vm2.deflate(
             SimTime::ZERO,
             &ResourceVector::cpu(4.0 * frac),
             &CascadeConfig::VM_LEVEL,
@@ -58,7 +58,7 @@ fn main() {
             let agent = app.agent(vm.state());
             let mut vm = vm.with_agent(Box::new(agent));
             if i == 0 {
-                vm.deflate(SimTime::ZERO, &spec.scale(0.5), &CascadeConfig::FULL);
+                let _ = vm.deflate(SimTime::ZERO, &spec.scale(0.5), &CascadeConfig::FULL);
             }
             views.push(vm.view());
             members.push(app);

@@ -117,7 +117,7 @@ fn jvm_agent_end_to_end_prefers_gc_over_swap() {
     let agent = app.agent(vm.state());
     let mut vm = vm.with_agent(Box::new(agent));
 
-    vm.deflate(
+    let _ = vm.deflate(
         SimTime::ZERO,
         &ResourceVector::memory(6_144.0),
         &CascadeConfig::FULL,
@@ -134,7 +134,7 @@ fn repeated_partial_deflations_accumulate() {
     let mut vm = Vm::new(VmId(1), spec(), VmPriority::Low);
     vm.set_usage(2_048.0, 1.0);
     for _ in 0..4 {
-        vm.deflate(
+        let _ = vm.deflate(
             SimTime::ZERO,
             &spec().scale(0.125),
             &CascadeConfig::VM_LEVEL,

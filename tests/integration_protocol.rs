@@ -100,7 +100,7 @@ fn reinflation_round_trips_the_wire() {
     let proto = ProtocolAgent::new(VmId(5), remote, link, SimDuration::from_secs(30));
     let mut vm = vm.with_agent(Box::new(proto));
 
-    vm.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
+    let _ = vm.deflate(SimTime::ZERO, &target, &CascadeConfig::FULL);
     let shrunk = app.cache_mb();
     assert!(shrunk < MemcachedParams::default().base_cache_mb);
 
