@@ -126,7 +126,7 @@ pub fn fig_distress_with(cfg: &FigDistressConfig) -> Table {
             "P[distress] u",
             "P[distress] g",
             "rescues (g)",
-            "breaker opens (g)",
+            "breaker trips (g)",
         ],
     );
     let jobs: Vec<ClusterSimConfig> = cfg
@@ -148,7 +148,7 @@ pub fn fig_distress_with(cfg: &FigDistressConfig) -> Table {
             f3(p_distress(u)),
             f3(p_distress(g)),
             format!("{}", g.stats.emergency_reinflations),
-            f1(counter(g, "cluster.breaker_open_vms")),
+            f1(counter(g, "cluster.breaker_trips")),
         ]);
     }
     t.expect(

@@ -8,6 +8,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig_distress;
 pub mod fig_faults;
+pub mod fig_migration;
 pub mod pricing_exp;
 
 use crate::Table;
@@ -28,6 +29,7 @@ pub fn run_all() -> Vec<Table> {
         Box::new(ablations::run),
         Box::new(fig_faults::run),
         Box::new(fig_distress::run),
+        Box::new(fig_migration::run),
         Box::new(|| vec![pricing_exp::run()]),
     ];
     crate::sweep::parallel_map(jobs, |job| job())

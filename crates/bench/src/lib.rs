@@ -28,8 +28,19 @@ pub const FAULT_COUNTER_KEYS: [&str; 3] = [
 pub const DISTRESS_COUNTER_KEYS: [&str; 4] = [
     "cluster.oom_kills",
     "cluster.emergency_reinflations",
-    "cluster.breaker_open_vms",
+    "cluster.breaker_trips",
     "cluster.distress_seconds",
+];
+
+/// Live-migration counters every figure binary reports even when
+/// migration never ran (they print as zero). `migration.*` keys join
+/// these dynamically as simulations record them.
+pub const MIGRATION_COUNTER_KEYS: [&str; 5] = [
+    "cluster.migrations",
+    "cluster.migrations_started",
+    "cluster.migrations_aborted",
+    "cluster.migration_mb",
+    "cluster.drains",
 ];
 
 /// Process-wide accumulator of fault-related counters scraped from
@@ -38,6 +49,9 @@ static SIM_FAULT_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::n
 
 /// Same, for the guest-distress counters.
 static SIM_DISTRESS_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// Same, for the live-migration counters.
+static SIM_MIGRATION_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
 
 /// Folds the fault/resilience counters (`fault.injected.*`, server
 /// crashes, unresponsive agents, cascade retries) and the guest-distress
@@ -52,6 +66,9 @@ pub fn record_sim_summary(doc: &simkit::JsonValue) {
     };
     let mut faults = SIM_FAULT_COUNTERS.lock().expect("fault accumulator");
     let mut distress = SIM_DISTRESS_COUNTERS.lock().expect("distress accumulator");
+    let mut migration = SIM_MIGRATION_COUNTERS
+        .lock()
+        .expect("migration accumulator");
     for (k, v) in counters {
         let Some(n) = v.as_f64() else { continue };
         if k.starts_with("fault.") || FAULT_COUNTER_KEYS.contains(&k.as_str()) {
@@ -59,6 +76,12 @@ pub fn record_sim_summary(doc: &simkit::JsonValue) {
         }
         if k.starts_with("distress.") || DISTRESS_COUNTER_KEYS.contains(&k.as_str()) {
             *distress.entry(k.clone()).or_insert(0.0) += n;
+        }
+        if k.starts_with("migration.")
+            || k.starts_with("cluster.defrag")
+            || MIGRATION_COUNTER_KEYS.contains(&k.as_str())
+        {
+            *migration.entry(k.clone()).or_insert(0.0) += n;
         }
     }
 }
@@ -208,6 +231,18 @@ pub fn run_summary(run: &str, tables: &[Table], wall_time_s: f64) -> simkit::Jso
         distress.set(k, *v);
     }
     doc.set("distress", distress);
+    let mut migration = simkit::JsonValue::object();
+    for key in MIGRATION_COUNTER_KEYS {
+        migration.set(key, 0.0);
+    }
+    for (k, v) in SIM_MIGRATION_COUNTERS
+        .lock()
+        .expect("migration accumulator")
+        .iter()
+    {
+        migration.set(k, *v);
+    }
+    doc.set("migration", migration);
     doc
 }
 
@@ -366,6 +401,38 @@ mod tests {
         assert!(get("distress.hard_samples") >= 9.0);
         // Non-distress counters are not hoisted into the section.
         assert!(distress.get("cluster.launched").is_none());
+    }
+
+    #[test]
+    fn run_summary_reports_migration_counters() {
+        // The migration counters are always present (zero by default)…
+        let doc = run_summary("figM", &[sample()], 0.1);
+        let migration = doc.get("migration").expect("migration section");
+        for key in MIGRATION_COUNTER_KEYS {
+            assert!(
+                migration.get(key).and_then(|v| v.as_f64()).is_some(),
+                "{key} missing"
+            );
+        }
+        // …and fold in whatever the simulations recorded (lower bounds:
+        // the accumulator is process-wide).
+        let sim = simkit::JsonValue::object().with(
+            "counters",
+            simkit::JsonValue::object()
+                .with("cluster.migrations", 4.0)
+                .with("migration.downtime_s", 1.5)
+                .with("cluster.defrag_rounds", 2.0)
+                .with("cluster.launched", 100.0),
+        );
+        record_sim_summary(&sim);
+        let doc = run_summary("figM", &[sample()], 0.1);
+        let migration = doc.get("migration").expect("migration section");
+        let get = |k: &str| migration.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        assert!(get("cluster.migrations") >= 4.0);
+        assert!(get("migration.downtime_s") >= 1.5);
+        assert!(get("cluster.defrag_rounds") >= 2.0);
+        // Non-migration counters are not hoisted into the section.
+        assert!(migration.get("cluster.launched").is_none());
     }
 
     #[test]

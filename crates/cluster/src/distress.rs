@@ -143,6 +143,15 @@ pub enum DistressEvent {
         /// Normalized work-completion rate in (0, 1).
         perf: f64,
     },
+    /// The manager escalated a still-distressed VM to live migration:
+    /// a destination reservation is in flight and the simulator must
+    /// call `finish_migration` once `total` elapses.
+    Migration {
+        /// The migrating VM (still running on its source).
+        vm: VmId,
+        /// Wall-clock span of the planned move (copy rounds + blackout).
+        total: SimDuration,
+    },
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 
 pub mod distress;
 pub mod manager;
+pub mod migration;
 pub mod placement;
 pub mod placement_index;
 pub mod predictor;
@@ -32,6 +33,7 @@ pub use distress::{DistressConfig, DistressEvent};
 pub use manager::{
     ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome, ServerFailure,
 };
+pub use migration::MigrationPolicy;
 pub use placement::{AvailabilityMode, PlacementEngine, PlacementPolicy};
 pub use placement_index::PlacementIndex;
 pub use predictor::{DemandPredictor, Ewma};

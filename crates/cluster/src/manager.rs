@@ -9,8 +9,8 @@ use std::collections::{HashMap, HashSet};
 
 use deflate_core::{CascadeConfig, DeflateError, ResourceKind, ResourceVector, ServerId, VmId};
 use hypervisor::{
-    GuestConfig, LatencyModel, LocalController, PhysicalServer, ReclaimReport, ReclaimSession,
-    ServerAggregates, Vm, VmFaults, VmPriority,
+    GuestConfig, LatencyModel, LocalController, MigrationSession, PhysicalServer, PrecopyPlan,
+    ReclaimReport, ReclaimSession, ServerAggregates, Vm, VmFaults, VmPriority,
 };
 use simkit::{
     FaultInjector, FaultPlan, JsonValue, Observability, SeqHash, SimDuration, SimRng, SimTime,
@@ -18,8 +18,10 @@ use simkit::{
 };
 
 use crate::distress::{DistressConfig, DistressEvent};
+use crate::migration::MigrationPolicy;
 use crate::placement::{
-    choose_server_baseline, choose_server_with, AvailabilityMode, PlacementEngine, PlacementPolicy,
+    avail_from_free, choose_server_baseline, choose_server_with, AvailabilityMode, PlacementEngine,
+    PlacementPolicy,
 };
 
 use crate::placement_index::PlacementIndex;
@@ -88,6 +90,11 @@ pub struct ClusterManagerConfig {
     /// default ([`DistressConfig::none`]), which keeps the manager
     /// byte-identical to a build without distress plumbing.
     pub distress: DistressConfig,
+    /// Live-migration machinery: distress rescue, drain-before-crash
+    /// and background defragmentation. Disabled by default
+    /// ([`MigrationPolicy::none`]), which keeps the manager
+    /// byte-identical to a build without migration plumbing.
+    pub migration: MigrationPolicy,
 }
 
 impl Default for ClusterManagerConfig {
@@ -107,6 +114,7 @@ impl Default for ClusterManagerConfig {
             engine: PlacementEngine::Indexed,
             lifecycle_trace: true,
             distress: DistressConfig::none(),
+            migration: MigrationPolicy::none(),
         }
     }
 }
@@ -138,6 +146,8 @@ pub struct ClusterStats {
     pub oom_kills: u64,
     /// Emergency reinflation rounds run for distressed VMs.
     pub emergency_reinflations: u64,
+    /// Live migrations committed (the VM landed on its destination).
+    pub migrations: u64,
 }
 
 impl ClusterStats {
@@ -192,6 +202,26 @@ pub struct ServerFailure {
     pub lost_low: Vec<VmId>,
 }
 
+/// One parked migration the manager is waiting out: the destination
+/// carries a capacity hold sized `reserved`, the listed donors were
+/// deflated to make it, and the source still runs the VM. Finished (the
+/// VM moves) or aborted (the hold is released and every donor gets its
+/// memory back) by [`ClusterManager::finish_migration`] — or cleaned up
+/// by [`ClusterManager::fail_server`] when either end crashes first.
+#[derive(Debug, Clone)]
+struct InFlightMigration {
+    /// Source server index.
+    src: usize,
+    /// Destination server index (carries the hold).
+    dst: usize,
+    /// The held capacity (the VM's effective allocation at reserve time).
+    reserved: ResourceVector,
+    /// Destination donors and what each gave (the abort undo-log).
+    reserve_outcomes: Vec<(VmId, ResourceVector)>,
+    /// The pre-copy schedule the move follows.
+    plan: PrecopyPlan,
+}
+
 /// Per-VM distress tracking: the grace-window clock, the breaker's
 /// consecutive-sample counters, and its exponential hold-off state.
 #[derive(Debug, Default, Clone, Copy)]
@@ -233,6 +263,13 @@ pub struct ClusterManager {
     /// Per-VM distress state; empty (and never touched) while the
     /// distress loop is disabled.
     distress: HashMap<VmId, VmDistress, SeqHash>,
+    /// In-flight parked migrations keyed by the moving VM; empty (and
+    /// never touched) while migration is disabled.
+    migrations: HashMap<VmId, InFlightMigration, SeqHash>,
+    /// VMs whose deflation circuit breaker is currently open — the true
+    /// gauge behind `cluster.breaker_open_vms` (trips are counted
+    /// separately as `cluster.breaker_trips`).
+    breaker_open_now: u64,
     /// VMs declared unresponsive (hypervisor-only deflation from now on).
     unresponsive: HashSet<VmId, SeqHash>,
     /// Unified observability: metrics registry plus lifecycle trace
@@ -295,6 +332,8 @@ impl ClusterManager {
             fault,
             missed: HashMap::default(),
             distress: HashMap::default(),
+            migrations: HashMap::default(),
+            breaker_open_now: 0,
             unresponsive: HashSet::default(),
             obs: Observability::new(),
             predictor: DemandPredictor::new(simkit::SimDuration::from_mins(10), 0.3),
@@ -542,6 +581,44 @@ impl ClusterManager {
                 "distress entry for {id}, which is not hosted"
             );
         }
+        // Open-breaker gauge invariant: the incremental counter behind
+        // `cluster.breaker_open_vms` must equal a fresh count of open
+        // breakers, or opens and closes went asymmetric somewhere.
+        assert_eq!(
+            self.breaker_open_now,
+            self.distress.values().filter(|s| s.open).count() as u64,
+            "open-breaker gauge drifted from the distress map"
+        );
+        // Migration-ledger invariants: every in-flight move references
+        // an up destination, each server's capacity hold is exactly the
+        // sum of the holds the ledger placed there, and a down server
+        // carries no hold at all (its reservations died with it).
+        let mut held = vec![ResourceVector::ZERO; self.servers.len()];
+        for (vm, f) in &self.migrations {
+            assert!(
+                f.dst < self.servers.len() && self.servers[f.dst].is_up(),
+                "in-flight migration of {vm} references down destination {}",
+                f.dst
+            );
+            held[f.dst] += f.reserved;
+        }
+        for (si, s) in self.servers.iter().enumerate() {
+            // Compared with a float epsilon: the ledger sums holds in
+            // map order while the server accumulated them in event
+            // order, so the last bits may differ.
+            assert!(
+                s.reserved().approx_eq(&held[si], 1e-6),
+                "server {si} holds {:?} but the migration ledger expects {:?}",
+                s.reserved(),
+                held[si]
+            );
+            if !s.is_up() {
+                assert!(
+                    s.reserved().is_zero(),
+                    "down server {si} still carries a capacity hold"
+                );
+            }
+        }
         if self.cfg.engine == PlacementEngine::Indexed {
             self.pindex.assert_consistent(&self.servers);
         }
@@ -656,6 +733,28 @@ impl ClusterManager {
         }
     }
 
+    /// Forgets every side-table entry for a VM leaving the cluster
+    /// (exit, preemption, crash loss, OOM kill): the VM→server index,
+    /// agent-liveness counters, the unresponsive set and its
+    /// distress/breaker state. A VM that departs with its breaker open
+    /// also leaves the open-breaker gauge, or the gauge drifts from the
+    /// map and a relaunch under the same id inherits stale state.
+    fn drop_vm_tracking(&mut self, now: SimTime, id: VmId) {
+        self.index.remove(&id);
+        self.missed.remove(&id);
+        self.unresponsive.remove(&id);
+        if let Some(st) = self.distress.remove(&id) {
+            if st.open {
+                self.breaker_open_now -= 1;
+                self.obs.metrics.gauge_set(
+                    "cluster.breaker_open_vms",
+                    now,
+                    self.breaker_open_now as f64,
+                );
+            }
+        }
+    }
+
     /// Crashes a server: every hosted VM is lost, the server leaves the
     /// placement pool until [`recover_server`](Self::recover_server), and
     /// the incremental aggregates stay exact (the removal path is the
@@ -674,16 +773,34 @@ impl ClusterManager {
         let mut lost_low = Vec::new();
         for id in ids {
             let vm = self.servers[si].remove_vm(id).expect("listed VM is hosted");
-            self.index.remove(&id);
-            self.missed.remove(&id);
-            self.unresponsive.remove(&id);
-            self.distress.remove(&id);
+            self.drop_vm_tracking(now, id);
             match vm.priority() {
                 VmPriority::High => lost_high.push(id),
                 VmPriority::Low => lost_low.push(id),
             }
         }
         self.servers[si].set_up(false);
+        // A crash mid-migration must not leak the in-flight ledger:
+        // moves *out of* the dead server abort normally (destination
+        // hold released, donors reinflated); moves *into* it lose their
+        // hold with the machine, so only the ledger entry is dropped and
+        // the stranded reservation is cleared below.
+        let mut affected: Vec<VmId> = self
+            .migrations
+            .iter()
+            .filter(|(_, f)| f.src == si || f.dst == si)
+            .map(|(id, _)| *id)
+            .collect();
+        affected.sort_unstable_by_key(|v| v.0);
+        for vm in affected {
+            let inflight = self.migrations.remove(&vm).expect("listed as in-flight");
+            if inflight.src == si {
+                self.abort_migration(now, vm, &inflight);
+            } else {
+                self.obs.metrics.incr("cluster.migrations_aborted");
+            }
+        }
+        self.servers[si].clear_reservations();
         let after = self.servers[si].aggregates();
         self.apply_delta(&before, &after);
         self.refresh_index(si);
@@ -835,10 +952,7 @@ impl ClusterManager {
                 .observe("cascade.latency_s", out.latency.as_secs_f64());
         }
         for id in &report.preempted {
-            self.index.remove(id);
-            self.missed.remove(id);
-            self.unresponsive.remove(id);
-            self.distress.remove(id);
+            self.drop_vm_tracking(now, *id);
             if self.cfg.lifecycle_trace {
                 self.obs
                     .trace
@@ -972,10 +1086,7 @@ impl ClusterManager {
             self.index.remove(&id);
             return None;
         };
-        self.index.remove(&id);
-        self.missed.remove(&id);
-        self.unresponsive.remove(&id);
-        self.distress.remove(&id);
+        self.drop_vm_tracking(now, id);
         let freed = vm.effective();
         if self.cfg.lifecycle_trace {
             self.obs
@@ -1104,7 +1215,13 @@ impl ClusterManager {
                     st.hold = d
                         .breaker_cooldown
                         .saturating_mul(1u32 << (st.trips - 1).min(6));
-                    self.obs.metrics.incr("cluster.breaker_open_vms");
+                    self.obs.metrics.incr("cluster.breaker_trips");
+                    self.breaker_open_now += 1;
+                    self.obs.metrics.gauge_set(
+                        "cluster.breaker_open_vms",
+                        now,
+                        self.breaker_open_now as f64,
+                    );
                     self.obs.trace.record_span(
                         Span::new("cluster.breaker_open", now)
                             .with_attr("vm", id.to_string())
@@ -1120,30 +1237,56 @@ impl ClusterManager {
                     if st.healthy_streak >= st.hold {
                         st.open = false;
                         st.healthy_streak = 0;
+                        self.breaker_open_now -= 1;
+                        self.obs.metrics.gauge_set(
+                            "cluster.breaker_open_vms",
+                            now,
+                            self.breaker_open_now as f64,
+                        );
                         self.obs.metrics.incr("distress.breaker_closed");
                     }
                 }
             }
 
+            let mut kill = false;
             if hard {
                 self.obs.metrics.incr("distress.hard_samples");
                 let since = *st.hard_since.get_or_insert(now);
-                if now >= since + d.grace_window {
-                    // Grace expired without rescue: the guest OOM killer
-                    // fires and the VM dies.
-                    let server = self.oom_kill(now, id);
-                    events.push(DistressEvent::OomKill { vm: id, server });
-                    continue;
-                }
+                kill = now >= since + d.grace_window;
             } else if soft {
                 self.obs.metrics.incr("distress.soft_samples");
                 st.hard_since = None;
+            }
+            // Persist the breaker/streak state *before* any kill:
+            // `oom_kill` drops the map entry (and the open-breaker
+            // gauge) through `drop_vm_tracking`, which must see this
+            // sample's state — a breaker opened and killed in the same
+            // sample would otherwise leak the gauge.
+            self.distress.insert(id, st);
+            if kill {
+                // Grace expired without rescue: the guest OOM killer
+                // fires and the VM dies.
+                let server = self.oom_kill(now, id);
+                events.push(DistressEvent::OomKill { vm: id, server });
+                continue;
+            }
+            if soft {
                 events.push(DistressEvent::Slowdown {
                     vm: id,
                     perf: d.thrash_perf(frac),
                 });
             }
-            self.distress.insert(id, st);
+            // Same-server mitigation left the guest distressed but
+            // alive: escalate to live migration when the policy allows.
+            if (hard || soft)
+                && !self.cfg.migration.is_none()
+                && self.cfg.migration.distress_rescue
+                && !self.migrations.contains_key(&id)
+            {
+                if let Some(total) = self.begin_migration(now, id) {
+                    events.push(DistressEvent::Migration { vm: id, total });
+                }
+            }
         }
         if sampled > 0 {
             self.obs.metrics.add(
@@ -1257,14 +1400,11 @@ impl ClusterManager {
         let vm = self.servers[si]
             .remove_vm(id)
             .expect("indexed VM is hosted");
-        self.index.remove(&id);
-        self.missed.remove(&id);
-        self.unresponsive.remove(&id);
         // The kill ends the VM's lifecycle, so its breaker/distress state
         // dies with it — otherwise a later VM reusing the id would
         // inherit a tripped breaker, and the map would leak an entry for
         // every killed VM that never comes back.
-        self.distress.remove(&id);
+        self.drop_vm_tracking(now, id);
         let freed = vm.effective();
         self.stats.oom_kills += 1;
         self.obs.metrics.incr("cluster.oom_kills");
@@ -1298,6 +1438,297 @@ impl ClusterManager {
         self.settle(si, &mid);
         self.update_gauges(now);
         ServerId(si as u64)
+    }
+
+    /// The best migration destination for `demand`: the up server with
+    /// the most deflation-aware headroom that can cover it, excluding
+    /// the source. Deterministic and RNG-free for every engine — the
+    /// indexed engine answers from cached availability vectors in one
+    /// pass; scan engines rank live state the same way (dominating
+    /// availability, largest norm, ties to the lowest index).
+    fn find_destination(&self, demand: &ResourceVector, exclude: usize) -> Option<usize> {
+        if self.cfg.engine == PlacementEngine::Indexed {
+            return self
+                .pindex
+                .best_headroom(&self.servers, demand, Some(exclude));
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.servers.iter().enumerate() {
+            if i == exclude || !s.is_up() {
+                continue;
+            }
+            let avail = avail_from_free(s, &s.free(), AvailabilityMode::Deflation);
+            if !avail.dominates(demand) {
+                continue;
+            }
+            let norm = avail.norm();
+            if best.map_or(true, |(_, bn)| norm > bn) {
+                best = Some((i, norm));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Starts a live migration for `vm`: picks the destination with the
+    /// most headroom, reserves the VM's effective allocation there
+    /// (deflating destination VMs if needed — never preempting), and
+    /// parks the session in the in-flight ledger. Returns the planned
+    /// wall-clock span of the move — the caller schedules
+    /// [`finish_migration`](Self::finish_migration) after it elapses —
+    /// or `None` when migration is off, the VM is unknown or already
+    /// moving, or no destination can take it.
+    pub fn begin_migration(&mut self, now: SimTime, vm: VmId) -> Option<SimDuration> {
+        if self.cfg.migration.is_none() || self.migrations.contains_key(&vm) {
+            return None;
+        }
+        let si = *self.index.get(&vm)?;
+        let demand = self.servers[si].vm(vm)?.effective();
+        let Some(di) = self.find_destination(&demand, si) else {
+            self.obs.metrics.incr("cluster.migration_no_target");
+            return None;
+        };
+        let before_dst = self.servers[di].aggregates();
+        // Making room on the destination honors the circuit breaker:
+        // the reservation must not squeeze a guest the breaker just
+        // rescued. Empty while the distress loop is off.
+        let shielded: HashSet<VmId> = if self.cfg.distress.is_none() {
+            HashSet::new()
+        } else {
+            self.servers[di]
+                .low_priority_ids()
+                .into_iter()
+                .filter(|id| self.distress.get(id).is_some_and(|s| s.open))
+                .collect()
+        };
+        let (src_ref, dst_ref) = if si < di {
+            let (l, r) = self.servers.split_at_mut(di);
+            (&mut l[si], &mut r[0])
+        } else {
+            let (l, r) = self.servers.split_at_mut(si);
+            (&mut r[0], &mut l[di])
+        };
+        let mut sess =
+            MigrationSession::begin(now, src_ref, dst_ref, vm, self.cfg.migration.session)?;
+        let controller = self.controller;
+        if !sess.reserve_shielded(&controller, &shielded) {
+            sess.rollback();
+            // The failed make_room deflated and rolled back destination
+            // VMs — versions bumped — so settle to refresh the index.
+            self.settle(di, &before_dst);
+            self.obs.metrics.incr("cluster.migration_no_target");
+            return None;
+        }
+        let parked = sess.park();
+        let total = parked.plan.total;
+        self.migrations.insert(
+            vm,
+            InFlightMigration {
+                src: si,
+                dst: di,
+                reserved: parked.reserved,
+                reserve_outcomes: parked.reserve_outcomes,
+                plan: parked.plan,
+            },
+        );
+        self.settle(di, &before_dst);
+        self.obs.metrics.incr("cluster.migrations_started");
+        if self.cfg.lifecycle_trace {
+            self.obs.trace.record(
+                now,
+                "migrate_start",
+                format!(
+                    "{vm} from {} to {} ({} rounds planned)",
+                    ServerId(si as u64),
+                    ServerId(di as u64),
+                    parked.plan.rounds
+                ),
+            );
+        }
+        Some(total)
+    }
+
+    /// Completes an in-flight migration: moves the VM onto its reserved
+    /// destination (delta-exact on both servers), charges the blackout
+    /// to the migration latency histogram, and reinflates the landed VM
+    /// toward its spec from the destination's remaining free pool.
+    /// Returns the destination, or `None` when the move no longer
+    /// applies (the VM exited, was preempted, or was OOM-killed during
+    /// the copy window) — in that case the destination hold is released
+    /// and its donors are made whole.
+    pub fn finish_migration(&mut self, now: SimTime, vm: VmId) -> Option<ServerId> {
+        let inflight = self.migrations.remove(&vm)?;
+        if self.index.get(&vm) != Some(&inflight.src) {
+            // A crashed source cleans the ledger in `fail_server`, so a
+            // surviving entry whose VM is elsewhere means the VM died or
+            // departed mid-copy: nothing to cut over.
+            self.abort_migration(now, vm, &inflight);
+            self.update_gauges(now);
+            return None;
+        }
+        let (si, di) = (inflight.src, inflight.dst);
+        let before_src = self.servers[si].aggregates();
+        let moved = self.servers[si]
+            .remove_vm(vm)
+            .expect("indexed VM is hosted");
+        self.settle(si, &before_src);
+        let before_dst = self.servers[di].aggregates();
+        self.servers[di].release_reservation(&inflight.reserved);
+        self.servers[di].add_vm(moved);
+        self.index.insert(vm, di);
+        let mid_dst = self.settle(di, &before_dst);
+        // The move usually lands on a roomier host: hand the landed VM
+        // back as much of its deflation as the destination's free pool
+        // covers (element-wise, never above its spec).
+        let landed = self.servers[di].vm(vm).expect("just landed");
+        let gap = landed.spec().saturating_sub(&landed.effective());
+        let free = self.servers[di].free();
+        let mut grant = ResourceVector::ZERO;
+        for k in ResourceKind::ALL {
+            grant.set(k, gap.get(k).min(free.get(k)).max(0.0));
+        }
+        if !grant.is_zero() {
+            let mut session = ReclaimSession::begin(now, &mut self.servers[di]);
+            session.reinflate(vm, &grant);
+            let applied = session.commit().reinflated;
+            self.stats.reinflations += applied.len() as u64;
+            self.obs
+                .metrics
+                .add("cluster.reinflations", applied.len() as u64);
+            self.settle(di, &mid_dst);
+        }
+        self.stats.migrations += 1;
+        self.obs.metrics.incr("cluster.migrations");
+        self.obs
+            .metrics
+            .add("cluster.migration_mb", inflight.plan.copied_mb as u64);
+        self.obs
+            .metrics
+            .observe("migration.downtime_s", inflight.plan.downtime.as_secs_f64());
+        if self.cfg.lifecycle_trace {
+            self.obs.trace.record(
+                now,
+                "migrate",
+                format!(
+                    "{vm} from {} to {}",
+                    ServerId(si as u64),
+                    ServerId(di as u64)
+                ),
+            );
+        }
+        self.obs.trace.record_span(
+            Span::new("cluster.migration", now)
+                .with_attr("vm", vm.to_string())
+                .with_attr("src", si as u64)
+                .with_attr("dst", di as u64)
+                .with_attr("rounds", u64::from(inflight.plan.rounds))
+                .with_attr("copied_mb", inflight.plan.copied_mb as u64),
+        );
+        self.update_gauges(now);
+        Some(ServerId(di as u64))
+    }
+
+    /// Undoes a parked migration's destination state: releases the
+    /// capacity hold and hands every destination donor back exactly
+    /// what it gave (reverse order, mirroring the session's own
+    /// rollback). A down destination is skipped — its holds died with
+    /// the machine.
+    fn abort_migration(&mut self, now: SimTime, vm: VmId, inflight: &InFlightMigration) {
+        let di = inflight.dst;
+        if self.servers[di].is_up() {
+            let before = self.servers[di].aggregates();
+            self.servers[di].release_reservation(&inflight.reserved);
+            for (id, got) in inflight.reserve_outcomes.iter().rev() {
+                let _ = self.servers[di].reinflate_vm(now, *id, got);
+            }
+            self.settle(di, &before);
+        }
+        self.obs.metrics.incr("cluster.migrations_aborted");
+        if self.cfg.lifecycle_trace {
+            self.obs.trace.record(
+                now,
+                "migrate_abort",
+                format!("{vm} (hold on {} released)", ServerId(di as u64)),
+            );
+        }
+    }
+
+    /// Evacuates every VM on `sid` via live migration (advance-warning
+    /// maintenance or a scripted crash with `crash_warning`). Returns
+    /// the started moves with their planned spans so the caller can
+    /// schedule their completions; VMs with no viable destination stay
+    /// put — and die with the server if the warning was real. A no-op
+    /// unless migration is enabled and the server is up.
+    pub fn drain_server(&mut self, now: SimTime, sid: ServerId) -> Vec<(VmId, SimDuration)> {
+        let si = sid.0 as usize;
+        if self.cfg.migration.is_none() || si >= self.servers.len() || !self.servers[si].is_up() {
+            return Vec::new();
+        }
+        let mut ids: Vec<VmId> = self.servers[si].vms().map(|vm| vm.id()).collect();
+        ids.sort_unstable_by_key(|v| v.0);
+        let mut started = Vec::new();
+        for vm in ids {
+            if let Some(total) = self.begin_migration(now, vm) {
+                started.push((vm, total));
+            }
+        }
+        self.obs.metrics.incr("cluster.drains");
+        self.obs.trace.record_span(
+            Span::new("cluster.drain", now)
+                .with_attr("server", sid.0)
+                .with_attr("hosted", self.servers[si].vm_count())
+                .with_attr("moves", started.len()),
+        );
+        self.update_gauges(now);
+        started
+    }
+
+    /// One background defragmentation pass: picks the up server hosting
+    /// the fewest VMs (at most `max_defrag_per_round`, all low-priority,
+    /// none already moving) and migrates them off, converting scattered
+    /// fragments into one whole placeable slot. Returns the started
+    /// moves for the caller to schedule.
+    pub fn defrag_round(&mut self, now: SimTime) -> Vec<(VmId, SimDuration)> {
+        if self.cfg.migration.is_none() {
+            return Vec::new();
+        }
+        let cap = self.cfg.migration.max_defrag_per_round;
+        let mut victim: Option<(usize, usize)> = None; // (vm_count, index)
+        for (i, s) in self.servers.iter().enumerate() {
+            if !s.is_up() {
+                continue;
+            }
+            let count = s.vm_count();
+            if count == 0 || count > cap {
+                continue;
+            }
+            let movable = s.vms().all(|vm| {
+                vm.priority() == VmPriority::Low && !self.migrations.contains_key(&vm.id())
+            });
+            if movable && victim.map_or(true, |(bc, _)| count < bc) {
+                victim = Some((count, i));
+            }
+        }
+        let Some((_, si)) = victim else {
+            return Vec::new();
+        };
+        let mut ids: Vec<VmId> = self.servers[si].vms().map(|vm| vm.id()).collect();
+        ids.sort_unstable_by_key(|v| v.0);
+        let mut started = Vec::new();
+        for vm in ids {
+            if let Some(total) = self.begin_migration(now, vm) {
+                started.push((vm, total));
+            }
+        }
+        if !started.is_empty() {
+            self.obs.metrics.incr("cluster.defrag_rounds");
+            self.obs.trace.record_span(
+                Span::new("cluster.defrag", now)
+                    .with_attr("server", si as u64)
+                    .with_attr("moves", started.len()),
+            );
+        }
+        self.update_gauges(now);
+        started
     }
 }
 
@@ -1833,10 +2264,7 @@ mod tests {
         assert!(!m.breaker_open(VmId(0)), "one sample is not enough");
         m.sample_distress(SimTime::from_secs(120));
         assert!(m.breaker_open(VmId(0)), "two consecutive samples trip it");
-        assert_eq!(
-            m.observability().metrics.count("cluster.breaker_open_vms"),
-            1
-        );
+        assert_eq!(m.observability().metrics.count("cluster.breaker_trips"), 1);
 
         // A reclamation round must not squeeze the breaker-open VM: the
         // demand routes to VM 1 (9000 MiB are free, the rest comes from
@@ -1992,5 +2420,102 @@ mod tests {
         assert!((m.high_pri_cpu() - high).abs() < 1e-6);
         assert!((m.low_pri_spec_cpu() - low_spec).abs() < 1e-6);
         assert!((m.low_pri_effective_cpu() - low_eff).abs() < 1e-6);
+    }
+
+    fn migration_cfg() -> ClusterManagerConfig {
+        ClusterManagerConfig {
+            migration: crate::migration::MigrationPolicy::enabled(),
+            ..small_cfg(true)
+        }
+    }
+
+    #[test]
+    fn migration_commits_and_lands_on_destination() {
+        let mut m = ClusterManager::new(migration_cfg());
+        let t = SimTime::ZERO;
+        assert!(matches!(
+            m.launch(t, &req(0, true)),
+            LaunchOutcome::Placed { .. }
+        ));
+        let src = *m.index.get(&VmId(0)).unwrap();
+        let total = m.begin_migration(t, VmId(0)).expect("empty peer must fit");
+        assert!(total > SimDuration::ZERO);
+        assert!(m.migrations.contains_key(&VmId(0)));
+        let dst = m.migrations[&VmId(0)].dst;
+        assert_ne!(src, dst);
+        assert!(
+            !m.servers[dst].reserved().is_zero(),
+            "destination must hold the reservation while copying"
+        );
+        // A second begin for the same VM is refused while one is in
+        // flight.
+        assert!(m.begin_migration(t, VmId(0)).is_none());
+        m.assert_consistent();
+
+        let landed = m.finish_migration(t + total, VmId(0)).expect("commit");
+        assert_eq!(landed, ServerId(dst as u64));
+        assert_eq!(*m.index.get(&VmId(0)).unwrap(), dst);
+        assert!(m.servers[src].vm(VmId(0)).is_none());
+        assert!(m.servers[dst].vm(VmId(0)).is_some());
+        assert!(m.servers[dst].reserved().is_zero(), "hold converts to a VM");
+        assert!(m.migrations.is_empty());
+        assert_eq!(m.stats().migrations, 1);
+        assert_eq!(m.observability().metrics.count("cluster.migrations"), 1);
+        assert!(m.observability().metrics.count("cluster.migration_mb") > 0);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn destination_crash_mid_migration_clears_the_ledger() {
+        let mut m = ClusterManager::new(migration_cfg());
+        let t = SimTime::ZERO;
+        m.launch(t, &req(0, true));
+        let total = m.begin_migration(t, VmId(0)).expect("reserve");
+        let dst = m.migrations[&VmId(0)].dst;
+        m.fail_server(t, ServerId(dst as u64)).expect("dst was up");
+        assert!(
+            m.migrations.is_empty(),
+            "crash must clear in-flight entries touching the dead server"
+        );
+        assert!(m.servers[dst].reserved().is_zero());
+        assert_eq!(
+            m.observability()
+                .metrics
+                .count("cluster.migrations_aborted"),
+            1
+        );
+        // The VM never left its source; the deferred completion is a
+        // no-op.
+        assert!(m.is_running(VmId(0)));
+        assert!(m.finish_migration(t + total, VmId(0)).is_none());
+        assert!(m.is_running(VmId(0)));
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn source_crash_mid_migration_releases_the_destination_hold() {
+        let mut m = ClusterManager::new(migration_cfg());
+        let t = SimTime::ZERO;
+        m.launch(t, &req(0, true));
+        let src = *m.index.get(&VmId(0)).unwrap();
+        let total = m.begin_migration(t, VmId(0)).expect("reserve");
+        let dst = m.migrations[&VmId(0)].dst;
+        m.fail_server(t, ServerId(src as u64)).expect("src was up");
+        // The VM died with its source; the destination hold must not
+        // strand capacity.
+        assert!(m.migrations.is_empty());
+        assert!(!m.is_running(VmId(0)));
+        assert!(
+            m.servers[dst].reserved().is_zero(),
+            "aborted migration must release its reservation"
+        );
+        assert_eq!(
+            m.observability()
+                .metrics
+                .count("cluster.migrations_aborted"),
+            1
+        );
+        assert!(m.finish_migration(t + total, VmId(0)).is_none());
+        m.assert_consistent();
     }
 }

@@ -1,0 +1,102 @@
+//! Cluster-level migration policy: when the manager reaches for a
+//! [`hypervisor::MigrationSession`] instead of (or in addition to)
+//! deflation.
+//!
+//! The paper prices migration against deflation (§4.4); Fuerst &
+//! Shenoy's cloud-scale VM deflation work treats migration-vs-deflation
+//! as *the* central trade-off for transient servers. This module is the
+//! policy knob for the three consumers the manager wires up:
+//!
+//! * **Distress rescue** — a guest still distressed after same-server
+//!   emergency reinflation is moved to the server with the most
+//!   headroom instead of being OOM-killed when its grace window runs
+//!   out.
+//! * **Drain-before-crash** — a [`simkit::FaultPlan`] that scripts a
+//!   server loss with advance warning (`crash_warning`) lets the
+//!   simulator evacuate the victim before the crash lands.
+//! * **Defragmentation** — a periodic background pass that empties the
+//!   least-loaded server into scattered headroom, converting fragments
+//!   into whole placeable slots.
+//!
+//! Everything is opt-in: the default [`MigrationPolicy::none`] keeps
+//! the simulation byte-identical to a build without migration plumbing
+//! (no extra events, no metric keys, no RNG draws).
+
+use hypervisor::MigrationConfig;
+use simkit::SimDuration;
+
+/// Configuration of the cluster's live-migration machinery. Disabled by
+/// default; [`MigrationPolicy::enabled`] is the arm the `fig_migration`
+/// experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationPolicy {
+    /// Master switch. When `false` nothing below matters and the
+    /// simulation is byte-identical to one without migration plumbing.
+    pub enabled: bool,
+    /// Pre-copy transfer model (bandwidth, dirty rates, stop-and-copy
+    /// threshold) handed to every [`hypervisor::MigrationSession`].
+    pub session: MigrationConfig,
+    /// Escalate a still-distressed guest to migration when same-server
+    /// mitigation (emergency reinflation) left it distressed.
+    pub distress_rescue: bool,
+    /// Period of the background defragmentation pass; `ZERO` disables
+    /// it.
+    pub defrag_interval: SimDuration,
+    /// A defragmentation round only evacuates a server hosting at most
+    /// this many VMs (the pass exists to *empty* servers, not to churn
+    /// busy ones).
+    pub max_defrag_per_round: usize,
+}
+
+impl Default for MigrationPolicy {
+    fn default() -> Self {
+        MigrationPolicy {
+            enabled: false,
+            session: MigrationConfig::default(),
+            distress_rescue: true,
+            defrag_interval: SimDuration::ZERO,
+            max_defrag_per_round: 4,
+        }
+    }
+}
+
+impl MigrationPolicy {
+    /// The disabled configuration (the default).
+    pub fn none() -> Self {
+        MigrationPolicy::default()
+    }
+
+    /// Whether migration is off.
+    pub fn is_none(&self) -> bool {
+        !self.enabled
+    }
+
+    /// Migration on, with distress rescue and the default pre-copy
+    /// model; defragmentation stays off unless the caller sets a
+    /// period.
+    pub fn enabled() -> Self {
+        MigrationPolicy {
+            enabled: true,
+            ..MigrationPolicy::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(MigrationPolicy::none().is_none());
+        assert!(!MigrationPolicy::enabled().is_none());
+    }
+
+    #[test]
+    fn enabled_rescues_but_does_not_defrag() {
+        let p = MigrationPolicy::enabled();
+        assert!(p.distress_rescue);
+        assert!(p.defrag_interval.is_zero());
+        assert!(p.max_defrag_per_round > 0);
+    }
+}

@@ -499,6 +499,35 @@ impl PlacementIndex {
         }
     }
 
+    /// Deterministic "most headroom" query for migration targeting: the
+    /// up server (other than `exclude`, usually the migration source)
+    /// whose cached Deflation-notion availability dominates `demand`,
+    /// ranked by that availability's norm. Unlike [`choose`], this draws
+    /// no RNG and prefers the *roomiest* host rather than the tightest
+    /// fit — a migration destination should absorb the VM with as little
+    /// donor deflation as possible. Ties keep the lowest server index.
+    pub fn best_headroom(
+        &self,
+        servers: &[PhysicalServer],
+        demand: &ResourceVector,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        debug_assert_eq!(self.entries.len(), servers.len(), "index covers the fleet");
+        let n = Notion::Deflation as usize;
+        let cached = self.cached_plane(n);
+        let norms = self.norm_plane(n);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.up || Some(i) == exclude || !cached[i].dominates(demand) {
+                continue;
+            }
+            if best.map_or(true, |(_, bn)| norms[i] > bn) {
+                best = Some((i, norms[i]));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
     /// Panics when any cached entry, histogram count, axis value, or
     /// cached norm disagrees with a full recomputation from live server
     /// state — the index's analogue of PR 2's

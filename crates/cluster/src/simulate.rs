@@ -91,6 +91,17 @@ enum Ev {
     /// Periodic guest-distress sampling round (only scheduled when the
     /// distress loop is enabled).
     DistressSample,
+    /// An in-flight live migration's copy window ended: cut over (or
+    /// abort, if the VM died mid-copy). Only scheduled when migration
+    /// is enabled.
+    MigrationDone(VmId),
+    /// Advance warning before scripted crash ordinal `k`: evacuate the
+    /// victim via live migration. Only scheduled when migration is
+    /// enabled and the fault plan carries a nonzero `crash_warning`.
+    ServerDrain(u64),
+    /// Periodic background defragmentation pass (only scheduled when
+    /// migration is enabled with a nonzero `defrag_interval`).
+    Defrag,
 }
 
 /// Lifetime bookkeeping for a running VM, kept under a fault plan or the
@@ -102,6 +113,22 @@ enum Ev {
 struct LiveVm {
     req: VmRequest,
     depart_at: SimTime,
+}
+
+/// Builds the relaunch request for a VM lost at `lost_at` (server crash
+/// or guest OOM kill) that reboots at `restart_at`: the new incarnation
+/// carries the loss instant as `arrival` (restart-latency accounting)
+/// and exactly the lifetime left after the reboot. `None` when the
+/// original departure lands before the reboot finishes — a relaunched
+/// VM never outlives its original `depart_at`.
+fn relaunch_request(lv: LiveVm, lost_at: SimTime, restart_at: SimTime) -> Option<VmRequest> {
+    if lv.depart_at <= restart_at {
+        return None;
+    }
+    let mut req = lv.req;
+    req.arrival = lost_at;
+    req.lifetime = lv.depart_at - restart_at;
+    Some(req)
 }
 
 /// Runs one trace-driven simulation with a synthetic generator.
@@ -164,6 +191,35 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
         let first = SimTime::ZERO + distress.sample_interval;
         if first <= horizon {
             sched.at(first, Ev::DistressSample);
+        }
+    }
+    // Migration plumbing: scripted crashes with advance warning get a
+    // drain event `crash_warning` ahead of each crash — the drained
+    // victim is pinned so the crash lands on the evacuated server — and
+    // a periodic defragmentation pass runs when configured. All absent
+    // when migration is off: the event stream stays byte-identical to a
+    // build without migration plumbing.
+    let migration = cfg.manager.migration;
+    let mut drained: HashMap<u64, ServerId> = HashMap::new();
+    if !migration.is_none() {
+        if let Some(inj) = &injector {
+            let warn = inj.plan().crash_warning;
+            if !warn.is_zero() {
+                for (k, t) in inj.server_crash_times(horizon).into_iter().enumerate() {
+                    let drain_at = if t >= SimTime::ZERO + warn {
+                        t - warn
+                    } else {
+                        SimTime::ZERO
+                    };
+                    sched.at(drain_at, Ev::ServerDrain(k as u64));
+                }
+            }
+        }
+        if !migration.defrag_interval.is_zero() {
+            let first = SimTime::ZERO + migration.defrag_interval;
+            if first <= horizon {
+                sched.at(first, Ev::Defrag);
+            }
         }
     }
 
@@ -236,17 +292,26 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 let inj = injector
                     .as_ref()
                     .expect("crash events only exist under a fault plan");
-                let ups: Vec<usize> = manager
-                    .servers()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.is_up())
-                    .map(|(i, _)| i)
-                    .collect();
-                if ups.is_empty() {
-                    None
-                } else {
-                    let sid = ServerId(ups[inj.crash_victim(k, ups.len())] as u64);
+                // A crash that was drained kills the server pinned at
+                // warning time (if still up); otherwise the victim is
+                // chosen among up servers at fire time. `drained` stays
+                // empty when migration is off, so the disabled path is
+                // byte-identical to the pre-drain behavior.
+                let sid = drained
+                    .remove(&k)
+                    .filter(|sid| manager.servers()[sid.0 as usize].is_up())
+                    .or_else(|| {
+                        let ups: Vec<usize> = manager
+                            .servers()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.is_up())
+                            .map(|(i, _)| i)
+                            .collect();
+                        (!ups.is_empty())
+                            .then(|| ServerId(ups[inj.crash_victim(k, ups.len())] as u64))
+                    });
+                if let Some(sid) = sid {
                     let failure = manager.fail_server(now, sid).expect("victim is up");
                     let plan = inj.plan();
                     for id in &failure.lost_low {
@@ -257,10 +322,9 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                     for id in &failure.lost_high {
                         if let Some(lv) = live.remove(id) {
                             let restart_at = now + plan.vm_restart;
-                            if lv.depart_at > restart_at {
-                                let mut req = lv.req;
-                                req.arrival = now; // crash instant, for latency accounting
-                                req.lifetime = lv.depart_at - restart_at;
+                            // `arrival` holds the crash instant, for
+                            // latency accounting.
+                            if let Some(req) = relaunch_request(lv, now, restart_at) {
                                 sched.at(
                                     restart_at,
                                     Ev::Relaunch {
@@ -273,6 +337,8 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                     }
                     sched.at(now + plan.server_restart, Ev::ServerUp(sid));
                     Some(sid)
+                } else {
+                    None
                 }
             }
             Ev::ServerUp(sid) => {
@@ -322,10 +388,7 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                             // reboot delay, with its remaining lifetime.
                             if let Some(lv) = live.remove(&vm) {
                                 let restart_at = now + distress.restart_delay;
-                                if lv.depart_at > restart_at {
-                                    let mut req = lv.req;
-                                    req.arrival = now;
-                                    req.lifetime = lv.depart_at - restart_at;
+                                if let Some(req) = relaunch_request(lv, now, restart_at) {
                                     sched.at(
                                         restart_at,
                                         Ev::Relaunch {
@@ -347,6 +410,12 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                                 sched.at(lv.depart_at, Ev::Depart(vm));
                             }
                         }
+                        crate::distress::DistressEvent::Migration { vm, total } => {
+                            // The copy window elapses asynchronously;
+                            // the cut-over lands when it ends (the
+                            // manager aborts moves gone stale).
+                            sched.at(now + total, Ev::MigrationDone(vm));
+                        }
                     }
                 }
                 // Distress handling may touch many servers (emergency
@@ -357,6 +426,58 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 let next = now + distress.sample_interval;
                 if next <= horizon {
                     sched.at(next, Ev::DistressSample);
+                }
+                None
+            }
+            Ev::MigrationDone(vm) => {
+                // Cut over (or abort a stale move). The landed VM keeps
+                // its scheduled departure: the blackout is charged to
+                // the downtime histogram, not to lifetime.
+                manager.finish_migration(now, vm);
+                // Both endpoints (and a reinflation round) moved:
+                // refresh every per-server gauge.
+                for (i, s) in manager.servers().iter().enumerate() {
+                    server_gauges[i].set(now, s.overcommitment());
+                }
+                None
+            }
+            Ev::ServerDrain(k) => {
+                let inj = injector
+                    .as_ref()
+                    .expect("drain events only exist under a fault plan");
+                let ups: Vec<usize> = manager
+                    .servers()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_up())
+                    .map(|(i, _)| i)
+                    .collect();
+                if !ups.is_empty() {
+                    // Pick the crash victim now and pin it, so the
+                    // scripted crash lands on the server just drained.
+                    let sid = ServerId(ups[inj.crash_victim(k, ups.len())] as u64);
+                    drained.insert(k, sid);
+                    for (vm, total) in manager.drain_server(now, sid) {
+                        sched.at(now + total, Ev::MigrationDone(vm));
+                    }
+                    // Destination holds and donor deflations touch many
+                    // servers: refresh every per-server gauge.
+                    for (i, s) in manager.servers().iter().enumerate() {
+                        server_gauges[i].set(now, s.overcommitment());
+                    }
+                }
+                None
+            }
+            Ev::Defrag => {
+                for (vm, total) in manager.defrag_round(now) {
+                    sched.at(now + total, Ev::MigrationDone(vm));
+                }
+                let next = now + migration.defrag_interval;
+                if next <= horizon {
+                    sched.at(next, Ev::Defrag);
+                }
+                for (i, s) in manager.servers().iter().enumerate() {
+                    server_gauges[i].set(now, s.overcommitment());
                 }
                 None
             }
@@ -726,6 +847,146 @@ mod tests {
             .unwrap_or(0.0);
         assert!(soft > 0.0, "swap pressure must register as soft distress");
         assert!(counters.get("cluster.distress_seconds").is_some());
+    }
+
+    #[test]
+    fn disabled_migration_knobs_change_nothing() {
+        use crate::migration::MigrationPolicy;
+        use hypervisor::MigrationConfig;
+        // A disabled MigrationPolicy must be inert no matter how its
+        // knobs are set: the run summary is byte-identical to the
+        // default's and registers no migration keys.
+        let mut cfg = test_cfg(true, 150.0);
+        cfg.horizon = SimDuration::from_hours(6);
+        let base = run_cluster_sim(&cfg);
+        let mut twisted = cfg.clone();
+        twisted.manager.migration = MigrationPolicy {
+            enabled: false,
+            session: MigrationConfig {
+                bandwidth_mb_s: 10.0,
+                stop_copy_mb: 1.0,
+                ..MigrationConfig::default()
+            },
+            distress_rescue: false,
+            defrag_interval: SimDuration::from_secs(30),
+            max_defrag_per_round: 9,
+        };
+        let b = run_cluster_sim(&twisted);
+        assert_eq!(base.summary.to_string(), b.summary.to_string());
+        let text = base.summary.to_string();
+        assert!(!text.contains("cluster.migration"));
+        assert!(!text.contains("migration."));
+        assert!(!text.contains("cluster.drains"));
+        assert!(!text.contains("cluster.defrag"));
+
+        // Under a fault plan, a crash warning without migration is inert
+        // too: warnings only act through the drain path.
+        let mut chaos = cfg.clone();
+        chaos.manager.faults = simkit::FaultPlan::chaos(7);
+        let chaos_base = run_cluster_sim(&chaos);
+        let mut warned = chaos.clone();
+        warned.manager.faults.crash_warning = SimDuration::from_secs(300);
+        let w = run_cluster_sim(&warned);
+        assert_eq!(chaos_base.summary.to_string(), w.summary.to_string());
+    }
+
+    #[test]
+    fn distress_rescue_migrations_run_and_stay_deterministic() {
+        use crate::distress::DistressConfig;
+        use crate::migration::MigrationPolicy;
+        let mut cfg = memory_bound_cfg(150.0);
+        cfg.manager.distress = DistressConfig::guarded();
+        cfg.manager.migration = MigrationPolicy::enabled();
+        let a = run_cluster_sim(&cfg);
+        let b = run_cluster_sim(&cfg);
+        assert_eq!(
+            a.summary.to_string(),
+            b.summary.to_string(),
+            "migration runs must be deterministic"
+        );
+        assert!(
+            a.stats.migrations > 0,
+            "a loaded distressed run must complete migrations"
+        );
+        let counters = a.summary.get("counters").expect("counters");
+        let mb = counters
+            .get("cluster.migration_mb")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        assert!(mb > 0.0, "migrations must ship bytes");
+        assert!(counters.get("cluster.migrations_started").is_some());
+    }
+
+    #[test]
+    fn crash_warning_drains_before_scripted_crash() {
+        use crate::migration::MigrationPolicy;
+        let mut cfg = memory_bound_cfg(60.0);
+        cfg.manager.faults = simkit::FaultPlan {
+            scheduled_server_crashes: vec![SimTime::ZERO + SimDuration::from_hours(3)],
+            crash_warning: SimDuration::from_secs(600),
+            ..simkit::FaultPlan::none()
+        };
+        cfg.manager.migration = MigrationPolicy::enabled();
+        let r = run_cluster_sim(&cfg);
+        assert_eq!(r.stats.server_crashes, 1, "the scripted crash must land");
+        let counters = r.summary.get("counters").expect("counters");
+        let drains = counters
+            .get("cluster.drains")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        assert_eq!(drains, 1.0, "one warned crash, one drain");
+        let started = counters
+            .get("cluster.migrations_started")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        assert!(started > 0.0, "a loaded victim must evacuate VMs");
+        let b = run_cluster_sim(&cfg);
+        assert_eq!(r.summary.to_string(), b.summary.to_string());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The shared relaunch helper never lets a relaunched VM outlive
+        /// its original departure: the new incarnation's lifetime ends
+        /// exactly at the old `depart_at`, and a VM whose lifetime is
+        /// spent by reboot time is not relaunched at all.
+        #[test]
+        fn relaunched_vm_never_outlives_original(
+            life_s in 1u64..100_000,
+            lost_s in 0u64..50_000,
+            delay_s in 0u64..10_000,
+        ) {
+            let spec = deflate_core::ResourceVector::new(4.0, 16_384.0, 100.0, 200.0);
+            let req = VmRequest {
+                id: VmId(7),
+                arrival: SimTime::ZERO,
+                lifetime: SimDuration::from_secs(life_s),
+                spec,
+                type_name: "prop",
+                low_priority: true,
+                min_size: spec.scale(0.3),
+            };
+            let depart_at = SimTime::ZERO + req.lifetime;
+            let lv = LiveVm { req, depart_at };
+            let lost_at = SimTime::from_secs(lost_s);
+            let restart_at = lost_at + SimDuration::from_secs(delay_s);
+            match relaunch_request(lv, lost_at, restart_at) {
+                Some(r) => {
+                    assert!(depart_at > restart_at);
+                    assert_eq!(r.arrival, lost_at, "arrival must hold the loss instant");
+                    assert_eq!(
+                        restart_at + r.lifetime,
+                        depart_at,
+                        "relaunch must depart exactly when the original would have"
+                    );
+                }
+                None => assert!(
+                    depart_at <= restart_at,
+                    "only a spent lifetime may skip the relaunch"
+                ),
+            }
+        }
     }
 
     #[test]

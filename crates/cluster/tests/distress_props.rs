@@ -11,7 +11,8 @@
 //! consequence/mitigation/guardrail loop the simulator runs on a timer.
 
 use cluster::{
-    ClusterManager, ClusterManagerConfig, DistressConfig, DistressEvent, LaunchOutcome, VmRequest,
+    ClusterManager, ClusterManagerConfig, DistressConfig, DistressEvent, LaunchOutcome,
+    MigrationPolicy, VmRequest,
 };
 use deflate_core::{CascadeConfig, ResourceKind::Memory, ResourceVector, VmId};
 use proptest::prelude::*;
@@ -49,7 +50,7 @@ fn eff_mem(m: &ClusterManager, id: VmId) -> Option<f64> {
 
 /// One randomized walk. Panics on any invariant violation; returns the
 /// final run summary so determinism tests can compare whole runs.
-fn walk(seed: u64, emergency: bool, floor: bool, long_grace: bool) -> String {
+fn walk(seed: u64, emergency: bool, floor: bool, long_grace: bool, migrate: bool) -> String {
     let distress = DistressConfig {
         enabled: true,
         emergency_reinflate: emergency,
@@ -69,18 +70,37 @@ fn walk(seed: u64, emergency: bool, floor: bool, long_grace: bool) -> String {
         server_capacity: capacity(),
         cascade: CascadeConfig::FULL,
         distress,
+        migration: if migrate {
+            MigrationPolicy::enabled()
+        } else {
+            MigrationPolicy::none()
+        },
         ..ClusterManagerConfig::default()
     });
 
     let mut rng = SimRng::seed_from_u64(seed);
     // (id, spec memory, low-priority)
     let mut live: Vec<(u64, f64, bool)> = Vec::new();
+    // Copy windows still running: (vm, cut-over instant).
+    let mut moving: Vec<(VmId, SimTime)> = Vec::new();
     let mut next_id = 0u64;
     let mut end = SimTime::ZERO;
 
     for step in 0..70u64 {
         let now = SimTime::from_secs(step * 90);
         end = now;
+
+        // Cut over every migration whose copy window elapsed — the VM
+        // may have exited or been killed in the meantime, driving both
+        // the commit and the abort path through the oracle.
+        moving.retain(|(vm, done_at)| {
+            if now >= *done_at {
+                m.finish_migration(now, *vm);
+                false
+            } else {
+                true
+            }
+        });
 
         // Snapshot every breaker-open VM's memory before the operation:
         // whatever happens next, a still-running open VM must not lose
@@ -145,6 +165,11 @@ fn walk(seed: u64, emergency: bool, floor: bool, long_grace: bool) -> String {
                                 "slowdown perf {perf} out of (0, 1)"
                             );
                         }
+                        DistressEvent::Migration { vm, total } => {
+                            assert!(m.is_running(vm), "{vm:?} migrating but not running");
+                            assert!(total > SimDuration::ZERO, "zero-length copy window");
+                            moving.push((vm, now + total));
+                        }
                     }
                 }
                 assert_eq!(
@@ -158,10 +183,13 @@ fn walk(seed: u64, emergency: bool, floor: bool, long_grace: bool) -> String {
         // Launches preempt and samples kill: drop whatever is gone.
         live.retain(|(id, _, _)| m.is_running(VmId(*id)));
 
-        // The breaker shield: an open VM that survived the step kept all
-        // of its memory.
+        // The breaker shield: a VM whose breaker stayed open through the
+        // step kept all of its memory. (A breaker can legitimately
+        // *close* mid-step — a healthy sample ends the cool-down — and
+        // the VM then re-enters the donor pool within the same sampling
+        // round, so only still-open VMs are pinned.)
         for (id, before) in &shielded {
-            if m.is_running(*id) {
+            if m.is_running(*id) && m.breaker_open(*id) {
                 let after = eff_mem(&m, *id).expect("running VM has a server");
                 assert!(
                     after >= before - 1e-6,
@@ -180,26 +208,77 @@ fn walk(seed: u64, emergency: bool, floor: bool, long_grace: bool) -> String {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// Random interleavings under every guardrail combination keep the
-    /// incremental totals exact and the breaker shield airtight.
+    /// Random interleavings under every guardrail × migration
+    /// combination keep the incremental totals exact, the migration
+    /// ledger symmetric with the capacity holds, and the breaker shield
+    /// airtight.
     #[test]
     fn invariants_survive_distress_interleavings(
         seed in any::<u64>(),
-        mode in 0u8..8,
+        mode in 0u8..16,
     ) {
-        walk(seed, mode & 1 != 0, mode & 2 != 0, mode & 4 != 0);
+        walk(seed, mode & 1 != 0, mode & 2 != 0, mode & 4 != 0, mode & 8 != 0);
     }
 }
 
 /// The walk is a deterministic function of its seed: same seed, same
-/// summary, byte for byte.
+/// summary, byte for byte — with and without migration.
 #[test]
 fn distress_walk_is_deterministic() {
     for seed in [1u64, 7, 42] {
-        let a = walk(seed, true, true, false);
-        let b = walk(seed, true, true, false);
-        assert_eq!(a, b, "seed {seed}: walk must be reproducible");
+        for migrate in [false, true] {
+            let a = walk(seed, true, true, false, migrate);
+            let b = walk(seed, true, true, false, migrate);
+            assert_eq!(
+                a, b,
+                "seed {seed} migrate={migrate}: walk must be reproducible"
+            );
+        }
     }
+}
+
+/// Breaker opens and closes stay symmetric: a trip counts once, a close
+/// counts once, and the open-VM gauge returns to zero (checked both via
+/// the counters and by `assert_consistent`'s gauge-vs-map invariant).
+#[test]
+fn breaker_open_and_close_stay_symmetric() {
+    let distress = DistressConfig {
+        enabled: true,
+        breaker_after: 2,
+        breaker_cooldown: 1,
+        grace_window: SimDuration::from_hours(10),
+        floor_fraction: 0.0,
+        ..DistressConfig::default()
+    };
+    let mut m = ClusterManager::new(ClusterManagerConfig {
+        n_servers: 1,
+        server_capacity: capacity(),
+        cascade: CascadeConfig::FULL,
+        distress,
+        ..ClusterManagerConfig::default()
+    });
+    let a = VmId(0);
+    assert!(matches!(
+        m.launch(SimTime::ZERO, &request(0, 1.0, true)),
+        LaunchOutcome::Placed { .. }
+    ));
+
+    // Two hard samples open the breaker.
+    m.servers()[0].vm(a).unwrap().set_usage(17_000.0, 1.0);
+    m.sample_distress(SimTime::from_secs(60));
+    m.sample_distress(SimTime::from_secs(120));
+    assert!(m.breaker_open(a));
+    m.assert_consistent();
+
+    // Recovery: one healthy sample (cooldown 1, first trip) closes it.
+    m.servers()[0].vm(a).unwrap().set_usage(2_000.0, 1.0);
+    m.sample_distress(SimTime::from_secs(180));
+    assert!(!m.breaker_open(a), "healthy streak must close the breaker");
+    m.assert_consistent();
+
+    let metrics = &m.observability().metrics;
+    assert_eq!(metrics.count("cluster.breaker_trips"), 1);
+    assert_eq!(metrics.count("distress.breaker_closed"), 1);
 }
 
 /// Deterministic regression: the breaker actually opens through the

@@ -1,8 +1,10 @@
 //! Byte-identity pins for the reclamation paths.
 //!
-//! Three small deterministic runs — plain, chaos (server crashes +
-//! agent faults), and guarded distress (emergency reinflation + OOM
-//! kills) — have their full run summaries committed under
+//! Four small deterministic runs — plain, chaos (server crashes +
+//! agent faults), guarded distress (emergency reinflation + OOM
+//! kills), and distress with live migration (rescue moves and their
+//! reserve–copy–commit accounting) — have their full run summaries
+//! committed under
 //! `tests/golden/`. Any refactor of the reclamation machinery (the
 //! `ReclaimSession` commit/rollback paths, the cascade, placement) must
 //! reproduce these summaries byte for byte; a behavioural change that
@@ -58,6 +60,15 @@ fn distress_cfg() -> ClusterSimConfig {
     cfg
 }
 
+/// The distress run with live migration on top: rescue migrations,
+/// drain-before-crash plumbing (armed but idle without faults), and the
+/// reserve–copy–commit accounting.
+fn migration_cfg() -> ClusterSimConfig {
+    let mut cfg = distress_cfg();
+    cfg.manager.migration = cluster::MigrationPolicy::enabled();
+    cfg
+}
+
 fn check(name: &str, cfg: &ClusterSimConfig, golden: &str) {
     let got = run_cluster_sim(cfg).summary.to_pretty();
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
@@ -89,5 +100,14 @@ fn distress_summary_matches_golden() {
         "distress",
         &distress_cfg(),
         include_str!("golden/distress.json"),
+    );
+}
+
+#[test]
+fn migration_summary_matches_golden() {
+    check(
+        "migration",
+        &migration_cfg(),
+        include_str!("golden/migration.json"),
     );
 }

@@ -29,11 +29,16 @@
 //!   reinflation is a typed step, and the session must be consumed by
 //!   exactly one of `commit()` / `rollback()` (a leak rolls back and is
 //!   counted; debug builds panic).
+//! * [`migration::MigrationSession`] — the two-server extension:
+//!   reserve capacity on a destination, plan an analytic pre-copy
+//!   schedule from the guest's dirty-page churn, then commit the move
+//!   or roll the reservation back under the same Drop-guard contract.
 
 pub mod backend;
 pub mod burstable;
 pub mod guest;
 pub mod latency;
+pub mod migration;
 pub mod server;
 pub mod session;
 pub mod vm;
@@ -42,6 +47,10 @@ pub use backend::HvBackend;
 pub use burstable::{BurstableParams, CreditModel};
 pub use guest::{GuestConfig, GuestModel, MemoryMechanism};
 pub use latency::LatencyModel;
+pub use migration::{
+    precopy_schedule, MigrationConfig, MigrationReport, MigrationSession, ParkedMigration,
+    PrecopyPlan,
+};
 pub use server::{LocalController, PhysicalServer, ReclaimReport, ServerAggregates, VmFaults};
 pub use session::{leaked_sessions, ReclaimSession, ReclaimStep, RollbackReport};
 pub use vm::{Vm, VmPriority, VmResourceView};

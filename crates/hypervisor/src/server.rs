@@ -135,6 +135,12 @@ pub struct PhysicalServer {
     /// Whether the machine is powered on. A crashed server holds no VMs
     /// and accepts no placements until it recovers.
     up: bool,
+    /// Capacity held for in-flight migrations: subtracted from `free()`
+    /// so placement cannot hand the same headroom out twice while a
+    /// pre-copy is running. Zero on servers with no inbound migration,
+    /// which keeps every reservation-free code path byte-identical
+    /// (`x − 0` is exact in floating point).
+    reserved: ResourceVector,
     /// Mutation counter, bumped by every operation that can change the
     /// server's free/availability vectors or its up flag (`add_vm`,
     /// `remove_vm`, `deflate_vm`, `reinflate_vm`, `set_up`). Caches such
@@ -162,6 +168,7 @@ impl PhysicalServer {
             vms: BTreeMap::new(),
             agg: ServerAggregates::default(),
             up: true,
+            reserved: ResourceVector::ZERO,
             version: 0,
         }
     }
@@ -203,9 +210,45 @@ impl PhysicalServer {
         self.agg.committed
     }
 
-    /// Free (uncommitted) resources.
+    /// Free (uncommitted, unreserved) resources.
     pub fn free(&self) -> ResourceVector {
-        self.capacity.saturating_sub(&self.agg.committed)
+        self.capacity
+            .saturating_sub(&self.agg.committed)
+            .saturating_sub(&self.reserved)
+    }
+
+    /// Capacity currently held for in-flight migrations.
+    pub fn reserved(&self) -> ResourceVector {
+        self.reserved
+    }
+
+    /// Holds `amount` of capacity for an inbound migration: `free()`
+    /// shrinks by it immediately, so concurrent placement cannot claim
+    /// the headroom a pre-copy is running against.
+    pub fn reserve(&mut self, amount: &ResourceVector) {
+        self.version += 1;
+        self.reserved += *amount;
+    }
+
+    /// Releases a hold taken by [`reserve`](Self::reserve) (on commit —
+    /// just before the VM lands — or on abort). Clamps at zero.
+    pub fn release_reservation(&mut self, amount: &ResourceVector) {
+        self.version += 1;
+        self.reserved = self.reserved.saturating_sub(amount);
+        if self.reserved.is_zero() {
+            // Exact resync point, like the empty-server aggregate reset:
+            // an unreserved server is *exactly* unreserved.
+            self.reserved = ResourceVector::ZERO;
+        }
+    }
+
+    /// Drops every migration hold (server crash: inbound migrations are
+    /// aborted and their reservations are meaningless on a down host).
+    pub fn clear_reservations(&mut self) {
+        if !self.reserved.is_zero() {
+            self.version += 1;
+            self.reserved = ResourceVector::ZERO;
+        }
     }
 
     /// Resources still reclaimable from low-priority VMs by deflation.
@@ -1092,6 +1135,29 @@ mod tests {
         assert_eq!(ra.latency, rb.latency);
         assert_eq!(ra.outcomes, rb.outcomes);
         assert_eq!(a.committed(), b.committed());
+    }
+
+    #[test]
+    fn reservations_shrink_free_and_fits() {
+        let mut s = server_with_low_vms(2);
+        let free_before = s.free();
+        let v0 = s.version();
+        s.reserve(&vm_spec());
+        assert!(s.version() > v0, "reserve must bump the version");
+        assert_eq!(s.reserved(), vm_spec());
+        assert_eq!(s.free(), free_before.saturating_sub(&vm_spec()));
+        // Availability shrinks with free, so fits() respects the hold.
+        assert!(!s.fits(&server_capacity()));
+        s.release_reservation(&vm_spec());
+        assert!(s.reserved().is_zero());
+        assert_eq!(s.free(), free_before);
+        // Clearing is idempotent and version-stable when already zero.
+        let v1 = s.version();
+        s.clear_reservations();
+        assert_eq!(s.version(), v1);
+        s.reserve(&vm_spec());
+        s.clear_reservations();
+        assert!(s.reserved().is_zero());
     }
 
     #[test]

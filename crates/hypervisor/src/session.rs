@@ -62,6 +62,13 @@ pub fn leaked_sessions() -> u64 {
     LEAKED.with(|c| c.get())
 }
 
+/// Records one leaked session. Shared with the migration module so a
+/// leaked [`MigrationSession`](crate::migration::MigrationSession) folds
+/// into the same counter the cluster manager already surfaces.
+pub(crate) fn note_leak() {
+    LEAKED.with(|c| c.set(c.get() + 1));
+}
+
 /// One typed mutation recorded by a [`ReclaimSession`], in the order it
 /// was applied; rollback replays these in reverse.
 #[derive(Debug)]
@@ -319,7 +326,7 @@ impl Drop for ReclaimSession<'_> {
         // Leaked: neither commit nor rollback ran. Undo first so the
         // server is never left half-reclaimed, then surface the bug —
         // loudly in debug builds, as a counter in release builds.
-        LEAKED.with(|c| c.set(c.get() + 1));
+        note_leak();
         let _ = self.undo();
         if cfg!(debug_assertions) && !std::thread::panicking() {
             panic!(

@@ -102,6 +102,13 @@ pub struct FaultPlan {
     /// Boot latency of a high-priority VM relaunched after a server
     /// crash (feeds the allocation-latency histograms).
     pub vm_restart: SimDuration,
+    /// Advance warning before each server crash (maintenance notice /
+    /// spot-reclamation warning). Zero means crashes land unannounced;
+    /// a nonzero warning lets a migration-capable control plane drain
+    /// the victim first. Deliberately *not* part of
+    /// [`is_none`](Self::is_none): a warning with no crashes still
+    /// injects nothing.
+    pub crash_warning: SimDuration,
 }
 
 impl Default for FaultPlan {
@@ -126,6 +133,7 @@ impl FaultPlan {
             scheduled_server_crashes: Vec::new(),
             server_restart: SimDuration::from_mins(10),
             vm_restart: SimDuration::from_secs(40),
+            crash_warning: SimDuration::ZERO,
         }
     }
 
