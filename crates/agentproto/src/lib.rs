@@ -30,5 +30,5 @@ pub use bridge::ProtocolAgent;
 pub use endpoint::{
     AgentEndpoint, AgentPolicy, ControllerEndpoint, PendingRequest, RequestOutcome,
 };
-pub use transport::{Duplex, JitterModel, LossModel};
+pub use transport::{Duplex, JitterModel, LossModel, SendVerdict};
 pub use wire::{Message, ParseError};

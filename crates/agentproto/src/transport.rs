@@ -54,6 +54,25 @@ pub struct JitterModel {
     pub seed: u64,
 }
 
+/// What happened to one offered message. Partition rejection is a
+/// *different failure domain* than loss: a dropped message was accepted
+/// by the network and silently discarded (the sender cannot tell), while
+/// a partitioned link refuses the message outright — the sender knows
+/// immediately that the peer is unreachable and can act on it (freeze
+/// its view, go autonomous) instead of waiting out a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Queued for delivery (possibly late, if jitter fired).
+    Delivered,
+    /// The loss model consumed it; the sender sees nothing.
+    Dropped,
+    /// The link is partitioned: rejected before reaching the network.
+    /// Does not advance the lane's loss/jitter index, so the drop
+    /// pattern of post-heal traffic is unaffected by how many sends
+    /// bounced off the partition.
+    Partitioned,
+}
+
 /// One direction of a duplex link.
 #[derive(Debug, Default)]
 struct Lane {
@@ -63,6 +82,8 @@ struct Lane {
     offered: u64,
     sent: u64,
     dropped: u64,
+    /// Messages rejected while the link was partitioned.
+    partitioned: u64,
     /// Distinguishes the two lanes in the stateless hash.
     salt: u64,
 }
@@ -128,6 +149,11 @@ pub struct Duplex {
     pub loss: LossModel,
     /// Optional delay spikes, applied independently per lane.
     pub jitter: Option<JitterModel>,
+    /// Whether the link is partitioned: both directions reject sends
+    /// with [`SendVerdict::Partitioned`]. In-flight messages queued
+    /// before the partition still deliver (they were already on the
+    /// wire); only new sends bounce.
+    partitioned: bool,
 }
 
 impl Duplex {
@@ -139,7 +165,20 @@ impl Duplex {
             delay,
             loss: LossModel::None,
             jitter: None,
+            partitioned: false,
         }
+    }
+
+    /// Opens or heals a partition on the link. While partitioned, every
+    /// send in either direction returns [`SendVerdict::Partitioned`]
+    /// without touching the loss/jitter state.
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.partitioned = partitioned;
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
     }
 
     /// Makes the link drop every `n`th message (per lane; 0 = lossless).
@@ -162,39 +201,47 @@ impl Duplex {
 
     fn send_on(
         lane: &mut Lane,
+        partitioned: bool,
         loss: &LossModel,
         jitter: &Option<JitterModel>,
         at: SimTime,
         line: String,
-    ) {
+    ) -> SendVerdict {
+        if partitioned {
+            lane.partitioned += 1;
+            return SendVerdict::Partitioned;
+        }
         if lane.drops_next(loss) {
             lane.dropped += 1;
-            return;
+            return SendVerdict::Dropped;
         }
         let at = at + lane.jitter_next(jitter);
         lane.send(at, line);
+        SendVerdict::Delivered
     }
 
     /// Controller → agent.
-    pub fn send_to_agent(&mut self, now: SimTime, line: String) {
+    pub fn send_to_agent(&mut self, now: SimTime, line: String) -> SendVerdict {
         Duplex::send_on(
             &mut self.to_agent,
+            self.partitioned,
             &self.loss,
             &self.jitter,
             now + self.delay,
             line,
-        );
+        )
     }
 
     /// Agent → controller.
-    pub fn send_to_controller(&mut self, now: SimTime, line: String) {
+    pub fn send_to_controller(&mut self, now: SimTime, line: String) -> SendVerdict {
         Duplex::send_on(
             &mut self.to_controller,
+            self.partitioned,
             &self.loss,
             &self.jitter,
             now + self.delay,
             line,
-        );
+        )
     }
 
     /// Lines deliverable to the agent at `now`.
@@ -210,6 +257,11 @@ impl Duplex {
     /// Total messages dropped in both directions.
     pub fn dropped(&self) -> u64 {
         self.to_agent.dropped + self.to_controller.dropped
+    }
+
+    /// Total messages rejected by a partition, both directions.
+    pub fn partitioned_rejects(&self) -> u64 {
+        self.to_agent.partitioned + self.to_controller.partitioned
     }
 
     /// Earliest pending delivery time toward the controller, if any.
@@ -302,6 +354,78 @@ mod tests {
             other.send_to_agent(SimTime::ZERO, format!("m{i}"));
         }
         assert_ne!(quiet, other.recv_at_agent(SimTime::ZERO));
+    }
+
+    #[test]
+    fn partition_rejects_sends_distinctly_from_loss() {
+        let mut d = Duplex::new(SimDuration::from_millis(10));
+        // A message already on the wire when the partition opens still
+        // delivers — it left the sender before the cut.
+        assert_eq!(
+            d.send_to_agent(SimTime::ZERO, "pre".into()),
+            SendVerdict::Delivered
+        );
+        d.set_partitioned(true);
+        assert!(d.is_partitioned());
+        assert_eq!(
+            d.send_to_agent(SimTime::ZERO, "down".into()),
+            SendVerdict::Partitioned
+        );
+        assert_eq!(
+            d.send_to_controller(SimTime::ZERO, "up".into()),
+            SendVerdict::Partitioned
+        );
+        // Rejection is its own counter, not loss.
+        assert_eq!(d.dropped(), 0);
+        assert_eq!(d.partitioned_rejects(), 2);
+        assert_eq!(
+            d.recv_at_agent(SimTime::from_millis(10)),
+            vec!["pre".to_string()]
+        );
+        assert!(d.recv_at_controller(SimTime::from_millis(10)).is_empty());
+        // Heal: sends flow again.
+        d.set_partitioned(false);
+        assert_eq!(
+            d.send_to_agent(SimTime::from_millis(20), "post".into()),
+            SendVerdict::Delivered
+        );
+        assert_eq!(
+            d.recv_at_agent(SimTime::from_millis(30)),
+            vec!["post".to_string()]
+        );
+    }
+
+    /// Partition rejections must not advance the loss index: the drop
+    /// pattern of traffic after the heal is the same as if the bounced
+    /// sends had never been attempted.
+    #[test]
+    fn partition_does_not_shift_the_loss_pattern() {
+        let run = |bounced: u32| -> Vec<String> {
+            let mut d = Duplex::new(SimDuration::ZERO).with_drop_every(3);
+            for i in 0..4 {
+                assert_eq!(
+                    d.send_to_agent(SimTime::ZERO, format!("m{i}")),
+                    if i == 2 {
+                        SendVerdict::Dropped
+                    } else {
+                        SendVerdict::Delivered
+                    }
+                );
+            }
+            d.set_partitioned(true);
+            for i in 0..bounced {
+                assert_eq!(
+                    d.send_to_agent(SimTime::ZERO, format!("b{i}")),
+                    SendVerdict::Partitioned
+                );
+            }
+            d.set_partitioned(false);
+            for i in 4..9 {
+                d.send_to_agent(SimTime::ZERO, format!("m{i}"));
+            }
+            d.recv_at_agent(SimTime::ZERO)
+        };
+        assert_eq!(run(0), run(7), "bounced sends shifted the drop pattern");
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod fig8;
 pub mod fig_distress;
 pub mod fig_faults;
 pub mod fig_migration;
+pub mod fig_partition;
 pub mod pricing_exp;
 
 use crate::Table;
@@ -30,6 +31,7 @@ pub fn run_all() -> Vec<Table> {
         Box::new(fig_faults::run),
         Box::new(fig_distress::run),
         Box::new(fig_migration::run),
+        Box::new(fig_partition::run),
         Box::new(|| vec![pricing_exp::run()]),
     ];
     crate::sweep::parallel_map(jobs, |job| job())

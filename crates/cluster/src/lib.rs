@@ -22,6 +22,7 @@
 pub mod distress;
 pub mod manager;
 pub mod migration;
+pub mod partition;
 pub mod placement;
 pub mod placement_index;
 pub mod predictor;
@@ -34,6 +35,7 @@ pub use manager::{
     ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome, ServerFailure,
 };
 pub use migration::MigrationPolicy;
+pub use partition::{DivergenceEvent, DivergenceLog, Reachability, ReconcileOutcome};
 pub use placement::{AvailabilityMode, PlacementEngine, PlacementPolicy};
 pub use placement_index::PlacementIndex;
 pub use predictor::{DemandPredictor, Ewma};

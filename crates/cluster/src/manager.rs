@@ -19,6 +19,9 @@ use simkit::{
 
 use crate::distress::{DistressConfig, DistressEvent};
 use crate::migration::MigrationPolicy;
+use crate::partition::{
+    DivergenceEvent, DivergenceLog, PartitionSession, Reachability, ReconcileOutcome,
+};
 use crate::placement::{
     avail_from_free, choose_server_baseline, choose_server_with, AvailabilityMode, PlacementEngine,
     PlacementPolicy,
@@ -224,20 +227,22 @@ struct InFlightMigration {
 
 /// Per-VM distress tracking: the grace-window clock, the breaker's
 /// consecutive-sample counters, and its exponential hold-off state.
+/// `pub(crate)` so a [`PartitionSession`] can park it while the hosting
+/// server is unreachable and hand it back at heal time.
 #[derive(Debug, Default, Clone, Copy)]
-struct VmDistress {
+pub(crate) struct VmDistress {
     /// When the current uninterrupted hard-distress episode began.
-    hard_since: Option<SimTime>,
+    pub(crate) hard_since: Option<SimTime>,
     /// Consecutive distressed (hard or soft) samples.
-    consecutive: u32,
+    pub(crate) consecutive: u32,
     /// Consecutive healthy samples while the breaker is open.
-    healthy_streak: u32,
+    pub(crate) healthy_streak: u32,
     /// Times the breaker has tripped (drives the exponential hold-off).
-    trips: u32,
+    pub(crate) trips: u32,
     /// Healthy samples required to close the breaker this time.
-    hold: u32,
+    pub(crate) hold: u32,
     /// Whether the breaker is open (VM exempt from memory deflation).
-    open: bool,
+    pub(crate) open: bool,
 }
 
 /// The deflation-based cluster manager.
@@ -287,6 +292,14 @@ pub struct ClusterManager {
     /// Incrementally-maintained placement index (refreshed after every
     /// server mutation while `cfg.engine` is [`PlacementEngine::Indexed`]).
     pindex: PlacementIndex,
+    /// Control-plane liveness per server (`Up` / `Partitioned` / `Down`),
+    /// orthogonal to the physical `up` flag.
+    reach: Vec<Reachability>,
+    /// One parked session per partitioned server: the frozen aggregate
+    /// snapshot, the stale hosted-VM view, parked distress state and the
+    /// divergence log. Empty (and never touched) while no partition is
+    /// open, so partition-free runs stay byte-identical.
+    partitions: HashMap<usize, PartitionSession>,
 }
 
 impl ClusterManager {
@@ -321,6 +334,7 @@ impl ClusterManager {
             Some(FaultInjector::new(cfg.faults.clone()))
         };
         let pindex = PlacementIndex::new(&servers);
+        let servers_len = servers.len();
         ClusterManager {
             cfg,
             servers,
@@ -343,6 +357,8 @@ impl ClusterManager {
             },
             leaked_seen: hypervisor::leaked_sessions(),
             pindex,
+            reach: vec![Reachability::Up; servers_len],
+            partitions: HashMap::new(),
         }
     }
 
@@ -534,11 +550,19 @@ impl ClusterManager {
     pub fn assert_consistent(&self) {
         let mut recomputed = ServerAggregates::default();
         let mut hosted = 0usize;
-        for s in &self.servers {
+        for (si, s) in self.servers.iter().enumerate() {
             s.assert_aggregates_consistent();
-            let a = s.aggregates();
-            recomputed.shift_by(&ServerAggregates::default(), &a);
-            hosted += s.vm_count();
+            if let Some(sess) = self.partitions.get(&si) {
+                // The manager's books carry the *frozen* snapshot of a
+                // partitioned server, not its live state — the live
+                // delta settles in one pass at heal time.
+                recomputed.shift_by(&ServerAggregates::default(), &sess.frozen);
+                hosted += sess.vms.len();
+            } else {
+                let a = s.aggregates();
+                recomputed.shift_by(&ServerAggregates::default(), &a);
+                hosted += s.vm_count();
+            }
         }
         assert!(
             self.totals.agg.approx_eq(&recomputed),
@@ -553,10 +577,47 @@ impl ClusterManager {
             self.index.len()
         );
         for (id, si) in &self.index {
-            assert!(
-                self.servers[*si].vm(*id).is_some(),
-                "index maps {id} to server {si}, which does not host it"
+            if let Some(sess) = self.partitions.get(si) {
+                // The index keeps the stale view: it must match the
+                // frozen hosted set, not the (unobservable) live one.
+                assert!(
+                    sess.vms.contains(id),
+                    "index maps {id} to partitioned server {si}, \
+                     which was not hosting it at partition time"
+                );
+            } else {
+                assert!(
+                    self.servers[*si].vm(*id).is_some(),
+                    "index maps {id} to server {si}, which does not host it"
+                );
+            }
+        }
+        // Reachability invariants: the per-server state, the session
+        // ledger and the transport-level connected flag must agree, and
+        // `Up`/`Down` must match the physical flag (`Partitioned` may
+        // hide either — the manager cannot tell).
+        assert_eq!(
+            self.reach.len(),
+            self.servers.len(),
+            "reachability vector does not cover every server"
+        );
+        for (si, s) in self.servers.iter().enumerate() {
+            let r = self.reach[si];
+            assert_eq!(
+                r == Reachability::Partitioned,
+                self.partitions.contains_key(&si),
+                "server {si} reachability {r:?} disagrees with the session ledger"
             );
+            assert_eq!(
+                s.is_connected(),
+                r != Reachability::Partitioned,
+                "server {si} connected flag disagrees with reachability {r:?}"
+            );
+            match r {
+                Reachability::Up => assert!(s.is_up(), "reachable server {si} is down"),
+                Reachability::Down => assert!(!s.is_up(), "down server {si} is up"),
+                Reachability::Partitioned => {}
+            }
         }
         // Lifecycle-map invariant: the liveness/distress side tables may
         // only reference hosted VMs. A VM that exits, is preempted,
@@ -580,6 +641,10 @@ impl ClusterManager {
                 self.index.contains_key(id),
                 "distress entry for {id}, which is not hosted"
             );
+            assert!(
+                !self.partitions.contains_key(&self.index[id]),
+                "distress entry for {id} behind a partition (should be parked in the session)"
+            );
         }
         // Open-breaker gauge invariant: the incremental counter behind
         // `cluster.breaker_open_vms` must equal a fresh count of open
@@ -599,6 +664,11 @@ impl ClusterManager {
                 f.dst < self.servers.len() && self.servers[f.dst].is_up(),
                 "in-flight migration of {vm} references down destination {}",
                 f.dst
+            );
+            assert!(
+                !self.partitions.contains_key(&f.src) && !self.partitions.contains_key(&f.dst),
+                "in-flight migration of {vm} touches a partitioned server \
+                 (partition entry must abort or park-clean it)"
             );
             held[f.dst] += f.reserved;
         }
@@ -761,10 +831,26 @@ impl ClusterManager {
     /// same delta-applied one `exit` uses). Lost low-priority VMs count
     /// as preempted; lost high-priority VMs are returned so the caller
     /// can relaunch them through normal placement. Returns `None` when
-    /// the server is unknown or already down.
+    /// the server is unknown, unreachable, or already down.
+    ///
+    /// A partitioned server cannot be failed *by the manager* — it
+    /// cannot reach it. A physical crash behind a partition goes
+    /// through [`autonomous_crash`](Self::autonomous_crash) and the
+    /// manager discovers the losses at heal time. Failing an
+    /// already-down server means the fault schedule is buggy: debug
+    /// builds panic, release builds count `cluster.fault_noops` and
+    /// carry on.
     pub fn fail_server(&mut self, now: SimTime, sid: ServerId) -> Option<ServerFailure> {
         let si = sid.0 as usize;
-        if si >= self.servers.len() || !self.servers[si].is_up() {
+        if si >= self.servers.len() {
+            return None;
+        }
+        if self.reach[si] == Reachability::Partitioned {
+            return None;
+        }
+        if !self.servers[si].is_up() {
+            debug_assert!(false, "fail_server: {sid} is already down");
+            self.obs.metrics.incr("cluster.fault_noops");
             return None;
         }
         let before = self.servers[si].aggregates();
@@ -801,6 +887,7 @@ impl ClusterManager {
             }
         }
         self.servers[si].clear_reservations();
+        self.reach[si] = Reachability::Down;
         let after = self.servers[si].aggregates();
         self.apply_delta(&before, &after);
         self.refresh_index(si);
@@ -835,13 +922,26 @@ impl ClusterManager {
     }
 
     /// Returns a crashed server to the placement pool. Returns `false`
-    /// when the server is unknown or already up.
+    /// when the server is unknown or unreachable. Recovering a server
+    /// that is already up means the fault schedule is buggy: debug
+    /// builds panic, release builds count `cluster.fault_noops` and
+    /// carry on. A reboot behind a partition goes through
+    /// [`autonomous_restart`](Self::autonomous_restart) instead.
     pub fn recover_server(&mut self, now: SimTime, sid: ServerId) -> bool {
         let si = sid.0 as usize;
-        if si >= self.servers.len() || self.servers[si].is_up() {
+        if si >= self.servers.len() {
+            return false;
+        }
+        if self.reach[si] == Reachability::Partitioned {
+            return false;
+        }
+        if self.servers[si].is_up() {
+            debug_assert!(false, "recover_server: {sid} is already up");
+            self.obs.metrics.incr("cluster.fault_noops");
             return false;
         }
         self.servers[si].set_up(true);
+        self.reach[si] = Reachability::Up;
         self.refresh_index(si);
         self.obs.metrics.incr("cluster.server_recoveries");
         self.obs
@@ -1170,9 +1270,12 @@ impl ClusterManager {
             .index
             .iter()
             .filter(|(id, si)| {
-                self.servers[**si]
-                    .vm(**id)
-                    .is_some_and(|v| v.priority() == VmPriority::Low)
+                // VMs behind a partition are unobservable: their local
+                // controller samples them autonomously instead.
+                !self.partitions.contains_key(*si)
+                    && self.servers[**si]
+                        .vm(**id)
+                        .is_some_and(|v| v.priority() == VmPriority::Low)
             })
             .map(|(id, si)| (id.0, *si))
             .collect();
@@ -1454,7 +1557,7 @@ impl ClusterManager {
         }
         let mut best: Option<(usize, f64)> = None;
         for (i, s) in self.servers.iter().enumerate() {
-            if i == exclude || !s.is_up() {
+            if i == exclude || !s.placeable() {
                 continue;
             }
             let avail = avail_from_free(s, &s.free(), AvailabilityMode::Deflation);
@@ -1660,7 +1763,8 @@ impl ClusterManager {
     /// unless migration is enabled and the server is up.
     pub fn drain_server(&mut self, now: SimTime, sid: ServerId) -> Vec<(VmId, SimDuration)> {
         let si = sid.0 as usize;
-        if self.cfg.migration.is_none() || si >= self.servers.len() || !self.servers[si].is_up() {
+        if self.cfg.migration.is_none() || si >= self.servers.len() || !self.servers[si].placeable()
+        {
             return Vec::new();
         }
         let mut ids: Vec<VmId> = self.servers[si].vms().map(|vm| vm.id()).collect();
@@ -1694,7 +1798,7 @@ impl ClusterManager {
         let cap = self.cfg.migration.max_defrag_per_round;
         let mut victim: Option<(usize, usize)> = None; // (vm_count, index)
         for (i, s) in self.servers.iter().enumerate() {
-            if !s.is_up() {
+            if !s.placeable() {
                 continue;
             }
             let count = s.vm_count();
@@ -1729,6 +1833,595 @@ impl ClusterManager {
         }
         self.update_gauges(now);
         started
+    }
+
+    // ───────────────────── partition control plane ─────────────────────
+
+    /// The manager's view of `sid`'s control-plane liveness.
+    pub fn reachability(&self, sid: ServerId) -> Reachability {
+        self.reach
+            .get(sid.0 as usize)
+            .copied()
+            .unwrap_or(Reachability::Down)
+    }
+
+    /// Whether `sid` is currently behind a partition.
+    pub fn is_partitioned(&self, sid: ServerId) -> bool {
+        self.partitions.contains_key(&(sid.0 as usize))
+    }
+
+    /// The currently-partitioned servers, in index order.
+    pub fn partitioned_servers(&self) -> Vec<ServerId> {
+        let mut v: Vec<usize> = self.partitions.keys().copied().collect();
+        v.sort_unstable();
+        v.into_iter().map(|si| ServerId(si as u64)).collect()
+    }
+
+    /// The server hosting `id` per the manager's (possibly frozen)
+    /// index view.
+    pub fn server_of(&self, id: VmId) -> Option<ServerId> {
+        self.index.get(&id).map(|si| ServerId(*si as u64))
+    }
+
+    /// The server hosting `id` per the manager's (possibly frozen) index
+    /// view, if that server is currently partitioned.
+    pub fn partitioned_host(&self, id: VmId) -> Option<ServerId> {
+        let si = *self.index.get(&id)?;
+        self.partitions
+            .contains_key(&si)
+            .then_some(ServerId(si as u64))
+    }
+
+    /// The divergence log a partitioned server has accumulated so far.
+    pub fn divergence_log(&self, sid: ServerId) -> Option<&DivergenceLog> {
+        self.partitions.get(&(sid.0 as usize)).map(|s| &s.log)
+    }
+
+    /// Opens a network partition between the manager and `sid`: the
+    /// server leaves the placement pool *without* releasing capacity,
+    /// its contribution to the cached cluster totals freezes at the
+    /// last-observed snapshot, its distress/breaker state is parked for
+    /// the local controller, and any in-flight migration touching it is
+    /// torn down (moves out abort normally — the destination is still
+    /// reachable; moves in have their stranded reservation cleared by
+    /// the local controller, logged as divergence). Returns `false`
+    /// when the server is unknown, already partitioned, or down — a
+    /// partition window opening over a crashed server never starts.
+    pub fn partition_server(&mut self, now: SimTime, sid: ServerId) -> bool {
+        let si = sid.0 as usize;
+        if si >= self.servers.len()
+            || self.reach[si] != Reachability::Up
+            || !self.servers[si].is_up()
+        {
+            return false;
+        }
+        self.reach[si] = Reachability::Partitioned;
+        self.servers[si].set_connected(false);
+        // Evict from the placement pool; capacity stays committed.
+        self.refresh_index(si);
+        // Freeze the manager's view *before* any partition-entry
+        // mutation, so the snapshot equals exactly the contribution the
+        // cached totals already carry.
+        let frozen = self.servers[si].aggregates();
+        let vms: HashSet<VmId, SeqHash> = self.servers[si].vms().map(|vm| vm.id()).collect();
+        let low: HashSet<VmId, SeqHash> = self.servers[si].low_priority_ids().into_iter().collect();
+        let mut session = PartitionSession {
+            since: now,
+            frozen,
+            vms,
+            low,
+            distress: HashMap::default(),
+            log: DivergenceLog::default(),
+        };
+        // Park manager-side distress state: the local controller carries
+        // it forward autonomously and hands it back at heal time. Open
+        // breakers leave the manager's gauge while unobservable.
+        let mut parked: Vec<VmId> = self
+            .distress
+            .keys()
+            .filter(|id| session.vms.contains(id))
+            .copied()
+            .collect();
+        parked.sort_unstable_by_key(|v| v.0);
+        for id in parked {
+            let st = self.distress.remove(&id).expect("listed entry exists");
+            if st.open {
+                self.breaker_open_now -= 1;
+                self.obs.metrics.gauge_set(
+                    "cluster.breaker_open_vms",
+                    now,
+                    self.breaker_open_now as f64,
+                );
+            }
+            session.distress.insert(id, st);
+        }
+        // Tear down in-flight migrations touching the server. The
+        // destination-side local clear must not settle: the manager's
+        // frozen snapshot has to keep matching the cached totals.
+        let mut affected: Vec<VmId> = self
+            .migrations
+            .iter()
+            .filter(|(_, f)| f.src == si || f.dst == si)
+            .map(|(id, _)| *id)
+            .collect();
+        affected.sort_unstable_by_key(|v| v.0);
+        for vm in affected {
+            let inflight = self.migrations.remove(&vm).expect("listed as in-flight");
+            if inflight.src == si {
+                self.abort_migration(now, vm, &inflight);
+            } else {
+                self.servers[si].release_reservation(&inflight.reserved);
+                for (id, got) in inflight.reserve_outcomes.iter().rev() {
+                    let _ = self.servers[si].reinflate_vm(now, *id, got);
+                }
+                self.refresh_index(si);
+                session
+                    .log
+                    .push(DivergenceEvent::ReservationCleared { at: now, vm });
+                self.obs.metrics.incr("cluster.migrations_aborted");
+            }
+        }
+        let hosted = session.vms.len();
+        self.partitions.insert(si, session);
+        self.obs.metrics.incr("cluster.partitions");
+        if self.cfg.lifecycle_trace {
+            self.obs
+                .trace
+                .record(now, "partition", format!("{sid} unreachable"));
+        }
+        self.obs.trace.record_span(
+            Span::new("cluster.partition", now)
+                .with_attr("server", sid.0)
+                .with_attr("hosted", hosted),
+        );
+        self.update_gauges(now);
+        true
+    }
+
+    /// Closes the partition around `sid` and runs the anti-entropy
+    /// reconciliation pass: the divergence log is replayed delta-exactly
+    /// against the frozen snapshot, lifecycle maps are re-keyed, parked
+    /// distress state returns, the placement index is repaired, and the
+    /// caller gets back which VMs died unobserved (high-priority ones
+    /// are relaunch candidates). Returns `None` when the server was not
+    /// partitioned.
+    pub fn heal_server(&mut self, now: SimTime, sid: ServerId) -> Option<ReconcileOutcome> {
+        let si = sid.0 as usize;
+        if si >= self.servers.len() || self.reach[si] != Reachability::Partitioned {
+            return None;
+        }
+        let session = self
+            .partitions
+            .remove(&si)
+            .expect("partitioned server has a session");
+        self.servers[si].set_connected(true);
+        self.reach[si] = if self.servers[si].is_up() {
+            Reachability::Up
+        } else {
+            Reachability::Down
+        };
+        let out = self.reconcile(now, si, session);
+        self.update_gauges(now);
+        Some(out)
+    }
+
+    /// The heal-time anti-entropy pass: classifies every frozen VM's
+    /// fate from the divergence log, replays the counters the manager
+    /// missed, settles the aggregate window in one
+    /// `apply_delta(frozen, live)` step and repairs the placement index.
+    fn reconcile(
+        &mut self,
+        now: SimTime,
+        si: usize,
+        session: PartitionSession,
+    ) -> ReconcileOutcome {
+        let mut exited_set: HashSet<VmId, SeqHash> = HashSet::default();
+        let mut killed_set: HashSet<VmId, SeqHash> = HashSet::default();
+        let mut crashed = false;
+        let mut emergency = 0u64;
+        let mut trips = 0u64;
+        let mut closes = 0u64;
+        let mut restarts = 0u64;
+        for ev in session.log.events() {
+            match ev {
+                DivergenceEvent::Exited { vm, .. } => {
+                    exited_set.insert(*vm);
+                }
+                DivergenceEvent::OomKilled { vm, .. } => {
+                    killed_set.insert(*vm);
+                }
+                DivergenceEvent::EmergencyReinflated { .. } => emergency += 1,
+                DivergenceEvent::BreakerOpened { .. } => trips += 1,
+                DivergenceEvent::BreakerClosed { .. } => closes += 1,
+                DivergenceEvent::ReservationCleared { .. } => {}
+                DivergenceEvent::Crashed { .. } => crashed = true,
+                DivergenceEvent::Restarted { .. } => restarts += 1,
+            }
+        }
+        let mut frozen_ids: Vec<VmId> = session.vms.iter().copied().collect();
+        frozen_ids.sort_unstable_by_key(|v| v.0);
+        let mut out = ReconcileOutcome {
+            server: ServerId(si as u64),
+            divergence: session.log.len(),
+            exited: Vec::new(),
+            oom_killed: Vec::new(),
+            lost_high: Vec::new(),
+            lost_low: Vec::new(),
+            crashed,
+        };
+        for id in frozen_ids {
+            if self.servers[si].vm(id).is_some() {
+                // Survivor: hand its parked distress/breaker state back
+                // to the manager's map (open breakers rejoin the gauge).
+                if let Some(st) = session.distress.get(&id) {
+                    if st.open {
+                        self.breaker_open_now += 1;
+                        self.obs.metrics.gauge_set(
+                            "cluster.breaker_open_vms",
+                            now,
+                            self.breaker_open_now as f64,
+                        );
+                    }
+                    self.distress.insert(id, *st);
+                }
+                continue;
+            }
+            // Gone: replay its departure against the lifecycle maps.
+            self.drop_vm_tracking(now, id);
+            if exited_set.contains(&id) {
+                out.exited.push(id);
+            } else if killed_set.contains(&id) {
+                out.oom_killed.push(id);
+            } else if session.low.contains(&id) {
+                out.lost_low.push(id);
+            } else {
+                out.lost_high.push(id);
+            }
+        }
+        // Replay the counters the manager could not record live.
+        if !out.exited.is_empty() {
+            self.obs
+                .metrics
+                .add("cluster.exits", out.exited.len() as u64);
+        }
+        if !out.oom_killed.is_empty() {
+            self.stats.oom_kills += out.oom_killed.len() as u64;
+            self.obs
+                .metrics
+                .add("cluster.oom_kills", out.oom_killed.len() as u64);
+        }
+        if emergency > 0 {
+            self.stats.emergency_reinflations += emergency;
+            self.obs
+                .metrics
+                .add("cluster.emergency_reinflations", emergency);
+        }
+        if trips > 0 {
+            self.obs.metrics.add("cluster.breaker_trips", trips);
+        }
+        if closes > 0 {
+            self.obs.metrics.add("distress.breaker_closed", closes);
+        }
+        if crashed {
+            self.stats.server_crashes += 1;
+            self.stats.preempted += out.lost_low.len() as u64;
+            self.obs.metrics.incr("cluster.server_crashes");
+            self.obs.metrics.incr("fault.injected.server_crash");
+            self.obs
+                .metrics
+                .add("cluster.preempted", out.lost_low.len() as u64);
+        }
+        if restarts > 0 {
+            self.obs.metrics.add("cluster.server_recoveries", restarts);
+        }
+        // Settle the whole partition window in one delta-exact step and
+        // repair the placement index.
+        let live = self.servers[si].aggregates();
+        self.apply_delta(&session.frozen, &live);
+        self.refresh_index(si);
+        self.obs.metrics.incr("cluster.partition_heals");
+        self.obs
+            .metrics
+            .add("cluster.partition_divergence", session.log.len() as u64);
+        self.obs
+            .metrics
+            .observe("partition.window_s", (now - session.since).as_secs_f64());
+        if self.cfg.lifecycle_trace {
+            self.obs.trace.record(
+                now,
+                "partition_heal",
+                format!(
+                    "{} reconciled: {} divergent events",
+                    ServerId(si as u64),
+                    session.log.len()
+                ),
+            );
+        }
+        self.obs.trace.record_span(
+            Span::new("cluster.partition_heal", now)
+                .with_attr("server", si as u64)
+                .with_attr("divergence", session.log.len())
+                .with_attr("exited", out.exited.len())
+                .with_attr("oom_killed", out.oom_killed.len())
+                .with_attr("lost_high", out.lost_high.len())
+                .with_attr("lost_low", out.lost_low.len()),
+        );
+        out
+    }
+
+    /// A VM's natural exit on a partitioned server, handled by the
+    /// local controller: the VM leaves, survivors reinflate from its
+    /// allocation, and the divergence log records it. No manager
+    /// counters move — the heal-time replay settles those. Returns
+    /// `false` when the VM is unknown or already dead locally.
+    pub fn autonomous_exit(&mut self, now: SimTime, id: VmId) -> bool {
+        let Some(&si) = self.index.get(&id) else {
+            return false;
+        };
+        let Some(mut session) = self.partitions.remove(&si) else {
+            debug_assert!(false, "autonomous_exit: {id}'s server {si} is reachable");
+            return false;
+        };
+        let Some(vm) = self.servers[si].remove_vm(id) else {
+            // Already dead locally (OOM-killed or crashed behind this
+            // same partition); the heal-time replay settles it.
+            self.partitions.insert(si, session);
+            return false;
+        };
+        let freed = vm.effective();
+        let controller = self.controller;
+        let mut reclaim = ReclaimSession::begin(now, &mut self.servers[si]);
+        controller.reinflate(&mut reclaim, &freed);
+        reclaim.commit();
+        self.refresh_index(si);
+        session.distress.remove(&id);
+        session
+            .log
+            .push(DivergenceEvent::Exited { at: now, vm: id });
+        self.partitions.insert(si, session);
+        true
+    }
+
+    /// A physical crash behind a partition: every hosted VM dies
+    /// unobserved, recorded only in the divergence log. Returns the
+    /// lost VMs (the simulator keeps them in limbo until the heal
+    /// decides relaunches). A no-op when the server is not partitioned
+    /// or already down.
+    pub fn autonomous_crash(&mut self, now: SimTime, sid: ServerId) -> Vec<VmId> {
+        let si = sid.0 as usize;
+        if si >= self.servers.len() {
+            return Vec::new();
+        }
+        let Some(mut session) = self.partitions.remove(&si) else {
+            debug_assert!(false, "autonomous_crash: {sid} is reachable");
+            return Vec::new();
+        };
+        if !self.servers[si].is_up() {
+            self.partitions.insert(si, session);
+            return Vec::new();
+        }
+        let mut ids: Vec<VmId> = self.servers[si].vms().map(|vm| vm.id()).collect();
+        ids.sort_unstable_by_key(|v| v.0);
+        for id in &ids {
+            let _ = self.servers[si].remove_vm(*id);
+            session.distress.remove(id);
+        }
+        self.servers[si].set_up(false);
+        self.servers[si].clear_reservations();
+        self.refresh_index(si);
+        session.log.push(DivergenceEvent::Crashed { at: now });
+        self.partitions.insert(si, session);
+        ids
+    }
+
+    /// A reboot behind a partition: the server comes back up empty and
+    /// still unreachable. A no-op when not partitioned or already up.
+    pub fn autonomous_restart(&mut self, now: SimTime, sid: ServerId) -> bool {
+        let si = sid.0 as usize;
+        if si >= self.servers.len() {
+            return false;
+        }
+        let Some(mut session) = self.partitions.remove(&si) else {
+            debug_assert!(false, "autonomous_restart: {sid} is reachable");
+            return false;
+        };
+        if self.servers[si].is_up() {
+            self.partitions.insert(si, session);
+            return false;
+        }
+        self.servers[si].set_up(true);
+        self.refresh_index(si);
+        session.log.push(DivergenceEvent::Restarted { at: now });
+        self.partitions.insert(si, session);
+        true
+    }
+
+    /// One autonomous distress-sampling round on a partitioned server:
+    /// the same classify / emergency-reinflate / breaker / OOM-kill
+    /// pipeline as [`sample_distress`](Self::sample_distress), but
+    /// driven entirely by server-local state — parked distress entries
+    /// advance in the session, every action lands in the divergence log,
+    /// no manager counters move, and there is no migration escalation
+    /// (moving a VM needs the manager). Returns the kills and slowdowns
+    /// for the simulator's physical model to act on.
+    pub fn autonomous_sample(&mut self, now: SimTime, sid: ServerId) -> Vec<DistressEvent> {
+        let d = self.cfg.distress;
+        let si = sid.0 as usize;
+        if d.is_none() || si >= self.servers.len() {
+            return Vec::new();
+        }
+        let Some(mut session) = self.partitions.remove(&si) else {
+            return Vec::new();
+        };
+        if !self.servers[si].is_up() {
+            self.partitions.insert(si, session);
+            return Vec::new();
+        }
+        let mut events = Vec::new();
+        let mut ids: Vec<VmId> = self.servers[si].low_priority_ids();
+        ids.sort_unstable_by_key(|v| v.0);
+        for id in ids {
+            let classify = |server: &PhysicalServer| {
+                let vm = server.vm(id).expect("sampled VM is hosted");
+                let state = vm.state();
+                let st = state.borrow();
+                let frac = if st.usage.memory_mb > 0.0 {
+                    ((st.swapped_mb + st.blind_swapped_mb) / st.usage.memory_mb).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                (st.is_oom(), frac)
+            };
+            let (mut hard, mut frac) = classify(&self.servers[si]);
+            let mut soft = !hard && frac > d.thrash_threshold;
+            let mut st = session.distress.get(&id).copied().unwrap_or_default();
+
+            if (hard || soft) && d.emergency_reinflate {
+                let granted = self.emergency_reinflate_local(now, si, id, &session);
+                if granted > 0.0 {
+                    session.log.push(DivergenceEvent::EmergencyReinflated {
+                        at: now,
+                        vm: id,
+                        granted_mb: granted,
+                    });
+                }
+                (hard, frac) = classify(&self.servers[si]);
+                soft = !hard && frac > d.thrash_threshold;
+            }
+
+            if hard || soft {
+                st.consecutive += 1;
+                st.healthy_streak = 0;
+                if !st.open && d.breaker_after > 0 && st.consecutive >= d.breaker_after {
+                    st.open = true;
+                    st.trips += 1;
+                    st.hold = d
+                        .breaker_cooldown
+                        .saturating_mul(1u32 << (st.trips - 1).min(6));
+                    session.log.push(DivergenceEvent::BreakerOpened {
+                        at: now,
+                        vm: id,
+                        trips: st.trips,
+                    });
+                }
+            } else {
+                st.consecutive = 0;
+                st.hard_since = None;
+                if st.open {
+                    st.healthy_streak += 1;
+                    if st.healthy_streak >= st.hold {
+                        st.open = false;
+                        st.healthy_streak = 0;
+                        session
+                            .log
+                            .push(DivergenceEvent::BreakerClosed { at: now, vm: id });
+                    }
+                }
+            }
+
+            let mut kill = false;
+            if hard {
+                let since = *st.hard_since.get_or_insert(now);
+                kill = now >= since + d.grace_window;
+            } else if soft {
+                st.hard_since = None;
+            }
+            session.distress.insert(id, st);
+            if kill {
+                session.distress.remove(&id);
+                if let Some(vm) = self.servers[si].remove_vm(id) {
+                    let freed = vm.effective();
+                    let controller = self.controller;
+                    let mut reclaim = ReclaimSession::begin(now, &mut self.servers[si]);
+                    controller.reinflate(&mut reclaim, &freed);
+                    reclaim.commit();
+                }
+                session
+                    .log
+                    .push(DivergenceEvent::OomKilled { at: now, vm: id });
+                events.push(DistressEvent::OomKill {
+                    vm: id,
+                    server: ServerId(si as u64),
+                });
+                continue;
+            }
+            if soft {
+                events.push(DistressEvent::Slowdown {
+                    vm: id,
+                    perf: d.thrash_perf(frac),
+                });
+            }
+        }
+        self.refresh_index(si);
+        self.partitions.insert(si, session);
+        events
+    }
+
+    /// Emergency reinflation run by a partitioned server's local
+    /// controller: [`emergency_reinflate`](Self::emergency_reinflate)
+    /// minus all manager bookkeeping — no metrics, no trace, no settle
+    /// (the frozen totals must not move), breaker shielding read from
+    /// the parked session state. Returns the granted memory (MiB).
+    fn emergency_reinflate_local(
+        &mut self,
+        now: SimTime,
+        si: usize,
+        victim: VmId,
+        session: &PartitionSession,
+    ) -> f64 {
+        use ResourceKind::Memory;
+        let Some(vm) = self.servers[si].vm(victim) else {
+            return 0.0;
+        };
+        let usage = vm.state().borrow().usage.memory_mb;
+        let eff = vm.effective().get(Memory);
+        let spec = vm.spec().get(Memory);
+        let needed = (usage - eff).max(0.0).min((spec - eff).max(0.0));
+        if needed <= 1.0 {
+            return 0.0;
+        }
+        let mut reclaim = ReclaimSession::begin(now, &mut self.servers[si]);
+        let free = reclaim.server().free().get(Memory);
+        let mut shortfall = (needed - free).max(0.0);
+        if shortfall > 0.0 {
+            let mut donors: Vec<(f64, VmId)> = reclaim
+                .server()
+                .vms()
+                .filter(|dv| {
+                    dv.id() != victim && dv.priority() == VmPriority::Low && dv.deflatable()
+                })
+                .filter(|dv| !session.distress.get(&dv.id()).is_some_and(|s| s.open))
+                .filter_map(|dv| {
+                    let state = dv.state();
+                    let st = state.borrow();
+                    if st.is_oom() {
+                        return None;
+                    }
+                    let eff = dv.effective().get(Memory);
+                    let give = (eff - st.usage.memory_mb)
+                        .min(eff - dv.min_size().get(Memory))
+                        .min(eff - dv.memory_floor_mb())
+                        .min(shortfall);
+                    (give > 1.0).then(|| (give, dv.id()))
+                })
+                .collect();
+            donors.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1 .0.cmp(&b.1 .0)));
+            for (give, did) in donors {
+                if shortfall <= 0.0 {
+                    break;
+                }
+                let ask = ResourceVector::memory(give.min(shortfall));
+                if let Some(out) = reclaim.deflate(did, &ask, &self.cascade) {
+                    shortfall -= out.total_reclaimed.get(Memory);
+                }
+            }
+        }
+        let grant = needed.min(reclaim.server().free().get(Memory));
+        if grant > 0.0 {
+            reclaim.reinflate(victim, &ResourceVector::memory(grant));
+        }
+        reclaim.commit();
+        grant
     }
 }
 
@@ -2021,17 +2714,14 @@ mod tests {
         assert_eq!(m.stats().preempted, f.lost_low.len() as u64);
         m.assert_consistent();
 
-        // Crashing a down server is a no-op.
-        assert!(m.fail_server(SimTime::from_secs(11), ServerId(0)).is_none());
-
-        // While down, the server takes no placements.
+        // While down, the server takes no placements. (Double-fail and
+        // recover-of-up are exercised by the idempotency tests below.)
         let out = m.launch(SimTime::from_secs(12), &req(90, true));
         if let LaunchOutcome::Placed { server, .. } = out {
             assert_ne!(server, ServerId(0), "down server must not place");
         }
 
         assert!(m.recover_server(SimTime::from_secs(20), ServerId(0)));
-        assert!(!m.recover_server(SimTime::from_secs(21), ServerId(0)));
         assert!(m.servers()[0].is_up());
         m.assert_consistent();
         // Recovered server hosts again.
@@ -2517,5 +3207,349 @@ mod tests {
         );
         assert!(m.finish_migration(t + total, VmId(0)).is_none());
         m.assert_consistent();
+    }
+
+    // ─────────────────────── partition tests ───────────────────────
+
+    #[test]
+    fn partition_freezes_totals_and_excludes_placement() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        // Two VMs land on server 0 (best-fit on an empty pool), then
+        // partition it.
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+        let si = *m.index.get(&VmId(0)).unwrap();
+        let other = 1 - si;
+        let util = m.utilization();
+        assert!(m.partition_server(SimTime::from_secs(10), ServerId(si as u64)));
+        assert_eq!(
+            m.reachability(ServerId(si as u64)),
+            Reachability::Partitioned
+        );
+        assert!(m.is_partitioned(ServerId(si as u64)));
+        assert_eq!(m.partitioned_servers(), vec![ServerId(si as u64)]);
+        // Re-partitioning is refused.
+        assert!(!m.partition_server(SimTime::from_secs(11), ServerId(si as u64)));
+        // Totals are frozen: nothing changed by the partition itself.
+        assert_eq!(m.utilization(), util);
+        assert_eq!(m.running_vms(), 2);
+        m.assert_consistent();
+
+        // New placements avoid the partitioned server.
+        let out = m.launch(SimTime::from_secs(20), &req(2, true));
+        match out {
+            LaunchOutcome::Placed { server, .. } => assert_eq!(server, ServerId(other as u64)),
+            LaunchOutcome::Rejected => panic!("the reachable server has room"),
+        }
+
+        // An autonomous exit mutates the server but NOT the manager's
+        // frozen view: totals, index and counters hold still.
+        let exits_before = m.observability().metrics.count("cluster.exits");
+        assert!(m.autonomous_exit(SimTime::from_secs(30), VmId(0)));
+        assert!(m.is_running(VmId(0)), "manager's index view is frozen");
+        assert_eq!(
+            m.observability().metrics.count("cluster.exits"),
+            exits_before
+        );
+        assert_eq!(m.divergence_log(ServerId(si as u64)).unwrap().len(), 1);
+        m.assert_consistent();
+
+        // Heal: one delta-exact settle, the exit replays, the index
+        // repairs, and the server hosts again.
+        let out = m
+            .heal_server(SimTime::from_secs(40), ServerId(si as u64))
+            .expect("was partitioned");
+        assert_eq!(out.server, ServerId(si as u64));
+        assert_eq!(out.divergence, 1);
+        assert_eq!(out.exited, vec![VmId(0)]);
+        assert!(out.oom_killed.is_empty() && out.lost_high.is_empty() && out.lost_low.is_empty());
+        assert!(!out.crashed);
+        assert_eq!(m.reachability(ServerId(si as u64)), Reachability::Up);
+        assert!(!m.is_running(VmId(0)));
+        assert_eq!(m.running_vms(), 2);
+        assert_eq!(
+            m.observability().metrics.count("cluster.exits"),
+            exits_before + 1
+        );
+        m.assert_consistent();
+        // A second heal is a no-op.
+        assert!(m
+            .heal_server(SimTime::from_secs(41), ServerId(si as u64))
+            .is_none());
+    }
+
+    #[test]
+    fn crash_behind_partition_is_discovered_at_heal() {
+        // One server, so both VMs stack on it by construction.
+        let mut m = ClusterManager::new(ClusterManagerConfig {
+            n_servers: 1,
+            ..small_cfg(true)
+        });
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, false));
+        let si = *m.index.get(&VmId(0)).unwrap();
+        assert_eq!(*m.index.get(&VmId(1)).unwrap(), si);
+        assert!(m.partition_server(SimTime::from_secs(10), ServerId(si as u64)));
+        // The manager cannot fail a server it cannot reach.
+        assert!(m
+            .fail_server(SimTime::from_secs(20), ServerId(si as u64))
+            .is_none());
+        assert_eq!(m.stats().server_crashes, 0);
+
+        // The crash happens physically, unobserved.
+        let lost = m.autonomous_crash(SimTime::from_secs(20), ServerId(si as u64));
+        assert_eq!(lost, vec![VmId(0), VmId(1)]);
+        assert_eq!(m.running_vms(), 2, "manager still believes both run");
+        assert_eq!(m.stats().server_crashes, 0);
+        m.assert_consistent();
+
+        let out = m
+            .heal_server(SimTime::from_secs(30), ServerId(si as u64))
+            .expect("was partitioned");
+        assert!(out.crashed);
+        assert_eq!(out.lost_high, vec![VmId(1)]);
+        assert_eq!(out.lost_low, vec![VmId(0)]);
+        assert_eq!(m.reachability(ServerId(si as u64)), Reachability::Down);
+        assert_eq!(m.running_vms(), 0);
+        assert_eq!(m.stats().server_crashes, 1);
+        assert_eq!(m.stats().preempted, 1);
+        m.assert_consistent();
+
+        // The ordinary recovery path brings it back.
+        assert!(m.recover_server(SimTime::from_secs(40), ServerId(si as u64)));
+        assert_eq!(m.reachability(ServerId(si as u64)), Reachability::Up);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn restart_behind_partition_reconciles_to_up() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        m.launch(SimTime::ZERO, &req(0, true));
+        let si = *m.index.get(&VmId(0)).unwrap();
+        assert!(m.partition_server(SimTime::from_secs(10), ServerId(si as u64)));
+        let lost = m.autonomous_crash(SimTime::from_secs(20), ServerId(si as u64));
+        assert_eq!(lost, vec![VmId(0)]);
+        assert!(m.autonomous_restart(SimTime::from_secs(25), ServerId(si as u64)));
+        // Still unreachable, so still not placeable.
+        assert!(!m.servers()[si].placeable());
+
+        let out = m
+            .heal_server(SimTime::from_secs(30), ServerId(si as u64))
+            .expect("was partitioned");
+        assert!(out.crashed);
+        assert_eq!(out.lost_low, vec![VmId(0)]);
+        assert_eq!(
+            m.reachability(ServerId(si as u64)),
+            Reachability::Up,
+            "the server rebooted behind the partition"
+        );
+        assert!(m.servers()[si].placeable());
+        assert_eq!(m.stats().server_crashes, 1);
+        assert_eq!(
+            m.observability().metrics.count("cluster.server_recoveries"),
+            1
+        );
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn partition_of_migration_destination_clears_stranded_reservation() {
+        let mut m = ClusterManager::new(migration_cfg());
+        let t = SimTime::ZERO;
+        m.launch(t, &req(0, true));
+        let total = m.begin_migration(t, VmId(0)).expect("reserve");
+        let dst = m.migrations[&VmId(0)].dst;
+        assert!(m.partition_server(t, ServerId(dst as u64)));
+        assert!(
+            m.migrations.is_empty(),
+            "ledger must not reference a partition"
+        );
+        assert!(
+            m.servers[dst].reserved().is_zero(),
+            "local controller clears the stranded hold"
+        );
+        assert_eq!(
+            m.observability()
+                .metrics
+                .count("cluster.migrations_aborted"),
+            1
+        );
+        assert_eq!(m.divergence_log(ServerId(dst as u64)).unwrap().len(), 1);
+        m.assert_consistent();
+        // The deferred completion no longer applies; the VM stayed put.
+        assert!(m.finish_migration(t + total, VmId(0)).is_none());
+        assert!(m.is_running(VmId(0)));
+        let out = m
+            .heal_server(t + total, ServerId(dst as u64))
+            .expect("heal");
+        assert_eq!(out.divergence, 1);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn partition_of_migration_source_aborts_normally() {
+        let mut m = ClusterManager::new(migration_cfg());
+        let t = SimTime::ZERO;
+        m.launch(t, &req(0, true));
+        let src = *m.index.get(&VmId(0)).unwrap();
+        m.begin_migration(t, VmId(0)).expect("reserve");
+        let dst = m.migrations[&VmId(0)].dst;
+        assert!(m.partition_server(t, ServerId(src as u64)));
+        assert!(m.migrations.is_empty());
+        assert!(
+            m.servers[dst].reserved().is_zero(),
+            "reachable destination aborts normally"
+        );
+        assert_eq!(
+            m.observability()
+                .metrics
+                .count("cluster.migrations_aborted"),
+            1
+        );
+        // A normal abort is manager-side work, not divergence.
+        assert!(m.divergence_log(ServerId(src as u64)).unwrap().is_empty());
+        m.assert_consistent();
+        m.heal_server(t, ServerId(src as u64)).expect("heal");
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn partition_parks_and_returns_breaker_state() {
+        // Trip a breaker, partition the server, heal with the VM alive:
+        // the breaker state must survive the round trip exactly.
+        let mut d = crate::distress::DistressConfig::guarded();
+        d.breaker_after = 2;
+        d.emergency_reinflate = false;
+        let mut m = ClusterManager::new(distress_cfg(d));
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+        force_oom(&mut m, VmId(0), 9_000.0);
+        m.sample_distress(SimTime::from_secs(60));
+        m.sample_distress(SimTime::from_secs(120));
+        assert!(m.breaker_open(VmId(0)), "two hard samples trip the breaker");
+        let open_before = m.breaker_open_now;
+
+        assert!(m.partition_server(SimTime::from_secs(130), ServerId(0)));
+        assert!(
+            !m.breaker_open(VmId(0)),
+            "parked state leaves the manager's map"
+        );
+        assert_eq!(m.breaker_open_now, open_before - 1);
+        // Reachable-side sampling skips the partitioned server entirely.
+        assert!(m.sample_distress(SimTime::from_secs(180)).is_empty());
+        m.assert_consistent();
+
+        let out = m
+            .heal_server(SimTime::from_secs(240), ServerId(0))
+            .expect("heal");
+        assert_eq!(out.divergence, 0);
+        assert!(m.breaker_open(VmId(0)), "state returned at heal");
+        assert_eq!(m.breaker_open_now, open_before);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn autonomous_sample_kills_and_heal_replays_counters() {
+        let mut d = crate::distress::DistressConfig::unguarded();
+        d.floor_fraction = 0.0;
+        let mut m = ClusterManager::new(distress_cfg(d));
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.launch(SimTime::ZERO, &req(1, true));
+        force_oom(&mut m, VmId(0), 9_000.0);
+        assert!(m.partition_server(SimTime::from_secs(10), ServerId(0)));
+
+        // Grace clock starts at the first autonomous sample; the 180 s
+        // window expires at the fourth.
+        for s in 1..=4u64 {
+            let evs = m.autonomous_sample(SimTime::from_secs(60 * s), ServerId(0));
+            if s < 4 {
+                assert!(evs.is_empty(), "sample {s} must not kill yet");
+            } else {
+                assert!(matches!(
+                    evs[0],
+                    DistressEvent::OomKill {
+                        vm: VmId(0),
+                        server: ServerId(0)
+                    }
+                ));
+            }
+        }
+        // The kill is local only: no manager counters moved yet.
+        assert_eq!(m.stats().oom_kills, 0);
+        assert!(m.is_running(VmId(0)), "frozen view");
+        m.assert_consistent();
+
+        let out = m
+            .heal_server(SimTime::from_secs(300), ServerId(0))
+            .expect("heal");
+        assert_eq!(out.oom_killed, vec![VmId(0)]);
+        assert_eq!(m.stats().oom_kills, 1);
+        assert_eq!(m.observability().metrics.count("cluster.oom_kills"), 1);
+        assert!(!m.is_running(VmId(0)));
+        assert!(m.is_running(VmId(1)));
+        assert!(
+            m.observability()
+                .metrics
+                .count("cluster.partition_divergence")
+                >= 1,
+            "the kill diverged"
+        );
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn partition_disabled_run_registers_no_partition_keys() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        for i in 0..5 {
+            m.launch(SimTime::ZERO, &req(i, true));
+        }
+        m.exit(SimTime::from_secs(60), VmId(0));
+        let doc = m.run_summary(SimTime::from_secs(100), "unit");
+        let text = doc.to_string();
+        assert!(
+            !text.contains("partition"),
+            "partition path must be opt-in: {text}"
+        );
+        assert!(!text.contains("cluster.fault_noops"));
+    }
+
+    // ───────────────── fail/recover idempotency (satellite) ─────────────────
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_fail_panics_in_debug() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        m.fail_server(SimTime::ZERO, ServerId(0)).expect("up");
+        m.fail_server(SimTime::from_secs(1), ServerId(0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "already up")]
+    fn recover_of_up_server_panics_in_debug() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        m.recover_server(SimTime::ZERO, ServerId(0));
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn double_fail_and_recover_of_up_are_counted_noops_in_release() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        assert!(m.fail_server(SimTime::ZERO, ServerId(0)).is_some());
+        assert!(m.fail_server(SimTime::from_secs(1), ServerId(0)).is_none());
+        assert!(m.recover_server(SimTime::from_secs(2), ServerId(0)));
+        assert!(!m.recover_server(SimTime::from_secs(3), ServerId(0)));
+        assert_eq!(m.observability().metrics.count("cluster.fault_noops"), 2);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn fail_recover_of_unknown_server_is_refused() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        assert!(m.fail_server(SimTime::ZERO, ServerId(99)).is_none());
+        assert!(!m.recover_server(SimTime::ZERO, ServerId(99)));
+        assert!(!m.partition_server(SimTime::ZERO, ServerId(99)));
+        assert!(m.heal_server(SimTime::ZERO, ServerId(99)).is_none());
     }
 }

@@ -1,0 +1,228 @@
+//! Manager↔server network partitions: reachability tracking, the
+//! divergence log a partitioned server accumulates while it runs
+//! autonomously, and the reconcile outcome the manager produces when the
+//! partition heals.
+//!
+//! A partition is the *reachable-but-disconnected* failure mode: the
+//! server keeps running its VMs and its local controller keeps making
+//! decisions (distress sampling, emergency reinflation, breaker
+//! bookkeeping, guest OOM kills), but the manager can neither command
+//! nor observe it. The manager freezes its view of the server — the
+//! cached [`hypervisor::ServerAggregates`] contribution, the hosted-VM
+//! set, the placement-index bucket — at the last observed snapshot, and
+//! the local controller records everything it does alone in a typed
+//! [`DivergenceLog`]. On heal,
+//! [`ClusterManager::heal_server`](crate::manager::ClusterManager::heal_server)
+//! replays the log delta-exactly against the stale snapshot so the
+//! manager's books converge with reality in one anti-entropy pass.
+//!
+//! Reachability state machine (one per server):
+//!
+//! ```text
+//!            partition_server            fail_server
+//!    Up ────────────────────▶ Partitioned    Up ──────────▶ Down
+//!     ▲                           │            ▲              │
+//!     │   heal_server (up)        │            │ recover      │
+//!     └───────────────────────────┤            └──────────────┘
+//!                                 │ heal_server (crashed
+//!                                 ▼  behind the partition)
+//!                               Down
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use deflate_core::{ServerId, VmId};
+use hypervisor::ServerAggregates;
+use simkit::{SeqHash, SimTime};
+
+use crate::manager::VmDistress;
+
+/// The manager's view of one server's control-plane liveness. Orthogonal
+/// to the server's physical `up` flag: a partitioned server may be
+/// running fine (the common case) or may crash behind the partition —
+/// the manager only learns which at heal time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reachability {
+    /// Connected and observable; the normal state.
+    Up,
+    /// Physically up (as far as the manager knows) but unreachable: no
+    /// commands, no observations, placement excluded, totals frozen.
+    Partitioned,
+    /// Observed down (crashed while reachable, or discovered crashed at
+    /// heal time).
+    Down,
+}
+
+/// One action a partitioned server's local controller took while the
+/// manager could not observe it. Replayed at heal time to settle
+/// counters and lifecycle maps the manager missed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DivergenceEvent {
+    /// A VM's lifetime ended naturally; survivors were reinflated
+    /// locally.
+    Exited {
+        /// When the VM departed.
+        at: SimTime,
+        /// The departed VM.
+        vm: VmId,
+    },
+    /// Sustained hard distress outlived the grace window and the guest
+    /// OOM killer fired; survivors were reinflated locally. The manager
+    /// relaunches the VM only after the heal — autonomous mode has no
+    /// placement authority.
+    OomKilled {
+        /// When the killer fired.
+        at: SimTime,
+        /// The killed VM.
+        vm: VmId,
+    },
+    /// Emergency reinflation granted a distressed guest memory from the
+    /// local free pool and healthy co-located donors.
+    EmergencyReinflated {
+        /// When the rescue ran.
+        at: SimTime,
+        /// The rescued VM.
+        vm: VmId,
+        /// Memory granted (MiB).
+        granted_mb: f64,
+    },
+    /// The per-VM deflation circuit breaker tripped open locally.
+    BreakerOpened {
+        /// When it tripped.
+        at: SimTime,
+        /// The shielded VM.
+        vm: VmId,
+        /// Lifetime trip count after this trip.
+        trips: u32,
+    },
+    /// The breaker closed after enough healthy samples.
+    BreakerClosed {
+        /// When it closed.
+        at: SimTime,
+        /// The VM whose breaker closed.
+        vm: VmId,
+    },
+    /// A migration reservation stranded by the partition (the manager
+    /// held capacity here for an inbound move it can no longer command)
+    /// was cleared locally: hold released, donors made whole.
+    ReservationCleared {
+        /// When the local controller cleared it.
+        at: SimTime,
+        /// The VM whose inbound move the reservation served.
+        vm: VmId,
+    },
+    /// The server crashed behind the partition: every hosted VM died
+    /// unobserved. The manager discovers the losses at heal time.
+    Crashed {
+        /// When the crash landed.
+        at: SimTime,
+    },
+    /// The server rebooted behind the partition (empty, still
+    /// unreachable).
+    Restarted {
+        /// When it came back up.
+        at: SimTime,
+    },
+}
+
+/// Append-only, typed record of everything a partitioned server did
+/// while the manager could not watch. Replayed in order at heal time.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct DivergenceLog {
+    events: Vec<DivergenceEvent>,
+}
+
+impl DivergenceLog {
+    /// Appends one autonomous action.
+    pub fn push(&mut self, ev: DivergenceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Number of divergent events accumulated.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the partition window saw no autonomous activity —
+    /// reconciliation of an empty log is state-neutral.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, in the order they happened.
+    pub fn events(&self) -> &[DivergenceEvent] {
+        &self.events
+    }
+}
+
+/// Everything the manager parks for one partitioned server: the frozen
+/// aggregate snapshot backing the cached cluster totals, the frozen
+/// hosted-VM view, the per-VM distress state handed to the local
+/// controller, and the divergence log.
+#[derive(Debug)]
+pub(crate) struct PartitionSession {
+    /// When the partition opened.
+    pub(crate) since: SimTime,
+    /// The server's aggregate contribution at partition time. The
+    /// cached [`ClusterTotals`](crate::manager) keep carrying exactly
+    /// this until heal, when one `apply_delta(frozen, live)` settles
+    /// the whole window.
+    pub(crate) frozen: ServerAggregates,
+    /// VMs hosted at partition time — the manager's (stale) index view.
+    pub(crate) vms: HashSet<VmId, SeqHash>,
+    /// The low-priority subset of `vms`, so crash losses discovered at
+    /// heal time can be classified without the dead VM objects.
+    pub(crate) low: HashSet<VmId, SeqHash>,
+    /// Distress/breaker state parked from the manager's map at
+    /// partition time and advanced locally by `autonomous_sample`.
+    pub(crate) distress: HashMap<VmId, VmDistress, SeqHash>,
+    /// What the server did alone.
+    pub(crate) log: DivergenceLog,
+}
+
+/// What one anti-entropy pass at heal time found and repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconcileOutcome {
+    /// The healed server.
+    pub server: ServerId,
+    /// Divergence-log length (autonomous events replayed).
+    pub divergence: usize,
+    /// VMs that departed naturally while partitioned.
+    pub exited: Vec<VmId>,
+    /// VMs the local OOM killer took; candidates for relaunch now that
+    /// the manager can place again.
+    pub oom_killed: Vec<VmId>,
+    /// High-priority VMs that died with an unobserved crash; the caller
+    /// relaunches them through normal placement.
+    pub lost_high: Vec<VmId>,
+    /// Low-priority VMs that died with an unobserved crash; counted as
+    /// preempted.
+    pub lost_low: Vec<VmId>,
+    /// Whether the server crashed behind the partition.
+    pub crashed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_log_orders_and_counts() {
+        let mut log = DivergenceLog::default();
+        assert!(log.is_empty());
+        log.push(DivergenceEvent::Exited {
+            at: SimTime::from_secs(10),
+            vm: VmId(1),
+        });
+        log.push(DivergenceEvent::Crashed {
+            at: SimTime::from_secs(20),
+        });
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        assert!(matches!(
+            log.events()[0],
+            DivergenceEvent::Exited { vm: VmId(1), .. }
+        ));
+        assert!(matches!(log.events()[1], DivergenceEvent::Crashed { .. }));
+    }
+}

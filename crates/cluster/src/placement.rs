@@ -156,7 +156,7 @@ pub fn fitness_with(
     mode: AvailabilityMode,
 ) -> f64 {
     let avail = availability(server, mode);
-    if !(server.is_up() && avail.dominates(demand)) {
+    if !(server.placeable() && avail.dominates(demand)) {
         return 0.0;
     }
     avail.cosine_similarity(demand)
@@ -192,7 +192,7 @@ pub fn choose_server_with(
         PlacementPolicy::FirstFit => {
             let mut fallback = None;
             for (i, s) in servers.iter().enumerate() {
-                if !s.is_up() {
+                if !s.placeable() {
                     continue;
                 }
                 let free = s.free();
@@ -209,7 +209,7 @@ pub fn choose_server_with(
             let mut best_free: Option<(usize, (f64, f64))> = None;
             let mut best_avail: Option<(usize, (f64, f64))> = None;
             for (i, s) in servers.iter().enumerate() {
-                if !s.is_up() {
+                if !s.placeable() {
                     continue;
                 }
                 let free = s.free();
@@ -238,7 +238,7 @@ pub fn choose_server_with(
             }
             let (a, b) = draw_pair(rng, servers.len());
             let free_of = |i: usize| servers[i].free();
-            let free_fits = |i: usize| servers[i].is_up() && free_of(i).dominates(demand);
+            let free_fits = |i: usize| servers[i].placeable() && free_of(i).dominates(demand);
             match (free_fits(a), free_fits(b)) {
                 (true, true) => Some(
                     if score(&free_of(a), demand) >= score(&free_of(b), demand) {
@@ -256,12 +256,13 @@ pub fn choose_server_with(
                     // availability-fitting server beats rejecting.
                     if let Some(i) = servers
                         .iter()
-                        .position(|s| s.is_up() && s.free().dominates(demand))
+                        .position(|s| s.placeable() && s.free().dominates(demand))
                     {
                         return Some(i);
                     }
                     let avail_of = |i: usize| avail_from_free(&servers[i], &free_of(i), mode);
-                    let avail_fits = |i: usize| servers[i].is_up() && avail_of(i).dominates(demand);
+                    let avail_fits =
+                        |i: usize| servers[i].placeable() && avail_of(i).dominates(demand);
                     match (avail_fits(a), avail_fits(b)) {
                         (true, true) => Some(
                             if score(&avail_of(a), demand) >= score(&avail_of(b), demand) {
@@ -273,7 +274,7 @@ pub fn choose_server_with(
                         (true, false) => Some(a),
                         (false, true) => Some(b),
                         (false, false) => servers.iter().position(|s| {
-                            s.is_up() && avail_from_free(s, &s.free(), mode).dominates(demand)
+                            s.placeable() && avail_from_free(s, &s.free(), mode).dominates(demand)
                         }),
                     }
                 }
@@ -322,7 +323,7 @@ fn baseline_pick(
     demand: &ResourceVector,
     avail: &dyn Fn(&PhysicalServer) -> ResourceVector,
 ) -> Option<usize> {
-    let fits = |s: &PhysicalServer| s.is_up() && avail(s).dominates(demand);
+    let fits = |s: &PhysicalServer| s.placeable() && avail(s).dominates(demand);
     let sc = |s: &PhysicalServer| {
         let a = avail(s);
         (a.cosine_similarity(demand), a.norm())

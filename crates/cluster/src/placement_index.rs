@@ -65,7 +65,8 @@ const NBUCKETS: usize = 64;
 const NOTIONS: usize = 3;
 /// Resource dimensions (`ResourceKind::ALL`).
 const DIMS: usize = ResourceKind::ALL.len();
-/// Bucket sentinel for servers that are down (absent from histograms).
+/// Bucket sentinel for servers that are not placeable — down or
+/// partitioned — and therefore absent from every histogram.
 const UNBUCKETED: u16 = u16::MAX;
 
 /// Index of a cached availability notion in [`Entry::vecs`].
@@ -91,6 +92,9 @@ struct Entry {
     /// Cached vectors, indexed by [`Notion`]. Bit-exact copies of what
     /// the naive oracle computes from live server state.
     vecs: [ResourceVector; NOTIONS],
+    /// [`PhysicalServer::placeable`] at the last refresh: down *and*
+    /// partitioned servers leave every histogram and fail every axis
+    /// threshold, so neither can win a placement query.
     up: bool,
     /// The server's mutation counter at the last refresh.
     version: u64,
@@ -250,7 +254,7 @@ impl PlacementIndex {
             avail_from_free(server, &free, AvailabilityMode::Deflation),
             avail_from_free(server, &free, AvailabilityMode::PreemptionOnly),
         ];
-        let up = server.is_up();
+        let up = server.placeable();
         let mut new_buckets = [[UNBUCKETED; DIMS]; NOTIONS];
         if up {
             for n in 0..NOTIONS {
@@ -543,7 +547,7 @@ impl PlacementIndex {
         let mut populated = 0usize;
         for (i, (e, s)) in self.entries.iter().zip(servers).enumerate() {
             assert_eq!(e.version, s.version(), "server {i}: stale index version");
-            assert_eq!(e.up, s.is_up(), "server {i}: stale up flag");
+            assert_eq!(e.up, s.placeable(), "server {i}: stale placeability flag");
             let free = s.free();
             let fresh = [
                 free,
@@ -718,6 +722,71 @@ mod tests {
         let index = PlacementIndex::new(&servers);
         servers[0].add_vm(Vm::new(VmId(1), spec(2.0), VmPriority::High));
         index.assert_consistent(&servers);
+    }
+
+    #[test]
+    fn partitioned_server_is_evicted_without_losing_capacity() {
+        let mut servers = fleet(2);
+        servers[0].add_vm(Vm::new(VmId(1), spec(2.0), VmPriority::Low));
+        let mut index = PlacementIndex::new(&servers);
+        // Partition server 0: it leaves every histogram like a down
+        // server would, but stays up and keeps its VMs.
+        servers[0].set_connected(false);
+        index.refresh(0, &servers[0]);
+        index.assert_consistent(&servers);
+        let mut rng = SimRng::seed_from_u64(4);
+        for policy in PlacementPolicy::ALL {
+            let mut r1 = SimRng::seed_from_u64(11);
+            let mut r2 = SimRng::seed_from_u64(11);
+            assert_eq!(
+                index.choose(
+                    policy,
+                    &servers,
+                    &spec(1.0),
+                    AvailabilityMode::Deflation,
+                    &mut r1,
+                ),
+                choose_server_with(
+                    policy,
+                    &servers,
+                    &spec(1.0),
+                    AvailabilityMode::Deflation,
+                    &mut r2,
+                ),
+                "{}: indexed and naive must agree on partitioned fleets",
+                policy.name()
+            );
+        }
+        assert_eq!(
+            index.choose(
+                PlacementPolicy::FirstFit,
+                &servers,
+                &spec(1.0),
+                AvailabilityMode::Deflation,
+                &mut rng,
+            ),
+            Some(1),
+            "partitioned server must not win placement"
+        );
+        assert_eq!(
+            index.best_headroom(&servers, &spec(1.0), None),
+            Some(1),
+            "migration targeting skips partitioned servers"
+        );
+        // Heal: it rejoins the histograms with its capacity intact.
+        servers[0].set_connected(true);
+        index.refresh(0, &servers[0]);
+        index.assert_consistent(&servers);
+        assert_eq!(
+            index.choose(
+                PlacementPolicy::FirstFit,
+                &servers,
+                &spec(1.0),
+                AvailabilityMode::Deflation,
+                &mut rng,
+            ),
+            Some(0)
+        );
     }
 
     #[test]

@@ -102,6 +102,13 @@ enum Ev {
     /// Periodic background defragmentation pass (only scheduled when
     /// migration is enabled with a nonzero `defrag_interval`).
     Defrag,
+    /// A manager↔server partition window opens: the manager freezes its
+    /// view and the server runs autonomously. Only scheduled when the
+    /// fault plan carries a nonzero partition domain.
+    PartitionStart(ServerId),
+    /// The window closes: the manager reconciles the divergence log and
+    /// relaunches VMs that died unobserved.
+    PartitionEnd(ServerId),
 }
 
 /// Lifetime bookkeeping for a running VM, kept under a fault plan or the
@@ -181,7 +188,24 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
         for (k, t) in inj.server_crash_times(horizon).into_iter().enumerate() {
             sched.at(t, Ev::ServerCrash(k as u64));
         }
+        // Partition windows are a pure function of the plan, scheduled up
+        // front like crashes. Ends clamp to the horizon so every window
+        // heals (and reconciles) before the run's books close. The empty
+        // partition domain schedules nothing.
+        if !inj.plan().partitions.is_none() {
+            for s in 0..cfg.manager.n_servers {
+                for (start, end) in inj.partition_windows(s as u64, horizon) {
+                    sched.at(start, Ev::PartitionStart(ServerId(s as u64)));
+                    sched.at(end.min(horizon), Ev::PartitionEnd(ServerId(s as u64)));
+                }
+            }
+        }
     }
+    // VMs that died behind a partition (unobserved crash or autonomous
+    // OOM kill): the manager has no placement authority over a server it
+    // cannot reach, so the relaunch decision parks here until the heal,
+    // alongside the loss instant for restart-latency accounting.
+    let mut limbo: HashMap<VmId, (LiveVm, SimTime)> = HashMap::new();
     // Distress plumbing: a periodic sampling event drives the guest
     // OOM/thrash loop. Absent when disabled — the event stream (and the
     // run summary) is byte-identical to a build without it.
@@ -281,7 +305,14 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                         Some(lv) if lv.depart_at > now => None,
                         _ => {
                             live.remove(&id);
-                            manager.exit(now, id)
+                            // A VM departing behind a partition exits
+                            // through the server's local controller; the
+                            // manager's frozen books catch up at heal.
+                            if let Some(sid) = manager.partitioned_host(id) {
+                                manager.autonomous_exit(now, id).then_some(sid)
+                            } else {
+                                manager.exit(now, id)
+                            }
                         }
                     }
                 } else {
@@ -312,26 +343,38 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                             .then(|| ServerId(ups[inj.crash_victim(k, ups.len())] as u64))
                     });
                 if let Some(sid) = sid {
-                    let failure = manager.fail_server(now, sid).expect("victim is up");
                     let plan = inj.plan();
-                    for id in &failure.lost_low {
-                        live.remove(id);
-                    }
-                    // High-priority VMs with lifetime left re-enter
-                    // placement through a normal launch once rebooted.
-                    for id in &failure.lost_high {
-                        if let Some(lv) = live.remove(id) {
-                            let restart_at = now + plan.vm_restart;
-                            // `arrival` holds the crash instant, for
-                            // latency accounting.
-                            if let Some(req) = relaunch_request(lv, now, restart_at) {
-                                sched.at(
-                                    restart_at,
-                                    Ev::Relaunch {
-                                        req: Box::new(req),
-                                        oom: false,
-                                    },
-                                );
+                    if manager.is_partitioned(sid) {
+                        // The crash lands behind a partition: the manager
+                        // sees nothing. The server's controller clears
+                        // itself and logs the crash; every lost VM parks
+                        // in limbo until the heal decides its relaunch.
+                        for id in manager.autonomous_crash(now, sid) {
+                            if let Some(lv) = live.remove(&id) {
+                                limbo.insert(id, (lv, now));
+                            }
+                        }
+                    } else {
+                        let failure = manager.fail_server(now, sid).expect("victim is up");
+                        for id in &failure.lost_low {
+                            live.remove(id);
+                        }
+                        // High-priority VMs with lifetime left re-enter
+                        // placement through a normal launch once rebooted.
+                        for id in &failure.lost_high {
+                            if let Some(lv) = live.remove(id) {
+                                let restart_at = now + plan.vm_restart;
+                                // `arrival` holds the crash instant, for
+                                // latency accounting.
+                                if let Some(req) = relaunch_request(lv, now, restart_at) {
+                                    sched.at(
+                                        restart_at,
+                                        Ev::Relaunch {
+                                            req: Box::new(req),
+                                            oom: false,
+                                        },
+                                    );
+                                }
                             }
                         }
                     }
@@ -342,7 +385,13 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 }
             }
             Ev::ServerUp(sid) => {
-                manager.recover_server(now, sid);
+                // A reboot behind a still-open partition stays invisible
+                // to the manager: the local controller just logs it.
+                if manager.is_partitioned(sid) {
+                    manager.autonomous_restart(now, sid);
+                } else {
+                    manager.recover_server(now, sid);
+                }
                 Some(sid)
             }
             Ev::Relaunch { req, oom } => {
@@ -418,6 +467,34 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                         }
                     }
                 }
+                // Partitioned servers sample on their own clock with only
+                // server-local state: kills park in limbo (no placement
+                // authority until the heal), slowdowns stretch lifetimes
+                // exactly like the connected path. No partitions → no
+                // servers here → byte-identical to the pre-partition run.
+                for sid in manager.partitioned_servers() {
+                    for dev in manager.autonomous_sample(now, sid) {
+                        match dev {
+                            crate::distress::DistressEvent::OomKill { vm, .. } => {
+                                if let Some(lv) = live.remove(&vm) {
+                                    limbo.insert(vm, (lv, now));
+                                }
+                            }
+                            crate::distress::DistressEvent::Slowdown { vm, perf } => {
+                                if let Some(lv) = live.get_mut(&vm) {
+                                    let stretch = distress
+                                        .sample_interval
+                                        .mul_f64(1.0 / perf.max(0.05) - 1.0);
+                                    lv.depart_at += stretch;
+                                    sched.at(lv.depart_at, Ev::Depart(vm));
+                                }
+                            }
+                            // Autonomous mode has no placement authority:
+                            // rescue migrations are never emitted.
+                            crate::distress::DistressEvent::Migration { .. } => {}
+                        }
+                    }
+                }
                 // Distress handling may touch many servers (emergency
                 // donor rounds, kills): refresh every per-server gauge.
                 for (i, s) in manager.servers().iter().enumerate() {
@@ -478,6 +555,57 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 }
                 for (i, s) in manager.servers().iter().enumerate() {
                     server_gauges[i].set(now, s.overcommitment());
+                }
+                None
+            }
+            Ev::PartitionStart(sid) => {
+                // Freezes the manager's view and hands the server its
+                // autonomy. A no-op when the server is already down (it
+                // crashed reachably before the window opened).
+                manager.partition_server(now, sid);
+                None
+            }
+            Ev::PartitionEnd(sid) => {
+                if let Some(out) = manager.heal_server(now, sid) {
+                    // Natural exits and low-priority crash losses settled
+                    // in the reconcile pass; just drop any limbo entries.
+                    for vm in out.exited.iter().chain(&out.lost_low) {
+                        limbo.remove(vm);
+                    }
+                    // Deaths the manager would have relaunched had it
+                    // watched: each reboots on its own path's delay from
+                    // the *loss* instant, never before the heal itself.
+                    let inj = injector
+                        .as_ref()
+                        .expect("partition events only exist under a fault plan");
+                    for (vm, oom, delay) in out
+                        .oom_killed
+                        .iter()
+                        .map(|vm| (vm, true, distress.restart_delay))
+                        .chain(
+                            out.lost_high
+                                .iter()
+                                .map(|vm| (vm, false, inj.plan().vm_restart)),
+                        )
+                    {
+                        if let Some((lv, lost_at)) = limbo.remove(vm) {
+                            let restart_at = (lost_at + delay).max(now);
+                            if let Some(req) = relaunch_request(lv, lost_at, restart_at) {
+                                sched.at(
+                                    restart_at,
+                                    Ev::Relaunch {
+                                        req: Box::new(req),
+                                        oom,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    // The settle may have moved any aggregate: refresh
+                    // every per-server gauge.
+                    for (i, s) in manager.servers().iter().enumerate() {
+                        server_gauges[i].set(now, s.overcommitment());
+                    }
                 }
                 None
             }
@@ -942,6 +1070,110 @@ mod tests {
         assert!(started > 0.0, "a loaded victim must evacuate VMs");
         let b = run_cluster_sim(&cfg);
         assert_eq!(r.summary.to_string(), b.summary.to_string());
+    }
+
+    #[test]
+    fn disabled_partition_knobs_change_nothing() {
+        use simkit::PartitionPlan;
+        // A partition domain that can never open (prob 0) must be inert
+        // no matter how its other knobs are set, even under an otherwise
+        // active fault plan: byte-identical summary, no partition keys.
+        let mut cfg = test_cfg(true, 150.0);
+        cfg.horizon = SimDuration::from_hours(6);
+        cfg.manager.faults = simkit::FaultPlan::chaos(7);
+        let base = run_cluster_sim(&cfg);
+        let mut twisted = cfg.clone();
+        twisted.manager.faults.partitions = PartitionPlan {
+            prob: 0.0,
+            bucket: SimDuration::from_mins(7),
+            duration: SimDuration::from_mins(90),
+        };
+        let b = run_cluster_sim(&twisted);
+        assert_eq!(base.summary.to_string(), b.summary.to_string());
+        let text = base.summary.to_string();
+        assert!(!text.contains("partition"));
+        assert!(!text.contains("cluster.fault_noops"));
+    }
+
+    #[test]
+    fn partitions_open_heal_and_reconcile() {
+        use simkit::PartitionPlan;
+        // A pure-partition plan (no crashes, no message chaos): every
+        // window that opens must heal by run end, and the run must be
+        // deterministic.
+        let mut cfg = test_cfg(true, 150.0);
+        cfg.horizon = SimDuration::from_hours(12);
+        cfg.manager.faults = simkit::FaultPlan {
+            partitions: PartitionPlan {
+                prob: 0.05,
+                bucket: SimDuration::from_mins(30),
+                duration: SimDuration::from_mins(20),
+            },
+            ..simkit::FaultPlan::none()
+        };
+        let a = run_cluster_sim(&cfg);
+        let b = run_cluster_sim(&cfg);
+        assert_eq!(
+            a.summary.to_string(),
+            b.summary.to_string(),
+            "partition runs must be deterministic"
+        );
+        let counters = a.summary.get("counters").expect("counters");
+        let opened = counters
+            .get("cluster.partitions")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let healed = counters
+            .get("cluster.partition_heals")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        assert!(opened > 0.0, "a loaded 12h run must open partitions");
+        assert_eq!(opened, healed, "every window must heal by run end");
+        // Without crashes or distress no server dies behind a partition
+        // (load-pressure preemption still happens; that's orthogonal).
+        assert_eq!(a.stats.server_crashes, 0);
+    }
+
+    #[test]
+    fn partitions_with_chaos_and_distress_stay_consistent() {
+        use crate::distress::DistressConfig;
+        use simkit::PartitionPlan;
+        // The full storm: crashes (some landing behind partitions), the
+        // distress loop running autonomously on unreachable servers, and
+        // anti-entropy reconciliation at every heal. Debug builds run
+        // `assert_consistent` after each manager mutation, so simply
+        // completing — deterministically — is the meat of this test.
+        let mut cfg = memory_bound_cfg(150.0);
+        cfg.manager.distress = DistressConfig::unguarded();
+        cfg.manager.faults = simkit::FaultPlan {
+            partitions: PartitionPlan {
+                prob: 0.08,
+                bucket: SimDuration::from_mins(30),
+                duration: SimDuration::from_mins(25),
+            },
+            // The chaos default (~1 crash/day/100 servers) expects ~0
+            // crashes over 6h on 20 servers; crank it so crashes land —
+            // some of them behind open partition windows.
+            server_crash_rate_per_hour: 2.0,
+            ..simkit::FaultPlan::chaos(11)
+        };
+        let a = run_cluster_sim(&cfg);
+        let b = run_cluster_sim(&cfg);
+        assert_eq!(a.summary.to_string(), b.summary.to_string());
+        let counters = a.summary.get("counters").expect("counters");
+        let opened = counters
+            .get("cluster.partitions")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let healed = counters
+            .get("cluster.partition_heals")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        assert!(opened > 0.0);
+        assert_eq!(opened, healed);
+        assert!(a.stats.server_crashes > 0, "chaos must crash servers");
+        // The divergence histogram registers once any window heals.
+        assert!(a.summary.to_string().contains("partition.window_s"));
     }
 
     proptest::proptest! {

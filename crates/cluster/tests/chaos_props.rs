@@ -78,21 +78,26 @@ proptest! {
         for step in 0..80u64 {
             let now = SimTime::from_secs(step * 60);
             match rng.index(10) {
-                // Crash a random server (possibly already down: no-op).
+                // Crash a random server (failing an already-down server
+                // is a driver bug and debug-panics, so only fail up ones).
                 0 => {
                     let sid = ServerId(rng.index(3) as u64);
-                    let running = m.running_vms();
-                    if let Some(f) = m.fail_server(now, sid) {
+                    if m.servers()[sid.0 as usize].is_up() {
+                        let running = m.running_vms();
+                        let f = m.fail_server(now, sid).expect("server is up");
                         let lost = f.lost_high.len() + f.lost_low.len();
                         prop_assert_eq!(m.running_vms(), running - lost);
                         prop_assert!(!m.servers()[sid.0 as usize].is_up());
                         live.retain(|id| m.is_running(VmId(*id)));
                     }
                 }
-                // Recover a random server.
+                // Recover a random server (recovering an up server
+                // debug-panics likewise: only recover down ones).
                 1 => {
                     let sid = ServerId(rng.index(3) as u64);
-                    m.recover_server(now, sid);
+                    if !m.servers()[sid.0 as usize].is_up() {
+                        prop_assert!(m.recover_server(now, sid));
+                    }
                 }
                 // Exit a random live VM.
                 2 | 3 if !live.is_empty() => {

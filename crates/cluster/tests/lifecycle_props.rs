@@ -70,17 +70,21 @@ proptest! {
         for step in 0..60u64 {
             let now = SimTime::from_secs(step * 60);
             match rng.index(10) {
-                // Crash a random server (possibly already down: no-op).
+                // Crash a random up server (double-fail is a schedule
+                // bug and debug-panics, so guard on liveness).
                 0 => {
                     let sid = ServerId(rng.index(3) as u64);
-                    if m.fail_server(now, sid).is_some() {
+                    if m.servers()[sid.0 as usize].is_up() {
+                        prop_assert!(m.fail_server(now, sid).is_some());
                         live.retain(|id| m.is_running(VmId(*id)));
                     }
                 }
-                // Recover a random server.
+                // Recover a random down server (same idempotence rule).
                 1 => {
                     let sid = ServerId(rng.index(3) as u64);
-                    m.recover_server(now, sid);
+                    if !m.servers()[sid.0 as usize].is_up() {
+                        prop_assert!(m.recover_server(now, sid));
+                    }
                 }
                 // Exit a random live VM.
                 2 | 3 if !live.is_empty() => {

@@ -1,0 +1,302 @@
+//! Partition-tolerance properties: random launch/exit/partition/heal/
+//! crash interleavings must keep the manager's books exact at every
+//! step, anti-entropy reconciliation must converge to the state a
+//! never-partitioned oracle reaches from the same operations, and an
+//! empty partition window must be state-neutral.
+//!
+//! Debug builds re-verify the incremental totals, the placement index,
+//! and the reachability invariants on every `update_gauges`, so each
+//! walk step is itself a full consistency check.
+
+use cluster::{ClusterManager, ClusterManagerConfig, LaunchOutcome, Reachability, VmRequest};
+use deflate_core::{ResourceVector, ServerId, VmId};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimRng, SimTime};
+
+fn request(id: u64, scale: f64, low: bool) -> VmRequest {
+    let spec = ResourceVector::new(4.0, 16_384.0, 100.0, 200.0).scale(scale);
+    VmRequest {
+        id: VmId(id),
+        arrival: SimTime::ZERO,
+        lifetime: SimDuration::from_hours(1),
+        spec,
+        type_name: "part",
+        low_priority: low,
+        min_size: if low {
+            spec.scale(0.3)
+        } else {
+            ResourceVector::ZERO
+        },
+    }
+}
+
+fn small_cluster(n_servers: usize) -> ClusterManager {
+    ClusterManager::new(ClusterManagerConfig {
+        n_servers,
+        server_capacity: ResourceVector::new(8.0, 32_768.0, 200.0, 400.0),
+        ..ClusterManagerConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random walks over launch / exit / partition / heal / crash /
+    /// restart — with crashes and exits landing behind open partitions
+    /// and routed through the autonomous paths — keep every aggregate
+    /// invariant intact at every step, and after healing everything the
+    /// manager's VM count agrees with physical reality.
+    #[test]
+    fn invariants_survive_partition_walks(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n_servers = 3usize;
+        let mut m = small_cluster(n_servers);
+
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..80u64 {
+            let now = SimTime::from_secs(step * 60);
+            let sid = ServerId(rng.index(n_servers) as u64);
+            match rng.index(12) {
+                // Open a partition on a reachable, up server.
+                0 | 1 => {
+                    if m.reachability(sid) == Reachability::Up
+                        && m.servers()[sid.0 as usize].is_up()
+                    {
+                        prop_assert!(m.partition_server(now, sid));
+                        prop_assert!(m.is_partitioned(sid));
+                    }
+                }
+                // Heal a random open partition.
+                2 => {
+                    let open = m.partitioned_servers();
+                    if !open.is_empty() {
+                        let pick = open[rng.index(open.len())];
+                        let out = m.heal_server(now, pick).expect("was partitioned");
+                        prop_assert!(!m.is_partitioned(pick));
+                        // Crash losses discovered at heal are no longer
+                        // running.
+                        for vm in out.lost_high.iter().chain(&out.lost_low) {
+                            prop_assert!(!m.is_running(*vm));
+                        }
+                    }
+                }
+                // Crash: behind a partition it goes unobserved; on a
+                // reachable up server the manager handles it directly.
+                3 => {
+                    if m.is_partitioned(sid) {
+                        if m.servers()[sid.0 as usize].is_up() {
+                            let lost = m.autonomous_crash(now, sid);
+                            live.retain(|id| !lost.contains(&VmId(*id)));
+                            // The manager's frozen view still counts them.
+                            for vm in &lost {
+                                prop_assert!(m.is_running(*vm));
+                            }
+                        }
+                    } else if m.servers()[sid.0 as usize].is_up() {
+                        let f = m.fail_server(now, sid).expect("server is up");
+                        for vm in f.lost_high.iter().chain(&f.lost_low) {
+                            live.retain(|id| VmId(*id) != *vm);
+                        }
+                    }
+                }
+                // Restart a down server (autonomously while partitioned).
+                4 => {
+                    if m.is_partitioned(sid) {
+                        if !m.servers()[sid.0 as usize].is_up() {
+                            prop_assert!(m.autonomous_restart(now, sid));
+                        }
+                    } else if !m.servers()[sid.0 as usize].is_up() {
+                        prop_assert!(m.recover_server(now, sid));
+                    }
+                }
+                // Exit a random live VM via whichever path its host's
+                // reachability dictates.
+                5 | 6 if !live.is_empty() => {
+                    let pick = rng.index(live.len());
+                    let id = VmId(live.swap_remove(pick));
+                    if m.partitioned_host(id).is_some() {
+                        prop_assert!(m.autonomous_exit(now, id));
+                        prop_assert!(m.is_running(id), "frozen view holds");
+                    } else {
+                        prop_assert!(m.exit(now, id).is_some());
+                        prop_assert!(!m.is_running(id));
+                    }
+                }
+                // Launch.
+                _ => {
+                    let scale = rng.uniform_range(0.25, 1.5);
+                    let low = rng.chance(0.7);
+                    match m.launch(now, &request(next_id, scale, low)) {
+                        LaunchOutcome::Placed { server, .. } => {
+                            prop_assert!(
+                                m.servers()[server.0 as usize].placeable(),
+                                "placed on an unreachable or down server"
+                            );
+                            live.push(next_id);
+                            // The placement may have preempted low-pri
+                            // VMs to make room.
+                            live.retain(|id| m.is_running(VmId(*id)));
+                        }
+                        LaunchOutcome::Rejected => {}
+                    }
+                    next_id += 1;
+                }
+            }
+            // The full oracle — totals, index, reachability — every step.
+            m.assert_consistent();
+        }
+
+        // Heal everything: the books must now agree with physical truth.
+        let end = SimTime::from_secs(81 * 60);
+        for sid in m.partitioned_servers() {
+            m.heal_server(end, sid);
+        }
+        m.assert_consistent();
+        prop_assert_eq!(m.running_vms(), live.len());
+        for id in &live {
+            prop_assert!(m.is_running(VmId(*id)));
+        }
+    }
+
+    /// Convergence: the same operations applied behind a partition (and
+    /// reconciled at heal) leave the manager in the same state a
+    /// never-partitioned oracle reaches by observing them directly —
+    /// same per-server aggregates, same lifecycle view, same counters.
+    #[test]
+    fn reconciliation_converges_to_never_partitioned_oracle(
+        seed in any::<u64>(),
+        n_vms in 2usize..8,
+        crash in any::<bool>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut part = small_cluster(3);
+        let mut oracle = small_cluster(3);
+
+        // Identical launches → identical placements.
+        let mut ids = Vec::new();
+        for i in 0..n_vms as u64 {
+            let scale = rng.uniform_range(0.25, 1.0);
+            let low = rng.chance(0.7);
+            let req = request(i, scale, low);
+            let a = part.launch(SimTime::ZERO, &req);
+            let b = oracle.launch(SimTime::ZERO, &req);
+            match (&a, &b) {
+                (
+                    LaunchOutcome::Placed { server: sa, .. },
+                    LaunchOutcome::Placed { server: sb, .. },
+                ) => {
+                    prop_assert_eq!(sa, sb);
+                    ids.push(i);
+                }
+                (LaunchOutcome::Rejected, LaunchOutcome::Rejected) => {}
+                _ => prop_assert!(false, "twin managers diverged on launch"),
+            }
+        }
+        prop_assert!(!ids.is_empty());
+
+        // Partition the server hosting the first placed VM.
+        let target = part
+            .server_of(VmId(ids[0]))
+            .expect("first placed VM is running");
+        prop_assert!(part.partition_server(SimTime::from_secs(10), target));
+
+        // Exits: autonomous behind the partition, observed on the oracle.
+        let mut t = 20u64;
+        for id in ids.clone() {
+            let vm = VmId(id);
+            if part.partitioned_host(vm).is_some() && rng.chance(0.5) {
+                let now = SimTime::from_secs(t);
+                prop_assert!(part.autonomous_exit(now, vm));
+                prop_assert!(oracle.exit(now, vm).is_some());
+                t += 7;
+            }
+        }
+
+        // Optionally the whole server dies (and reboots) unobserved.
+        if crash {
+            let now = SimTime::from_secs(t);
+            let lost_part = part.autonomous_crash(now, target);
+            let f = oracle.fail_server(now, target).expect("oracle sees it up");
+            let mut lost_oracle: Vec<VmId> =
+                f.lost_high.iter().chain(&f.lost_low).copied().collect();
+            lost_oracle.sort_by_key(|v| v.0);
+            prop_assert_eq!(lost_part, lost_oracle);
+            let later = SimTime::from_secs(t + 30);
+            prop_assert!(part.autonomous_restart(later, target));
+            prop_assert!(oracle.recover_server(later, target));
+        }
+
+        // Heal: one anti-entropy pass must close the gap entirely.
+        part.heal_server(SimTime::from_secs(t + 60), target)
+            .expect("was partitioned");
+        part.assert_consistent();
+        oracle.assert_consistent();
+
+        prop_assert_eq!(part.running_vms(), oracle.running_vms());
+        for id in &ids {
+            prop_assert_eq!(part.is_running(VmId(*id)), oracle.is_running(VmId(*id)));
+        }
+        for (a, b) in part.servers().iter().zip(oracle.servers()) {
+            prop_assert!(
+                a.aggregates().approx_eq(&b.aggregates()),
+                "server {:?} aggregates diverged after reconcile",
+                a.id()
+            );
+            prop_assert_eq!(a.is_up(), b.is_up());
+        }
+        prop_assert_eq!(part.reachability(target), oracle.reachability(target));
+        prop_assert_eq!(part.stats().preempted, oracle.stats().preempted);
+        prop_assert_eq!(part.stats().server_crashes, oracle.stats().server_crashes);
+        prop_assert_eq!(
+            part.observability().metrics.count("cluster.exits"),
+            oracle.observability().metrics.count("cluster.exits")
+        );
+    }
+
+    /// An empty partition window — open, nothing happens, heal — is
+    /// state-neutral: zero divergence, nothing lost, and every server's
+    /// aggregates and the lifecycle view exactly as before.
+    #[test]
+    fn empty_partition_window_is_state_neutral(
+        seed in any::<u64>(),
+        n_vms in 1usize..6,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut m = small_cluster(3);
+        let mut placed = Vec::new();
+        for i in 0..n_vms as u64 {
+            let req = request(i, rng.uniform_range(0.25, 1.0), rng.chance(0.7));
+            if let LaunchOutcome::Placed { .. } = m.launch(SimTime::ZERO, &req) {
+                placed.push(VmId(i));
+            }
+        }
+        // An empty cluster always admits the first request.
+        prop_assert!(!placed.is_empty());
+        let target = m.server_of(placed[0]).expect("placed VM runs");
+        let before: Vec<_> = m.servers().iter().map(|s| s.aggregates()).collect();
+        let running = m.running_vms();
+
+        prop_assert!(m.partition_server(SimTime::from_secs(10), target));
+        let out = m
+            .heal_server(SimTime::from_secs(20), target)
+            .expect("was partitioned");
+
+        prop_assert_eq!(out.divergence, 0);
+        prop_assert!(out.exited.is_empty());
+        prop_assert!(out.oom_killed.is_empty());
+        prop_assert!(out.lost_high.is_empty());
+        prop_assert!(out.lost_low.is_empty());
+        prop_assert!(!out.crashed);
+        prop_assert_eq!(m.running_vms(), running);
+        prop_assert_eq!(m.reachability(target), Reachability::Up);
+        for (s, b) in m.servers().iter().zip(&before) {
+            prop_assert!(
+                s.aggregates().approx_eq(b),
+                "empty window drifted server {:?}",
+                s.id()
+            );
+        }
+        m.assert_consistent();
+    }
+}

@@ -34,7 +34,22 @@ pub struct RetryPolicy {
     pub backoff: SimDuration,
     /// Growth factor applied to the wait between successive retries.
     pub multiplier: f64,
+    /// Backoff jitter fraction in `[0, 1]`: each wait is scaled by a
+    /// deterministic factor in `[1 − jitter, 1 + jitter]`, hashed from
+    /// `(jitter_seed, entity, attempt)` — so a fleet of VMs retrying the
+    /// same failure desynchronizes instead of stampeding in lockstep.
+    /// `0.0` (the default) disables jitter entirely: no hash is drawn
+    /// and the wait sequence is byte-identical to the pre-jitter policy.
+    pub jitter: f64,
+    /// Seed for the jitter hash.
+    pub jitter_seed: u64,
+    /// Identity of the retrying entity (e.g. the VM id), so co-located
+    /// retriers draw different factors from the same seed.
+    pub entity: u64,
 }
+
+/// Domain salt for backoff-jitter draws ("retry_ji").
+const SALT_RETRY_JITTER: u64 = 0x7265_7472_795f_6a69;
 
 impl RetryPolicy {
     /// No retries: each layer is asked exactly once (the pre-fault-model
@@ -43,6 +58,9 @@ impl RetryPolicy {
         max_attempts: 1,
         backoff: SimDuration::ZERO,
         multiplier: 2.0,
+        jitter: 0.0,
+        jitter_seed: 0,
+        entity: 0,
     };
 
     /// `n` total attempts with the given initial backoff, doubling.
@@ -51,14 +69,48 @@ impl RetryPolicy {
             max_attempts: n,
             backoff,
             multiplier: 2.0,
+            jitter: 0.0,
+            jitter_seed: 0,
+            entity: 0,
         }
     }
 
+    /// Enables deterministic backoff jitter: waits scale by a factor in
+    /// `[1 − frac, 1 + frac]` hashed from `(seed, entity, attempt)`.
+    pub const fn with_jitter(mut self, frac: f64, seed: u64) -> RetryPolicy {
+        self.jitter = frac;
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Stamps the retrying entity's identity (e.g. the VM id) so its
+    /// jitter draws are independent of every other retrier's.
+    pub const fn for_entity(mut self, entity: u64) -> RetryPolicy {
+        self.entity = entity;
+        self
+    }
+
     /// The wait before the retry following `completed` attempts:
-    /// `backoff × multiplier^(completed − 1)`.
+    /// `backoff × multiplier^(completed − 1)`, jitter-scaled when
+    /// enabled. With `jitter == 0` no hash is drawn and the result is
+    /// exactly the un-jittered wait.
     fn wait_after(&self, completed: u32) -> SimDuration {
-        self.backoff
-            .mul_f64(self.multiplier.powi(completed.saturating_sub(1) as i32))
+        let base = self
+            .backoff
+            .mul_f64(self.multiplier.powi(completed.saturating_sub(1) as i32));
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        let bits = simkit::fault::decide(
+            self.jitter_seed,
+            SALT_RETRY_JITTER,
+            self.entity,
+            completed as u64,
+        );
+        // 53 uniform bits → u in [0, 1) → factor in [1 − j, 1 + j).
+        let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 + self.jitter.min(1.0) * (2.0 * u - 1.0);
+        base.mul_f64(factor.max(0.0))
     }
 }
 
@@ -978,6 +1030,38 @@ mod tests {
         assert_eq!(out.os.attempts, 1, "backoff would blow the deadline");
         assert!(out.met_target(), "hypervisor picks up the slack");
         assert_eq!(out.escalations, 1);
+    }
+
+    #[test]
+    fn zero_jitter_waits_are_byte_identical() {
+        // A zero jitter fraction must not change a single wait, no
+        // matter how the seed/entity knobs are set: the jittered policy
+        // is strictly opt-in.
+        let plain = RetryPolicy::attempts(5, SimDuration::from_millis(100));
+        let knobbed = plain.with_jitter(0.0, 99).for_entity(42);
+        for completed in 1..6 {
+            assert_eq!(plain.wait_after(completed), knobbed.wait_after(completed));
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_deterministic_and_per_entity() {
+        let base = RetryPolicy::attempts(6, SimDuration::from_millis(100));
+        let a = base.with_jitter(0.5, 7).for_entity(3);
+        let b = base.with_jitter(0.5, 7).for_entity(4);
+        let mut diverged = false;
+        for completed in 1..6 {
+            let plain = base.wait_after(completed).as_secs_f64();
+            let wa = a.wait_after(completed).as_secs_f64();
+            // Factor stays inside [1 − j, 1 + j].
+            assert!(wa >= plain * 0.5 - 1e-9 && wa <= plain * 1.5 + 1e-9);
+            // Same policy, same attempt → same wait.
+            assert_eq!(a.wait_after(completed), a.wait_after(completed));
+            if a.wait_after(completed) != b.wait_after(completed) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different entities must draw different factors");
     }
 
     #[test]

@@ -135,6 +135,12 @@ pub struct PhysicalServer {
     /// Whether the machine is powered on. A crashed server holds no VMs
     /// and accepts no placements until it recovers.
     up: bool,
+    /// Whether the cluster manager can reach the machine. A partitioned
+    /// server is still powered on — its VMs keep running and its local
+    /// controller keeps acting — but the manager must not place onto it,
+    /// so placement treats `up && !connected` like down while capacity
+    /// accounting does not.
+    connected: bool,
     /// Capacity held for in-flight migrations: subtracted from `free()`
     /// so placement cannot hand the same headroom out twice while a
     /// pre-copy is running. Zero on servers with no inbound migration,
@@ -168,6 +174,7 @@ impl PhysicalServer {
             vms: BTreeMap::new(),
             agg: ServerAggregates::default(),
             up: true,
+            connected: true,
             reserved: ResourceVector::ZERO,
             version: 0,
         }
@@ -186,6 +193,29 @@ impl PhysicalServer {
             self.version += 1;
         }
         self.up = up;
+    }
+
+    /// Whether the cluster manager can reach this machine.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Marks the manager↔server link partitioned (`false`) or healed
+    /// (`true`). Unlike [`set_up`](Self::set_up), VMs stay put — the
+    /// machine keeps running under its local controller.
+    pub fn set_connected(&mut self, connected: bool) {
+        if self.connected != connected {
+            self.version += 1;
+        }
+        self.connected = connected;
+    }
+
+    /// Whether the manager may place onto this machine: powered on *and*
+    /// reachable. Every placement path filters on this instead of
+    /// [`is_up`](Self::is_up), so a partitioned server is excluded from
+    /// placement without its capacity being released.
+    pub fn placeable(&self) -> bool {
+        self.up && self.connected
     }
 
     /// The server's mutation counter (see the `version` field). Strictly
@@ -280,7 +310,7 @@ impl PhysicalServer {
 
     /// Whether a VM of the given spec could run here after deflation.
     pub fn fits(&self, spec: &ResourceVector) -> bool {
-        self.up && self.availability().dominates(spec)
+        self.placeable() && self.availability().dominates(spec)
     }
 
     /// Nominal overcommitment: `max(0, Σ spec / capacity − 1)` on the
@@ -1158,6 +1188,30 @@ mod tests {
         s.reserve(&vm_spec());
         s.clear_reservations();
         assert!(s.reserved().is_zero());
+    }
+
+    #[test]
+    fn disconnected_server_keeps_vms_but_leaves_placement() {
+        let mut s = server_with_low_vms(2);
+        assert!(s.placeable());
+        let committed = s.committed();
+        let v0 = s.version();
+        s.set_connected(false);
+        assert!(s.version() > v0, "set_connected must bump the version");
+        assert!(s.is_up(), "partitioned is not down");
+        assert!(!s.is_connected());
+        assert!(!s.placeable());
+        assert!(!s.fits(&vm_spec()));
+        // Capacity is NOT released: the VMs are still running.
+        assert_eq!(s.committed(), committed);
+        assert_eq!(s.vm_count(), 2);
+        // Healing restores placement eligibility; re-setting the same
+        // state is version-stable.
+        s.set_connected(true);
+        let v1 = s.version();
+        s.set_connected(true);
+        assert_eq!(s.version(), v1);
+        assert!(s.fits(&vm_spec()));
     }
 
     #[test]

@@ -226,6 +226,17 @@ impl Vm {
             }
         }
         let target = target.min(&cap);
+        // Backoff jitter draws are per-VM: stamp this VM's identity on a
+        // local copy of the config so co-located VMs desynchronize. With
+        // jitter off the config is passed through untouched.
+        let mut cfg = cfg;
+        let stamped;
+        if cfg.retry.jitter > 0.0 {
+            let mut c = *cfg;
+            c.retry = c.retry.for_entity(self.id.0);
+            stamped = c;
+            cfg = &stamped;
+        }
         cascade::deflate_vm(
             now,
             &target,

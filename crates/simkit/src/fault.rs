@@ -33,6 +33,7 @@ const SALT_DELAY_SPIKE: u64 = 0x6465_6c61_795f_7370; // "delay_sp"
 const SALT_HOTPLUG: u64 = 0x686f_7470_6c75_6721; // "hotplug!"
 const SALT_VICTIM: u64 = 0x7669_6374_696d_2121; // "victim!!"
 const SALT_AGENT: u64 = 0x6167_656e_745f_7570; // "agent_up"
+const SALT_PARTITION: u64 = 0x7061_7274_6974_696e; // "partitin"
 
 /// splitmix64 finalizer — the same mixer `SimRng` seeds through — used as
 /// a stateless hash so fault decisions are order-independent.
@@ -64,6 +65,48 @@ pub fn decide_chance(seed: u64, salt: u64, a: u64, b: u64, p: f64) -> bool {
     }
     // Compare against p · 2⁶⁴ without overflowing at p = 1.
     (decide(seed, salt, a, b) as f64) < p * (u64::MAX as f64)
+}
+
+/// Network partitions between the cluster manager and individual
+/// servers: reachable-but-disconnected windows during which the manager
+/// can neither command nor observe the server, while the server itself
+/// keeps running. Decisions follow the stateless discipline: whether a
+/// partition *starts* at bucket `b` for server `s` is a pure function of
+/// `(seed, SALT_PARTITION, s, b)`, so windows are independent of query
+/// order and of every other fault domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    /// Probability that any given (server, time-bucket) starts a
+    /// partition window. 0 disables the domain entirely.
+    pub prob: f64,
+    /// Width of the decision bucket: each server rolls one start chance
+    /// per bucket.
+    pub bucket: SimDuration,
+    /// How long a partition lasts once it starts. Overlapping windows on
+    /// the same server merge.
+    pub duration: SimDuration,
+}
+
+impl Default for PartitionPlan {
+    fn default() -> Self {
+        PartitionPlan::none()
+    }
+}
+
+impl PartitionPlan {
+    /// The empty plan: no partitions, no draws.
+    pub fn none() -> PartitionPlan {
+        PartitionPlan {
+            prob: 0.0,
+            bucket: SimDuration::from_mins(30),
+            duration: SimDuration::from_mins(10),
+        }
+    }
+
+    /// `true` when no partition can ever open.
+    pub fn is_none(&self) -> bool {
+        self.prob <= 0.0 || self.duration.is_zero() || self.bucket.is_zero()
+    }
 }
 
 /// A declarative description of the faults to inject into a simulation.
@@ -109,6 +152,9 @@ pub struct FaultPlan {
     /// [`is_none`](Self::is_none): a warning with no crashes still
     /// injects nothing.
     pub crash_warning: SimDuration,
+    /// Manager↔server network partitions. The empty plan
+    /// ([`PartitionPlan::none`]) opens no windows and draws nothing.
+    pub partitions: PartitionPlan,
 }
 
 impl Default for FaultPlan {
@@ -134,6 +180,7 @@ impl FaultPlan {
             server_restart: SimDuration::from_mins(10),
             vm_restart: SimDuration::from_secs(40),
             crash_warning: SimDuration::ZERO,
+            partitions: PartitionPlan::none(),
         }
     }
 
@@ -163,6 +210,7 @@ impl FaultPlan {
             && self.hotplug_stall_prob <= 0.0
             && self.server_crash_rate_per_hour <= 0.0
             && self.scheduled_server_crashes.is_empty()
+            && self.partitions.is_none()
     }
 
     /// Scales every probabilistic knob by `k` (durations and scripted
@@ -175,6 +223,10 @@ impl FaultPlan {
             delay_spike_prob: (self.delay_spike_prob * k).min(1.0),
             hotplug_stall_prob: (self.hotplug_stall_prob * k).min(1.0),
             server_crash_rate_per_hour: self.server_crash_rate_per_hour * k,
+            partitions: PartitionPlan {
+                prob: (self.partitions.prob * k).min(1.0),
+                ..self.partitions.clone()
+            },
             ..self.clone()
         }
     }
@@ -346,6 +398,39 @@ impl FaultInjector {
         assert!(n_up > 0, "crash_victim requires a live server");
         (decide(self.plan.seed, SALT_VICTIM, k.wrapping_add(1), 0) % n_up as u64) as usize
     }
+
+    /// All manager↔server partition windows for `server` within
+    /// `[0, horizon)`, as half-open `[start, end)` intervals sorted
+    /// ascending with overlapping windows merged. Stateless: each
+    /// (server, bucket) start decision is a pure function of
+    /// `(seed, SALT_PARTITION, server, bucket)`, so one server's windows
+    /// never depend on another's. The empty plan returns an empty vector
+    /// without a single hash.
+    pub fn partition_windows(&self, server: u64, horizon: SimTime) -> Vec<(SimTime, SimTime)> {
+        let p = &self.plan.partitions;
+        if p.is_none() {
+            return Vec::new();
+        }
+        let mut windows: Vec<(SimTime, SimTime)> = Vec::new();
+        let mut bucket = 0u64;
+        loop {
+            let start = SimTime::from_micros(bucket.saturating_mul(p.bucket.as_micros()));
+            if start >= horizon {
+                break;
+            }
+            if decide_chance(self.plan.seed, SALT_PARTITION, server, bucket, p.prob) {
+                let end = start.saturating_add(p.duration);
+                match windows.last_mut() {
+                    // Back-to-back or overlapping windows fuse into one
+                    // longer outage.
+                    Some(last) if last.1 >= start => last.1 = last.1.max(end),
+                    _ => windows.push((start, end)),
+                }
+            }
+            bucket += 1;
+        }
+        windows
+    }
 }
 
 #[cfg(test)]
@@ -482,5 +567,74 @@ mod tests {
     fn chance_extremes() {
         assert!(!decide_chance(1, 2, 3, 4, 0.0));
         assert!(decide_chance(1, 2, 3, 4, 1.0));
+    }
+
+    #[test]
+    fn empty_partition_plan_opens_nothing() {
+        assert!(PartitionPlan::none().is_none());
+        let inj = FaultInjector::new(FaultPlan::none());
+        for s in 0..50 {
+            assert!(inj
+                .partition_windows(s, SimTime::from_secs(1_000_000))
+                .is_empty());
+        }
+        // A partition plan makes the whole fault plan non-empty.
+        let mut p = FaultPlan::none();
+        p.partitions = PartitionPlan {
+            prob: 0.5,
+            ..PartitionPlan::none()
+        };
+        assert!(!p.is_none());
+        // …and degenerate plans (zero duration or bucket) stay empty.
+        p.partitions.duration = SimDuration::ZERO;
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn partition_windows_are_per_server_deterministic_and_merged() {
+        let mut p = plan();
+        p.partitions = PartitionPlan {
+            prob: 0.4,
+            bucket: SimDuration::from_mins(30),
+            duration: SimDuration::from_mins(45),
+        };
+        let inj = FaultInjector::new(p.clone());
+        let horizon = SimTime::ZERO + SimDuration::from_hours(24);
+        let w3 = inj.partition_windows(3, horizon);
+        assert!(!w3.is_empty(), "40% per half-hour must open windows");
+        // Deterministic and independent of other servers' queries.
+        let other = FaultInjector::new(p);
+        for s in [9, 0, 3, 7] {
+            assert_eq!(
+                inj.partition_windows(s, horizon),
+                other.partition_windows(s, horizon)
+            );
+        }
+        // Sorted, non-overlapping after merging, and the 45-min duration
+        // over 30-min buckets guarantees at least one fused window is
+        // longer than a single duration somewhere across servers.
+        for w in &w3 {
+            assert!(w.0 < w.1);
+        }
+        assert!(w3.windows(2).all(|w| w[0].1 < w[1].0), "disjoint windows");
+        let any_fused = (0..64).any(|s| {
+            inj.partition_windows(s, horizon)
+                .iter()
+                .any(|(a, b)| *b - *a > SimDuration::from_mins(45))
+        });
+        assert!(any_fused, "overlapping windows must merge");
+        // Different servers see different window sets.
+        let distinct = (0..16).any(|s| inj.partition_windows(s, horizon) != w3);
+        assert!(distinct, "partition draws must be per-server");
+    }
+
+    #[test]
+    fn scaled_plan_moves_partition_prob() {
+        let mut p = plan();
+        p.partitions.prob = 0.3;
+        let scaled = p.scaled(2.0);
+        assert!((scaled.partitions.prob - 0.6).abs() < 1e-12);
+        assert_eq!(scaled.partitions.bucket, p.partitions.bucket);
+        assert!(p.scaled(0.0).partitions.is_none());
     }
 }

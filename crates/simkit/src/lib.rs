@@ -52,7 +52,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{run, run_until, EventQueue, Scheduler};
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{FaultInjector, FaultPlan, PartitionPlan};
 pub use hash::SeqHash;
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram, MetricSet, MetricsRegistry, TimeSeries, TimeWeightedGauge};
