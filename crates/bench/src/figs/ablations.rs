@@ -282,6 +282,7 @@ pub fn heterogeneous_placement_with(n_servers: usize, horizon: simkit::SimDurati
         .collect();
     let results = crate::sweep::parallel_map(grid.clone(), |(skew, policy)| {
         let cfg = ClusterSimConfig {
+            sharding: Default::default(),
             manager: ClusterManagerConfig {
                 n_servers,
                 placement: policy,

@@ -177,6 +177,7 @@ pub fn fig8c_with(cfg: &Fig8cConfig) -> Table {
         .iter()
         .flat_map(|&rate| {
             [true, false].map(|deflation| ClusterSimConfig {
+                sharding: Default::default(),
                 manager: ClusterManagerConfig {
                     n_servers: cfg.n_servers,
                     deflation_enabled: deflation,
@@ -232,6 +233,7 @@ pub fn fig8d_with(n_servers: usize, horizon: SimDuration, rate: f64) -> Table {
     let jobs: Vec<ClusterSimConfig> = PlacementPolicy::ALL
         .into_iter()
         .map(|policy| ClusterSimConfig {
+            sharding: Default::default(),
             manager: ClusterManagerConfig {
                 n_servers,
                 placement: policy,

@@ -65,6 +65,7 @@ fn balanced_capacity() -> ResourceVector {
 
 fn sim_config(cfg: &FigDistressConfig, min_size_fraction: f64, guarded: bool) -> ClusterSimConfig {
     ClusterSimConfig {
+        sharding: Default::default(),
         manager: ClusterManagerConfig {
             n_servers: cfg.n_servers,
             server_capacity: balanced_capacity(),

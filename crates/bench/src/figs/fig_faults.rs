@@ -58,6 +58,7 @@ fn sim_config(cfg: &FigFaultsConfig, fault_scale: f64, deflation: bool) -> Clust
             .push(simkit::SimTime::ZERO + cfg.horizon.mul_f64(1.0 / 3.0));
     }
     ClusterSimConfig {
+        sharding: Default::default(),
         manager: ClusterManagerConfig {
             n_servers: cfg.n_servers,
             deflation_enabled: deflation,

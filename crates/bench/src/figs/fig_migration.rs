@@ -78,6 +78,7 @@ fn sim_config(cfg: &FigMigrationConfig, min_size_fraction: f64, arm: Arm) -> Clu
         Arm::Combined => (DistressConfig::guarded(), MigrationPolicy::enabled()),
     };
     ClusterSimConfig {
+        sharding: Default::default(),
         manager: ClusterManagerConfig {
             n_servers: cfg.n_servers,
             server_capacity: balanced_capacity(),

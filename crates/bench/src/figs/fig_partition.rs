@@ -78,6 +78,7 @@ impl Default for FigPartitionConfig {
 
 fn sim_config(cfg: &FigPartitionConfig, prob: f64, duration: SimDuration) -> ClusterSimConfig {
     ClusterSimConfig {
+        sharding: Default::default(),
         manager: ClusterManagerConfig {
             n_servers: cfg.n_servers,
             faults: FaultPlan {

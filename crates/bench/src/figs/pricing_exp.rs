@@ -42,6 +42,7 @@ pub fn run_with(n_servers: usize, horizon: SimDuration) -> Table {
         let mut results = Vec::new();
         for deflation in [false, true] {
             let cfg = ClusterSimConfig {
+                sharding: Default::default(),
                 manager: ClusterManagerConfig {
                     n_servers,
                     deflation_enabled: deflation,

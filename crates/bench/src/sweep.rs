@@ -4,13 +4,13 @@
 //! modes, placement policies, heterogeneity levels), and each cell is a
 //! full trace-driven simulation — embarrassingly parallel and seeded, so
 //! results are deterministic regardless of execution order.
-//! [`parallel_map`] fans the cells out over `std::thread::scope` workers
-//! (one per available core) and reassembles the results **by cell
-//! index**, so the output order — and therefore every downstream table —
-//! is identical to the sequential run's.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! [`parallel_map`] fans the cells out over the shared
+//! [`simkit::parallel_map_workers`] scoped pool (one worker per
+//! available core) and reassembles the results **by cell index**, so the
+//! output order — and therefore every downstream table — is identical to
+//! the sequential run's. The pool itself lives in `simkit` because the
+//! cellular sharded simulator drives the same idiom once per epoch
+//! window.
 
 /// Applies `f` to every item on a scoped worker pool and returns the
 /// results in input order.
@@ -25,45 +25,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if workers <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let f = &f;
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("sweep slot poisoned")
-                    .take()
-                    .expect("each slot is claimed exactly once");
-                let out = f(item);
-                *results[i].lock().expect("sweep result poisoned") = Some(out);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("sweep result poisoned")
-                .expect("every slot was computed")
-        })
-        .collect()
+    simkit::parallel_map_workers(0, items, f)
 }
 
 #[cfg(test)]

@@ -40,7 +40,9 @@ pub use placement::{AvailabilityMode, PlacementEngine, PlacementPolicy};
 pub use placement_index::PlacementIndex;
 pub use predictor::{DemandPredictor, Ewma};
 pub use pricing::{revenue, Rates, Revenue, TransientPricing};
-pub use simulate::{run_cluster_replay, run_cluster_sim, ClusterSimConfig, ClusterSimResult};
+pub use simulate::{
+    run_cluster_replay, run_cluster_sim, ClusterSimConfig, ClusterSimResult, ShardingConfig,
+};
 pub use traces::{
     from_csv, to_csv, InstanceType, TraceConfig, TraceGenerator, TraceParseError, VmRequest,
 };

@@ -162,6 +162,25 @@ impl ClusterStats {
             self.highpri_alloc_latency_secs / self.highpri_launches as f64
         }
     }
+
+    /// Folds another manager's counters into this one. The cellular
+    /// simulator merges per-cell stats with this; every field is a sum,
+    /// so merged cellular totals read exactly like monolithic ones.
+    pub fn absorb(&mut self, o: &ClusterStats) {
+        self.launched += o.launched;
+        self.launched_low += o.launched_low;
+        self.rejected += o.rejected;
+        self.preempted += o.preempted;
+        self.deflations += o.deflations;
+        self.reinflations += o.reinflations;
+        self.highpri_alloc_latency_secs += o.highpri_alloc_latency_secs;
+        self.highpri_launches += o.highpri_launches;
+        self.unresponsive_vms += o.unresponsive_vms;
+        self.server_crashes += o.server_crashes;
+        self.oom_kills += o.oom_kills;
+        self.emergency_reinflations += o.emergency_reinflations;
+        self.migrations += o.migrations;
+    }
 }
 
 /// The result of a launch request.
@@ -300,6 +319,13 @@ pub struct ClusterManager {
     /// divergence log. Empty (and never touched) while no partition is
     /// open, so partition-free runs stay byte-identical.
     partitions: HashMap<usize, PartitionSession>,
+    /// Reusable id buffer for per-launch fault/shield planning — the
+    /// launch hot loop walks a server's low-priority ids on every
+    /// reclaiming placement, so it recycles this instead of allocating.
+    scratch_ids: Vec<VmId>,
+    /// Reusable `(vm, server)` buffer for the distress sampling round's
+    /// deterministic ordering pass (O(running VMs) per round).
+    scratch_sample: Vec<(u64, usize)>,
 }
 
 impl ClusterManager {
@@ -359,6 +385,8 @@ impl ClusterManager {
             pindex,
             reach: vec![Reachability::Up; servers_len],
             partitions: HashMap::new(),
+            scratch_ids: Vec::new(),
+            scratch_sample: Vec::new(),
         }
     }
 
@@ -716,7 +744,10 @@ impl ClusterManager {
             return map;
         }
         let burn = self.cfg.cascade.deadline.unwrap_or(DEFAULT_AGENT_WAIT);
-        for id in self.servers[si].low_priority_ids() {
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        self.servers[si].low_priority_ids_into(&mut ids);
+        for &id in &ids {
             let mut f = VmFaults::default();
             if self.unresponsive.contains(&id) {
                 f.hypervisor_only = true;
@@ -745,6 +776,7 @@ impl ClusterManager {
                 map.insert(id, f);
             }
         }
+        self.scratch_ids = ids;
         map
     }
 
@@ -953,6 +985,35 @@ impl ClusterManager {
 
     /// Handles a VM request: placement, reclamation, admission.
     pub fn launch(&mut self, now: SimTime, req: &VmRequest) -> LaunchOutcome {
+        self.launch_impl(now, req, true)
+    }
+
+    /// [`launch`](Self::launch) that leaves a rejection *uncounted*: the
+    /// cellular simulator's spill protocol probes the home cell and then
+    /// ring neighbors with this, and only charges one `cluster.rejected`
+    /// (via [`reject_spill`](Self::reject_spill)) once every candidate
+    /// cell has refused. State-wise it is identical to `launch` — a
+    /// refusing manager is left exactly as it was (the reclaim session
+    /// rolls back any partial deflation), which is what makes the
+    /// cross-cell message commit-or-rollback safe.
+    pub fn launch_deferred(&mut self, now: SimTime, req: &VmRequest) -> LaunchOutcome {
+        self.launch_impl(now, req, false)
+    }
+
+    /// Charges the final rejection of a request no cell could host:
+    /// counted against this (home) manager so merged cellular stats sum
+    /// exactly like monolithic ones.
+    pub fn reject_spill(&mut self, now: SimTime, id: VmId) {
+        self.stats.rejected += 1;
+        self.obs.metrics.incr("cluster.rejected");
+        if self.cfg.lifecycle_trace {
+            self.obs
+                .trace
+                .record(now, "reject", format!("{id} (no cell fits)"));
+        }
+    }
+
+    fn launch_impl(&mut self, now: SimTime, req: &VmRequest, count_reject: bool) -> LaunchOutcome {
         if !req.low_priority {
             self.predictor.observe(now, req.spec.get(ResourceKind::Cpu));
         }
@@ -971,12 +1032,14 @@ impl ClusterManager {
             chosen = self.place(&req.spec, AvailabilityMode::PreemptionOnly);
         }
         let Some(si) = chosen else {
-            self.stats.rejected += 1;
-            self.obs.metrics.incr("cluster.rejected");
-            if self.cfg.lifecycle_trace {
-                self.obs
-                    .trace
-                    .record(now, "reject", format!("{} (no server fits)", req.id));
+            if count_reject {
+                self.stats.rejected += 1;
+                self.obs.metrics.incr("cluster.rejected");
+                if self.cfg.lifecycle_trace {
+                    self.obs
+                        .trace
+                        .record(now, "reject", format!("{} (no server fits)", req.id));
+                }
             }
             return LaunchOutcome::Rejected;
         };
@@ -990,11 +1053,15 @@ impl ClusterManager {
             // Breaker-open VMs are shielded from further memory
             // deflation; the proportional planner routes their share to
             // healthy donors (they can still be preempted).
-            let shielded: HashSet<VmId> = self.servers[si]
-                .low_priority_ids()
-                .into_iter()
+            let mut ids = std::mem::take(&mut self.scratch_ids);
+            ids.clear();
+            self.servers[si].low_priority_ids_into(&mut ids);
+            let shielded: HashSet<VmId> = ids
+                .iter()
                 .filter(|id| self.distress.get(id).is_some_and(|s| s.open))
+                .copied()
                 .collect();
+            self.scratch_ids = ids;
             controller.make_room_shielded(
                 now,
                 &mut self.servers[si],
@@ -1022,12 +1089,16 @@ impl ClusterManager {
                     .add("cluster.reject_rollback_reinflations", rb.reinflated_vms);
             }
             self.settle(si, &before);
-            self.stats.rejected += 1;
-            self.obs.metrics.incr("cluster.rejected");
-            if self.cfg.lifecycle_trace {
-                self.obs
-                    .trace
-                    .record(now, "reject", format!("{} (reclaim fell short)", req.id));
+            if count_reject {
+                self.stats.rejected += 1;
+                self.obs.metrics.incr("cluster.rejected");
+                if self.cfg.lifecycle_trace {
+                    self.obs.trace.record(
+                        now,
+                        "reject",
+                        format!("{} (reclaim fell short)", req.id),
+                    );
+                }
             }
             self.update_gauges(now);
             return LaunchOutcome::Rejected;
@@ -1266,23 +1337,27 @@ impl ClusterManager {
         let interval_secs = d.sample_interval.as_secs_f64();
         let mut events = Vec::new();
         // Deterministic sample order regardless of hash-map iteration.
-        let mut vms: Vec<(u64, usize)> = self
-            .index
-            .iter()
-            .filter(|(id, si)| {
-                // VMs behind a partition are unobservable: their local
-                // controller samples them autonomously instead.
-                !self.partitions.contains_key(*si)
-                    && self.servers[**si]
-                        .vm(**id)
-                        .is_some_and(|v| v.priority() == VmPriority::Low)
-            })
-            .map(|(id, si)| (id.0, *si))
-            .collect();
+        // The buffer is O(running VMs) and rebuilt every round, so it is
+        // recycled across rounds instead of reallocated.
+        let mut vms = std::mem::take(&mut self.scratch_sample);
+        vms.clear();
+        vms.extend(
+            self.index
+                .iter()
+                .filter(|(id, si)| {
+                    // VMs behind a partition are unobservable: their local
+                    // controller samples them autonomously instead.
+                    !self.partitions.contains_key(*si)
+                        && self.servers[**si]
+                            .vm(**id)
+                            .is_some_and(|v| v.priority() == VmPriority::Low)
+                })
+                .map(|(id, si)| (id.0, *si)),
+        );
         vms.sort_unstable();
         let mut sampled = 0u64;
         let mut distressed = 0u64;
-        for (raw, si) in vms {
+        for &(raw, si) in &vms {
             let id = VmId(raw);
             sampled += 1;
             let classify = |server: &PhysicalServer| {
@@ -1403,6 +1478,8 @@ impl ClusterManager {
                 (distressed as f64 * interval_secs) as u64,
             );
         }
+        vms.clear();
+        self.scratch_sample = vms;
         self.update_gauges(now);
         events
     }

@@ -95,6 +95,7 @@ mod tests {
 
     fn sim(deflation: bool, rate: f64) -> ClusterSimResult {
         run_cluster_sim(&ClusterSimConfig {
+            sharding: Default::default(),
             manager: ClusterManagerConfig {
                 n_servers: 15,
                 deflation_enabled: deflation,

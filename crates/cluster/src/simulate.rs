@@ -6,16 +6,90 @@
 //! the paper's claims that deflation removes the risk of preemption up to
 //! 1.6× cluster utilization and that deflatable VMs mask placement-policy
 //! differences.
+//!
+//! # Cellular sharding
+//!
+//! The fleet can be partitioned into independent **cells** (see
+//! [`ShardingConfig`]): each cell owns its own [`ClusterManager`] —
+//! placement index, distress/breaker state, fault injector — and its own
+//! event queue, wrapped in a [`SimCell`]. A deterministic federation
+//! layer drives the cells in conservative time windows (*epochs*): within
+//! a window every cell advances its sequentially-deterministic event
+//! stream independently (in parallel across worker threads), and at the
+//! window barrier cross-cell traffic — placement *spills* from cells that
+//! could not fit an arrival — is settled in fixed ring order. Because no
+//! cell ever observes another cell's state except at a barrier, the
+//! result is a pure function of the configuration: independent of thread
+//! count, core count, and scheduling interleavings. `cells = 1` takes the
+//! monolithic code path and is byte-identical to the pre-sharding
+//! simulator (pinned by the golden summaries).
 
 use std::collections::HashMap;
 
 use deflate_core::{ServerId, VmId};
 use simkit::{
-    metrics::TimeWeightedGauge, run_until, FaultInjector, Scheduler, SimDuration, SimTime,
+    metrics::TimeWeightedGauge, parallel_map_workers, run_until, FaultInjector, JsonValue,
+    Scheduler, SimDuration, SimTime,
 };
 
+use crate::distress::DistressConfig;
 use crate::manager::{ClusterManager, ClusterManagerConfig, ClusterStats, LaunchOutcome};
+use crate::migration::MigrationPolicy;
 use crate::traces::{TraceConfig, TraceGenerator, VmRequest};
+
+/// Salt for the stateless arrival → home-cell route hash.
+const SALT_ROUTE: u64 = 0x524f_5554_4530;
+/// Salt for deriving per-cell seeds (placement RNG, fault streams).
+const SALT_CELL: u64 = 0x4345_4c4c_5345;
+
+/// How the fleet is split into independently simulated cells.
+///
+/// The default (`cells = 1`) is the monolithic simulator. With more
+/// cells, servers are divided into contiguous shards, arrivals are
+/// routed to a home cell by a stateless hash of the VM id, and the cells
+/// execute in parallel worker threads under a conservative epoch
+/// barrier. Every knob here is *execution* configuration: `threads`
+/// never changes results (tested), and `cells`/`epoch`/`spill_fanout`
+/// change results only in the documented, deterministic ways.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardingConfig {
+    /// Number of cells the fleet is partitioned into. `0` and `1` both
+    /// mean monolithic; values above `n_servers` are clamped.
+    pub cells: usize,
+    /// Worker threads driving cells within an epoch window. `0` means
+    /// one per available core. Results are independent of this value.
+    pub threads: usize,
+    /// Conservative barrier window: the minimum cross-cell latency.
+    /// Cells advance independently inside a window; spills settle at its
+    /// end. Zero falls back to the 60 s default.
+    pub epoch: SimDuration,
+    /// Ring neighbors probed when the home cell rejects an arrival.
+    /// `0` disables spilling (a home-cell reject is final). Bounding the
+    /// fan-out keeps a saturated fleet's per-arrival work at
+    /// `O((1 + fanout) · n/cells)` instead of degrading back to `O(n)`.
+    pub spill_fanout: usize,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        ShardingConfig {
+            cells: 1,
+            threads: 0,
+            epoch: SimDuration::from_secs(60),
+            spill_fanout: 2,
+        }
+    }
+}
+
+impl ShardingConfig {
+    /// Sharding over `n` cells with every other knob at its default.
+    pub fn cells(n: usize) -> Self {
+        ShardingConfig {
+            cells: n,
+            ..ShardingConfig::default()
+        }
+    }
+}
 
 /// Configuration of one cluster simulation run.
 #[derive(Debug, Clone)]
@@ -26,6 +100,8 @@ pub struct ClusterSimConfig {
     pub trace: TraceConfig,
     /// Simulated duration.
     pub horizon: SimDuration,
+    /// Cellular sharding (default: monolithic).
+    pub sharding: ShardingConfig,
 }
 
 impl Default for ClusterSimConfig {
@@ -34,6 +110,7 @@ impl Default for ClusterSimConfig {
             manager: ClusterManagerConfig::default(),
             trace: TraceConfig::default(),
             horizon: SimDuration::from_hours(24),
+            sharding: ShardingConfig::default(),
         }
     }
 }
@@ -41,20 +118,24 @@ impl Default for ClusterSimConfig {
 /// Aggregated results of one run.
 #[derive(Debug, Clone)]
 pub struct ClusterSimResult {
-    /// Manager counters at the end of the run.
+    /// Manager counters at the end of the run (summed over cells).
     pub stats: ClusterStats,
     /// Fraction of admitted low-priority VMs that were later preempted.
     pub preemption_probability: f64,
-    /// Time-weighted mean cluster utilization (committed/capacity).
+    /// Time-weighted mean cluster utilization (committed/capacity);
+    /// capacity-weighted across cells when sharded.
     pub mean_utilization: f64,
     /// Offered load: requested spec-hours (admitted or not) over
     /// capacity-hours, on the dominant CPU dimension.
     pub offered_utilization: f64,
-    /// Time-weighted mean cluster overcommitment (Σspec/capacity − 1).
+    /// Time-weighted mean cluster overcommitment (Σspec/capacity − 1);
+    /// capacity-weighted across cells when sharded.
     pub mean_overcommitment: f64,
-    /// Peak cluster overcommitment.
+    /// Peak cluster overcommitment (max across cells when sharded — a
+    /// cell is the overcommitment domain, so this is exact).
     pub peak_overcommitment: f64,
-    /// Per-server time-weighted mean overcommitment.
+    /// Per-server time-weighted mean overcommitment, concatenated in
+    /// cell order (cell 0's servers first).
     pub server_overcommitment: Vec<f64>,
     /// CPU-hours billed to high-priority (on-demand) VMs.
     pub high_pri_cpu_hours: f64,
@@ -63,7 +144,9 @@ pub struct ClusterSimResult {
     /// Effective CPU-hours of running low-priority VMs (RaaS billing).
     pub low_pri_effective_cpu_hours: f64,
     /// Machine-readable observability report for the run (counters,
-    /// gauges, histograms, span counts) from the manager's registry.
+    /// gauges, histograms, span counts). Monolithic: the manager's
+    /// registry verbatim. Sharded: summed counters plus the per-cell
+    /// reports under `per_cell`.
     pub summary: simkit::JsonValue,
     /// Simulation events processed (arrivals + departures), for the
     /// timing harness's events/sec metric.
@@ -141,13 +224,21 @@ fn relaunch_request(lv: LiveVm, lost_at: SimTime, restart_at: SimTime) -> Option
 /// Runs one trace-driven simulation with a synthetic generator.
 pub fn run_cluster_sim(cfg: &ClusterSimConfig) -> ClusterSimResult {
     let gen = TraceGenerator::new(cfg.trace.clone());
-    run_with_source(cfg, Source::Generator(Box::new(gen)))
+    dispatch(cfg, Source::Generator(Box::new(gen)))
 }
 
 /// Replays an explicit request list (e.g. loaded from a CSV trace via
 /// [`crate::traces::from_csv`]) instead of generating one.
 pub fn run_cluster_replay(cfg: &ClusterSimConfig, requests: Vec<VmRequest>) -> ClusterSimResult {
-    run_with_source(cfg, Source::Replay(requests.into_iter()))
+    dispatch(cfg, Source::Replay(requests.into_iter()))
+}
+
+fn dispatch(cfg: &ClusterSimConfig, source: Source) -> ClusterSimResult {
+    if cfg.sharding.cells > 1 && cfg.manager.n_servers > 1 {
+        run_sharded(cfg, source)
+    } else {
+        run_with_source(cfg, source)
+    }
 }
 
 enum Source {
@@ -164,120 +255,222 @@ impl Source {
     }
 }
 
-fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResult {
-    let mut manager = ClusterManager::new(cfg.manager.clone());
-    let horizon = SimTime::ZERO + cfg.horizon;
+/// One independently simulated cell: a cluster manager (placement
+/// index, distress/breaker state, fault injector) plus its private event
+/// queue and the run-level bookkeeping the monolithic loop used to keep
+/// on the stack. The monolithic simulator is exactly one `SimCell`
+/// driven from `ZERO` to the horizon in a single window; the sharded
+/// simulator drives many of them window by window and settles their
+/// spill outboxes at each barrier.
+struct SimCell {
+    manager: ClusterManager,
+    sched: Scheduler<Ev>,
+    /// Arrival source. `Some` only in monolithic mode, where the next
+    /// arrival is lazily scheduled from inside the `Arrive` handler
+    /// (byte-identical to the pre-sharding event stream). Sharded cells
+    /// have arrivals injected by the epoch driver instead.
+    source: Option<Source>,
+    injector: Option<FaultInjector>,
+    live: HashMap<VmId, LiveVm>,
+    /// VMs that died behind a partition (unobserved crash or autonomous
+    /// OOM kill): the manager has no placement authority over a server
+    /// it cannot reach, so the relaunch decision parks here until the
+    /// heal, alongside the loss instant for restart-latency accounting.
+    limbo: HashMap<VmId, (LiveVm, SimTime)>,
+    /// Crash ordinal → server pinned at drain (warning) time.
+    drained: HashMap<u64, ServerId>,
+    distress: DistressConfig,
+    migration: MigrationPolicy,
+    track_live: bool,
+    horizon: SimTime,
+    /// Whether a home-cell reject defers to the spill protocol instead
+    /// of being final. `false` in monolithic mode — the reject paths are
+    /// then byte-identical to the pre-sharding simulator.
+    spill: bool,
+    /// Arrivals this cell could not fit, awaiting ring settlement at the
+    /// next epoch barrier.
+    outbox: Vec<VmRequest>,
+    offered_cpu_hours: f64,
+    util_gauge: TimeWeightedGauge,
+    over_gauge: TimeWeightedGauge,
+    server_gauges: Vec<TimeWeightedGauge>,
+    high_cpu: TimeWeightedGauge,
+    low_spec_cpu: TimeWeightedGauge,
+    low_eff_cpu: TimeWeightedGauge,
+    events: u64,
+    /// Reusable buffer for up-server crash-victim picks.
+    ups_scratch: Vec<usize>,
+}
 
-    let mut sched: Scheduler<Ev> = Scheduler::new();
-    if let Some(first) = source.next_request() {
-        sched.at(first.arrival, Ev::Arrive(Box::new(first)));
-    }
+impl SimCell {
+    fn new(
+        mcfg: ClusterManagerConfig,
+        horizon: SimTime,
+        mut source: Option<Source>,
+        spill: bool,
+    ) -> SimCell {
+        let distress = mcfg.distress;
+        let migration = mcfg.migration;
+        let faults = mcfg.faults.clone();
+        let n_servers = mcfg.n_servers;
+        let manager = ClusterManager::new(mcfg);
 
-    // Fault plumbing: the run's server-crash instants are a pure function
-    // of the plan, so they are scheduled up front; `live` tracks running
-    // VMs so a crash can relaunch its high-priority losses. All of this
-    // is absent under the empty plan — the fault-free event stream is
-    // byte-identical to one without fault plumbing.
-    let injector = if cfg.manager.faults.is_none() {
-        None
-    } else {
-        Some(FaultInjector::new(cfg.manager.faults.clone()))
-    };
-    let mut live: HashMap<VmId, LiveVm> = HashMap::new();
-    if let Some(inj) = &injector {
-        for (k, t) in inj.server_crash_times(horizon).into_iter().enumerate() {
-            sched.at(t, Ev::ServerCrash(k as u64));
-        }
-        // Partition windows are a pure function of the plan, scheduled up
-        // front like crashes. Ends clamp to the horizon so every window
-        // heals (and reconciles) before the run's books close. The empty
-        // partition domain schedules nothing.
-        if !inj.plan().partitions.is_none() {
-            for s in 0..cfg.manager.n_servers {
-                for (start, end) in inj.partition_windows(s as u64, horizon) {
-                    sched.at(start, Ev::PartitionStart(ServerId(s as u64)));
-                    sched.at(end.min(horizon), Ev::PartitionEnd(ServerId(s as u64)));
-                }
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        if let Some(src) = &mut source {
+            if let Some(first) = src.next_request() {
+                sched.at(first.arrival, Ev::Arrive(Box::new(first)));
             }
         }
-    }
-    // VMs that died behind a partition (unobserved crash or autonomous
-    // OOM kill): the manager has no placement authority over a server it
-    // cannot reach, so the relaunch decision parks here until the heal,
-    // alongside the loss instant for restart-latency accounting.
-    let mut limbo: HashMap<VmId, (LiveVm, SimTime)> = HashMap::new();
-    // Distress plumbing: a periodic sampling event drives the guest
-    // OOM/thrash loop. Absent when disabled — the event stream (and the
-    // run summary) is byte-identical to a build without it.
-    let distress = cfg.manager.distress;
-    let track_live = injector.is_some() || !distress.is_none();
-    if !distress.is_none() {
-        let first = SimTime::ZERO + distress.sample_interval;
-        if first <= horizon {
-            sched.at(first, Ev::DistressSample);
-        }
-    }
-    // Migration plumbing: scripted crashes with advance warning get a
-    // drain event `crash_warning` ahead of each crash — the drained
-    // victim is pinned so the crash lands on the evacuated server — and
-    // a periodic defragmentation pass runs when configured. All absent
-    // when migration is off: the event stream stays byte-identical to a
-    // build without migration plumbing.
-    let migration = cfg.manager.migration;
-    let mut drained: HashMap<u64, ServerId> = HashMap::new();
-    if !migration.is_none() {
+
+        // Fault plumbing: the run's server-crash instants are a pure
+        // function of the plan, so they are scheduled up front; `live`
+        // tracks running VMs so a crash can relaunch its high-priority
+        // losses. All of this is absent under the empty plan — the
+        // fault-free event stream is byte-identical to one without fault
+        // plumbing.
+        let injector = if faults.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(faults))
+        };
         if let Some(inj) = &injector {
-            let warn = inj.plan().crash_warning;
-            if !warn.is_zero() {
-                for (k, t) in inj.server_crash_times(horizon).into_iter().enumerate() {
-                    let drain_at = if t >= SimTime::ZERO + warn {
-                        t - warn
-                    } else {
-                        SimTime::ZERO
-                    };
-                    sched.at(drain_at, Ev::ServerDrain(k as u64));
+            for (k, t) in inj.server_crash_times(horizon).into_iter().enumerate() {
+                sched.at(t, Ev::ServerCrash(k as u64));
+            }
+            // Partition windows are a pure function of the plan, scheduled
+            // up front like crashes. Ends clamp to the horizon so every
+            // window heals (and reconciles) before the run's books close.
+            // The empty partition domain schedules nothing.
+            if !inj.plan().partitions.is_none() {
+                for s in 0..n_servers {
+                    for (start, end) in inj.partition_windows(s as u64, horizon) {
+                        sched.at(start, Ev::PartitionStart(ServerId(s as u64)));
+                        sched.at(end.min(horizon), Ev::PartitionEnd(ServerId(s as u64)));
+                    }
                 }
             }
         }
-        if !migration.defrag_interval.is_zero() {
-            let first = SimTime::ZERO + migration.defrag_interval;
+        // Distress plumbing: a periodic sampling event drives the guest
+        // OOM/thrash loop. Absent when disabled — the event stream (and
+        // the run summary) is byte-identical to a build without it.
+        let track_live = injector.is_some() || !distress.is_none();
+        if !distress.is_none() {
+            let first = SimTime::ZERO + distress.sample_interval;
             if first <= horizon {
-                sched.at(first, Ev::Defrag);
+                sched.at(first, Ev::DistressSample);
             }
+        }
+        // Migration plumbing: scripted crashes with advance warning get a
+        // drain event `crash_warning` ahead of each crash — the drained
+        // victim is pinned so the crash lands on the evacuated server —
+        // and a periodic defragmentation pass runs when configured. All
+        // absent when migration is off: the event stream stays
+        // byte-identical to a build without migration plumbing.
+        if !migration.is_none() {
+            if let Some(inj) = &injector {
+                let warn = inj.plan().crash_warning;
+                if !warn.is_zero() {
+                    for (k, t) in inj.server_crash_times(horizon).into_iter().enumerate() {
+                        let drain_at = if t >= SimTime::ZERO + warn {
+                            t - warn
+                        } else {
+                            SimTime::ZERO
+                        };
+                        sched.at(drain_at, Ev::ServerDrain(k as u64));
+                    }
+                }
+            }
+            if !migration.defrag_interval.is_zero() {
+                let first = SimTime::ZERO + migration.defrag_interval;
+                if first <= horizon {
+                    sched.at(first, Ev::Defrag);
+                }
+            }
+        }
+
+        SimCell {
+            manager,
+            sched,
+            source,
+            injector,
+            live: HashMap::new(),
+            limbo: HashMap::new(),
+            drained: HashMap::new(),
+            distress,
+            migration,
+            track_live,
+            horizon,
+            spill,
+            outbox: Vec::new(),
+            offered_cpu_hours: 0.0,
+            util_gauge: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
+            over_gauge: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
+            server_gauges: (0..n_servers)
+                .map(|_| TimeWeightedGauge::new(SimTime::ZERO, 0.0))
+                .collect(),
+            high_cpu: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
+            low_spec_cpu: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
+            low_eff_cpu: TimeWeightedGauge::new(SimTime::ZERO, 0.0),
+            events: 0,
+            ups_scratch: Vec::new(),
         }
     }
 
-    let mut offered_cpu_hours = 0.0f64;
-    let mut util_gauge = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
-    let mut over_gauge = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
-    let mut server_gauges: Vec<TimeWeightedGauge> = (0..cfg.manager.n_servers)
-        .map(|_| TimeWeightedGauge::new(SimTime::ZERO, 0.0))
-        .collect();
-    let mut high_cpu = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
-    let mut low_spec_cpu = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
-    let mut low_eff_cpu = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
-    let mut events: u64 = 0;
+    /// Injects one routed arrival into this cell's event queue (sharded
+    /// mode; the epoch driver calls this for arrivals inside the next
+    /// window).
+    fn push_arrival(&mut self, req: VmRequest) {
+        self.sched.at(req.arrival, Ev::Arrive(Box::new(req)));
+    }
 
-    run_until(&mut sched, horizon, |sched, now, ev| {
-        events += 1;
+    /// Drives this cell's event stream up to `until` (inclusive) and
+    /// advances its clock there. Events beyond the bound stay queued for
+    /// the next window.
+    fn run_window(&mut self, until: SimTime) {
+        let mut sched = std::mem::replace(&mut self.sched, Scheduler::new());
+        run_until(&mut sched, until, |sched, now, ev| {
+            self.handle(sched, now, ev);
+        });
+        self.sched = sched;
+    }
+
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, ev: Ev) {
+        self.events += 1;
         // The server mutated by this event, if any: only its gauge needs
         // refreshing (time-weighted gauges hold their last value over
         // elapsed intervals, so untouched servers need no update).
-        let touched: Option<deflate_core::ServerId> = match ev {
+        let touched = self.dispatch_event(sched, now, ev);
+        self.refresh_gauges(now, touched);
+    }
+
+    fn dispatch_event(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        ev: Ev,
+    ) -> Option<ServerId> {
+        match ev {
             Ev::Arrive(req) => {
                 // Offered load bills each request only for the part of
                 // its lifetime that falls inside the measured horizon —
                 // a VM arriving near the end must not contribute hours
                 // the run never observes.
-                let billed_end = (req.arrival + req.lifetime).min(horizon);
+                let billed_end = (req.arrival + req.lifetime).min(self.horizon);
                 let billed_secs = (billed_end - req.arrival).as_secs_f64();
-                offered_cpu_hours +=
+                self.offered_cpu_hours +=
                     req.spec.get(deflate_core::ResourceKind::Cpu) * billed_secs / 3_600.0;
-                let outcome = manager.launch(now, &req);
+                // A spilling cell defers the rejection verdict to the
+                // epoch barrier; the monolithic path counts it here,
+                // byte-identical to the pre-sharding simulator.
+                let outcome = if self.spill {
+                    self.manager.launch_deferred(now, &req)
+                } else {
+                    self.manager.launch(now, &req)
+                };
                 let touched = if let LaunchOutcome::Placed { server, .. } = &outcome {
                     sched.after(req.lifetime, Ev::Depart(req.id));
-                    if track_live {
-                        live.insert(
+                    if self.track_live {
+                        self.live.insert(
                             req.id,
                             LiveVm {
                                 req: (*req).clone(),
@@ -287,39 +480,58 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                     }
                     Some(*server)
                 } else {
+                    if self.spill {
+                        self.manager
+                            .observability_mut()
+                            .metrics
+                            .incr("cluster.spills_offered");
+                        self.outbox.push(*req);
+                    }
                     None
                 };
-                // Schedule the next arrival.
-                if let Some(next) = source.next_request() {
-                    if next.arrival <= horizon {
-                        sched.at(next.arrival, Ev::Arrive(Box::new(next)));
+                // Schedule the next arrival (monolithic mode only; the
+                // sharded driver injects arrivals per epoch window).
+                if let Some(source) = &mut self.source {
+                    if let Some(next) = source.next_request() {
+                        if next.arrival <= self.horizon {
+                            sched.at(next.arrival, Ev::Arrive(Box::new(next)));
+                        }
                     }
                 }
                 touched
             }
             Ev::Depart(id) => {
-                if track_live {
-                    match live.get(&id) {
+                if self.track_live {
+                    match self.live.get(&id) {
                         // A relaunch or a thrash slowdown pushed the
                         // departure later: this Depart is stale.
                         Some(lv) if lv.depart_at > now => None,
                         _ => {
-                            live.remove(&id);
+                            self.live.remove(&id);
                             // A VM departing behind a partition exits
                             // through the server's local controller; the
                             // manager's frozen books catch up at heal.
-                            if let Some(sid) = manager.partitioned_host(id) {
-                                manager.autonomous_exit(now, id).then_some(sid)
+                            if let Some(sid) = self.manager.partitioned_host(id) {
+                                self.manager.autonomous_exit(now, id).then_some(sid)
                             } else {
-                                manager.exit(now, id)
+                                self.manager.exit(now, id)
                             }
                         }
                     }
                 } else {
-                    manager.exit(now, id)
+                    self.manager.exit(now, id)
                 }
             }
             Ev::ServerCrash(k) => {
+                let SimCell {
+                    manager,
+                    injector,
+                    live,
+                    limbo,
+                    drained,
+                    ups_scratch,
+                    ..
+                } = self;
                 let inj = injector
                     .as_ref()
                     .expect("crash events only exist under a fault plan");
@@ -332,15 +544,18 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                     .remove(&k)
                     .filter(|sid| manager.servers()[sid.0 as usize].is_up())
                     .or_else(|| {
-                        let ups: Vec<usize> = manager
-                            .servers()
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, s)| s.is_up())
-                            .map(|(i, _)| i)
-                            .collect();
-                        (!ups.is_empty())
-                            .then(|| ServerId(ups[inj.crash_victim(k, ups.len())] as u64))
+                        ups_scratch.clear();
+                        ups_scratch.extend(
+                            manager
+                                .servers()
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, s)| s.is_up())
+                                .map(|(i, _)| i),
+                        );
+                        (!ups_scratch.is_empty()).then(|| {
+                            ServerId(ups_scratch[inj.crash_victim(k, ups_scratch.len())] as u64)
+                        })
                     });
                 if let Some(sid) = sid {
                     let plan = inj.plan();
@@ -387,19 +602,21 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
             Ev::ServerUp(sid) => {
                 // A reboot behind a still-open partition stays invisible
                 // to the manager: the local controller just logs it.
-                if manager.is_partitioned(sid) {
-                    manager.autonomous_restart(now, sid);
+                if self.manager.is_partitioned(sid) {
+                    self.manager.autonomous_restart(now, sid);
                 } else {
-                    manager.recover_server(now, sid);
+                    self.manager.recover_server(now, sid);
                 }
                 Some(sid)
             }
             Ev::Relaunch { req, oom } => {
                 let lost_at = req.arrival;
-                let outcome = manager.launch(now, &req);
+                // Relaunches never spill: the VM's bookkeeping lives in
+                // this cell, so a reject here is final either way.
+                let outcome = self.manager.launch(now, &req);
                 if let LaunchOutcome::Placed { server, .. } = &outcome {
                     sched.after(req.lifetime, Ev::Depart(req.id));
-                    live.insert(
+                    self.live.insert(
                         req.id,
                         LiveVm {
                             req: (*req).clone(),
@@ -413,7 +630,7 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                     } else {
                         "fault.restart_latency_s"
                     };
-                    manager
+                    self.manager
                         .observability_mut()
                         .metrics
                         .observe(key, (now - lost_at).as_secs_f64());
@@ -424,19 +641,19 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                     } else {
                         "fault.relaunch_rejected"
                     };
-                    manager.observability_mut().metrics.incr(key);
+                    self.manager.observability_mut().metrics.incr(key);
                     None
                 }
             }
             Ev::DistressSample => {
-                for dev in manager.sample_distress(now) {
+                for dev in self.manager.sample_distress(now) {
                     match dev {
                         crate::distress::DistressEvent::OomKill { vm, .. } => {
                             // The manager already removed the VM; it
                             // relaunches through the crash path after the
                             // reboot delay, with its remaining lifetime.
-                            if let Some(lv) = live.remove(&vm) {
-                                let restart_at = now + distress.restart_delay;
+                            if let Some(lv) = self.live.remove(&vm) {
+                                let restart_at = now + self.distress.restart_delay;
                                 if let Some(req) = relaunch_request(lv, now, restart_at) {
                                     sched.at(
                                         restart_at,
@@ -452,9 +669,11 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                             // The guest completed only `perf` of an
                             // interval's work: stretch its remaining
                             // lifetime and supersede the old Depart.
-                            if let Some(lv) = live.get_mut(&vm) {
-                                let stretch =
-                                    distress.sample_interval.mul_f64(1.0 / perf.max(0.05) - 1.0);
+                            if let Some(lv) = self.live.get_mut(&vm) {
+                                let stretch = self
+                                    .distress
+                                    .sample_interval
+                                    .mul_f64(1.0 / perf.max(0.05) - 1.0);
                                 lv.depart_at += stretch;
                                 sched.at(lv.depart_at, Ev::Depart(vm));
                             }
@@ -472,17 +691,18 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 // authority until the heal), slowdowns stretch lifetimes
                 // exactly like the connected path. No partitions → no
                 // servers here → byte-identical to the pre-partition run.
-                for sid in manager.partitioned_servers() {
-                    for dev in manager.autonomous_sample(now, sid) {
+                for sid in self.manager.partitioned_servers() {
+                    for dev in self.manager.autonomous_sample(now, sid) {
                         match dev {
                             crate::distress::DistressEvent::OomKill { vm, .. } => {
-                                if let Some(lv) = live.remove(&vm) {
-                                    limbo.insert(vm, (lv, now));
+                                if let Some(lv) = self.live.remove(&vm) {
+                                    self.limbo.insert(vm, (lv, now));
                                 }
                             }
                             crate::distress::DistressEvent::Slowdown { vm, perf } => {
-                                if let Some(lv) = live.get_mut(&vm) {
-                                    let stretch = distress
+                                if let Some(lv) = self.live.get_mut(&vm) {
+                                    let stretch = self
+                                        .distress
                                         .sample_interval
                                         .mul_f64(1.0 / perf.max(0.05) - 1.0);
                                     lv.depart_at += stretch;
@@ -497,11 +717,9 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 }
                 // Distress handling may touch many servers (emergency
                 // donor rounds, kills): refresh every per-server gauge.
-                for (i, s) in manager.servers().iter().enumerate() {
-                    server_gauges[i].set(now, s.overcommitment());
-                }
-                let next = now + distress.sample_interval;
-                if next <= horizon {
+                self.refresh_all_server_gauges(now);
+                let next = now + self.distress.sample_interval;
+                if next <= self.horizon {
                     sched.at(next, Ev::DistressSample);
                 }
                 None
@@ -510,106 +728,136 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
                 // Cut over (or abort a stale move). The landed VM keeps
                 // its scheduled departure: the blackout is charged to
                 // the downtime histogram, not to lifetime.
-                manager.finish_migration(now, vm);
+                self.manager.finish_migration(now, vm);
                 // Both endpoints (and a reinflation round) moved:
                 // refresh every per-server gauge.
-                for (i, s) in manager.servers().iter().enumerate() {
-                    server_gauges[i].set(now, s.overcommitment());
-                }
+                self.refresh_all_server_gauges(now);
                 None
             }
             Ev::ServerDrain(k) => {
+                let SimCell {
+                    manager,
+                    injector,
+                    drained,
+                    ups_scratch,
+                    ..
+                } = self;
                 let inj = injector
                     .as_ref()
                     .expect("drain events only exist under a fault plan");
-                let ups: Vec<usize> = manager
-                    .servers()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.is_up())
-                    .map(|(i, _)| i)
-                    .collect();
-                if !ups.is_empty() {
+                ups_scratch.clear();
+                ups_scratch.extend(
+                    manager
+                        .servers()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_up())
+                        .map(|(i, _)| i),
+                );
+                if !ups_scratch.is_empty() {
                     // Pick the crash victim now and pin it, so the
                     // scripted crash lands on the server just drained.
-                    let sid = ServerId(ups[inj.crash_victim(k, ups.len())] as u64);
+                    let sid = ServerId(ups_scratch[inj.crash_victim(k, ups_scratch.len())] as u64);
                     drained.insert(k, sid);
-                    for (vm, total) in manager.drain_server(now, sid) {
+                    let moves = manager.drain_server(now, sid);
+                    for (vm, total) in moves {
                         sched.at(now + total, Ev::MigrationDone(vm));
                     }
                     // Destination holds and donor deflations touch many
                     // servers: refresh every per-server gauge.
-                    for (i, s) in manager.servers().iter().enumerate() {
-                        server_gauges[i].set(now, s.overcommitment());
-                    }
+                    self.refresh_all_server_gauges(now);
                 }
                 None
             }
             Ev::Defrag => {
-                for (vm, total) in manager.defrag_round(now) {
+                for (vm, total) in self.manager.defrag_round(now) {
                     sched.at(now + total, Ev::MigrationDone(vm));
                 }
-                let next = now + migration.defrag_interval;
-                if next <= horizon {
+                let next = now + self.migration.defrag_interval;
+                if next <= self.horizon {
                     sched.at(next, Ev::Defrag);
                 }
-                for (i, s) in manager.servers().iter().enumerate() {
-                    server_gauges[i].set(now, s.overcommitment());
-                }
+                self.refresh_all_server_gauges(now);
                 None
             }
             Ev::PartitionStart(sid) => {
                 // Freezes the manager's view and hands the server its
                 // autonomy. A no-op when the server is already down (it
                 // crashed reachably before the window opened).
-                manager.partition_server(now, sid);
+                self.manager.partition_server(now, sid);
                 None
             }
             Ev::PartitionEnd(sid) => {
-                if let Some(out) = manager.heal_server(now, sid) {
-                    // Natural exits and low-priority crash losses settled
-                    // in the reconcile pass; just drop any limbo entries.
-                    for vm in out.exited.iter().chain(&out.lost_low) {
-                        limbo.remove(vm);
-                    }
-                    // Deaths the manager would have relaunched had it
-                    // watched: each reboots on its own path's delay from
-                    // the *loss* instant, never before the heal itself.
-                    let inj = injector
-                        .as_ref()
-                        .expect("partition events only exist under a fault plan");
-                    for (vm, oom, delay) in out
-                        .oom_killed
-                        .iter()
-                        .map(|vm| (vm, true, distress.restart_delay))
-                        .chain(
-                            out.lost_high
-                                .iter()
-                                .map(|vm| (vm, false, inj.plan().vm_restart)),
-                        )
-                    {
-                        if let Some((lv, lost_at)) = limbo.remove(vm) {
-                            let restart_at = (lost_at + delay).max(now);
-                            if let Some(req) = relaunch_request(lv, lost_at, restart_at) {
-                                sched.at(
-                                    restart_at,
-                                    Ev::Relaunch {
-                                        req: Box::new(req),
-                                        oom,
-                                    },
-                                );
+                let mut healed = false;
+                {
+                    let SimCell {
+                        manager,
+                        injector,
+                        limbo,
+                        distress,
+                        ..
+                    } = self;
+                    if let Some(out) = manager.heal_server(now, sid) {
+                        healed = true;
+                        // Natural exits and low-priority crash losses
+                        // settled in the reconcile pass; just drop any
+                        // limbo entries.
+                        for vm in out.exited.iter().chain(&out.lost_low) {
+                            limbo.remove(vm);
+                        }
+                        // Deaths the manager would have relaunched had it
+                        // watched: each reboots on its own path's delay
+                        // from the *loss* instant, never before the heal
+                        // itself.
+                        let inj = injector
+                            .as_ref()
+                            .expect("partition events only exist under a fault plan");
+                        for (vm, oom, delay) in out
+                            .oom_killed
+                            .iter()
+                            .map(|vm| (vm, true, distress.restart_delay))
+                            .chain(
+                                out.lost_high
+                                    .iter()
+                                    .map(|vm| (vm, false, inj.plan().vm_restart)),
+                            )
+                        {
+                            if let Some((lv, lost_at)) = limbo.remove(vm) {
+                                let restart_at = (lost_at + delay).max(now);
+                                if let Some(req) = relaunch_request(lv, lost_at, restart_at) {
+                                    sched.at(
+                                        restart_at,
+                                        Ev::Relaunch {
+                                            req: Box::new(req),
+                                            oom,
+                                        },
+                                    );
+                                }
                             }
                         }
                     }
+                }
+                if healed {
                     // The settle may have moved any aggregate: refresh
                     // every per-server gauge.
-                    for (i, s) in manager.servers().iter().enumerate() {
-                        server_gauges[i].set(now, s.overcommitment());
-                    }
+                    self.refresh_all_server_gauges(now);
                 }
                 None
             }
-        };
+        }
+    }
+
+    fn refresh_gauges(&mut self, now: SimTime, touched: Option<ServerId>) {
+        let SimCell {
+            manager,
+            util_gauge,
+            over_gauge,
+            high_cpu,
+            low_spec_cpu,
+            low_eff_cpu,
+            server_gauges,
+            ..
+        } = self;
         util_gauge.set(now, manager.utilization());
         over_gauge.set(now, manager.overcommitment());
         high_cpu.set(now, manager.high_pri_cpu());
@@ -619,45 +867,376 @@ fn run_with_source(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResu
             let si = sid.0 as usize;
             server_gauges[si].set(now, manager.servers()[si].overcommitment());
         }
-    });
+    }
 
-    let stats = manager.stats();
-    let summary = manager.run_summary(horizon, "cluster_sim");
+    fn refresh_all_server_gauges(&mut self, now: SimTime) {
+        let SimCell {
+            manager,
+            server_gauges,
+            ..
+        } = self;
+        for (i, s) in manager.servers().iter().enumerate() {
+            server_gauges[i].set(now, s.overcommitment());
+        }
+    }
+
+    /// Attempts to settle one spilled request in this (neighbor) cell at
+    /// an epoch barrier. On success the cell takes full ownership of the
+    /// VM: departure, liveness tracking and any later crash/distress
+    /// handling run here. On refusal the manager is untouched — the
+    /// reclaim session's rollback makes the probe state-neutral — so the
+    /// driver can probe the next ring neighbor.
+    fn try_spill_in(&mut self, now: SimTime, req: &VmRequest) -> bool {
+        let LaunchOutcome::Placed { server, .. } = self.manager.launch_deferred(now, req) else {
+            return false;
+        };
+        self.events += 1;
+        self.sched.at(now + req.lifetime, Ev::Depart(req.id));
+        if self.track_live {
+            self.live.insert(
+                req.id,
+                LiveVm {
+                    req: req.clone(),
+                    depart_at: now + req.lifetime,
+                },
+            );
+        }
+        self.manager
+            .observability_mut()
+            .metrics
+            .incr("cluster.spills_in");
+        self.refresh_gauges(now, Some(server));
+        true
+    }
+
+    /// Closes the cell's books: finalizes gauges and extracts the
+    /// per-cell slice of the run result.
+    fn finish(mut self, horizon: SimTime, horizon_d: SimDuration, label: &str) -> CellOutcome {
+        let stats = self.manager.stats();
+        let summary = self.manager.run_summary(horizon, label);
+        let capacity_cpu = self
+            .manager
+            .total_capacity()
+            .get(deflate_core::ResourceKind::Cpu);
+        let hours = horizon_d.as_secs_f64() / 3_600.0;
+        CellOutcome {
+            stats,
+            capacity_cpu,
+            offered_cpu_hours: self.offered_cpu_hours,
+            mean_utilization: self.util_gauge.finalized_mean(horizon),
+            mean_overcommitment: self.over_gauge.finalized_mean(horizon),
+            peak_overcommitment: self.over_gauge.peak(),
+            server_overcommitment: self
+                .server_gauges
+                .iter_mut()
+                .map(|g| g.finalized_mean(horizon))
+                .collect(),
+            high_pri_cpu_hours: self.high_cpu.finalized_mean(horizon) * hours,
+            low_pri_spec_cpu_hours: self.low_spec_cpu.finalized_mean(horizon) * hours,
+            low_pri_effective_cpu_hours: self.low_eff_cpu.finalized_mean(horizon) * hours,
+            summary,
+            events: self.events,
+        }
+    }
+}
+
+/// The per-cell slice of a run result, merged by [`merge_outcomes`].
+struct CellOutcome {
+    stats: ClusterStats,
+    capacity_cpu: f64,
+    offered_cpu_hours: f64,
+    mean_utilization: f64,
+    mean_overcommitment: f64,
+    peak_overcommitment: f64,
+    server_overcommitment: Vec<f64>,
+    high_pri_cpu_hours: f64,
+    low_pri_spec_cpu_hours: f64,
+    low_pri_effective_cpu_hours: f64,
+    summary: JsonValue,
+    events: u64,
+}
+
+/// Moves whole cells between scoped worker threads at epoch boundaries.
+///
+/// # Safety
+///
+/// `SimCell` is not auto-`Send` because VM guest state is shared between
+/// a server and its local controller via `Rc<RefCell<_>>`
+/// ([`hypervisor::SharedVmState`]). A cell is a *closed ownership
+/// domain* for those handles: every `Rc` clone is created and dropped
+/// inside the owning cell (live migration moves VMs between servers of
+/// the same manager, never across cells), and the only data that crosses
+/// cells — spilled [`VmRequest`]s — is plain owned data. Cells move
+/// between threads only at epoch barriers, when the scoped pool has
+/// joined and no borrow is live, so reference counts are never touched
+/// from two threads. (The hypervisor's thread-local leaked-session
+/// counter may under-report across workers; it only registers on a
+/// session-leak bug, which debug builds catch by panicking at the leak
+/// site.)
+struct CellSlot(SimCell);
+unsafe impl Send for CellSlot {}
+
+fn run_with_source(cfg: &ClusterSimConfig, source: Source) -> ClusterSimResult {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let mut cell = SimCell::new(cfg.manager.clone(), horizon, Some(source), false);
+    cell.run_window(horizon);
+    let out = cell.finish(horizon, cfg.horizon, "cluster_sim");
+    merge_outcomes(cfg.horizon, vec![out], None)
+}
+
+/// The stateless arrival → home-cell route: a hash of the VM id, so any
+/// component (driver, tests, future distributed frontends) can compute
+/// it without shared state.
+fn home_cell(seed: u64, id: VmId, cells: usize) -> usize {
+    (simkit::fault::decide(seed, SALT_ROUTE, id.0, 0) % cells as u64) as usize
+}
+
+/// Derives cell `i`'s manager configuration from the fleet-wide one:
+/// its shard of the servers, a decorrelated placement seed, and a fault
+/// plan scaled to the shard (crash rate proportional to its share of the
+/// fleet, scripted crashes dealt round-robin, decorrelated stream seed).
+fn cell_manager_cfg(
+    base: &ClusterManagerConfig,
+    cell: usize,
+    cells: usize,
+    shard: usize,
+    total: usize,
+) -> ClusterManagerConfig {
+    let mut m = base.clone();
+    m.n_servers = shard;
+    m.seed = simkit::fault::decide(base.seed, SALT_CELL, cell as u64, 0);
+    if !base.faults.is_none() {
+        m.faults.seed = simkit::fault::decide(base.faults.seed, SALT_CELL, cell as u64, 1);
+        m.faults.server_crash_rate_per_hour =
+            base.faults.server_crash_rate_per_hour * shard as f64 / total as f64;
+        m.faults.scheduled_server_crashes = base
+            .faults
+            .scheduled_server_crashes
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % cells == cell)
+            .map(|(_, t)| *t)
+            .collect();
+    }
+    m
+}
+
+fn run_sharded(cfg: &ClusterSimConfig, mut source: Source) -> ClusterSimResult {
+    let sh = cfg.sharding;
+    let total = cfg.manager.n_servers;
+    let cells_n = sh.cells.clamp(1, total);
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let epoch = if sh.epoch.is_zero() {
+        ShardingConfig::default().epoch
+    } else {
+        sh.epoch
+    };
+    let spill_fanout = sh.spill_fanout.min(cells_n - 1);
+
+    // Contiguous server shards: cell i owns `base (+1)` servers; the
+    // remainder goes to the lowest-indexed cells.
+    let base = total / cells_n;
+    let rem = total % cells_n;
+    let mut cells: Vec<CellSlot> = (0..cells_n)
+        .map(|i| {
+            let shard = base + usize::from(i < rem);
+            CellSlot(SimCell::new(
+                cell_manager_cfg(&cfg.manager, i, cells_n, shard, total),
+                horizon,
+                None,
+                spill_fanout > 0,
+            ))
+        })
+        .collect();
+
+    let route_seed = cfg.trace.seed;
+    let mut pending = source.next_request();
+    let mut spills_placed = 0u64;
+    let mut spills_rejected = 0u64;
+    let mut t0 = SimTime::ZERO;
+    while t0 < horizon {
+        let t1 = (t0 + epoch).min(horizon);
+        // Route every arrival inside this window to its home cell. The
+        // lookahead request is held over from the previous window, so
+        // the generator is pulled exactly once per arrival.
+        while let Some(req) = pending.take() {
+            if req.arrival > t1 {
+                pending = Some(req);
+                break;
+            }
+            let c = home_cell(route_seed, req.id, cells_n);
+            cells[c].0.push_arrival(req);
+            pending = source.next_request();
+        }
+        // Advance every cell's private event stream to the barrier, in
+        // parallel. Cells are independent inside a window, and the pool
+        // returns them in index order, so the outcome is the same for
+        // any worker count (tested: 1, 2 and 8 threads byte-identical).
+        cells = parallel_map_workers(sh.threads, cells, |mut c| {
+            c.0.run_window(t1);
+            c
+        });
+        // Barrier: settle spill outboxes sequentially in cell order.
+        // Each spilled request probes ring neighbors (home+1, home+2, …)
+        // with a state-neutral reserve-or-refuse launch; the first
+        // neighbor that fits commits and takes ownership of the VM. If
+        // every probe refuses, the rejection is charged to the home
+        // cell, exactly once.
+        for home in 0..cells_n {
+            if cells[home].0.outbox.is_empty() {
+                continue;
+            }
+            let outbox = std::mem::take(&mut cells[home].0.outbox);
+            for req in outbox {
+                let mut placed = false;
+                for d in 1..=spill_fanout {
+                    let tgt = (home + d) % cells_n;
+                    if cells[tgt].0.try_spill_in(t1, &req) {
+                        placed = true;
+                        break;
+                    }
+                }
+                if placed {
+                    spills_placed += 1;
+                    cells[home]
+                        .0
+                        .manager
+                        .observability_mut()
+                        .metrics
+                        .incr("cluster.spills_out");
+                } else {
+                    spills_rejected += 1;
+                    cells[home].0.manager.reject_spill(t1, req.id);
+                }
+            }
+        }
+        t0 = t1;
+    }
+
+    let outs: Vec<CellOutcome> = cells
+        .into_iter()
+        .map(|c| c.0.finish(horizon, cfg.horizon, "cell"))
+        .collect();
+    let summary = merged_summary(cells_n, epoch, spills_placed, spills_rejected, &outs);
+    merge_outcomes(cfg.horizon, outs, Some(summary))
+}
+
+/// The sharded run's observability report: counters summed across cells
+/// (key-sorted, so the document is deterministic), the spill settlement
+/// tallies, and every per-cell report under `per_cell`. Deliberately
+/// excludes execution-only knobs (worker threads) so the document is
+/// invariant under thread count.
+fn merged_summary(
+    cells_n: usize,
+    epoch: SimDuration,
+    spills_placed: u64,
+    spills_rejected: u64,
+    outs: &[CellOutcome],
+) -> JsonValue {
+    let mut totals: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    for o in outs {
+        if let Some(counters) = o.summary.get("counters").and_then(|c| c.as_object()) {
+            for (k, v) in counters {
+                if let Some(x) = v.as_f64() {
+                    *totals.entry(k.as_str()).or_insert(0.0) += x;
+                }
+            }
+        }
+    }
+    let mut counters = JsonValue::object();
+    for (k, v) in totals {
+        counters.set(k, v);
+    }
+    JsonValue::object()
+        .with("run", "cluster_sim")
+        .with("cells", cells_n)
+        .with("epoch_s", epoch.as_secs_f64())
+        .with(
+            "spills",
+            JsonValue::object()
+                .with("placed", spills_placed)
+                .with("rejected", spills_rejected),
+        )
+        .with("counters", counters)
+        .with(
+            "per_cell",
+            JsonValue::Arr(outs.iter().map(|o| o.summary.clone()).collect()),
+        )
+}
+
+/// Folds per-cell outcomes into one [`ClusterSimResult`]. With a single
+/// cell (the monolithic path) every value passes through untouched, so
+/// `cells = 1` stays bit-exact with the pre-sharding simulator; with
+/// many, counters and CPU-hours sum, utilization/overcommitment means
+/// are capacity-weighted, and the peak is the max across cells.
+fn merge_outcomes(
+    horizon_d: SimDuration,
+    mut outs: Vec<CellOutcome>,
+    sharded_summary: Option<JsonValue>,
+) -> ClusterSimResult {
+    let mut stats = ClusterStats::default();
+    for o in &outs {
+        stats.absorb(&o.stats);
+    }
     let preemption_probability = if stats.launched_low == 0 {
         0.0
     } else {
         stats.preempted as f64 / stats.launched_low as f64
     };
-
     // Use the pool's actual total capacity: under `capacity_skew` with an
     // odd server count it differs from `server_capacity × n_servers`.
-    let capacity_cpu_hours = manager
-        .total_capacity()
-        .get(deflate_core::ResourceKind::Cpu)
-        * cfg.horizon.as_secs_f64()
-        / 3_600.0;
+    let cap_total: f64 = outs.iter().map(|o| o.capacity_cpu).sum();
+    let offered: f64 = outs.iter().map(|o| o.offered_cpu_hours).sum();
+    let capacity_cpu_hours = cap_total * horizon_d.as_secs_f64() / 3_600.0;
+    let (mean_utilization, mean_overcommitment, peak_overcommitment) = if outs.len() == 1 {
+        (
+            outs[0].mean_utilization,
+            outs[0].mean_overcommitment,
+            outs[0].peak_overcommitment,
+        )
+    } else {
+        let w = cap_total.max(1e-9);
+        (
+            outs.iter()
+                .map(|o| o.mean_utilization * o.capacity_cpu)
+                .sum::<f64>()
+                / w,
+            outs.iter()
+                .map(|o| o.mean_overcommitment * o.capacity_cpu)
+                .sum::<f64>()
+                / w,
+            outs.iter()
+                .map(|o| o.peak_overcommitment)
+                .fold(0.0f64, f64::max),
+        )
+    };
+    let server_overcommitment: Vec<f64> = outs
+        .iter()
+        .flat_map(|o| o.server_overcommitment.iter().copied())
+        .collect();
+    let high_pri_cpu_hours: f64 = outs.iter().map(|o| o.high_pri_cpu_hours).sum();
+    let low_pri_spec_cpu_hours: f64 = outs.iter().map(|o| o.low_pri_spec_cpu_hours).sum();
+    let low_pri_effective_cpu_hours: f64 = outs.iter().map(|o| o.low_pri_effective_cpu_hours).sum();
+    let events: u64 = outs.iter().map(|o| o.events).sum();
+    let summary = match sharded_summary {
+        Some(s) => s,
+        None => outs.pop().expect("monolithic run has one cell").summary,
+    };
     ClusterSimResult {
         stats,
         preemption_probability,
-        offered_utilization: offered_cpu_hours / capacity_cpu_hours.max(1e-9),
-        mean_utilization: util_gauge.finalized_mean(horizon),
-        mean_overcommitment: over_gauge.finalized_mean(horizon),
-        peak_overcommitment: over_gauge.peak(),
-        server_overcommitment: server_gauges
-            .iter_mut()
-            .map(|g| g.finalized_mean(horizon))
-            .collect(),
-        high_pri_cpu_hours: high_cpu.finalized_mean(horizon) * cfg.horizon.as_secs_f64() / 3_600.0,
-        low_pri_spec_cpu_hours: low_spec_cpu.finalized_mean(horizon) * cfg.horizon.as_secs_f64()
-            / 3_600.0,
-        low_pri_effective_cpu_hours: low_eff_cpu.finalized_mean(horizon)
-            * cfg.horizon.as_secs_f64()
-            / 3_600.0,
+        offered_utilization: offered / capacity_cpu_hours.max(1e-9),
+        mean_utilization,
+        mean_overcommitment,
+        peak_overcommitment,
+        server_overcommitment,
+        high_pri_cpu_hours,
+        low_pri_spec_cpu_hours,
+        low_pri_effective_cpu_hours,
         summary,
         events,
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +1256,7 @@ mod tests {
                 ..TraceConfig::default()
             },
             horizon: SimDuration::from_hours(12),
+            sharding: ShardingConfig::default(),
         }
     }
 

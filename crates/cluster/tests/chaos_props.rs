@@ -154,6 +154,7 @@ fn chaos_sim(seed: u64) -> ClusterSimConfig {
         .scheduled_server_crashes
         .push(SimTime::from_secs(3_600));
     ClusterSimConfig {
+        sharding: Default::default(),
         manager: ClusterManagerConfig {
             n_servers: 10,
             cascade: CascadeConfig::FULL
@@ -218,6 +219,7 @@ fn chaos_seed_matrix_runs_clean() {
 #[test]
 fn zero_fault_plan_is_byte_identical() {
     let cfg = ClusterSimConfig {
+        sharding: Default::default(),
         manager: ClusterManagerConfig {
             n_servers: 10,
             ..ClusterManagerConfig::default()

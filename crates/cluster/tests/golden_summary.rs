@@ -25,6 +25,7 @@ use simkit::{FaultPlan, SimDuration};
 
 fn base_cfg() -> ClusterSimConfig {
     ClusterSimConfig {
+        sharding: Default::default(),
         manager: ClusterManagerConfig {
             n_servers: 20,
             ..ClusterManagerConfig::default()

@@ -1,0 +1,212 @@
+//! Determinism properties of the cellular sharded simulator.
+//!
+//! The sharding layer's contract has three legs:
+//!
+//! 1. `cells = 1` is the monolithic simulator, byte for byte — pinned
+//!    against the four committed goldens by `golden_summary.rs` (the
+//!    golden configs run with the default `ShardingConfig`, i.e. one
+//!    cell) and re-checked here with explicit sharding knobs set.
+//! 2. A multi-cell run is a pure function of its configuration: two
+//!    executions produce identical results.
+//! 3. Worker threads are *execution* configuration only: 1, 2 and 8
+//!    threads produce byte-identical merged summaries and numerically
+//!    identical results, with and without a chaos fault plan.
+
+use cluster::distress::DistressConfig;
+use cluster::manager::ClusterManagerConfig;
+use cluster::simulate::{run_cluster_sim, ClusterSimConfig, ClusterSimResult, ShardingConfig};
+use cluster::traces::TraceConfig;
+use simkit::{FaultPlan, SimDuration};
+
+/// A loaded 40-server fleet: enough pressure that launches deflate,
+/// reject and preempt in every cell.
+fn loaded_cfg(sharding: ShardingConfig) -> ClusterSimConfig {
+    ClusterSimConfig {
+        manager: ClusterManagerConfig {
+            n_servers: 40,
+            ..ClusterManagerConfig::default()
+        },
+        trace: TraceConfig {
+            arrivals_per_hour: 300.0,
+            lifetime_median_mins: 120.0,
+            ..TraceConfig::default()
+        },
+        horizon: SimDuration::from_hours(4),
+        sharding,
+    }
+}
+
+fn chaos_cfg(sharding: ShardingConfig) -> ClusterSimConfig {
+    let mut cfg = loaded_cfg(sharding);
+    cfg.manager.faults = FaultPlan::chaos(7).scaled(2.0);
+    cfg
+}
+
+/// Everything observable about a run, as one comparable string: the full
+/// observability report plus every numeric result field. Two runs with
+/// equal fingerprints are the same simulation.
+fn fingerprint(r: &ClusterSimResult) -> String {
+    format!(
+        "{}\nstats={:?}\npp={:?} mu={:?} ou={:?} mo={:?} po={:?}\nso={:?}\nhi={:?} ls={:?} le={:?} ev={}",
+        r.summary.to_pretty(),
+        r.stats,
+        r.preemption_probability,
+        r.mean_utilization,
+        r.offered_utilization,
+        r.mean_overcommitment,
+        r.peak_overcommitment,
+        r.server_overcommitment,
+        r.high_pri_cpu_hours,
+        r.low_pri_spec_cpu_hours,
+        r.low_pri_effective_cpu_hours,
+        r.events,
+    )
+}
+
+#[test]
+fn cells_one_is_byte_identical_to_monolithic() {
+    // Explicit sharding knobs (threads, epoch, fanout) must be inert at
+    // one cell: the run takes the monolithic path that the goldens pin.
+    let mono = run_cluster_sim(&loaded_cfg(ShardingConfig::default()));
+    let one = run_cluster_sim(&loaded_cfg(ShardingConfig {
+        cells: 1,
+        threads: 8,
+        epoch: SimDuration::from_secs(17),
+        spill_fanout: 5,
+    }));
+    assert_eq!(fingerprint(&mono), fingerprint(&one));
+
+    let mono = run_cluster_sim(&chaos_cfg(ShardingConfig::default()));
+    let one = run_cluster_sim(&chaos_cfg(ShardingConfig::cells(1)));
+    assert_eq!(fingerprint(&mono), fingerprint(&one));
+}
+
+#[test]
+fn sharded_runs_are_deterministic() {
+    let cfg = loaded_cfg(ShardingConfig::cells(4));
+    let a = run_cluster_sim(&cfg);
+    let b = run_cluster_sim(&cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    // The merged summary is really the sharded document.
+    assert_eq!(
+        a.summary.get("cells").and_then(|v| v.as_f64()),
+        Some(4.0),
+        "merged summary should carry the cell count"
+    );
+    assert_eq!(
+        a.summary
+            .get("per_cell")
+            .and_then(|v| v.as_array())
+            .map(|c| c.len()),
+        Some(4),
+        "merged summary should carry one report per cell"
+    );
+}
+
+#[test]
+fn thread_count_is_invariant() {
+    let base = run_cluster_sim(&loaded_cfg(ShardingConfig {
+        cells: 4,
+        threads: 1,
+        ..ShardingConfig::default()
+    }));
+    for threads in [2, 8] {
+        let r = run_cluster_sim(&loaded_cfg(ShardingConfig {
+            cells: 4,
+            threads,
+            ..ShardingConfig::default()
+        }));
+        assert_eq!(
+            fingerprint(&base),
+            fingerprint(&r),
+            "threads={threads} diverged from threads=1"
+        );
+    }
+}
+
+#[test]
+fn thread_count_is_invariant_under_chaos() {
+    // Crashes, partitions and distress all stay inside their cell, so a
+    // fault plan must not reintroduce interleaving sensitivity.
+    let mut cfg = chaos_cfg(ShardingConfig {
+        cells: 4,
+        threads: 1,
+        ..ShardingConfig::default()
+    });
+    cfg.manager.server_capacity = deflate_core::ResourceVector::new(16.0, 32_768.0, 400.0, 800.0);
+    cfg.manager.distress = DistressConfig::guarded();
+    let base = run_cluster_sim(&cfg);
+    for threads in [2, 8] {
+        cfg.sharding.threads = threads;
+        let r = run_cluster_sim(&cfg);
+        assert_eq!(
+            fingerprint(&base),
+            fingerprint(&r),
+            "threads={threads} diverged from threads=1 under chaos"
+        );
+    }
+}
+
+#[test]
+fn spills_place_in_ring_neighbors_and_stay_deterministic() {
+    // Two servers per cell under heavy load: home cells fill at
+    // different times, so some arrivals spill to a ring neighbor with
+    // room and some are rejected outright. Both tallies must be
+    // deterministic and consistent with the home-cell reject counter.
+    let cfg = ClusterSimConfig {
+        manager: ClusterManagerConfig {
+            n_servers: 8,
+            ..ClusterManagerConfig::default()
+        },
+        trace: TraceConfig {
+            arrivals_per_hour: 220.0,
+            lifetime_median_mins: 180.0,
+            ..TraceConfig::default()
+        },
+        horizon: SimDuration::from_hours(4),
+        sharding: ShardingConfig::cells(4),
+    };
+    let a = run_cluster_sim(&cfg);
+    let b = run_cluster_sim(&cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+
+    let spills = a.summary.get("spills").expect("sharded summary has spills");
+    let placed = spills.get("placed").and_then(|v| v.as_f64()).unwrap();
+    let rejected = spills.get("rejected").and_then(|v| v.as_f64()).unwrap();
+    assert!(
+        placed > 0.0,
+        "an unevenly loaded ring should place some spills: {spills:?}"
+    );
+    assert!(
+        rejected > 0.0,
+        "a saturated ring should also reject some spills: {spills:?}"
+    );
+    // Every settled spill was first offered by a home cell, and every
+    // ring rejection is charged to the fleet-wide rejected counter.
+    let counters = a.summary.get("counters").expect("merged counters");
+    let offered = counters
+        .get("cluster.spills_offered")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert_eq!(offered, placed + rejected, "spill settlement must balance");
+    assert_eq!(
+        rejected, a.stats.rejected as f64,
+        "ring-final rejections are the fleet's rejections"
+    );
+}
+
+#[test]
+fn cell_count_clamps_to_fleet_size() {
+    // More cells than servers degrades gracefully to one server per
+    // cell instead of constructing empty managers.
+    let mut cfg = loaded_cfg(ShardingConfig::cells(64));
+    cfg.manager.n_servers = 5;
+    cfg.trace.arrivals_per_hour = 40.0;
+    let r = run_cluster_sim(&cfg);
+    assert_eq!(
+        r.summary.get("cells").and_then(|v| v.as_f64()),
+        Some(5.0),
+        "cells must clamp to n_servers"
+    );
+    assert_eq!(r.server_overcommitment.len(), 5);
+}

@@ -462,11 +462,22 @@ impl PhysicalServer {
 
     /// Ids of low-priority VMs.
     pub fn low_priority_ids(&self) -> Vec<VmId> {
-        self.vms
-            .values()
-            .filter(|vm| vm.priority() == VmPriority::Low)
-            .map(|vm| vm.id())
-            .collect()
+        let mut out = Vec::new();
+        self.low_priority_ids_into(&mut out);
+        out
+    }
+
+    /// Appends the ids of low-priority VMs to a caller-owned buffer, in
+    /// id order. The cluster manager's launch path runs this on every
+    /// reclaiming placement, so it recycles one buffer instead of
+    /// allocating a fresh `Vec` per event.
+    pub fn low_priority_ids_into(&self, out: &mut Vec<VmId>) {
+        out.extend(
+            self.vms
+                .values()
+                .filter(|vm| vm.priority() == VmPriority::Low)
+                .map(|vm| vm.id()),
+        );
     }
 }
 
@@ -543,6 +554,20 @@ impl Default for LocalController {
             cascade: CascadeConfig::FULL,
         }
     }
+}
+
+thread_local! {
+    /// Reusable planning buffers for [`LocalController::make_room_shielded`]:
+    /// the deflation-state and preemption-candidate vectors are rebuilt on
+    /// every reclamation round — hundreds of thousands of times in a large
+    /// trace-driven run — so the hot loop recycles them instead of paying a
+    /// heap round-trip per placement. Thread-local (not controller state)
+    /// because the controller is a `Copy` value and the cellular simulator
+    /// runs one reclamation stream per worker thread.
+    static PLAN_STATES: std::cell::Cell<Vec<VmDeflationState>> =
+        const { std::cell::Cell::new(Vec::new()) };
+    static PREEMPT_CANDIDATES: std::cell::Cell<Vec<(f64, VmId)>> =
+        const { std::cell::Cell::new(Vec::new()) };
 }
 
 impl LocalController {
@@ -672,26 +697,31 @@ impl LocalController {
         // actually give memory up; `Vm::deflate` enforces the floor again
         // as defense in depth.
         use deflate_core::ResourceKind::Memory;
-        let states: Vec<VmDeflationState> = session
-            .server()
-            .vms()
-            .filter(|vm| vm.deflatable())
-            .map(|vm| {
-                let eff = vm.effective();
-                let mut min = vm.min_size();
-                if self.cascade.working_set_floor && vm.memory_floor_mb() > 0.0 {
-                    let floor = vm.memory_floor_mb().min(eff.get(Memory));
-                    if floor > min.get(Memory) {
-                        min.set(Memory, floor);
+        let mut states = PLAN_STATES.take();
+        states.clear();
+        states.extend(
+            session
+                .server()
+                .vms()
+                .filter(|vm| vm.deflatable())
+                .map(|vm| {
+                    let eff = vm.effective();
+                    let mut min = vm.min_size();
+                    if self.cascade.working_set_floor && vm.memory_floor_mb() > 0.0 {
+                        let floor = vm.memory_floor_mb().min(eff.get(Memory));
+                        if floor > min.get(Memory) {
+                            min.set(Memory, floor);
+                        }
                     }
-                }
-                if shielded.contains(&vm.id()) {
-                    min.set(Memory, eff.get(Memory));
-                }
-                VmDeflationState::with_min(vm.id(), eff, min)
-            })
-            .collect();
+                    if shielded.contains(&vm.id()) {
+                        min.set(Memory, eff.get(Memory));
+                    }
+                    VmDeflationState::with_min(vm.id(), eff, min)
+                }),
+        );
         let plan = proportional_targets(&need, &states);
+        states.clear();
+        PLAN_STATES.set(states);
 
         // Deflate concurrently: latency is the max across VMs.
         for (id, target) in &plan.targets {
@@ -711,19 +741,26 @@ impl LocalController {
         // deflation target (largest cascade shortfall) until it is.
         let mut still_needed = demand.saturating_sub(&session.server().free());
         if !still_needed.is_zero() {
-            let mut candidates: Vec<(f64, VmId)> = session
-                .outcomes()
-                .iter()
-                .map(|(id, out)| (out.shortfall.total(), *id))
-                .collect();
+            let mut candidates = PREEMPT_CANDIDATES.take();
+            candidates.clear();
+            candidates.extend(
+                session
+                    .outcomes()
+                    .iter()
+                    .map(|(id, out)| (out.shortfall.total(), *id)),
+            );
             // Also consider deflatable VMs that received no target.
-            for id in session.server().low_priority_ids() {
+            for vm in session.server().vms() {
+                if vm.priority() != VmPriority::Low {
+                    continue;
+                }
+                let id = vm.id();
                 if !candidates.iter().any(|(_, c)| *c == id) {
                     candidates.push((0.0, id));
                 }
             }
             candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-            for (_, id) in candidates {
+            for &(_, id) in &candidates {
                 if still_needed.is_zero() {
                     break;
                 }
@@ -731,6 +768,8 @@ impl LocalController {
                     still_needed = demand.saturating_sub(&session.server().free());
                 }
             }
+            candidates.clear();
+            PREEMPT_CANDIDATES.set(candidates);
         }
 
         let satisfied = session.server().free().dominates(demand);

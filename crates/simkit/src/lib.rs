@@ -46,6 +46,7 @@ pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod observe;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -57,6 +58,7 @@ pub use hash::SeqHash;
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram, MetricSet, MetricsRegistry, TimeSeries, TimeWeightedGauge};
 pub use observe::Observability;
+pub use par::parallel_map_workers;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{AttrValue, Span, TraceEvent, TraceLog};

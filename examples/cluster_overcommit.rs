@@ -17,6 +17,7 @@ fn main() {
     for rate in [50.0, 100.0, 150.0, 200.0] {
         for deflation in [true, false] {
             let cfg = ClusterSimConfig {
+                sharding: Default::default(),
                 manager: ClusterManagerConfig {
                     n_servers: 40,
                     deflation_enabled: deflation,

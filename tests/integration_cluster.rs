@@ -144,12 +144,14 @@ fn deflation_dominates_preemption_only() {
         ..TraceConfig::default()
     };
     let base = ClusterSimConfig {
+        sharding: Default::default(),
         manager: manager_cfg(25, true),
         trace: trace.clone(),
         horizon: SimDuration::from_hours(10),
     };
     let defl = run_cluster_sim(&base);
     let pre = run_cluster_sim(&ClusterSimConfig {
+        sharding: Default::default(),
         manager: manager_cfg(25, false),
         ..base
     });
@@ -171,6 +173,7 @@ fn placement_policies_comparable_at_scale() {
     let mut means = Vec::new();
     for policy in PlacementPolicy::ALL {
         let cfg = ClusterSimConfig {
+            sharding: Default::default(),
             manager: ClusterManagerConfig {
                 n_servers: 15,
                 placement: policy,

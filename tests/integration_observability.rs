@@ -135,6 +135,7 @@ fn run_summary_reflects_manager_state() {
 #[test]
 fn full_sim_summary_is_machine_readable() {
     let r = run_cluster_sim(&ClusterSimConfig {
+        sharding: Default::default(),
         manager: ClusterManagerConfig {
             n_servers: 10,
             ..ClusterManagerConfig::default()
