@@ -1,0 +1,75 @@
+//! Control-plane failover ablation: cluster behaviour when the manager
+//! itself crashes and rebuilds its state by inventory scan.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig_failover -- [--small] [--out DIR]
+//! ```
+//!
+//! * default: 50 servers over 24 simulated hours, crash-rate, downtime
+//!   and queue-policy sweeps;
+//! * `--small`: the CI-sized configuration (15 servers, 8 h);
+//! * `--out DIR`: also write one TSV per table plus the machine-readable
+//!   run summary as `fig_failover_summary.json` under `DIR`.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let mut small = false;
+    let mut out_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--small" => small = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other}; usage: fig_failover [--small] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let tables = if small {
+        bench::figs::fig_failover::run_small()
+    } else {
+        bench::figs::fig_failover::run()
+    };
+    let wall = start.elapsed().as_secs_f64();
+    for t in &tables {
+        t.print();
+    }
+    let summary = bench::run_summary("fig_failover", &tables, wall).to_pretty();
+    println!("--- run summary (fig_failover) ---");
+    println!("{summary}");
+    if let Some(dir) = out_dir {
+        let dir = Path::new(&dir);
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        for t in &tables {
+            let path = dir.join(format!("{}.tsv", t.id));
+            if let Err(e) = fs::write(&path, t.to_tsv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        let path = dir.join("fig_failover_summary.json");
+        if let Err(e) = fs::write(&path, &summary) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "TSV series and fig_failover_summary.json written to {}",
+            dir.display()
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! fig_failover: control-plane crash-recovery sweep (not a paper
+//! figure).
+//!
+//! The paper's manager is a single point of coordination; this
+//! experiment measures how the deflation control plane degrades when the
+//! manager itself crashes and restarts. Crash windows open per the
+//! [`simkit::ManagerPlan`] fault domain: while the manager is down every
+//! server runs its VMs fully autonomously (a manager crash is
+//! semantically "all servers partitioned at once"), arrivals park in a
+//! bounded admission queue, and on restart the manager rebuilds all
+//! state from a single inventory scan — no persisted snapshot — then
+//! replays each server's divergence log and drains the queue.
+//!
+//! * **(a)** a crash-*rate* sweep at fixed downtime — goodput (billed
+//!   CPU-hours), preemption probability, crashes survived, admission
+//!   queue traffic, and the divergence replayed per inventory scan.
+//!   Degradation should be graceful: hosted VMs keep running (and
+//!   billing) through every crash, so goodput stays near the
+//!   crash-free baseline; the failover tax surfaces as parked arrivals
+//!   and reconciliation load, not as a goodput cliff.
+//! * **(b)** a *downtime* sweep at fixed rate — longer outages park more
+//!   arrivals and accumulate more autonomous divergence per scan.
+//! * **(c)** the *queue policy* ablation at a deliberately tiny queue —
+//!   `Reject` sheds overflow permanently while `Defer` retries it after
+//!   a back-off, so `Defer` converts rejections into delay and admits
+//!   strictly more work.
+//!
+//! A low background server-crash rate keeps all panels honest: some
+//! server crashes land inside manager downtime and are only discovered —
+//! and their high-priority VMs only relaunched — by the inventory scan.
+
+use cluster::{run_cluster_sim, ClusterManagerConfig, ClusterSimConfig, TraceConfig};
+use simkit::{AdmissionOverflow, FaultPlan, ManagerPlan, SimDuration};
+
+use crate::{f1, f3, Table};
+
+/// Sweep configuration (shrunk in tests).
+#[derive(Debug, Clone)]
+pub struct FigFailoverConfig {
+    /// Servers in the simulated cluster.
+    pub n_servers: usize,
+    /// Simulated duration.
+    pub horizon: SimDuration,
+    /// Arrival rate (VMs/hour).
+    pub arrivals_per_hour: f64,
+    /// Per-bucket manager-crash probabilities for panel (a); `0.0` is
+    /// the crash-free baseline.
+    pub probs: Vec<f64>,
+    /// Manager downtimes for panel (b).
+    pub downtimes: Vec<SimDuration>,
+    /// Fixed downtime used by panels (a) and (c).
+    pub fixed_downtime: SimDuration,
+    /// Fixed crash probability used by panels (b) and (c).
+    pub fixed_prob: f64,
+    /// Admission-queue capacity for panels (a) and (b) (generous, so
+    /// policy effects do not contaminate the rate/downtime sweeps).
+    pub queue_cap: usize,
+    /// Deliberately tiny queue capacity for the policy panel (c).
+    pub small_cap: usize,
+    /// Background whole-server crash rate (per hour), so some crashes
+    /// land inside manager downtime and surface at scan time.
+    pub crash_rate: f64,
+    /// Fault-plan seed.
+    pub seed: u64,
+}
+
+impl Default for FigFailoverConfig {
+    fn default() -> Self {
+        FigFailoverConfig {
+            n_servers: 50,
+            horizon: SimDuration::from_hours(24),
+            arrivals_per_hour: 140.0,
+            probs: vec![0.0, 0.05, 0.1, 0.2],
+            downtimes: vec![
+                SimDuration::from_mins(5),
+                SimDuration::from_mins(15),
+                SimDuration::from_mins(30),
+                SimDuration::from_mins(60),
+            ],
+            fixed_downtime: SimDuration::from_mins(20),
+            fixed_prob: 0.1,
+            queue_cap: 4096,
+            small_cap: 8,
+            crash_rate: 0.3,
+            seed: 11,
+        }
+    }
+}
+
+fn sim_config(
+    cfg: &FigFailoverConfig,
+    prob: f64,
+    downtime: SimDuration,
+    queue_cap: usize,
+    overflow: AdmissionOverflow,
+) -> ClusterSimConfig {
+    ClusterSimConfig {
+        sharding: Default::default(),
+        manager: ClusterManagerConfig {
+            n_servers: cfg.n_servers,
+            faults: FaultPlan {
+                seed: cfg.seed,
+                server_crash_rate_per_hour: cfg.crash_rate,
+                manager: ManagerPlan {
+                    prob,
+                    downtime,
+                    queue_cap,
+                    overflow,
+                    ..ManagerPlan::none()
+                },
+                ..FaultPlan::none()
+            },
+            ..ClusterManagerConfig::default()
+        },
+        trace: TraceConfig {
+            arrivals_per_hour: cfg.arrivals_per_hour,
+            ..TraceConfig::default()
+        },
+        horizon: cfg.horizon,
+    }
+}
+
+/// Billed CPU-hours: high-priority (on-demand) plus effective
+/// low-priority (RaaS billing) — what the provider actually sells.
+fn goodput(r: &cluster::ClusterSimResult) -> f64 {
+    r.high_pri_cpu_hours + r.low_pri_effective_cpu_hours
+}
+
+fn counter(r: &cluster::ClusterSimResult, key: &str) -> f64 {
+    r.summary
+        .get("counters")
+        .and_then(|c| c.get(key))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0)
+}
+
+fn histogram_mean(r: &cluster::ClusterSimResult, key: &str) -> f64 {
+    r.summary
+        .get("histograms")
+        .and_then(|h| h.get(key))
+        .and_then(|h| h.get("mean"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0)
+}
+
+fn sweep_rows(t: &mut Table, labels: Vec<String>, jobs: Vec<ClusterSimConfig>) {
+    let results = crate::sweep::parallel_map(jobs, |c| run_cluster_sim(&c));
+    for (label, r) in labels.into_iter().zip(&results) {
+        crate::record_sim_summary(&r.summary);
+        let scans = counter(r, "cluster.recovery_scans");
+        let divergence = counter(r, "cluster.recovery_divergence");
+        t.row(vec![
+            label,
+            f1(goodput(r)),
+            f3(r.preemption_probability),
+            f1(counter(r, "fault.manager_crashes")),
+            f1(counter(r, "cluster.admission_queue_parked")),
+            f1(counter(r, "cluster.admission_queue_rejected")),
+            f1(counter(r, "cluster.admission_queue_deferred")),
+            f1(histogram_mean(r, "failover.queue_wait_s")),
+            f1(if scans > 0.0 { divergence / scans } else { 0.0 }),
+            f1(histogram_mean(r, "failover.downtime_s")),
+        ]);
+    }
+}
+
+const COLUMNS: [&str; 10] = [
+    "sweep",
+    "goodput (cpu-h)",
+    "P[preempt]",
+    "mgr crashes",
+    "parked",
+    "rejected",
+    "deferred",
+    "mean wait (s)",
+    "divergence/scan",
+    "mean downtime (s)",
+];
+
+/// Panel (a): goodput and queue traffic vs manager-crash rate.
+pub fn fig_failover_a_with(cfg: &FigFailoverConfig) -> Table {
+    let mut t = Table::new(
+        "fig_failover_a",
+        "Cluster goodput vs manager-crash rate (fixed downtime)",
+        COLUMNS.to_vec(),
+    );
+    let labels = cfg.probs.iter().map(|p| f3(*p)).collect();
+    let jobs = cfg
+        .probs
+        .iter()
+        .map(|&p| {
+            sim_config(
+                cfg,
+                p,
+                cfg.fixed_downtime,
+                cfg.queue_cap,
+                AdmissionOverflow::Reject,
+            )
+        })
+        .collect();
+    sweep_rows(&mut t, labels, jobs);
+    t.expect(
+        "degradation is graceful: hosted VMs keep running and billing \
+         autonomously through every manager crash, so goodput stays \
+         within a few percent of the crash-free baseline at every rate; \
+         the failover tax surfaces as parked arrivals and divergence \
+         replay instead of a goodput cliff, every crash window recovers \
+         by run end, and the rate-0 row matches the failover-free \
+         simulator byte-for-byte",
+    );
+    t
+}
+
+/// Panel (b): queue pressure and divergence vs manager downtime.
+pub fn fig_failover_b_with(cfg: &FigFailoverConfig) -> Table {
+    let mut t = Table::new(
+        "fig_failover_b",
+        "Admission-queue pressure vs manager downtime (fixed rate)",
+        COLUMNS.to_vec(),
+    );
+    let labels = cfg
+        .downtimes
+        .iter()
+        .map(|d| format!("{:.0} min", d.as_secs_f64() / 60.0))
+        .collect();
+    let jobs = cfg
+        .downtimes
+        .iter()
+        .map(|&d| {
+            sim_config(
+                cfg,
+                cfg.fixed_prob,
+                d,
+                cfg.queue_cap,
+                AdmissionOverflow::Reject,
+            )
+        })
+        .collect();
+    sweep_rows(&mut t, labels, jobs);
+    t.expect(
+        "longer manager outages park more arrivals, make them wait \
+         longer, and accumulate more autonomous divergence per \
+         inventory scan; the observed mean downtime tracks the \
+         configured window length",
+    );
+    t
+}
+
+/// Panel (c): Reject vs Defer at a deliberately tiny admission queue.
+pub fn fig_failover_c_with(cfg: &FigFailoverConfig) -> Table {
+    let mut t = Table::new(
+        "fig_failover_c",
+        "Admission-queue overflow policy at a tiny queue (Reject vs Defer)",
+        COLUMNS.to_vec(),
+    );
+    let policies = [
+        ("reject", AdmissionOverflow::Reject),
+        ("defer", AdmissionOverflow::Defer),
+    ];
+    let labels = policies
+        .iter()
+        .map(|(name, _)| format!("{name} cap={}", cfg.small_cap))
+        .collect();
+    let jobs = policies
+        .iter()
+        .map(|(_, ov)| sim_config(cfg, cfg.fixed_prob, cfg.fixed_downtime, cfg.small_cap, *ov))
+        .collect();
+    sweep_rows(&mut t, labels, jobs);
+    t.expect(
+        "with the queue squeezed, Reject sheds overflow permanently \
+         while Defer converts every overflow into a retry after a \
+         back-off: the reject row shows rejections and zero deferrals, \
+         the defer row the reverse, and Defer ends the run having \
+         admitted at least as much work",
+    );
+    t
+}
+
+/// All panels at default scale.
+pub fn run() -> Vec<Table> {
+    let cfg = FigFailoverConfig::default();
+    vec![
+        fig_failover_a_with(&cfg),
+        fig_failover_b_with(&cfg),
+        fig_failover_c_with(&cfg),
+    ]
+}
+
+/// All panels at CI scale (finishes in seconds).
+pub fn run_small() -> Vec<Table> {
+    let cfg = small_cfg();
+    vec![
+        fig_failover_a_with(&cfg),
+        fig_failover_b_with(&cfg),
+        fig_failover_c_with(&cfg),
+    ]
+}
+
+fn small_cfg() -> FigFailoverConfig {
+    FigFailoverConfig {
+        n_servers: 15,
+        horizon: SimDuration::from_hours(8),
+        arrivals_per_hour: 42.0,
+        probs: vec![0.0, 0.1, 0.3],
+        downtimes: vec![SimDuration::from_mins(5), SimDuration::from_mins(45)],
+        fixed_downtime: SimDuration::from_mins(30),
+        fixed_prob: 0.2,
+        small_cap: 4,
+        ..FigFailoverConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_is_graceful_and_every_crash_recovers() {
+        let t = fig_failover_a_with(&small_cfg());
+        assert_eq!(t.rows.len(), 3);
+        // The crash-free row shows no failover machinery at all.
+        assert_eq!(t.cell(0, 3), 0.0, "no crashes at rate 0");
+        assert_eq!(t.cell(0, 4), 0.0, "nothing parked at rate 0");
+        assert_eq!(t.cell(0, 8), 0.0, "no divergence at rate 0");
+        // Crashy rows crash, park arrivals, and recover.
+        for row in 1..t.rows.len() {
+            assert!(t.cell(row, 3) > 0.0, "row {row} should crash the manager");
+            assert!(t.cell(row, 4) > 0.0, "row {row} should park arrivals");
+        }
+        assert!(
+            t.cell(2, 3) > t.cell(1, 3),
+            "a higher rate crashes the manager more often"
+        );
+        // Graceful: hosted VMs keep billing autonomously through every
+        // crash, so goodput stays near the crash-free baseline (parked
+        // arrivals start late, so allow a modest admission tax).
+        let good = t.column(1);
+        for (row, g) in good.iter().enumerate().skip(1) {
+            assert!(
+                (good[0] - g) / good[0] < 0.10,
+                "row {row}: goodput cliff under manager crashes: {good:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_pressure_tracks_downtime() {
+        let t = fig_failover_b_with(&small_cfg());
+        assert_eq!(t.rows.len(), 2);
+        let (short, long) = (0, 1);
+        assert!(
+            t.cell(long, 9) > t.cell(short, 9),
+            "mean downtime must track the configured window: {} vs {}",
+            t.cell(long, 9),
+            t.cell(short, 9)
+        );
+        assert!(
+            t.cell(long, 4) > t.cell(short, 4),
+            "longer outages park more arrivals: {} vs {}",
+            t.cell(long, 4),
+            t.cell(short, 4)
+        );
+        assert!(
+            t.cell(long, 7) > t.cell(short, 7),
+            "longer outages make parked arrivals wait longer: {} vs {}",
+            t.cell(long, 7),
+            t.cell(short, 7)
+        );
+    }
+
+    #[test]
+    fn overflow_policies_shed_or_defer() {
+        let t = fig_failover_c_with(&small_cfg());
+        assert_eq!(t.rows.len(), 2);
+        let (reject, defer) = (0, 1);
+        assert!(t.cell(reject, 5) > 0.0, "tiny queue must overflow");
+        assert_eq!(t.cell(reject, 6), 0.0, "Reject never defers");
+        assert!(t.cell(defer, 6) > 0.0, "Defer retries its overflow");
+        assert_eq!(t.cell(defer, 5), 0.0, "Defer never rejects");
+    }
+}

@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig_distress;
+pub mod fig_failover;
 pub mod fig_faults;
 pub mod fig_migration;
 pub mod fig_partition;
@@ -32,6 +33,7 @@ pub fn run_all() -> Vec<Table> {
         Box::new(fig_distress::run),
         Box::new(fig_migration::run),
         Box::new(fig_partition::run),
+        Box::new(fig_failover::run),
         Box::new(|| vec![pricing_exp::run()]),
     ];
     crate::sweep::parallel_map(jobs, |job| job())

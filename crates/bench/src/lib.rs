@@ -43,6 +43,19 @@ pub const MIGRATION_COUNTER_KEYS: [&str; 5] = [
     "cluster.drains",
 ];
 
+/// Control-plane failover counters every figure binary reports even when
+/// the manager never crashed (they print as zero). The remaining
+/// `cluster.admission_queue_*` / `cluster.recovery_*` keys join these
+/// dynamically as simulations record them.
+pub const FAILOVER_COUNTER_KEYS: [&str; 6] = [
+    "fault.manager_crashes",
+    "cluster.recovery_scans",
+    "cluster.recovery_inventory_servers",
+    "cluster.recovery_divergence",
+    "cluster.admission_queue_parked",
+    "cluster.admission_queue_overflow",
+];
+
 /// Process-wide accumulator of fault-related counters scraped from
 /// cluster-simulation run summaries; printed by [`run_summary`].
 static SIM_FAULT_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
@@ -52,6 +65,9 @@ static SIM_DISTRESS_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap
 
 /// Same, for the live-migration counters.
 static SIM_MIGRATION_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// Same, for the control-plane failover counters.
+static SIM_FAILOVER_COUNTERS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
 
 /// Folds the fault/resilience counters (`fault.injected.*`, server
 /// crashes, unresponsive agents, cascade retries) and the guest-distress
@@ -69,6 +85,7 @@ pub fn record_sim_summary(doc: &simkit::JsonValue) {
     let mut migration = SIM_MIGRATION_COUNTERS
         .lock()
         .expect("migration accumulator");
+    let mut failover = SIM_FAILOVER_COUNTERS.lock().expect("failover accumulator");
     for (k, v) in counters {
         let Some(n) = v.as_f64() else { continue };
         if k.starts_with("fault.") || FAULT_COUNTER_KEYS.contains(&k.as_str()) {
@@ -82,6 +99,12 @@ pub fn record_sim_summary(doc: &simkit::JsonValue) {
             || MIGRATION_COUNTER_KEYS.contains(&k.as_str())
         {
             *migration.entry(k.clone()).or_insert(0.0) += n;
+        }
+        if k == "fault.manager_crashes"
+            || k.starts_with("cluster.admission_queue_")
+            || k.starts_with("cluster.recovery_")
+        {
+            *failover.entry(k.clone()).or_insert(0.0) += n;
         }
     }
 }
@@ -243,6 +266,18 @@ pub fn run_summary(run: &str, tables: &[Table], wall_time_s: f64) -> simkit::Jso
         migration.set(k, *v);
     }
     doc.set("migration", migration);
+    let mut failover = simkit::JsonValue::object();
+    for key in FAILOVER_COUNTER_KEYS {
+        failover.set(key, 0.0);
+    }
+    for (k, v) in SIM_FAILOVER_COUNTERS
+        .lock()
+        .expect("failover accumulator")
+        .iter()
+    {
+        failover.set(k, *v);
+    }
+    doc.set("failover", failover);
     doc
 }
 
@@ -433,6 +468,38 @@ mod tests {
         assert!(get("cluster.defrag_rounds") >= 2.0);
         // Non-migration counters are not hoisted into the section.
         assert!(migration.get("cluster.launched").is_none());
+    }
+
+    #[test]
+    fn run_summary_reports_failover_counters() {
+        // The failover counters are always present (zero by default)…
+        let doc = run_summary("figF", &[sample()], 0.1);
+        let failover = doc.get("failover").expect("failover section");
+        for key in FAILOVER_COUNTER_KEYS {
+            assert!(
+                failover.get(key).and_then(|v| v.as_f64()).is_some(),
+                "{key} missing"
+            );
+        }
+        // …and fold in whatever the simulations recorded (lower bounds:
+        // the accumulator is process-wide).
+        let sim = simkit::JsonValue::object().with(
+            "counters",
+            simkit::JsonValue::object()
+                .with("fault.manager_crashes", 2.0)
+                .with("cluster.admission_queue_deferred", 7.0)
+                .with("cluster.recovery_divergence", 11.0)
+                .with("cluster.launched", 100.0),
+        );
+        record_sim_summary(&sim);
+        let doc = run_summary("figF", &[sample()], 0.1);
+        let failover = doc.get("failover").expect("failover section");
+        let get = |k: &str| failover.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        assert!(get("fault.manager_crashes") >= 2.0);
+        assert!(get("cluster.admission_queue_deferred") >= 7.0);
+        assert!(get("cluster.recovery_divergence") >= 11.0);
+        // Non-failover counters are not hoisted into the section.
+        assert!(failover.get("cluster.launched").is_none());
     }
 
     #[test]

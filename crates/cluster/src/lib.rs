@@ -18,6 +18,17 @@
 //! ([`traces`]) over a 100-node cluster to measure preemption
 //! probabilities and server overcommitment under increasing load —
 //! reproducing Figs. 8c and 8d.
+//!
+//! The control plane is built to survive the datacenter misbehaving:
+//! server crashes and agent faults ([`simkit::fault`]), manager↔server
+//! network partitions with autonomous servers and anti-entropy
+//! reconciliation ([`partition`]), and crashes of the manager itself —
+//! while it is down every server runs autonomously and arrivals park in
+//! a bounded admission queue; on restart
+//! [`ClusterManager::recover_manager`](manager::ClusterManager::recover_manager)
+//! rebuilds all state from a single inventory scan over per-server
+//! reports, with no persisted snapshot. Every fault domain is empty by
+//! default and byte-identical when off.
 
 pub mod distress;
 pub mod manager;

@@ -151,6 +151,8 @@ pub struct ClusterStats {
     pub emergency_reinflations: u64,
     /// Live migrations committed (the VM landed on its destination).
     pub migrations: u64,
+    /// Manager (control-plane) crashes suffered.
+    pub manager_crashes: u64,
 }
 
 impl ClusterStats {
@@ -180,6 +182,7 @@ impl ClusterStats {
         self.oom_kills += o.oom_kills;
         self.emergency_reinflations += o.emergency_reinflations;
         self.migrations += o.migrations;
+        self.manager_crashes += o.manager_crashes;
     }
 }
 
@@ -319,6 +322,13 @@ pub struct ClusterManager {
     /// divergence log. Empty (and never touched) while no partition is
     /// open, so partition-free runs stay byte-identical.
     partitions: HashMap<usize, PartitionSession>,
+    /// Whether the manager process itself is crashed. While `true`,
+    /// every server is `Partitioned` or `Down`, placement is suspended
+    /// (the simulator parks arrivals), and the only exit is the
+    /// [`recover_manager`](Self::recover_manager) inventory scan.
+    mgr_down: bool,
+    /// When the current manager crash began (valid while `mgr_down`).
+    mgr_down_since: SimTime,
     /// Reusable id buffer for per-launch fault/shield planning — the
     /// launch hot loop walks a server's low-priority ids on every
     /// reclaiming placement, so it recycles this instead of allocating.
@@ -385,6 +395,8 @@ impl ClusterManager {
             pindex,
             reach: vec![Reachability::Up; servers_len],
             partitions: HashMap::new(),
+            mgr_down: false,
+            mgr_down_since: SimTime::ZERO,
             scratch_ids: Vec::new(),
             scratch_sample: Vec::new(),
         }
@@ -716,6 +728,27 @@ impl ClusterManager {
                     "down server {si} still carries a capacity hold"
                 );
             }
+        }
+        // Manager-down invariants: a dead control plane can reach no
+        // server, holds no migration ledger (torn down at crash time),
+        // and keeps no lifecycle state in manager memory (parked in the
+        // per-server sessions for the inventory scan to re-learn).
+        if self.mgr_down {
+            for (si, r) in self.reach.iter().enumerate() {
+                assert!(
+                    *r != Reachability::Up,
+                    "server {si} still reachable while the manager is down"
+                );
+            }
+            assert!(
+                self.migrations.is_empty(),
+                "in-flight migrations survived a manager crash"
+            );
+            assert!(
+                self.distress.is_empty() && self.missed.is_empty() && self.unresponsive.is_empty(),
+                "manager-side lifecycle maps survived a manager crash \
+                 (must be parked in the sessions)"
+            );
         }
         if self.cfg.engine == PlacementEngine::Indexed {
             self.pindex.assert_consistent(&self.servers);
@@ -1962,16 +1995,49 @@ impl ClusterManager {
     /// torn down (moves out abort normally — the destination is still
     /// reachable; moves in have their stranded reservation cleared by
     /// the local controller, logged as divergence). Returns `false`
-    /// when the server is unknown, already partitioned, or down — a
-    /// partition window opening over a crashed server never starts.
+    /// when the server is unknown or down — a partition window opening
+    /// over a crashed server never starts. Partitioning an
+    /// already-partitioned server means the fault schedule is buggy:
+    /// debug builds panic, release builds count `cluster.fault_noops`
+    /// and carry on (mirroring `fail_server`/`recover_server`).
     pub fn partition_server(&mut self, now: SimTime, sid: ServerId) -> bool {
         let si = sid.0 as usize;
-        if si >= self.servers.len()
-            || self.reach[si] != Reachability::Up
-            || !self.servers[si].is_up()
-        {
+        if si >= self.servers.len() {
             return false;
         }
+        debug_assert!(!self.mgr_down, "partition_server while the manager is down");
+        if self.reach[si] == Reachability::Partitioned {
+            debug_assert!(false, "partition_server: {sid} is already partitioned");
+            self.obs.metrics.incr("cluster.fault_noops");
+            return false;
+        }
+        if self.reach[si] != Reachability::Up || !self.servers[si].is_up() {
+            return false;
+        }
+        let hosted = self.isolate_server(now, si);
+        self.obs.metrics.incr("cluster.partitions");
+        if self.cfg.lifecycle_trace {
+            self.obs
+                .trace
+                .record(now, "partition", format!("{sid} unreachable"));
+        }
+        self.obs.trace.record_span(
+            Span::new("cluster.partition", now)
+                .with_attr("server", sid.0)
+                .with_attr("hosted", hosted),
+        );
+        self.update_gauges(now);
+        true
+    }
+
+    /// The mechanics of losing contact with one reachable server —
+    /// shared by [`partition_server`](Self::partition_server) (one
+    /// network window, with its own metrics) and
+    /// [`crash_manager`](Self::crash_manager) (every reachable server at
+    /// once, metered as a single manager crash). Freezes the view,
+    /// parks distress, tears down touching migrations, opens the
+    /// session. Returns the frozen hosted-VM count.
+    fn isolate_server(&mut self, now: SimTime, si: usize) -> usize {
         self.reach[si] = Reachability::Partitioned;
         self.servers[si].set_connected(false);
         // Evict from the placement pool; capacity stays committed.
@@ -1988,6 +2054,8 @@ impl ClusterManager {
             vms,
             low,
             distress: HashMap::default(),
+            missed: HashMap::default(),
+            unresponsive: HashSet::default(),
             log: DivergenceLog::default(),
         };
         // Park manager-side distress state: the local controller carries
@@ -2040,19 +2108,7 @@ impl ClusterManager {
         }
         let hosted = session.vms.len();
         self.partitions.insert(si, session);
-        self.obs.metrics.incr("cluster.partitions");
-        if self.cfg.lifecycle_trace {
-            self.obs
-                .trace
-                .record(now, "partition", format!("{sid} unreachable"));
-        }
-        self.obs.trace.record_span(
-            Span::new("cluster.partition", now)
-                .with_attr("server", sid.0)
-                .with_attr("hosted", hosted),
-        );
-        self.update_gauges(now);
-        true
+        hosted
     }
 
     /// Closes the partition around `sid` and runs the anti-entropy
@@ -2060,11 +2116,19 @@ impl ClusterManager {
     /// against the frozen snapshot, lifecycle maps are re-keyed, parked
     /// distress state returns, the placement index is repaired, and the
     /// caller gets back which VMs died unobserved (high-priority ones
-    /// are relaunch candidates). Returns `None` when the server was not
-    /// partitioned.
+    /// are relaunch candidates). Returns `None` when the server is
+    /// unknown. Healing a server that is not partitioned means the
+    /// fault schedule is buggy: debug builds panic, release builds
+    /// count `cluster.fault_noops` and carry on.
     pub fn heal_server(&mut self, now: SimTime, sid: ServerId) -> Option<ReconcileOutcome> {
         let si = sid.0 as usize;
-        if si >= self.servers.len() || self.reach[si] != Reachability::Partitioned {
+        if si >= self.servers.len() {
+            return None;
+        }
+        debug_assert!(!self.mgr_down, "heal_server while the manager is down");
+        if self.reach[si] != Reachability::Partitioned {
+            debug_assert!(false, "heal_server: {sid} is not partitioned");
+            self.obs.metrics.incr("cluster.fault_noops");
             return None;
         }
         let session = self
@@ -2082,39 +2146,69 @@ impl ClusterManager {
         Some(out)
     }
 
-    /// The heal-time anti-entropy pass: classifies every frozen VM's
-    /// fate from the divergence log, replays the counters the manager
-    /// missed, settles the aggregate window in one
-    /// `apply_delta(frozen, live)` step and repairs the placement index.
+    /// The heal-time anti-entropy pass: absorbs the session (fate
+    /// classification, counter replay, lifecycle restore), settles the
+    /// aggregate window in one `apply_delta(frozen, live)` step and
+    /// repairs the placement index.
     fn reconcile(
         &mut self,
         now: SimTime,
         si: usize,
         session: PartitionSession,
     ) -> ReconcileOutcome {
-        let mut exited_set: HashSet<VmId, SeqHash> = HashSet::default();
-        let mut killed_set: HashSet<VmId, SeqHash> = HashSet::default();
-        let mut crashed = false;
-        let mut emergency = 0u64;
-        let mut trips = 0u64;
-        let mut closes = 0u64;
-        let mut restarts = 0u64;
-        for ev in session.log.events() {
-            match ev {
-                DivergenceEvent::Exited { vm, .. } => {
-                    exited_set.insert(*vm);
-                }
-                DivergenceEvent::OomKilled { vm, .. } => {
-                    killed_set.insert(*vm);
-                }
-                DivergenceEvent::EmergencyReinflated { .. } => emergency += 1,
-                DivergenceEvent::BreakerOpened { .. } => trips += 1,
-                DivergenceEvent::BreakerClosed { .. } => closes += 1,
-                DivergenceEvent::ReservationCleared { .. } => {}
-                DivergenceEvent::Crashed { .. } => crashed = true,
-                DivergenceEvent::Restarted { .. } => restarts += 1,
-            }
+        let frozen = session.frozen;
+        let since = session.since;
+        let out = self.absorb_session(now, si, session);
+        // Settle the whole partition window in one delta-exact step and
+        // repair the placement index.
+        let live = self.servers[si].aggregates();
+        self.apply_delta(&frozen, &live);
+        self.refresh_index(si);
+        self.obs.metrics.incr("cluster.partition_heals");
+        self.obs
+            .metrics
+            .add("cluster.partition_divergence", out.divergence as u64);
+        self.obs
+            .metrics
+            .observe("partition.window_s", (now - since).as_secs_f64());
+        if self.cfg.lifecycle_trace {
+            self.obs.trace.record(
+                now,
+                "partition_heal",
+                format!(
+                    "{} reconciled: {} divergent events",
+                    ServerId(si as u64),
+                    out.divergence
+                ),
+            );
         }
+        self.obs.trace.record_span(
+            Span::new("cluster.partition_heal", now)
+                .with_attr("server", si as u64)
+                .with_attr("divergence", out.divergence)
+                .with_attr("exited", out.exited.len())
+                .with_attr("oom_killed", out.oom_killed.len())
+                .with_attr("lost_high", out.lost_high.len())
+                .with_attr("lost_low", out.lost_low.len()),
+        );
+        out
+    }
+
+    /// Absorbs one server's inventory report after an unobserved window:
+    /// classifies every frozen VM's fate from the divergence log,
+    /// replays the counters the manager missed, restores surviving VMs'
+    /// index entries and parked distress / agent-liveness state, and
+    /// drops tracking for the dead. Shared by the heal path (which then
+    /// settles the frozen→live aggregate delta) and the manager-recovery
+    /// scan (which rebuilds the totals from zero instead). Touches
+    /// neither the cluster totals nor the placement index.
+    fn absorb_session(
+        &mut self,
+        now: SimTime,
+        si: usize,
+        session: PartitionSession,
+    ) -> ReconcileOutcome {
+        let replay = session.log.replay_summary();
         let mut frozen_ids: Vec<VmId> = session.vms.iter().copied().collect();
         frozen_ids.sort_unstable_by_key(|v| v.0);
         let mut out = ReconcileOutcome {
@@ -2124,12 +2218,15 @@ impl ClusterManager {
             oom_killed: Vec::new(),
             lost_high: Vec::new(),
             lost_low: Vec::new(),
-            crashed,
+            crashed: replay.crashed,
         };
         for id in frozen_ids {
             if self.servers[si].vm(id).is_some() {
-                // Survivor: hand its parked distress/breaker state back
-                // to the manager's map (open breakers rejoin the gauge).
+                // Survivor: (re)index it and hand its parked state back
+                // to the manager's maps (open breakers rejoin the
+                // gauge). A heal re-inserts identical entries; the
+                // recovery scan rebuilds them from scratch.
+                self.index.insert(id, si);
                 if let Some(st) = session.distress.get(&id) {
                     if st.open {
                         self.breaker_open_now += 1;
@@ -2141,13 +2238,19 @@ impl ClusterManager {
                     }
                     self.distress.insert(id, *st);
                 }
+                if let Some(n) = session.missed.get(&id) {
+                    self.missed.insert(id, *n);
+                }
+                if session.unresponsive.contains(&id) {
+                    self.unresponsive.insert(id);
+                }
                 continue;
             }
             // Gone: replay its departure against the lifecycle maps.
             self.drop_vm_tracking(now, id);
-            if exited_set.contains(&id) {
+            if replay.exited.contains(&id) {
                 out.exited.push(id);
-            } else if killed_set.contains(&id) {
+            } else if replay.oom_killed.contains(&id) {
                 out.oom_killed.push(id);
             } else if session.low.contains(&id) {
                 out.lost_low.push(id);
@@ -2167,19 +2270,21 @@ impl ClusterManager {
                 .metrics
                 .add("cluster.oom_kills", out.oom_killed.len() as u64);
         }
-        if emergency > 0 {
-            self.stats.emergency_reinflations += emergency;
+        if replay.emergency > 0 {
+            self.stats.emergency_reinflations += replay.emergency;
             self.obs
                 .metrics
-                .add("cluster.emergency_reinflations", emergency);
+                .add("cluster.emergency_reinflations", replay.emergency);
         }
-        if trips > 0 {
-            self.obs.metrics.add("cluster.breaker_trips", trips);
+        if replay.trips > 0 {
+            self.obs.metrics.add("cluster.breaker_trips", replay.trips);
         }
-        if closes > 0 {
-            self.obs.metrics.add("distress.breaker_closed", closes);
+        if replay.closes > 0 {
+            self.obs
+                .metrics
+                .add("distress.breaker_closed", replay.closes);
         }
-        if crashed {
+        if replay.crashed {
             self.stats.server_crashes += 1;
             self.stats.preempted += out.lost_low.len() as u64;
             self.obs.metrics.incr("cluster.server_crashes");
@@ -2188,42 +2293,235 @@ impl ClusterManager {
                 .metrics
                 .add("cluster.preempted", out.lost_low.len() as u64);
         }
-        if restarts > 0 {
-            self.obs.metrics.add("cluster.server_recoveries", restarts);
+        if replay.restarts > 0 {
+            self.obs
+                .metrics
+                .add("cluster.server_recoveries", replay.restarts);
         }
-        // Settle the whole partition window in one delta-exact step and
-        // repair the placement index.
-        let live = self.servers[si].aggregates();
-        self.apply_delta(&session.frozen, &live);
-        self.refresh_index(si);
-        self.obs.metrics.incr("cluster.partition_heals");
-        self.obs
-            .metrics
-            .add("cluster.partition_divergence", session.log.len() as u64);
-        self.obs
-            .metrics
-            .observe("partition.window_s", (now - session.since).as_secs_f64());
+        out
+    }
+
+    /// Whether the manager itself is crashed (every server autonomous,
+    /// placement suspended, arrivals parked by the caller).
+    pub fn manager_down(&self) -> bool {
+        self.mgr_down
+    }
+
+    /// The manager process crashes: every reachable server loses its
+    /// control plane at once, which is semantically "all servers
+    /// partitioned simultaneously" — each one's view freezes, its
+    /// distress state parks with the local controller, and every
+    /// in-flight migration is torn down through the partition-entry
+    /// abort paths (the manager that commanded them is gone). The
+    /// manager-side agent-liveness maps (`missed`, `unresponsive`) die
+    /// with the process and are parked in the per-server sessions: that
+    /// state belongs to the server-side agents, and the restarted
+    /// manager re-learns it from the inventory scan. Crashing an
+    /// already-down manager means the fault schedule is buggy: debug
+    /// builds panic, release builds count `cluster.fault_noops`.
+    pub fn crash_manager(&mut self, now: SimTime) -> bool {
+        if self.mgr_down {
+            debug_assert!(false, "crash_manager: manager is already down");
+            self.obs.metrics.incr("cluster.fault_noops");
+            return false;
+        }
+        let mut isolated = 0usize;
+        for si in 0..self.servers.len() {
+            if self.reach[si] == Reachability::Up && self.servers[si].is_up() {
+                self.isolate_server(now, si);
+                isolated += 1;
+            }
+        }
+        // Park the dying manager's agent-liveness maps with each VM's
+        // hosting session. Every entry references a hosted VM, and
+        // every hosting server is now partitioned (already-partitioned
+        // servers keep carrying their own parked copies as empty maps —
+        // the manager retained those across plain network windows).
+        let missed = std::mem::take(&mut self.missed);
+        for (id, n) in missed {
+            let si = self.index[&id];
+            self.partitions
+                .get_mut(&si)
+                .expect("hosting server is isolated")
+                .missed
+                .insert(id, n);
+        }
+        let unresponsive = std::mem::take(&mut self.unresponsive);
+        for id in unresponsive {
+            let si = self.index[&id];
+            self.partitions
+                .get_mut(&si)
+                .expect("hosting server is isolated")
+                .unresponsive
+                .insert(id);
+        }
+        self.mgr_down = true;
+        self.mgr_down_since = now;
+        self.stats.manager_crashes += 1;
+        self.obs.metrics.incr("fault.manager_crashes");
         if self.cfg.lifecycle_trace {
             self.obs.trace.record(
                 now,
-                "partition_heal",
-                format!(
-                    "{} reconciled: {} divergent events",
-                    ServerId(si as u64),
-                    session.log.len()
-                ),
+                "manager_crash",
+                format!("manager down, {isolated} servers autonomous"),
+            );
+        }
+        self.obs
+            .trace
+            .record_span(Span::new("cluster.manager_crash", now).with_attr("isolated", isolated));
+        self.update_gauges(now);
+        true
+    }
+
+    /// A crashed server reboots while the manager itself is down: it
+    /// comes back up but finds no control plane, so it rejoins as
+    /// *partitioned* (fresh empty session) and the recovery scan
+    /// absorbs it with everyone else. Keeps the manager-down invariant
+    /// that no server is reachable.
+    pub fn recover_server_isolated(&mut self, now: SimTime, sid: ServerId) -> bool {
+        let si = sid.0 as usize;
+        if si >= self.servers.len() {
+            return false;
+        }
+        debug_assert!(
+            self.mgr_down,
+            "recover_server_isolated: manager is running (use recover_server)"
+        );
+        if self.reach[si] != Reachability::Down || self.servers[si].is_up() {
+            debug_assert!(false, "recover_server_isolated: {sid} is not cleanly down");
+            self.obs.metrics.incr("cluster.fault_noops");
+            return false;
+        }
+        self.servers[si].set_up(true);
+        self.reach[si] = Reachability::Up;
+        self.refresh_index(si);
+        self.obs.metrics.incr("cluster.server_recoveries");
+        self.isolate_server(now, si);
+        if self.cfg.lifecycle_trace {
+            self.obs
+                .trace
+                .record(now, "server_up", format!("{sid} rebooted, manager down"));
+        }
+        self.update_gauges(now);
+        true
+    }
+
+    /// The manager restarts and rebuilds its entire state by an
+    /// **inventory scan** — no persisted snapshot. Every derived table
+    /// (VM index, cluster totals, distress/breaker state, agent
+    /// liveness, placement index) is reconstructed from per-server
+    /// reports: live hosted VMs and aggregates straight off each
+    /// server, divergence logs replayed in order for the counters the
+    /// manager missed, parked lifecycle state handed back for
+    /// survivors. Servers in `still_unreachable` (an open *network*
+    /// partition outlives the manager crash) cannot answer the scan:
+    /// the manager conservatively carries their last cached report (the
+    /// frozen session) until their own heal. Returns one
+    /// [`ReconcileOutcome`] per scanned server so the caller can decide
+    /// relaunches, exactly as after `heal_server`.
+    pub fn recover_manager(
+        &mut self,
+        now: SimTime,
+        still_unreachable: &[ServerId],
+    ) -> Vec<ReconcileOutcome> {
+        if !self.mgr_down {
+            debug_assert!(false, "recover_manager: manager is not down");
+            self.obs.metrics.incr("cluster.fault_noops");
+            return Vec::new();
+        }
+        self.mgr_down = false;
+        let skip: HashSet<usize, SeqHash> =
+            still_unreachable.iter().map(|s| s.0 as usize).collect();
+        // Nothing below survived the crash in manager memory: the
+        // ledgers were torn down or parked at crash time, and the
+        // derived tables are dropped here before the scan re-derives
+        // them from server ground truth.
+        debug_assert!(self.migrations.is_empty());
+        debug_assert!(self.distress.is_empty());
+        debug_assert!(self.missed.is_empty());
+        debug_assert!(self.unresponsive.is_empty());
+        debug_assert_eq!(self.breaker_open_now, 0);
+        self.index.clear();
+        self.totals.agg = ServerAggregates::default();
+        let mut outs = Vec::new();
+        let mut divergence = 0u64;
+        let mut scanned = 0u64;
+        for si in 0..self.servers.len() {
+            if skip.contains(&si) {
+                if let Some(sess) = self.partitions.get(&si) {
+                    // Still unreachable: carry the last cached report.
+                    for id in sess.vms.iter() {
+                        self.index.insert(*id, si);
+                    }
+                    let frozen = sess.frozen;
+                    self.totals
+                        .agg
+                        .shift_by(&ServerAggregates::default(), &frozen);
+                } else {
+                    // Crashed behind a still-open network window:
+                    // nothing to carry; it rejoins via recover_server.
+                    debug_assert_eq!(self.reach[si], Reachability::Down);
+                }
+                continue;
+            }
+            scanned += 1;
+            match self.partitions.remove(&si) {
+                Some(session) => {
+                    self.servers[si].set_connected(true);
+                    self.reach[si] = if self.servers[si].is_up() {
+                        Reachability::Up
+                    } else {
+                        Reachability::Down
+                    };
+                    divergence += session.log.len() as u64;
+                    let out = self.absorb_session(now, si, session);
+                    let live = self.servers[si].aggregates();
+                    self.totals
+                        .agg
+                        .shift_by(&ServerAggregates::default(), &live);
+                    outs.push(out);
+                }
+                None => {
+                    // Crashed while still reachable, before the manager
+                    // died: the server reports itself empty.
+                    debug_assert_eq!(self.reach[si], Reachability::Down);
+                    let live = self.servers[si].aggregates();
+                    self.totals
+                        .agg
+                        .shift_by(&ServerAggregates::default(), &live);
+                }
+            }
+        }
+        // The placement index is derived state too: rebuild wholesale
+        // from the scanned servers.
+        if self.cfg.engine == PlacementEngine::Indexed {
+            self.pindex = PlacementIndex::new(&self.servers);
+        }
+        self.obs.metrics.incr("cluster.recovery_scans");
+        self.obs
+            .metrics
+            .add("cluster.recovery_inventory_servers", scanned);
+        self.obs
+            .metrics
+            .add("cluster.recovery_divergence", divergence);
+        self.obs.metrics.observe(
+            "failover.downtime_s",
+            (now - self.mgr_down_since).as_secs_f64(),
+        );
+        if self.cfg.lifecycle_trace {
+            self.obs.trace.record(
+                now,
+                "manager_recover",
+                format!("inventory scan over {scanned} servers, {divergence} divergent events"),
             );
         }
         self.obs.trace.record_span(
-            Span::new("cluster.partition_heal", now)
-                .with_attr("server", si as u64)
-                .with_attr("divergence", session.log.len())
-                .with_attr("exited", out.exited.len())
-                .with_attr("oom_killed", out.oom_killed.len())
-                .with_attr("lost_high", out.lost_high.len())
-                .with_attr("lost_low", out.lost_low.len()),
+            Span::new("cluster.manager_recover", now)
+                .with_attr("scanned", scanned)
+                .with_attr("divergence", divergence),
         );
-        out
+        self.update_gauges(now);
+        outs
     }
 
     /// A VM's natural exit on a partitioned server, handled by the
@@ -3289,6 +3587,25 @@ mod tests {
     // ─────────────────────── partition tests ───────────────────────
 
     #[test]
+    #[should_panic(expected = "already partitioned")]
+    fn double_partition_debug_panics() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        m.launch(SimTime::ZERO, &req(0, true));
+        assert!(m.partition_server(SimTime::from_secs(10), ServerId(0)));
+        // The fault schedule never opens a second window over an open
+        // one (windows are merged per server); doing so is a bug.
+        m.partition_server(SimTime::from_secs(11), ServerId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not partitioned")]
+    fn heal_of_unpartitioned_debug_panics() {
+        let mut m = ClusterManager::new(small_cfg(true));
+        m.launch(SimTime::ZERO, &req(0, true));
+        m.heal_server(SimTime::from_secs(10), ServerId(0));
+    }
+
+    #[test]
     fn partition_freezes_totals_and_excludes_placement() {
         let mut m = ClusterManager::new(small_cfg(true));
         // Two VMs land on server 0 (best-fit on an empty pool), then
@@ -3305,8 +3622,6 @@ mod tests {
         );
         assert!(m.is_partitioned(ServerId(si as u64)));
         assert_eq!(m.partitioned_servers(), vec![ServerId(si as u64)]);
-        // Re-partitioning is refused.
-        assert!(!m.partition_server(SimTime::from_secs(11), ServerId(si as u64)));
         // Totals are frozen: nothing changed by the partition itself.
         assert_eq!(m.utilization(), util);
         assert_eq!(m.running_vms(), 2);
@@ -3349,10 +3664,6 @@ mod tests {
             exits_before + 1
         );
         m.assert_consistent();
-        // A second heal is a no-op.
-        assert!(m
-            .heal_server(SimTime::from_secs(41), ServerId(si as u64))
-            .is_none());
     }
 
     #[test]

@@ -24,12 +24,12 @@
 //! monolithic code path and is byte-identical to the pre-sharding
 //! simulator (pinned by the golden summaries).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use deflate_core::{ServerId, VmId};
 use simkit::{
-    metrics::TimeWeightedGauge, parallel_map_workers, run_until, FaultInjector, JsonValue,
-    Scheduler, SimDuration, SimTime,
+    metrics::TimeWeightedGauge, parallel_map_workers, run_until, AdmissionOverflow, FaultInjector,
+    JsonValue, ManagerPlan, Scheduler, SimDuration, SimTime,
 };
 
 use crate::distress::DistressConfig;
@@ -192,6 +192,32 @@ enum Ev {
     /// The window closes: the manager reconciles the divergence log and
     /// relaunches VMs that died unobserved.
     PartitionEnd(ServerId),
+    /// The cluster manager itself crashes: every reachable server is cut
+    /// loose into autonomy and arrivals park in the admission queue.
+    /// Only scheduled when the fault plan carries a nonzero
+    /// [`ManagerPlan`].
+    ManagerDown,
+    /// The manager restarts and rebuilds its state by an inventory scan
+    /// of every reachable server, then drains the admission queue.
+    ManagerUp,
+    /// A deferred arrival (admission queue overflowed under the `Defer`
+    /// policy) retries. `parked_at` holds the first park instant so the
+    /// queue-wait histogram spans the whole wait; `oom` is `Some` for
+    /// relaunches, `None` for fresh arrivals.
+    AdmissionRetry {
+        req: Box<VmRequest>,
+        oom: Option<bool>,
+        parked_at: SimTime,
+    },
+}
+
+/// An arrival parked in the admission queue while the manager is down:
+/// the request, the instant it first parked (queue-wait accounting), and
+/// which relaunch path it came from (`None` for fresh arrivals).
+struct QueuedArrival {
+    req: VmRequest,
+    parked_at: SimTime,
+    oom: Option<bool>,
 }
 
 /// Lifetime bookkeeping for a running VM, kept under a fault plan or the
@@ -279,6 +305,17 @@ struct SimCell {
     limbo: HashMap<VmId, (LiveVm, SimTime)>,
     /// Crash ordinal → server pinned at drain (warning) time.
     drained: HashMap<u64, ServerId>,
+    /// The manager-crash domain of the fault plan (queue capacity,
+    /// overflow policy, retry back-off). `ManagerPlan::none()` when the
+    /// domain is disabled — no manager events are scheduled then.
+    mgr_plan: ManagerPlan,
+    /// Servers with an open *network* partition window, tracked by the
+    /// cell so a restarting manager knows which servers cannot answer
+    /// its inventory scan. Ordered for deterministic iteration.
+    net_open: BTreeSet<u64>,
+    /// Bounded admission queue: arrivals (and relaunches) that fired
+    /// while the manager was down, drained FIFO at recovery.
+    queue: VecDeque<QueuedArrival>,
     distress: DistressConfig,
     migration: MigrationPolicy,
     track_live: bool,
@@ -312,6 +349,7 @@ impl SimCell {
         let distress = mcfg.distress;
         let migration = mcfg.migration;
         let faults = mcfg.faults.clone();
+        let mgr_plan = faults.manager.clone();
         let n_servers = mcfg.n_servers;
         let manager = ClusterManager::new(mcfg);
 
@@ -347,6 +385,17 @@ impl SimCell {
                         sched.at(start, Ev::PartitionStart(ServerId(s as u64)));
                         sched.at(end.min(horizon), Ev::PartitionEnd(ServerId(s as u64)));
                     }
+                }
+            }
+            // Manager-crash windows follow the same discipline: a pure
+            // function of the plan, scheduled up front, ends clamped to
+            // the horizon so every crash recovers (and the admission
+            // queue drains) before the books close. The empty plan
+            // schedules nothing.
+            if !inj.plan().manager.is_none() {
+                for (start, end) in inj.manager_windows(horizon) {
+                    sched.at(start, Ev::ManagerDown);
+                    sched.at(end.min(horizon), Ev::ManagerUp);
                 }
             }
         }
@@ -396,6 +445,9 @@ impl SimCell {
             live: HashMap::new(),
             limbo: HashMap::new(),
             drained: HashMap::new(),
+            mgr_plan,
+            net_open: BTreeSet::new(),
+            queue: VecDeque::new(),
             distress,
             migration,
             track_live,
@@ -459,35 +511,14 @@ impl SimCell {
                 let billed_secs = (billed_end - req.arrival).as_secs_f64();
                 self.offered_cpu_hours +=
                     req.spec.get(deflate_core::ResourceKind::Cpu) * billed_secs / 3_600.0;
-                // A spilling cell defers the rejection verdict to the
-                // epoch barrier; the monolithic path counts it here,
-                // byte-identical to the pre-sharding simulator.
-                let outcome = if self.spill {
-                    self.manager.launch_deferred(now, &req)
-                } else {
-                    self.manager.launch(now, &req)
-                };
-                let touched = if let LaunchOutcome::Placed { server, .. } = &outcome {
-                    sched.after(req.lifetime, Ev::Depart(req.id));
-                    if self.track_live {
-                        self.live.insert(
-                            req.id,
-                            LiveVm {
-                                req: (*req).clone(),
-                                depart_at: now + req.lifetime,
-                            },
-                        );
-                    }
-                    Some(*server)
-                } else {
-                    if self.spill {
-                        self.manager
-                            .observability_mut()
-                            .metrics
-                            .incr("cluster.spills_offered");
-                        self.outbox.push(*req);
-                    }
+                // While the manager is down the arrival parks in the
+                // bounded admission queue; placement happens when the
+                // restarted manager drains it.
+                let touched = if self.manager.manager_down() {
+                    self.enqueue_admission(sched, now, *req, None, now);
                     None
+                } else {
+                    self.admit_fresh(sched, now, *req)
                 };
                 // Schedule the next arrival (monolithic mode only; the
                 // sharded driver injects arrivals per epoch window).
@@ -602,47 +633,26 @@ impl SimCell {
             Ev::ServerUp(sid) => {
                 // A reboot behind a still-open partition stays invisible
                 // to the manager: the local controller just logs it.
+                // During manager downtime a reachably-crashed server
+                // rejoins as partitioned instead — autonomous like
+                // everyone else until the inventory scan absorbs it.
                 if self.manager.is_partitioned(sid) {
                     self.manager.autonomous_restart(now, sid);
+                } else if self.manager.manager_down() {
+                    self.manager.recover_server_isolated(now, sid);
                 } else {
                     self.manager.recover_server(now, sid);
                 }
                 Some(sid)
             }
             Ev::Relaunch { req, oom } => {
-                let lost_at = req.arrival;
-                // Relaunches never spill: the VM's bookkeeping lives in
-                // this cell, so a reject here is final either way.
-                let outcome = self.manager.launch(now, &req);
-                if let LaunchOutcome::Placed { server, .. } = &outcome {
-                    sched.after(req.lifetime, Ev::Depart(req.id));
-                    self.live.insert(
-                        req.id,
-                        LiveVm {
-                            req: (*req).clone(),
-                            depart_at: now + req.lifetime,
-                        },
-                    );
-                    // Loss → running-again latency: boot delay plus any
-                    // reclamation the new placement had to wait for.
-                    let key = if oom {
-                        "distress.restart_latency_s"
-                    } else {
-                        "fault.restart_latency_s"
-                    };
-                    self.manager
-                        .observability_mut()
-                        .metrics
-                        .observe(key, (now - lost_at).as_secs_f64());
-                    Some(*server)
-                } else {
-                    let key = if oom {
-                        "distress.relaunch_rejected"
-                    } else {
-                        "fault.relaunch_rejected"
-                    };
-                    self.manager.observability_mut().metrics.incr(key);
+                if self.manager.manager_down() {
+                    // The reboot finished but there is no control plane
+                    // to ask for placement: park in the admission queue.
+                    self.enqueue_admission(sched, now, *req, Some(oom), now);
                     None
+                } else {
+                    self.admit_relaunch(sched, now, *req, oom)
                 }
             }
             Ev::DistressSample => {
@@ -783,66 +793,261 @@ impl SimCell {
             Ev::PartitionStart(sid) => {
                 // Freezes the manager's view and hands the server its
                 // autonomy. A no-op when the server is already down (it
-                // crashed reachably before the window opened).
-                self.manager.partition_server(now, sid);
+                // crashed reachably before the window opened). While the
+                // manager is itself down every server is already
+                // autonomous: the window only matters to the recovery
+                // scan, which `net_open` tells about it.
+                self.net_open.insert(sid.0);
+                if !self.manager.manager_down() {
+                    self.manager.partition_server(now, sid);
+                }
                 None
             }
             Ev::PartitionEnd(sid) => {
-                let mut healed = false;
-                {
-                    let SimCell {
-                        manager,
-                        injector,
-                        limbo,
-                        distress,
-                        ..
-                    } = self;
-                    if let Some(out) = manager.heal_server(now, sid) {
-                        healed = true;
-                        // Natural exits and low-priority crash losses
-                        // settled in the reconcile pass; just drop any
-                        // limbo entries.
-                        for vm in out.exited.iter().chain(&out.lost_low) {
-                            limbo.remove(vm);
+                self.net_open.remove(&sid.0);
+                // Heal only a window that actually opened: the start may
+                // have fired over a down server, and a window ending
+                // during manager downtime is absorbed by the inventory
+                // scan at recovery instead.
+                if !self.manager.manager_down() && self.manager.is_partitioned(sid) {
+                    if let Some(out) = self.manager.heal_server(now, sid) {
+                        self.settle_reconcile(sched, now, &out);
+                        // The settle may have moved any aggregate:
+                        // refresh every per-server gauge.
+                        self.refresh_all_server_gauges(now);
+                    }
+                }
+                None
+            }
+            Ev::ManagerDown => {
+                // The control plane dies: every reachable server is cut
+                // loose into autonomy (semantically, all servers
+                // partitioned at once). In-flight migrations abort
+                // through the partition teardown; their scheduled
+                // MigrationDone events find no session and are no-ops.
+                self.manager.crash_manager(now);
+                self.refresh_all_server_gauges(now);
+                None
+            }
+            Ev::ManagerUp => {
+                // Servers with an open network partition window cannot
+                // answer the inventory scan: the manager carries their
+                // frozen session until the window heals.
+                let still: Vec<ServerId> = self.net_open.iter().map(|s| ServerId(*s)).collect();
+                for out in self.manager.recover_manager(now, &still) {
+                    self.settle_reconcile(sched, now, &out);
+                }
+                // Reconstruction done: drain the admission queue FIFO.
+                while let Some(qa) = self.queue.pop_front() {
+                    self.manager
+                        .observability_mut()
+                        .metrics
+                        .observe("failover.queue_wait_s", (now - qa.parked_at).as_secs_f64());
+                    match qa.oom {
+                        None => {
+                            self.admit_fresh(sched, now, qa.req);
                         }
-                        // Deaths the manager would have relaunched had it
-                        // watched: each reboots on its own path's delay
-                        // from the *loss* instant, never before the heal
-                        // itself.
-                        let inj = injector
-                            .as_ref()
-                            .expect("partition events only exist under a fault plan");
-                        for (vm, oom, delay) in out
-                            .oom_killed
-                            .iter()
-                            .map(|vm| (vm, true, distress.restart_delay))
-                            .chain(
-                                out.lost_high
-                                    .iter()
-                                    .map(|vm| (vm, false, inj.plan().vm_restart)),
-                            )
-                        {
-                            if let Some((lv, lost_at)) = limbo.remove(vm) {
-                                let restart_at = (lost_at + delay).max(now);
-                                if let Some(req) = relaunch_request(lv, lost_at, restart_at) {
-                                    sched.at(
-                                        restart_at,
-                                        Ev::Relaunch {
-                                            req: Box::new(req),
-                                            oom,
-                                        },
-                                    );
-                                }
-                            }
+                        Some(oom) => {
+                            self.admit_relaunch(sched, now, qa.req, oom);
                         }
                     }
                 }
-                if healed {
-                    // The settle may have moved any aggregate: refresh
-                    // every per-server gauge.
-                    self.refresh_all_server_gauges(now);
-                }
+                self.refresh_all_server_gauges(now);
                 None
+            }
+            Ev::AdmissionRetry {
+                req,
+                oom,
+                parked_at,
+            } => {
+                if self.manager.manager_down() {
+                    // Still down: try to park again (or defer again).
+                    self.enqueue_admission(sched, now, *req, oom, parked_at);
+                    None
+                } else {
+                    // The manager recovered between the overflow and this
+                    // retry: admit directly, charging the full wait.
+                    self.manager
+                        .observability_mut()
+                        .metrics
+                        .observe("failover.queue_wait_s", (now - parked_at).as_secs_f64());
+                    match oom {
+                        None => self.admit_fresh(sched, now, *req),
+                        Some(oom) => self.admit_relaunch(sched, now, *req, oom),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Places one fresh arrival on a live manager: the `Arrive` body
+    /// minus offered-load billing and source scheduling, shared with the
+    /// admission-queue drain at manager recovery.
+    fn admit_fresh(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        req: VmRequest,
+    ) -> Option<ServerId> {
+        // A spilling cell defers the rejection verdict to the epoch
+        // barrier; the monolithic path counts it here, byte-identical to
+        // the pre-sharding simulator.
+        let outcome = if self.spill {
+            self.manager.launch_deferred(now, &req)
+        } else {
+            self.manager.launch(now, &req)
+        };
+        if let LaunchOutcome::Placed { server, .. } = &outcome {
+            sched.after(req.lifetime, Ev::Depart(req.id));
+            if self.track_live {
+                let depart_at = now + req.lifetime;
+                self.live.insert(req.id, LiveVm { req, depart_at });
+            }
+            Some(*server)
+        } else {
+            if self.spill {
+                self.manager
+                    .observability_mut()
+                    .metrics
+                    .incr("cluster.spills_offered");
+                self.outbox.push(req);
+            }
+            None
+        }
+    }
+
+    /// Re-places one relaunched VM (crash or OOM reboot) on a live
+    /// manager, charging its path's restart-latency or reject key.
+    fn admit_relaunch(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        req: VmRequest,
+        oom: bool,
+    ) -> Option<ServerId> {
+        let lost_at = req.arrival;
+        // Relaunches never spill: the VM's bookkeeping lives in this
+        // cell, so a reject here is final either way.
+        let outcome = self.manager.launch(now, &req);
+        if let LaunchOutcome::Placed { server, .. } = &outcome {
+            sched.after(req.lifetime, Ev::Depart(req.id));
+            let depart_at = now + req.lifetime;
+            self.live.insert(req.id, LiveVm { req, depart_at });
+            // Loss → running-again latency: boot delay plus any
+            // reclamation the new placement had to wait for.
+            let key = if oom {
+                "distress.restart_latency_s"
+            } else {
+                "fault.restart_latency_s"
+            };
+            self.manager
+                .observability_mut()
+                .metrics
+                .observe(key, (now - lost_at).as_secs_f64());
+            Some(*server)
+        } else {
+            let key = if oom {
+                "distress.relaunch_rejected"
+            } else {
+                "fault.relaunch_rejected"
+            };
+            self.manager.observability_mut().metrics.incr(key);
+            None
+        }
+    }
+
+    /// Parks one admission (fresh arrival or relaunch) while the manager
+    /// is down. A full queue falls to the plan's overflow policy:
+    /// `Reject` charges the loss to the same accounting the live paths
+    /// use; `Defer` schedules a client-side retry.
+    fn enqueue_admission(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        req: VmRequest,
+        oom: Option<bool>,
+        parked_at: SimTime,
+    ) {
+        let metrics = &mut self.manager.observability_mut().metrics;
+        if self.queue.len() < self.mgr_plan.queue_cap {
+            metrics.incr("cluster.admission_queue_parked");
+            self.queue.push_back(QueuedArrival {
+                req,
+                parked_at,
+                oom,
+            });
+            return;
+        }
+        metrics.incr("cluster.admission_queue_overflow");
+        match self.mgr_plan.overflow {
+            AdmissionOverflow::Reject => {
+                metrics.incr("cluster.admission_queue_rejected");
+                match oom {
+                    None => self.manager.reject_spill(now, req.id),
+                    Some(true) => metrics.incr("distress.relaunch_rejected"),
+                    Some(false) => metrics.incr("fault.relaunch_rejected"),
+                }
+            }
+            AdmissionOverflow::Defer => {
+                metrics.incr("cluster.admission_queue_deferred");
+                sched.at(
+                    now + self.mgr_plan.retry,
+                    Ev::AdmissionRetry {
+                        req: Box::new(req),
+                        oom,
+                        parked_at,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Settles one reconcile outcome (partition heal or recovery scan):
+    /// drops the limbo entries the reconcile already classified, and
+    /// schedules relaunches for the deaths the manager would have
+    /// relaunched had it watched — each on its own path's delay from the
+    /// *loss* instant, never before the reconcile itself.
+    fn settle_reconcile(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        out: &crate::partition::ReconcileOutcome,
+    ) {
+        let SimCell {
+            injector,
+            limbo,
+            distress,
+            ..
+        } = self;
+        // Natural exits and low-priority crash losses settled in the
+        // reconcile pass; just drop any limbo entries.
+        for vm in out.exited.iter().chain(&out.lost_low) {
+            limbo.remove(vm);
+        }
+        let inj = injector
+            .as_ref()
+            .expect("partition and manager events only exist under a fault plan");
+        for (vm, oom, delay) in out
+            .oom_killed
+            .iter()
+            .map(|vm| (vm, true, distress.restart_delay))
+            .chain(
+                out.lost_high
+                    .iter()
+                    .map(|vm| (vm, false, inj.plan().vm_restart)),
+            )
+        {
+            if let Some((lv, lost_at)) = limbo.remove(vm) {
+                let restart_at = (lost_at + delay).max(now);
+                if let Some(req) = relaunch_request(lv, lost_at, restart_at) {
+                    sched.at(
+                        restart_at,
+                        Ev::Relaunch {
+                            req: Box::new(req),
+                            oom,
+                        },
+                    );
+                }
             }
         }
     }
@@ -887,6 +1092,11 @@ impl SimCell {
     /// reclaim session's rollback makes the probe state-neutral — so the
     /// driver can probe the next ring neighbor.
     fn try_spill_in(&mut self, now: SimTime, req: &VmRequest) -> bool {
+        // A cell whose manager is down cannot admit spills: the probe
+        // refuses and the driver tries the next ring neighbor.
+        if self.manager.manager_down() {
+            return false;
+        }
         let LaunchOutcome::Placed { server, .. } = self.manager.launch_deferred(now, req) else {
             return false;
         };
@@ -1754,6 +1964,171 @@ mod tests {
         assert!(a.stats.server_crashes > 0, "chaos must crash servers");
         // The divergence histogram registers once any window heals.
         assert!(a.summary.to_string().contains("partition.window_s"));
+    }
+
+    #[test]
+    fn disabled_manager_knobs_change_nothing() {
+        // A manager plan that can never crash (prob 0) must be inert no
+        // matter how its other knobs are set, even under an otherwise
+        // active fault plan: byte-identical summary, no failover keys.
+        let mut cfg = test_cfg(true, 150.0);
+        cfg.horizon = SimDuration::from_hours(6);
+        cfg.manager.faults = simkit::FaultPlan::chaos(7);
+        let base = run_cluster_sim(&cfg);
+        let mut twisted = cfg.clone();
+        twisted.manager.faults.manager = ManagerPlan {
+            prob: 0.0,
+            bucket: SimDuration::from_mins(7),
+            downtime: SimDuration::from_mins(45),
+            queue_cap: 3,
+            overflow: AdmissionOverflow::Defer,
+            retry: SimDuration::from_secs(15),
+        };
+        let b = run_cluster_sim(&twisted);
+        assert_eq!(base.summary.to_string(), b.summary.to_string());
+        let text = base.summary.to_string();
+        assert!(!text.contains("manager_crash"));
+        assert!(!text.contains("admission_queue"));
+        assert!(!text.contains("cluster.recovery"));
+        assert!(!text.contains("failover."));
+    }
+
+    #[test]
+    fn manager_crashes_recover_and_drain_queue() {
+        // A pure manager-crash plan: every crash must recover by run
+        // end, a loaded run must park arrivals during downtime, and the
+        // whole thing must be deterministic.
+        let mut cfg = test_cfg(true, 150.0);
+        cfg.horizon = SimDuration::from_hours(12);
+        cfg.manager.faults = simkit::FaultPlan {
+            manager: ManagerPlan {
+                prob: 0.1,
+                bucket: SimDuration::from_mins(30),
+                downtime: SimDuration::from_mins(20),
+                ..ManagerPlan::none()
+            },
+            ..simkit::FaultPlan::none()
+        };
+        let a = run_cluster_sim(&cfg);
+        let b = run_cluster_sim(&cfg);
+        assert_eq!(
+            a.summary.to_string(),
+            b.summary.to_string(),
+            "failover runs must be deterministic"
+        );
+        assert!(
+            a.stats.manager_crashes > 0,
+            "a 12h run at 10%/30min must crash the manager"
+        );
+        let counters = a.summary.get("counters").expect("counters");
+        let crashes = counters
+            .get("fault.manager_crashes")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let scans = counters
+            .get("cluster.recovery_scans")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        assert_eq!(crashes, a.stats.manager_crashes as f64);
+        assert_eq!(crashes, scans, "every crash must recover by run end");
+        let parked = counters
+            .get("cluster.admission_queue_parked")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        assert!(parked > 0.0, "a loaded run must park arrivals in downtime");
+        let text = a.summary.to_string();
+        assert!(text.contains("failover.downtime_s"));
+        assert!(text.contains("failover.queue_wait_s"));
+    }
+
+    #[test]
+    fn admission_overflow_policies_reject_or_defer() {
+        // A tiny queue under long downtime: both policies overflow, but
+        // Reject drops the excess outright while Defer retries it back
+        // in — so the deferring run must admit strictly more VMs.
+        let mk = |overflow| {
+            let mut cfg = test_cfg(true, 150.0);
+            cfg.horizon = SimDuration::from_hours(12);
+            cfg.manager.faults = simkit::FaultPlan {
+                manager: ManagerPlan {
+                    prob: 0.1,
+                    bucket: SimDuration::from_mins(30),
+                    downtime: SimDuration::from_mins(30),
+                    queue_cap: 4,
+                    overflow,
+                    retry: SimDuration::from_secs(120),
+                },
+                ..simkit::FaultPlan::none()
+            };
+            run_cluster_sim(&cfg)
+        };
+        let rej = mk(AdmissionOverflow::Reject);
+        let def = mk(AdmissionOverflow::Defer);
+        let count = |r: &ClusterSimResult, key: &str| {
+            r.summary
+                .get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        assert!(
+            count(&rej, "cluster.admission_queue_overflow") > 0.0,
+            "cap 4 under 30min downtime must overflow"
+        );
+        assert!(count(&rej, "cluster.admission_queue_rejected") > 0.0);
+        assert_eq!(count(&rej, "cluster.admission_queue_deferred"), 0.0);
+        assert!(count(&def, "cluster.admission_queue_deferred") > 0.0);
+        assert_eq!(count(&def, "cluster.admission_queue_rejected"), 0.0);
+        assert!(
+            def.stats.launched > rej.stats.launched,
+            "deferred arrivals must come back: {} vs {}",
+            def.stats.launched,
+            rej.stats.launched
+        );
+    }
+
+    #[test]
+    fn sharded_cells_recover_managers_independently() {
+        // Each cell recovers its own manager on a decorrelated schedule;
+        // the merged result is thread-count invariant and the per-cell
+        // crash counters sum to the fleet total.
+        let mut cfg = test_cfg(true, 150.0);
+        cfg.horizon = SimDuration::from_hours(12);
+        cfg.manager.faults = simkit::FaultPlan {
+            manager: ManagerPlan {
+                prob: 0.1,
+                bucket: SimDuration::from_mins(30),
+                downtime: SimDuration::from_mins(20),
+                ..ManagerPlan::none()
+            },
+            ..simkit::FaultPlan::none()
+        };
+        cfg.sharding = ShardingConfig::cells(4);
+        cfg.sharding.threads = 1;
+        let a = run_cluster_sim(&cfg);
+        let mut wide = cfg.clone();
+        wide.sharding.threads = 4;
+        let b = run_cluster_sim(&wide);
+        assert_eq!(
+            a.summary.to_string(),
+            b.summary.to_string(),
+            "worker count must not change results"
+        );
+        assert!(a.stats.manager_crashes > 0);
+        let per_cell = a.summary.get("per_cell").expect("sharded summary");
+        let JsonValue::Arr(cells) = per_cell else {
+            panic!("per_cell is an array");
+        };
+        let sum: f64 = cells
+            .iter()
+            .map(|c| {
+                c.get("counters")
+                    .and_then(|k| k.get("fault.manager_crashes"))
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert_eq!(sum, a.stats.manager_crashes as f64);
     }
 
     proptest::proptest! {

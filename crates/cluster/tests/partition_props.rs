@@ -157,6 +157,11 @@ proptest! {
         for id in &live {
             prop_assert!(m.is_running(VmId(*id)));
         }
+        // A legal walk never trips the idempotence guards: every
+        // partition targeted a reachable server and every heal a
+        // partitioned one, so the release-mode no-op counter stays zero
+        // (an illegal call would have debug-panicked above anyway).
+        prop_assert_eq!(m.observability().metrics.count("cluster.fault_noops"), 0);
     }
 
     /// Convergence: the same operations applied behind a partition (and

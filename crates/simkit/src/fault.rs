@@ -34,6 +34,7 @@ const SALT_HOTPLUG: u64 = 0x686f_7470_6c75_6721; // "hotplug!"
 const SALT_VICTIM: u64 = 0x7669_6374_696d_2121; // "victim!!"
 const SALT_AGENT: u64 = 0x6167_656e_745f_7570; // "agent_up"
 const SALT_PARTITION: u64 = 0x7061_7274_6974_696e; // "partitin"
+const SALT_MANAGER: u64 = 0x6d67_725f_6372_7368; // "mgr_crsh"
 
 /// splitmix64 finalizer — the same mixer `SimRng` seeds through — used as
 /// a stateless hash so fault decisions are order-independent.
@@ -109,6 +110,68 @@ impl PartitionPlan {
     }
 }
 
+/// What happens to an arrival that finds the admission queue full while
+/// the manager is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOverflow {
+    /// The arrival is rejected outright (the client gives up).
+    Reject,
+    /// The arrival backs off and retries `ManagerPlan::retry` later
+    /// (client-side retry loop; the queue itself stays bounded).
+    Defer,
+}
+
+/// Crashes of the cluster manager itself: windows during which the
+/// control plane is down and every server runs autonomously. Decisions
+/// follow the same stateless discipline as [`PartitionPlan`]: whether a
+/// crash *starts* at bucket `b` is a pure function of
+/// `(seed, SALT_MANAGER, 0, b)` — there is one manager per cell, so the
+/// entity coordinate is fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagerPlan {
+    /// Probability that any given time-bucket starts a manager crash.
+    /// 0 disables the domain entirely.
+    pub prob: f64,
+    /// Width of the decision bucket: one crash chance per bucket.
+    pub bucket: SimDuration,
+    /// How long the manager stays down once crashed. Overlapping
+    /// windows merge.
+    pub downtime: SimDuration,
+    /// Capacity of the admission queue that parks arrivals while the
+    /// manager is down.
+    pub queue_cap: usize,
+    /// Policy for arrivals that find the queue full.
+    pub overflow: AdmissionOverflow,
+    /// Retry back-off for deferred arrivals under
+    /// [`AdmissionOverflow::Defer`].
+    pub retry: SimDuration,
+}
+
+impl Default for ManagerPlan {
+    fn default() -> Self {
+        ManagerPlan::none()
+    }
+}
+
+impl ManagerPlan {
+    /// The empty plan: the manager never crashes, no draws.
+    pub fn none() -> ManagerPlan {
+        ManagerPlan {
+            prob: 0.0,
+            bucket: SimDuration::from_mins(30),
+            downtime: SimDuration::from_mins(10),
+            queue_cap: 256,
+            overflow: AdmissionOverflow::Reject,
+            retry: SimDuration::from_secs(60),
+        }
+    }
+
+    /// `true` when the manager can never crash.
+    pub fn is_none(&self) -> bool {
+        self.prob <= 0.0 || self.downtime.is_zero() || self.bucket.is_zero()
+    }
+}
+
 /// A declarative description of the faults to inject into a simulation.
 ///
 /// All rates are per *simulated* hour; probabilities are per decision
@@ -155,6 +218,9 @@ pub struct FaultPlan {
     /// Manager↔server network partitions. The empty plan
     /// ([`PartitionPlan::none`]) opens no windows and draws nothing.
     pub partitions: PartitionPlan,
+    /// Crashes of the cluster manager itself. The empty plan
+    /// ([`ManagerPlan::none`]) opens no windows and draws nothing.
+    pub manager: ManagerPlan,
 }
 
 impl Default for FaultPlan {
@@ -181,6 +247,7 @@ impl FaultPlan {
             vm_restart: SimDuration::from_secs(40),
             crash_warning: SimDuration::ZERO,
             partitions: PartitionPlan::none(),
+            manager: ManagerPlan::none(),
         }
     }
 
@@ -211,6 +278,7 @@ impl FaultPlan {
             && self.server_crash_rate_per_hour <= 0.0
             && self.scheduled_server_crashes.is_empty()
             && self.partitions.is_none()
+            && self.manager.is_none()
     }
 
     /// Scales every probabilistic knob by `k` (durations and scripted
@@ -226,6 +294,10 @@ impl FaultPlan {
             partitions: PartitionPlan {
                 prob: (self.partitions.prob * k).min(1.0),
                 ..self.partitions.clone()
+            },
+            manager: ManagerPlan {
+                prob: (self.manager.prob * k).min(1.0),
+                ..self.manager.clone()
             },
             ..self.clone()
         }
@@ -431,6 +503,37 @@ impl FaultInjector {
         }
         windows
     }
+
+    /// All manager-crash windows within `[0, horizon)`, as half-open
+    /// `[start, end)` intervals sorted ascending with overlapping windows
+    /// merged. Same stateless discipline as
+    /// [`partition_windows`](Self::partition_windows), with the entity
+    /// coordinate fixed at 0 (one manager per cell; sharded simulations
+    /// decorrelate cells through their per-cell plan seeds). The empty
+    /// plan returns an empty vector without a single hash.
+    pub fn manager_windows(&self, horizon: SimTime) -> Vec<(SimTime, SimTime)> {
+        let p = &self.plan.manager;
+        if p.is_none() {
+            return Vec::new();
+        }
+        let mut windows: Vec<(SimTime, SimTime)> = Vec::new();
+        let mut bucket = 0u64;
+        loop {
+            let start = SimTime::from_micros(bucket.saturating_mul(p.bucket.as_micros()));
+            if start >= horizon {
+                break;
+            }
+            if decide_chance(self.plan.seed, SALT_MANAGER, 0, bucket, p.prob) {
+                let end = start.saturating_add(p.downtime);
+                match windows.last_mut() {
+                    Some(last) if last.1 >= start => last.1 = last.1.max(end),
+                    _ => windows.push((start, end)),
+                }
+            }
+            bucket += 1;
+        }
+        windows
+    }
 }
 
 #[cfg(test)]
@@ -626,6 +729,61 @@ mod tests {
         // Different servers see different window sets.
         let distinct = (0..16).any(|s| inj.partition_windows(s, horizon) != w3);
         assert!(distinct, "partition draws must be per-server");
+    }
+
+    #[test]
+    fn empty_manager_plan_opens_nothing() {
+        assert!(ManagerPlan::none().is_none());
+        let inj = FaultInjector::new(FaultPlan::none());
+        assert!(inj
+            .manager_windows(SimTime::from_secs(1_000_000))
+            .is_empty());
+        // A manager plan makes the whole fault plan non-empty…
+        let mut p = FaultPlan::none();
+        p.manager.prob = 0.5;
+        assert!(!p.is_none());
+        // …and degenerate plans (zero downtime or bucket) stay empty.
+        p.manager.downtime = SimDuration::ZERO;
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn manager_windows_are_deterministic_and_merged() {
+        let mut p = plan();
+        p.manager = ManagerPlan {
+            prob: 0.4,
+            bucket: SimDuration::from_mins(30),
+            downtime: SimDuration::from_mins(45),
+            ..ManagerPlan::none()
+        };
+        let inj = FaultInjector::new(p.clone());
+        let horizon = SimTime::ZERO + SimDuration::from_hours(48);
+        let w = inj.manager_windows(horizon);
+        assert!(!w.is_empty(), "40% per half-hour must open windows");
+        assert_eq!(w, FaultInjector::new(p.clone()).manager_windows(horizon));
+        for win in &w {
+            assert!(win.0 < win.1);
+        }
+        assert!(w.windows(2).all(|x| x[0].1 < x[1].0), "disjoint windows");
+        // 45-min downtime over 30-min buckets at 40%: some window fuses.
+        assert!(
+            w.iter().any(|(a, b)| *b - *a > SimDuration::from_mins(45)),
+            "overlapping windows must merge"
+        );
+        // A different seed moves the windows.
+        let mut p2 = p.clone();
+        p2.seed = p.seed.wrapping_add(1);
+        assert_ne!(FaultInjector::new(p2).manager_windows(horizon), w);
+    }
+
+    #[test]
+    fn scaled_plan_moves_manager_prob() {
+        let mut p = plan();
+        p.manager.prob = 0.3;
+        let scaled = p.scaled(2.0);
+        assert!((scaled.manager.prob - 0.6).abs() < 1e-12);
+        assert_eq!(scaled.manager.downtime, p.manager.downtime);
+        assert!(p.scaled(0.0).manager.is_none());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{run, run_until, EventQueue, Scheduler};
-pub use fault::{FaultInjector, FaultPlan, PartitionPlan};
+pub use fault::{AdmissionOverflow, FaultInjector, FaultPlan, ManagerPlan, PartitionPlan};
 pub use hash::SeqHash;
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram, MetricSet, MetricsRegistry, TimeSeries, TimeWeightedGauge};
